@@ -1,0 +1,42 @@
+//! One bench group per paper figure: regenerating a full subplot's
+//! trade-off series (six bargaining games each).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_core::experiments::{fig1_sweep, fig2_sweep};
+use edmac_mac::{all_models, Deployment};
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    let env = Deployment::reference();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for model in all_models() {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let sweep = fig1_sweep(black_box(model.as_ref()), black_box(&env));
+                assert!(sweep.iter().filter(|(_, r)| r.is_ok()).count() >= 5);
+                sweep
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig2(c: &mut Criterion) {
+    let env = Deployment::reference();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for model in all_models() {
+        group.bench_function(model.name(), |b| {
+            b.iter(|| {
+                let sweep = fig2_sweep(black_box(model.as_ref()), black_box(&env));
+                assert!(sweep.iter().filter(|(_, r)| r.is_ok()).count() >= 4);
+                sweep
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, fig1, fig2);
+criterion_main!(figures);

@@ -1,0 +1,43 @@
+//! Model-evaluation microbenchmarks: one closed-form evaluation per
+//! protocol, and frontier sampling (the inner loop of every solver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_core::sample_pareto_frontier;
+use edmac_mac::{all_models, Deployment};
+use std::hint::black_box;
+
+fn evaluate(c: &mut Criterion) {
+    let env = Deployment::reference();
+    let mut group = c.benchmark_group("evaluate");
+    for model in all_models() {
+        let b = model.bounds(&env);
+        let x = [0.5 * (b.lower(0) + b.upper(0))];
+        group.bench_function(model.name(), |bch| {
+            bch.iter(|| {
+                model
+                    .performance(black_box(&x), black_box(&env))
+                    .expect("mid-range parameters evaluate")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn frontier(c: &mut Criterion) {
+    let env = Deployment::reference();
+    let mut group = c.benchmark_group("frontier");
+    group.sample_size(20);
+    for model in all_models() {
+        group.bench_function(format!("{}_400pts", model.name()), |b| {
+            b.iter(|| {
+                let f = sample_pareto_frontier(black_box(model.as_ref()), black_box(&env), 400);
+                assert!(!f.is_empty());
+                f
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(models, evaluate, frontier);
+criterion_main!(models);

@@ -1,0 +1,60 @@
+//! Solver-level benchmarks: the paper's three programs individually,
+//! plus the discrete bargaining concepts on a sampled frontier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_core::{sample_frontier, AppRequirements, TradeoffAnalysis};
+use edmac_game::{BargainingProblem, CostPoint};
+use edmac_mac::{all_models, Deployment};
+use edmac_units::{Joules, Seconds};
+use std::hint::black_box;
+
+fn reqs() -> AppRequirements {
+    AppRequirements::new(Joules::new(0.06), Seconds::new(4.0)).expect("static requirements")
+}
+
+fn programs(c: &mut Criterion) {
+    let env = Deployment::reference();
+    let mut group = c.benchmark_group("programs");
+    group.sample_size(10);
+    for model in all_models() {
+        group.bench_function(format!("P1/{}", model.name()), |b| {
+            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs());
+            b.iter(|| black_box(&analysis).energy_optimal().unwrap())
+        });
+        group.bench_function(format!("P2/{}", model.name()), |b| {
+            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs());
+            b.iter(|| black_box(&analysis).latency_optimal().unwrap())
+        });
+        group.bench_function(format!("P3/{}", model.name()), |b| {
+            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs());
+            b.iter(|| black_box(&analysis).bargain().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn concepts(c: &mut Criterion) {
+    // Discrete solution concepts on a 400-point frontier — the ablation
+    // machinery's cost.
+    let env = Deployment::reference();
+    let model = &all_models()[0];
+    let points: Vec<CostPoint> = sample_frontier(model.as_ref(), &env, 400)
+        .into_iter()
+        .map(|p| CostPoint::new(p.energy.value(), p.latency.value()))
+        .collect();
+    let v = CostPoint::new(0.06, 6.0);
+    let game = BargainingProblem::new(points, v).expect("non-empty frontier");
+
+    let mut group = c.benchmark_group("concepts");
+    group.bench_function("nash", |b| b.iter(|| black_box(&game).nash().unwrap()));
+    group.bench_function("kalai_smorodinsky", |b| {
+        b.iter(|| black_box(&game).kalai_smorodinsky().unwrap())
+    });
+    group.bench_function("egalitarian", |b| {
+        b.iter(|| black_box(&game).egalitarian().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(solvers, programs, concepts);
+criterion_main!(solvers);

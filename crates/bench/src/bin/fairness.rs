@@ -1,0 +1,83 @@
+//! The proportional-fairness table and the solution-concept ablation.
+//!
+//! For every cell of the paper's two sweeps this prints both sides of
+//! the closing identity
+//! `(E*−Eworst)/(Ebest−Eworst) = (L*−Lworst)/(Lbest−Lworst)`
+//! at the Nash point, and — as the ablation DESIGN.md calls out —
+//! where the Kalai–Smorodinsky and egalitarian solutions would have
+//! landed on the same sampled frontier instead.
+//!
+//! ```text
+//! cargo run --release -p edmac-bench --bin fairness
+//! ```
+
+use edmac_bench::reference_env;
+use edmac_core::experiments::{fig1_sweep, fig2_sweep};
+use edmac_core::{sample_pareto_frontier, TradeoffReport};
+use edmac_game::{BargainingProblem, CostPoint};
+use edmac_mac::{all_models, MacModel};
+
+fn ablation(model: &dyn MacModel, report: &TradeoffReport) -> Option<(CostPoint, CostPoint)> {
+    let env = reference_env();
+    let frontier = sample_pareto_frontier(model, &env, 300);
+    let feasible: Vec<CostPoint> = frontier
+        .iter()
+        .map(|p| CostPoint::new(p.energy.value(), p.latency.value()))
+        .filter(|c| {
+            c.x <= report.requirements.energy_budget().value()
+                && c.y <= report.requirements.latency_bound().value()
+        })
+        .collect();
+    let v = CostPoint::new(report.e_worst(), report.l_worst());
+    let game = BargainingProblem::new(feasible, v).ok()?;
+    Some((
+        game.kalai_smorodinsky().ok()?.point,
+        game.egalitarian().ok()?.point,
+    ))
+}
+
+fn row(model: &dyn MacModel, label: &str, report: &TradeoffReport) {
+    let ablation_cols = match ablation(model, report) {
+        Some((ks, eg)) => format!(
+            "{:.6},{:.1},{:.6},{:.1}",
+            ks.x,
+            ks.y * 1e3,
+            eg.x,
+            eg.y * 1e3
+        ),
+        None => "NA,NA,NA,NA".to_string(),
+    };
+    println!(
+        "{},{label},{:.6},{:.1},{:.4},{:.4},{:.4},{ablation_cols}",
+        report.protocol,
+        report.e_star(),
+        report.l_star() * 1e3,
+        report.fairness_energy,
+        report.fairness_latency,
+        report.fairness_gap(),
+    );
+}
+
+fn main() {
+    println!(
+        "protocol,cell,e_star_j,l_star_ms,fair_energy,fair_latency,gap,\
+         ks_e_j,ks_l_ms,egal_e_j,egal_l_ms"
+    );
+    let env = reference_env();
+    for model in all_models() {
+        for (lmax, result) in fig1_sweep(model.as_ref(), &env) {
+            if let Ok(report) = result {
+                row(model.as_ref(), &format!("fig1:lmax={}s", lmax.value()), &report);
+            }
+        }
+        for (budget, result) in fig2_sweep(model.as_ref(), &env) {
+            if let Ok(report) = result {
+                row(
+                    model.as_ref(),
+                    &format!("fig2:ebudget={:.2}J", budget.value()),
+                    &report,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates the paper's **Figure 1**: the energy–delay trade-off
+//! with `Ebudget = 0.06 J` fixed and `Lmax` swept over 1..6 s, for
+//! X-MAC (1a), DMAC (1b) and LMAC (1c).
+//!
+//! Output: CSV to stdout. `frontier` rows draw each subplot's curve;
+//! `tradeoff` rows are the Nash bargaining points the paper marks.
+//!
+//! ```text
+//! cargo run --release -p edmac-bench --bin fig1
+//! ```
+
+use edmac_bench::{print_frontier, reference_env};
+use edmac_core::experiments::{fig1_sweep, FIG1_ENERGY_BUDGET};
+use edmac_mac::all_models;
+
+/// Parses an optional `--protocol <name>` filter (case-insensitive
+/// prefix match: `xmac`, `dmac`, `lmac`).
+fn protocol_filter() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--protocol")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase().replace('-', ""))
+}
+
+fn main() {
+    let filter = protocol_filter();
+    let env = reference_env();
+    println!("series,protocol_or_energy,energy_j_or_latency_ms,latency_or_params,more");
+    println!("# fig1: Ebudget fixed at {} J", FIG1_ENERGY_BUDGET.value());
+    for model in all_models() {
+        if let Some(f) = &filter {
+            if !model.name().to_lowercase().replace('-', "").starts_with(f.as_str()) {
+                continue;
+            }
+        }
+        print_frontier(model.as_ref(), &env, 400);
+        for (lmax, result) in fig1_sweep(model.as_ref(), &env) {
+            match result {
+                Ok(report) => println!(
+                    "tradeoff,{},{:.6},{:.1},lmax={:.0}s params={:?}",
+                    model.name(),
+                    report.e_star(),
+                    report.l_star() * 1_000.0,
+                    lmax.value(),
+                    report.nbs.params,
+                ),
+                Err(e) => println!(
+                    "tradeoff,{},NA,NA,lmax={:.0}s infeasible: {e}",
+                    model.name(),
+                    lmax.value()
+                ),
+            }
+        }
+    }
+}

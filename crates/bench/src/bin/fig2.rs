@@ -1,0 +1,55 @@
+//! Regenerates the paper's **Figure 2**: the energy–delay trade-off
+//! with `Lmax = 6 s` fixed and `Ebudget` swept over 0.01..0.06 J, for
+//! X-MAC (2a), DMAC (2b) and LMAC (2c).
+//!
+//! Output: CSV to stdout, same schema as `fig1`.
+//!
+//! ```text
+//! cargo run --release -p edmac-bench --bin fig2
+//! ```
+
+use edmac_bench::{print_frontier, reference_env};
+use edmac_core::experiments::{fig2_sweep, FIG2_LATENCY_BOUND};
+use edmac_mac::all_models;
+
+/// Parses an optional `--protocol <name>` filter (case-insensitive
+/// prefix match: `xmac`, `dmac`, `lmac`).
+fn protocol_filter() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--protocol")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase().replace('-', ""))
+}
+
+fn main() {
+    let filter = protocol_filter();
+    let env = reference_env();
+    println!("series,protocol_or_energy,energy_j_or_latency_ms,latency_or_params,more");
+    println!("# fig2: Lmax fixed at {} s", FIG2_LATENCY_BOUND.value());
+    for model in all_models() {
+        if let Some(f) = &filter {
+            if !model.name().to_lowercase().replace('-', "").starts_with(f.as_str()) {
+                continue;
+            }
+        }
+        print_frontier(model.as_ref(), &env, 400);
+        for (budget, result) in fig2_sweep(model.as_ref(), &env) {
+            match result {
+                Ok(report) => println!(
+                    "tradeoff,{},{:.6},{:.1},ebudget={:.2}J params={:?}",
+                    model.name(),
+                    report.e_star(),
+                    report.l_star() * 1_000.0,
+                    budget.value(),
+                    report.nbs.params,
+                ),
+                Err(e) => println!(
+                    "tradeoff,{},NA,NA,ebudget={:.2}J infeasible: {e}",
+                    model.name(),
+                    budget.value()
+                ),
+            }
+        }
+    }
+}

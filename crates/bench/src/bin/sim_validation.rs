@@ -1,0 +1,53 @@
+//! Analytical models vs packet-level simulation at matched operating
+//! points (the T-valid experiment of DESIGN.md).
+//!
+//! For each of the paper's three protocols, three parameter points
+//! spanning the feasible range are evaluated analytically and simulated
+//! on a geometric realization of the same ring deployment; the table
+//! reports energy (bottleneck node, per 10 s epoch), mean end-to-end
+//! latency from the outermost ring, and delivery ratio.
+//!
+//! ```text
+//! cargo run --release -p edmac-bench --bin sim_validation
+//! ```
+
+use edmac_bench::{simulate_at, validation_env, validation_points};
+use edmac_mac::all_models;
+use edmac_units::Seconds;
+
+fn main() {
+    let env = validation_env();
+    let epoch = env.epoch;
+    println!(
+        "protocol,param_s,model_e_j,sim_e_j,e_ratio,model_l_s,sim_l_s,l_ratio,delivery"
+    );
+    for model in all_models() {
+        let depth = env.traffic.model().depth();
+        for x in validation_points(model.as_ref(), &env, 3) {
+            let perf = model
+                .performance(&[x], &env)
+                .expect("in-bounds parameters evaluate");
+            let report = simulate_at(model.as_ref(), &[x], 42);
+            let sim_e = report.bottleneck_energy(epoch);
+            // Compare against the simulated *median* at the outermost
+            // ring: the analytic formulas describe the typical packet
+            // and ignore the rare retry-cascade tail that contaminates
+            // the mean (see SimReport::median_delay_at_depth).
+            let sim_l = report
+                .median_delay_at_depth(depth)
+                .unwrap_or(Seconds::new(f64::NAN));
+            println!(
+                "{},{:.4},{:.6},{:.6},{:.2},{:.3},{:.3},{:.2},{:.3}",
+                model.name(),
+                x,
+                perf.energy.value(),
+                sim_e.value(),
+                sim_e.value() / perf.energy.value(),
+                perf.latency.value(),
+                sim_l.value(),
+                sim_l.value() / perf.latency.value(),
+                report.delivery_ratio(),
+            );
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The trade-off analysis: (P1), (P2) and the Nash bargaining (P3/P4).
+
+use crate::error::CoreError;
+use crate::report::TradeoffReport;
+use crate::requirements::AppRequirements;
+use edmac_game::{nash_continuous, proportional_ratios, CostPoint, GameError};
+use edmac_mac::{Deployment, MacModel};
+use edmac_optim::{grid_minimize, NelderMead, Penalty};
+use edmac_units::{Joules, Seconds};
+
+/// Grid resolution of the global sweep phase (per dimension).
+const GRID: usize = 384;
+
+/// One operating point of a protocol: parameters and the performance
+/// they induce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// The MAC parameter vector `X`.
+    pub params: Vec<f64>,
+    /// System energy per epoch at these parameters.
+    pub energy: Joules,
+    /// Worst end-to-end latency at these parameters.
+    pub latency: Seconds,
+    /// Bottleneck channel utilization at these parameters.
+    pub utilization: f64,
+}
+
+impl std::fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "X = {:?} -> E = {:.5} J, L = {:.3} s (u = {:.3})",
+            self.params,
+            self.energy.value(),
+            self.latency.value(),
+            self.utilization
+        )
+    }
+}
+
+/// The framework entry point: a protocol model under a deployment and a
+/// set of application requirements.
+///
+/// See the crate docs for the mapping to the paper's (P1)–(P4).
+#[derive(Debug, Clone, Copy)]
+pub struct TradeoffAnalysis<'a, M: MacModel + ?Sized> {
+    model: &'a M,
+    env: Deployment,
+    reqs: AppRequirements,
+}
+
+impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
+    /// Creates an analysis for `model` under `env` and `reqs`.
+    pub fn new(model: &'a M, env: Deployment, reqs: AppRequirements) -> TradeoffAnalysis<'a, M> {
+        TradeoffAnalysis { model, env, reqs }
+    }
+
+    /// The protocol model under analysis.
+    pub fn model(&self) -> &M {
+        self.model
+    }
+
+    /// The deployment.
+    pub fn env(&self) -> &Deployment {
+        &self.env
+    }
+
+    /// The application requirements.
+    pub fn requirements(&self) -> AppRequirements {
+        self.reqs
+    }
+
+    /// Evaluates the model at `x`, reduced to `(E, L, u)` with
+    /// non-finite values for invalid parameters.
+    fn costs(&self, x: &[f64]) -> (f64, f64, f64) {
+        match self.model.performance(x, &self.env) {
+            Ok(p) => (p.energy.value(), p.latency.value(), p.utilization),
+            Err(_) => (f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        }
+    }
+
+    fn operating_point(&self, x: &[f64]) -> Result<OperatingPoint, CoreError> {
+        let perf = self.model.performance(x, &self.env)?;
+        Ok(OperatingPoint {
+            params: x.to_vec(),
+            energy: perf.energy,
+            latency: perf.latency,
+            utilization: perf.utilization,
+        })
+    }
+
+    /// Solves a constrained minimization (the shared engine of (P1) and
+    /// (P2)): minimize `objective` subject to `constraint <= limit` and
+    /// the capacity cap, via a dense grid sweep followed by a penalized
+    /// simplex refinement.
+    fn constrained_min(
+        &self,
+        program: &'static str,
+        objective: impl Fn(&(f64, f64, f64)) -> f64,
+        constrained: impl Fn(&(f64, f64, f64)) -> f64,
+        limit: f64,
+    ) -> Result<OperatingPoint, CoreError> {
+        let bounds = self.model.bounds(&self.env);
+        let cap = self.model.utilization_cap();
+
+        // Global phase: sweep the box, fold constraints as infinities.
+        let sweep = |x: &[f64]| {
+            let c = self.costs(x);
+            if constrained(&c) > limit || c.2 > cap || !c.0.is_finite() {
+                f64::INFINITY
+            } else {
+                objective(&c)
+            }
+        };
+        let seed = grid_minimize(sweep, &bounds, GRID).map_err(|e| match e {
+            edmac_optim::OptimError::Infeasible => CoreError::Infeasible {
+                program,
+                reason: format!(
+                    "no parameter of {} satisfies the constraint (limit {limit})",
+                    self.model.name()
+                ),
+            },
+            other => CoreError::Optim(other),
+        })?;
+
+        // Local phase: penalized refinement from the best cell.
+        let g_limit = |x: &[f64]| constrained(&self.costs(x)) - limit;
+        let g_cap = |x: &[f64]| self.costs(x).2 - cap;
+        let refined = Penalty {
+            local: NelderMead {
+                max_iter: 400,
+                ..NelderMead::default()
+            },
+            ..Penalty::default()
+        }
+        .minimize(
+            |x| {
+                let v = objective(&self.costs(x));
+                if v.is_finite() {
+                    v
+                } else {
+                    f64::MAX
+                }
+            },
+            &[&g_limit, &g_cap],
+            &seed.x,
+            &bounds,
+        );
+
+        // The requirements are hard constraints: accept the refinement
+        // only if it is better *and* exactly feasible, else keep the
+        // feasible grid seed.
+        let best = match refined {
+            Ok(m)
+                if m.value <= seed.value
+                    && g_limit(&m.x) <= 0.0
+                    && g_cap(&m.x) <= 0.0 =>
+            {
+                m.x
+            }
+            _ => seed.x,
+        };
+        self.operating_point(&best)
+    }
+
+    /// **(P1)**: minimize energy subject to `L(X) ≤ Lmax` (and the
+    /// bottleneck capacity cap). Returns the point realizing
+    /// `(Ebest, Lworst)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] if the latency bound is below the
+    /// protocol's floor.
+    pub fn energy_optimal(&self) -> Result<OperatingPoint, CoreError> {
+        let lmax = self.reqs.latency_bound().value();
+        self.constrained_min("P1", |c| c.0, |c| c.1, lmax)
+    }
+
+    /// **(P2)**: minimize latency subject to `E(X) ≤ Ebudget` (and the
+    /// capacity cap). Returns the point realizing `(Eworst, Lbest)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Infeasible`] if the energy budget is below the
+    /// protocol's floor.
+    pub fn latency_optimal(&self) -> Result<OperatingPoint, CoreError> {
+        let budget = self.reqs.energy_budget().value();
+        self.constrained_min("P2", |c| c.1, |c| c.0, budget)
+    }
+
+    /// **(P3)/(P4)**: the Nash Bargaining Solution between player
+    /// Energy and player Latency, with disagreement point
+    /// `v = (Eworst, Lworst)` and the application requirements as hard
+    /// caps.
+    ///
+    /// Degenerate games — where (P1) and (P2) coincide, leaving no gain
+    /// region — resolve to that single point, which is then trivially
+    /// the agreement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility of (P1)/(P2) and solver failures.
+    pub fn bargain(&self) -> Result<TradeoffReport, CoreError> {
+        let energy_opt = self.energy_optimal()?;
+        let latency_opt = self.latency_optimal()?;
+
+        // Joint feasibility: the cheapest latency-feasible point must
+        // fit the budget, else no parameter satisfies both requirements
+        // and there is nothing to bargain over.
+        if energy_opt.energy.value() > self.reqs.energy_budget().value() {
+            return Err(CoreError::Infeasible {
+                program: "P3",
+                reason: format!(
+                    "requirements are jointly infeasible for {}: the cheapest point \
+                     meeting Lmax = {:.3} s costs {:.5} J > Ebudget = {:.5} J",
+                    self.model.name(),
+                    self.reqs.latency_bound().value(),
+                    energy_opt.energy.value(),
+                    self.reqs.energy_budget().value(),
+                ),
+            });
+        }
+
+        let disagreement = CostPoint::new(
+            latency_opt.energy.value(), // Eworst: energy at the delay-optimal point
+            energy_opt.latency.value(), // Lworst: latency at the energy-optimal point
+        );
+        let caps = CostPoint::new(
+            self.reqs.energy_budget().value(),
+            self.reqs.latency_bound().value(),
+        );
+        let bounds = self.model.bounds(&self.env);
+        let cap = self.model.utilization_cap();
+        let costs = |x: &[f64]| {
+            let c = self.costs(x);
+            if c.2 > cap {
+                CostPoint::new(f64::NAN, f64::NAN)
+            } else {
+                CostPoint::new(c.0, c.1)
+            }
+        };
+
+        let nbs = match nash_continuous(costs, &bounds, disagreement, caps, GRID) {
+            Ok(b) => self.operating_point(&b.params)?,
+            Err(GameError::NoGainRegion) => {
+                // (P1) and (P2) collapsed to (nearly) one point: the
+                // game is degenerate and that point is the agreement.
+                let p1 = &energy_opt;
+                let p2 = &latency_opt;
+                if p1.energy <= p2.energy {
+                    p1.clone()
+                } else {
+                    p2.clone()
+                }
+            }
+            Err(e) => return Err(CoreError::Game(e)),
+        };
+
+        let (fairness_energy, fairness_latency) = proportional_ratios(
+            CostPoint::new(nbs.energy.value(), nbs.latency.value()),
+            CostPoint::new(energy_opt.energy.value(), latency_opt.latency.value()),
+            disagreement,
+        );
+
+        Ok(TradeoffReport {
+            protocol: self.model.name(),
+            requirements: self.reqs,
+            energy_opt,
+            latency_opt,
+            nbs,
+            fairness_energy,
+            fairness_latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_mac::{Dmac, Lmac, Xmac};
+
+    fn reqs(budget_j: f64, lmax_s: f64) -> AppRequirements {
+        AppRequirements::new(Joules::new(budget_j), Seconds::new(lmax_s)).unwrap()
+    }
+
+    #[test]
+    fn p1_respects_latency_bound() {
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        for lmax in [0.8, 1.0, 2.0, 4.0] {
+            let a = TradeoffAnalysis::new(&model, env, reqs(0.06, lmax));
+            let p = a.energy_optimal().unwrap();
+            assert!(
+                p.latency.value() <= lmax + 1e-6,
+                "Lmax={lmax}: got L={}",
+                p.latency.value()
+            );
+        }
+    }
+
+    #[test]
+    fn p1_energy_improves_as_bound_relaxes() {
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        let tight = TradeoffAnalysis::new(&model, env, reqs(0.06, 0.8))
+            .energy_optimal()
+            .unwrap();
+        let loose = TradeoffAnalysis::new(&model, env, reqs(0.06, 3.0))
+            .energy_optimal()
+            .unwrap();
+        assert!(loose.energy <= tight.energy);
+    }
+
+    #[test]
+    fn p1_saturates_once_bound_exceeds_unconstrained_optimum() {
+        // X-MAC's energy-optimal latency sits near 2.3 s at the
+        // reference deployment; Lmax = 4 and Lmax = 6 must coincide.
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        let a4 = TradeoffAnalysis::new(&model, env, reqs(0.06, 4.0))
+            .energy_optimal()
+            .unwrap();
+        let a6 = TradeoffAnalysis::new(&model, env, reqs(0.06, 6.0))
+            .energy_optimal()
+            .unwrap();
+        assert!((a4.energy.value() - a6.energy.value()).abs() < 1e-6 * a4.energy.value());
+    }
+
+    #[test]
+    fn p2_respects_energy_budget() {
+        let model = Lmac::default();
+        let env = Deployment::reference();
+        for budget in [0.02, 0.05, 0.1] {
+            let a = TradeoffAnalysis::new(&model, env, reqs(budget, 6.0));
+            let p = a.latency_optimal().unwrap();
+            assert!(
+                p.energy.value() <= budget * (1.0 + 1e-6),
+                "budget={budget}: got E={}",
+                p.energy.value()
+            );
+        }
+    }
+
+    #[test]
+    fn p2_latency_improves_with_budget() {
+        let model = Lmac::default();
+        let env = Deployment::reference();
+        let poor = TradeoffAnalysis::new(&model, env, reqs(0.02, 6.0))
+            .latency_optimal()
+            .unwrap();
+        let rich = TradeoffAnalysis::new(&model, env, reqs(0.15, 6.0))
+            .latency_optimal()
+            .unwrap();
+        assert!(rich.latency <= poor.latency);
+    }
+
+    #[test]
+    fn infeasible_latency_bound_is_reported() {
+        // LMAC cannot deliver in 50 ms across ten rings.
+        let model = Lmac::default();
+        let env = Deployment::reference();
+        let a = TradeoffAnalysis::new(&model, env, reqs(0.06, 0.05));
+        assert!(matches!(
+            a.energy_optimal(),
+            Err(CoreError::Infeasible { program: "P1", .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_energy_budget_is_reported() {
+        // A nanojoule budget is below any protocol's floor.
+        let model = Dmac::default();
+        let env = Deployment::reference();
+        let a = TradeoffAnalysis::new(&model, env, reqs(1e-9, 6.0));
+        assert!(matches!(
+            a.latency_optimal(),
+            Err(CoreError::Infeasible { program: "P2", .. })
+        ));
+    }
+
+    #[test]
+    fn bargain_dominates_disagreement_and_respects_caps() {
+        let env = Deployment::reference();
+        let r = reqs(0.06, 3.0);
+        for model in edmac_mac::all_models() {
+            let a = TradeoffAnalysis::new(model.as_ref(), env, r);
+            let report = a.bargain().unwrap();
+            let eps = 1e-9;
+            assert!(
+                report.nbs.energy.value() <= report.latency_opt.energy.value() + eps,
+                "{}: E* must not exceed Eworst",
+                model.name()
+            );
+            assert!(
+                report.nbs.latency.value() <= report.energy_opt.latency.value() + eps,
+                "{}: L* must not exceed Lworst",
+                model.name()
+            );
+            assert!(report.nbs.energy.value() <= 0.06 + eps, "{}", model.name());
+            assert!(report.nbs.latency.value() <= 3.0 + eps, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn bargain_is_between_the_single_objective_extremes() {
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        let report = TradeoffAnalysis::new(&model, env, reqs(0.06, 2.0))
+            .bargain()
+            .unwrap();
+        assert!(report.nbs.energy >= report.energy_opt.energy);
+        assert!(report.nbs.latency >= report.latency_opt.latency);
+    }
+
+    #[test]
+    fn fairness_ratios_are_in_unit_interval() {
+        let env = Deployment::reference();
+        for model in edmac_mac::all_models() {
+            let report = TradeoffAnalysis::new(model.as_ref(), env, reqs(0.06, 4.0))
+                .bargain()
+                .unwrap();
+            for r in [report.fairness_energy, report.fairness_latency] {
+                assert!(
+                    (-1e-6..=1.0 + 1e-6).contains(&r),
+                    "{}: ratio {r} outside [0,1]",
+                    model.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the framework.
+
+use edmac_game::GameError;
+use edmac_mac::MacError;
+use edmac_optim::OptimError;
+
+/// Errors from the trade-off framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The application requirements were not physically meaningful.
+    InvalidRequirements {
+        /// What was wrong.
+        reason: String,
+    },
+    /// No parameter point satisfies the stated constraints (e.g. the
+    /// latency bound is below the protocol's floor, or the energy
+    /// budget below its idle cost).
+    Infeasible {
+        /// Which program had an empty feasible set (`"P1"`, `"P2"`,
+        /// `"P3"`).
+        program: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A protocol model rejected its inputs.
+    Mac(MacError),
+    /// The bargaining layer failed.
+    Game(GameError),
+    /// A numerical solver failed.
+    Optim(OptimError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidRequirements { reason } => {
+                write!(f, "invalid application requirements: {reason}")
+            }
+            CoreError::Infeasible { program, reason } => {
+                write!(f, "{program} is infeasible: {reason}")
+            }
+            CoreError::Mac(e) => write!(f, "protocol model error: {e}"),
+            CoreError::Game(e) => write!(f, "bargaining error: {e}"),
+            CoreError::Optim(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Mac(e) => Some(e),
+            CoreError::Game(e) => Some(e),
+            CoreError::Optim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MacError> for CoreError {
+    fn from(e: MacError) -> CoreError {
+        CoreError::Mac(e)
+    }
+}
+
+impl From<GameError> for CoreError {
+    fn from(e: GameError) -> CoreError {
+        CoreError::Game(e)
+    }
+}
+
+impl From<OptimError> for CoreError {
+    fn from(e: OptimError) -> CoreError {
+        CoreError::Optim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn sources_chain() {
+        let e = CoreError::from(OptimError::Infeasible);
+        assert!(e.source().is_some());
+        let e = CoreError::from(GameError::EmptyFeasibleSet);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn infeasible_names_the_program() {
+        let e = CoreError::Infeasible {
+            program: "P1",
+            reason: "latency bound below protocol floor".into(),
+        };
+        assert!(e.to_string().starts_with("P1 is infeasible"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Experiment presets regenerating the paper's evaluation.
+//!
+//! The brief announcement's evaluation is two figures of three subplots
+//! each:
+//!
+//! * **Fig. 1** — fix `Ebudget = 0.06 J`, sweep `Lmax ∈ {1..6} s`; per
+//!   protocol, plot the E–L frontier and the Nash trade-off points.
+//! * **Fig. 2** — fix `Lmax = 6 s`, sweep
+//!   `Ebudget ∈ {0.01..0.06} J`; same plots.
+//!
+//! [`fig1_sweep`] and [`fig2_sweep`] solve the corresponding bargaining
+//! games; `edmac-bench`'s `fig1`/`fig2` binaries print them as CSV.
+
+use crate::analysis::TradeoffAnalysis;
+use crate::error::CoreError;
+use crate::report::TradeoffReport;
+use crate::requirements::AppRequirements;
+use edmac_mac::{Deployment, MacModel};
+use edmac_units::{Joules, Seconds};
+
+/// The paper's fixed energy budget in Fig. 1.
+pub const FIG1_ENERGY_BUDGET: Joules = Joules::new(0.06);
+
+/// The paper's latency sweep in Fig. 1: 1 s to 6 s.
+pub fn fig1_latency_bounds() -> Vec<Seconds> {
+    (1..=6).map(|s| Seconds::new(s as f64)).collect()
+}
+
+/// The paper's fixed latency bound in Fig. 2.
+pub const FIG2_LATENCY_BOUND: Seconds = Seconds::new(6.0);
+
+/// The paper's budget sweep in Fig. 2: 0.01 J to 0.06 J.
+pub fn fig2_energy_budgets() -> Vec<Joules> {
+    (1..=6).map(|k| Joules::new(k as f64 / 100.0)).collect()
+}
+
+/// Solves the Fig. 1 sweep for one protocol: `Ebudget` fixed at
+/// [`FIG1_ENERGY_BUDGET`], `Lmax` swept over [`fig1_latency_bounds`].
+///
+/// Bounds that are infeasible for the protocol (below its latency
+/// floor) are skipped with their error, mirroring how the paper's plots
+/// simply lack those points.
+pub fn fig1_sweep(
+    model: &dyn MacModel,
+    env: &Deployment,
+) -> Vec<(Seconds, Result<TradeoffReport, CoreError>)> {
+    fig1_latency_bounds()
+        .into_iter()
+        .map(|lmax| {
+            let result = AppRequirements::new(FIG1_ENERGY_BUDGET, lmax)
+                .and_then(|reqs| TradeoffAnalysis::new(model, *env, reqs).bargain());
+            (lmax, result)
+        })
+        .collect()
+}
+
+/// Solves the Fig. 2 sweep for one protocol: `Lmax` fixed at
+/// [`FIG2_LATENCY_BOUND`], `Ebudget` swept over [`fig2_energy_budgets`].
+pub fn fig2_sweep(
+    model: &dyn MacModel,
+    env: &Deployment,
+) -> Vec<(Joules, Result<TradeoffReport, CoreError>)> {
+    fig2_energy_budgets()
+        .into_iter()
+        .map(|budget| {
+            let result = AppRequirements::new(budget, FIG2_LATENCY_BOUND)
+                .and_then(|reqs| TradeoffAnalysis::new(model, *env, reqs).bargain());
+            (budget, result)
+        })
+        .collect()
+}
+
+/// Counts how many *distinct* trade-off points a sweep produced —
+/// the saturation diagnostic for the paper's qualitative claims
+/// (e.g. X-MAC's Fig. 1a shows 3 distinct points across 6 bounds:
+/// `Lmax = 1 s`, `2 s`, and one shared by `3..6 s`).
+///
+/// Two points are identical when both coordinates agree within `tol`
+/// (relative).
+pub fn distinct_points(reports: &[&TradeoffReport], tol: f64) -> usize {
+    let mut kept: Vec<(f64, f64)> = Vec::new();
+    for r in reports {
+        let p = (r.e_star(), r.l_star());
+        let dup = kept.iter().any(|q| {
+            let de = (p.0 - q.0).abs() <= tol * q.0.abs().max(1e-12);
+            let dl = (p.1 - q.1).abs() <= tol * q.1.abs().max(1e-12);
+            de && dl
+        });
+        if !dup {
+            kept.push(p);
+        }
+    }
+    kept.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_mac::{Dmac, Lmac, Xmac};
+
+    #[test]
+    fn sweep_grids_match_the_paper() {
+        assert_eq!(fig1_latency_bounds().len(), 6);
+        assert_eq!(fig2_energy_budgets().len(), 6);
+        assert_eq!(fig1_latency_bounds()[0], Seconds::new(1.0));
+        assert_eq!(fig2_energy_budgets()[5], Joules::new(0.06));
+        assert_eq!(FIG1_ENERGY_BUDGET.value(), 0.06);
+        assert_eq!(FIG2_LATENCY_BOUND.value(), 6.0);
+    }
+
+    #[test]
+    fn fig1_xmac_saturates_like_the_paper() {
+        // Paper Fig. 1a: distinct points at Lmax = 1 s and 2 s, a shared
+        // point for 3..6 s.
+        let env = Deployment::reference();
+        let sweep = fig1_sweep(&Xmac::default(), &env);
+        let reports: Vec<&TradeoffReport> =
+            sweep.iter().filter_map(|(_, r)| r.as_ref().ok()).collect();
+        assert_eq!(reports.len(), 6, "all bounds feasible for X-MAC");
+        let distinct = distinct_points(&reports, 0.02);
+        assert!(
+            (2..=4).contains(&distinct),
+            "X-MAC should saturate mid-sweep (got {distinct} distinct points)"
+        );
+        // The last three bounds give the same agreement.
+        let tail: Vec<&TradeoffReport> = reports[3..].to_vec();
+        assert_eq!(distinct_points(&tail, 0.02), 1, "Lmax = 4,5,6 s must coincide");
+    }
+
+    #[test]
+    fn fig1_lmac_never_saturates() {
+        // Paper Fig. 1c: all six trade-off points distinct.
+        let env = Deployment::reference();
+        let sweep = fig1_sweep(&Lmac::default(), &env);
+        let reports: Vec<&TradeoffReport> =
+            sweep.iter().filter_map(|(_, r)| r.as_ref().ok()).collect();
+        assert_eq!(distinct_points(&reports, 0.02), reports.len());
+    }
+
+    #[test]
+    fn fig2_budget_relaxation_favors_latency_player() {
+        // Paper Fig. 2: raising Ebudget moves agreements toward lower
+        // delay.
+        let env = Deployment::reference();
+        for model in [&Dmac::default() as &dyn MacModel, &Lmac::default()] {
+            let sweep = fig2_sweep(model, &env);
+            let reports: Vec<&TradeoffReport> =
+                sweep.iter().filter_map(|(_, r)| r.as_ref().ok()).collect();
+            assert!(reports.len() >= 3, "{}", model.name());
+            let first = reports.first().unwrap();
+            let last = reports.last().unwrap();
+            assert!(
+                last.l_star() <= first.l_star() + 1e-9,
+                "{}: L* should fall as the budget grows ({} -> {})",
+                model.name(),
+                first.l_star(),
+                last.l_star()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_points_counts_with_tolerance() {
+        use crate::analysis::OperatingPoint;
+        let mk = |e: f64, l: f64| TradeoffReport {
+            protocol: "T",
+            requirements: AppRequirements::new(Joules::new(1.0), Seconds::new(1.0)).unwrap(),
+            energy_opt: OperatingPoint {
+                params: vec![],
+                energy: Joules::new(e),
+                latency: Seconds::new(l),
+                utilization: 0.0,
+            },
+            latency_opt: OperatingPoint {
+                params: vec![],
+                energy: Joules::new(e),
+                latency: Seconds::new(l),
+                utilization: 0.0,
+            },
+            nbs: OperatingPoint {
+                params: vec![],
+                energy: Joules::new(e),
+                latency: Seconds::new(l),
+                utilization: 0.0,
+            },
+            fairness_energy: 0.0,
+            fairness_latency: 0.0,
+        };
+        let a = mk(1.0, 1.0);
+        let b = mk(1.001, 1.001); // within 1% of a
+        let c = mk(2.0, 2.0);
+        assert_eq!(distinct_points(&[&a, &b, &c], 0.01), 2);
+        assert_eq!(distinct_points(&[&a, &b, &c], 1e-6), 3);
+        assert_eq!(distinct_points(&[], 0.01), 0);
+    }
+}

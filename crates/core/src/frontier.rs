@@ -1,0 +1,171 @@
+//! Sampling a protocol's energy–latency frontier (the curves the
+//! paper's figures draw through the trade-off points).
+
+use crate::analysis::OperatingPoint;
+use edmac_game::{pareto_filter, CostPoint};
+use edmac_mac::{Deployment, MacModel};
+use edmac_units::{Joules, Seconds};
+
+/// Sweeps the model's parameter box with `n` uniform samples per
+/// dimension and returns the feasible (capacity-respecting) operating
+/// points, in sweep order.
+///
+/// One-dimensional models (the paper's three) produce exactly the curve
+/// plotted in Fig. 1/2.
+pub fn sample_frontier(
+    model: &dyn MacModel,
+    env: &Deployment,
+    n: usize,
+) -> Vec<OperatingPoint> {
+    let bounds = model.bounds(env);
+    let dims = bounds.len();
+    let n = n.max(2);
+    let total = n.pow(dims as u32);
+    let cap = model.utilization_cap();
+    let mut out = Vec::new();
+    let mut x = vec![0.0; dims];
+    for flat in 0..total {
+        let mut rem = flat;
+        for (i, xi) in x.iter_mut().enumerate() {
+            let k = rem % n;
+            rem /= n;
+            *xi = bounds.lower(i) + bounds.width(i) * k as f64 / (n - 1) as f64;
+        }
+        if let Ok(perf) = model.performance(&x, env) {
+            if perf.utilization <= cap {
+                out.push(OperatingPoint {
+                    params: x.clone(),
+                    energy: perf.energy,
+                    latency: perf.latency,
+                    utilization: perf.utilization,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Like [`sample_frontier`], but reduced to the Pareto-optimal subset,
+/// sorted by increasing energy.
+pub fn sample_pareto_frontier(
+    model: &dyn MacModel,
+    env: &Deployment,
+    n: usize,
+) -> Vec<OperatingPoint> {
+    let all = sample_frontier(model, env, n);
+    let costs: Vec<CostPoint> = all
+        .iter()
+        .map(|p| CostPoint::new(p.energy.value(), p.latency.value()))
+        .collect();
+    let frontier = pareto_filter(&costs);
+    // Recover the operating points for each frontier cost pair (first
+    // match wins; duplicates are equivalent).
+    frontier
+        .into_iter()
+        .filter_map(|fp| {
+            all.iter()
+                .find(|p| p.energy.value() == fp.x && p.latency.value() == fp.y)
+                .cloned()
+        })
+        .collect()
+}
+
+/// Formats sampled points as CSV (`energy_j,latency_ms,param0,...`),
+/// ready for plotting against the paper's axes.
+pub fn frontier_csv(points: &[OperatingPoint]) -> String {
+    let mut out = String::from("energy_j,latency_ms,params\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:.6},{:.1},{:?}\n",
+            p.energy.value(),
+            p.latency.value() * 1_000.0,
+            p.params
+        ));
+    }
+    out
+}
+
+/// Convenience for tests and benches: the frontier's energy extent.
+pub fn energy_span(points: &[OperatingPoint]) -> (Joules, Joules) {
+    let lo = points
+        .iter()
+        .map(|p| p.energy.value())
+        .fold(f64::INFINITY, f64::min);
+    let hi = points
+        .iter()
+        .map(|p| p.energy.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    (Joules::new(lo), Joules::new(hi))
+}
+
+/// Convenience for tests and benches: the frontier's latency extent.
+pub fn latency_span(points: &[OperatingPoint]) -> (Seconds, Seconds) {
+    let lo = points
+        .iter()
+        .map(|p| p.latency.value())
+        .fold(f64::INFINITY, f64::min);
+    let hi = points
+        .iter()
+        .map(|p| p.latency.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    (Seconds::new(lo), Seconds::new(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_mac::{Lmac, Xmac};
+
+    #[test]
+    fn frontier_sampling_is_feasible_and_dense() {
+        let env = Deployment::reference();
+        let model = Xmac::default();
+        let points = sample_frontier(&model, &env, 100);
+        assert!(points.len() > 90, "most of the box should be feasible");
+        for p in &points {
+            assert!(p.utilization <= model.utilization_cap());
+            assert!(p.energy.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_subset_is_monotone() {
+        let env = Deployment::reference();
+        let model = Xmac::default();
+        let pareto = sample_pareto_frontier(&model, &env, 200);
+        assert!(pareto.len() > 10);
+        for w in pareto.windows(2) {
+            assert!(w[0].energy < w[1].energy);
+            assert!(w[0].latency > w[1].latency, "cost trade-off must be strict");
+        }
+    }
+
+    #[test]
+    fn lmac_whole_range_is_pareto() {
+        // LMAC is strictly monotone in both metrics: nothing dominated.
+        let env = Deployment::reference();
+        let model = Lmac::default();
+        let all = sample_frontier(&model, &env, 50);
+        let pareto = sample_pareto_frontier(&model, &env, 50);
+        assert_eq!(all.len(), pareto.len());
+    }
+
+    #[test]
+    fn spans_cover_expected_magnitudes() {
+        let env = Deployment::reference();
+        let pareto = sample_pareto_frontier(&Xmac::default(), &env, 200);
+        let (e_lo, e_hi) = energy_span(&pareto);
+        let (l_lo, l_hi) = latency_span(&pareto);
+        assert!(e_lo.value() > 1e-4 && e_hi.value() < 1.0);
+        assert!(l_lo.value() > 0.01 && l_hi.value() < 10.0);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_point_plus_header() {
+        let env = Deployment::reference();
+        let points = sample_frontier(&Xmac::default(), &env, 20);
+        let csv = frontier_csv(&points);
+        assert_eq!(csv.lines().count(), points.len() + 1);
+        assert!(csv.starts_with("energy_j,latency_ms"));
+    }
+}

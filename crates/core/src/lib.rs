@@ -1,0 +1,64 @@
+//! The paper's contribution: a game-theoretic framework balancing energy
+//! and end-to-end delay in duty-cycled MAC protocols.
+//!
+//! Given a protocol model (from `edmac-mac`), a deployment, and the
+//! application requirements `(Ebudget, Lmax)`, the framework solves the
+//! paper's three programs:
+//!
+//! * **(P1)** [`TradeoffAnalysis::energy_optimal`] — minimize `E(X)`
+//!   s.t. `L(X) ≤ Lmax` → `(Ebest, Lworst)`;
+//! * **(P2)** [`TradeoffAnalysis::latency_optimal`] — minimize `L(X)`
+//!   s.t. `E(X) ≤ Ebudget` → `(Eworst, Lbest)`;
+//! * **(P3/P4)** [`TradeoffAnalysis::bargain`] — the Nash Bargaining
+//!   Solution with disagreement point `v = (Eworst, Lworst)`: maximize
+//!   `(Eworst − E)(Lworst − L)` subject to the requirements, solved in
+//!   its concave log form by the interior-point machinery of
+//!   `edmac-game`/`edmac-optim`.
+//!
+//! The result is a [`TradeoffReport`] carrying all five anchor points
+//! (`Ebest, Lworst, Eworst, Lbest, (E*, L*)`), the optimal MAC
+//! parameters, and the proportional-fairness ratios the paper's closing
+//! identity predicts to be equal.
+//!
+//! The game is played by the *metrics*, not the nodes: its size is
+//! independent of the network's node count, which is the paper's
+//! scalability claim (benchmarked in `edmac-bench`).
+//!
+//! # Example
+//!
+//! ```
+//! use edmac_core::{AppRequirements, TradeoffAnalysis};
+//! use edmac_mac::{Deployment, Xmac};
+//! use edmac_units::{Joules, Seconds};
+//!
+//! let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
+//! let xmac = Xmac::default();
+//! let analysis = TradeoffAnalysis::new(&xmac, Deployment::reference(), reqs);
+//! let report = analysis.bargain().unwrap();
+//! // The agreement respects both requirements ...
+//! assert!(report.nbs.energy <= reqs.energy_budget());
+//! assert!(report.nbs.latency <= reqs.latency_bound());
+//! // ... and improves on the disagreement point for both players.
+//! assert!(report.nbs.energy <= report.latency_opt.energy);
+//! assert!(report.nbs.latency <= report.energy_opt.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod analysis;
+mod error;
+pub mod experiments;
+mod frontier;
+mod ranking;
+mod report;
+mod requirements;
+
+pub use analysis::{OperatingPoint, TradeoffAnalysis};
+pub use error::CoreError;
+pub use frontier::{
+    energy_span, frontier_csv, latency_span, sample_frontier, sample_pareto_frontier,
+};
+pub use ranking::{lifetime, rank_protocols, RankedOutcome, RankingPolicy};
+pub use report::TradeoffReport;
+pub use requirements::AppRequirements;

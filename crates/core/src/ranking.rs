@@ -1,0 +1,186 @@
+//! Ranking protocols under one application contract — the
+//! system-designer workflow the paper's introduction motivates
+//! (choosing MAC parameters by optimization instead of "repeated real
+//! experiences").
+
+use crate::analysis::TradeoffAnalysis;
+use crate::error::CoreError;
+use crate::report::TradeoffReport;
+use crate::requirements::AppRequirements;
+use edmac_mac::{Deployment, MacModel};
+use edmac_units::{Joules, Seconds, Watts};
+
+/// What to optimize for when ranking protocols that all meet the
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankingPolicy {
+    /// Prefer the agreement with the lowest energy (longest lifetime).
+    #[default]
+    MinEnergy,
+    /// Prefer the agreement with the lowest end-to-end delay.
+    MinLatency,
+    /// Prefer the largest Nash product of gains — "most balanced win".
+    MaxNashProduct,
+}
+
+/// One protocol's outcome within a ranking.
+#[derive(Debug, Clone)]
+pub struct RankedOutcome {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// The bargaining result, if the protocol can serve the contract.
+    pub report: Result<TradeoffReport, CoreError>,
+}
+
+impl RankedOutcome {
+    /// The score under `policy`; infeasible protocols score `+inf`
+    /// (sort last).
+    fn score(&self, policy: RankingPolicy) -> f64 {
+        match &self.report {
+            Err(_) => f64::INFINITY,
+            Ok(r) => match policy {
+                RankingPolicy::MinEnergy => r.e_star(),
+                RankingPolicy::MinLatency => r.l_star(),
+                RankingPolicy::MaxNashProduct => {
+                    let gains = (r.e_worst() - r.e_star()) * (r.l_worst() - r.l_star());
+                    -gains
+                }
+            },
+        }
+    }
+}
+
+/// Solves the bargaining game for every model and ranks the outcomes
+/// under `policy`; infeasible protocols sort last (with their errors
+/// preserved).
+///
+/// # Examples
+///
+/// ```
+/// use edmac_core::{rank_protocols, AppRequirements, RankingPolicy};
+/// use edmac_mac::{all_models, Deployment};
+/// use edmac_units::{Joules, Seconds};
+///
+/// let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(4.0)).unwrap();
+/// let ranking = rank_protocols(
+///     &all_models(),
+///     &Deployment::reference(),
+///     reqs,
+///     RankingPolicy::MinEnergy,
+/// );
+/// assert_eq!(ranking.len(), 3);
+/// // The winner meets the contract.
+/// let best = ranking[0].report.as_ref().unwrap();
+/// assert!(best.e_star() <= 0.06);
+/// ```
+pub fn rank_protocols(
+    models: &[Box<dyn MacModel>],
+    env: &Deployment,
+    reqs: AppRequirements,
+    policy: RankingPolicy,
+) -> Vec<RankedOutcome> {
+    let mut outcomes: Vec<RankedOutcome> = models
+        .iter()
+        .map(|m| RankedOutcome {
+            protocol: m.name(),
+            report: TradeoffAnalysis::new(m.as_ref(), *env, reqs).bargain(),
+        })
+        .collect();
+    outcomes.sort_by(|a, b| {
+        a.score(policy)
+            .partial_cmp(&b.score(policy))
+            .expect("scores are never NaN")
+    });
+    outcomes
+}
+
+/// Expected node lifetime when spending `energy_per_epoch` every
+/// `epoch` from a battery of the given capacity.
+///
+/// This is why the paper defines `E = max_n En`: the *bottleneck* node's
+/// consumption is what bounds the network's lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_core::lifetime;
+/// use edmac_units::{Joules, Seconds};
+///
+/// // 18 kJ battery, 10 mJ per 10 s epoch -> 1 mW -> ~208 days.
+/// let t = lifetime(Joules::new(18_000.0), Joules::from_milli(10.0), Seconds::new(10.0));
+/// let days = t.value() / 86_400.0;
+/// assert!((days - 208.3).abs() < 0.1);
+/// ```
+pub fn lifetime(battery: Joules, energy_per_epoch: Joules, epoch: Seconds) -> Seconds {
+    let draw: Watts = energy_per_epoch / epoch;
+    battery / draw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_mac::all_models;
+
+    fn reqs(budget: f64, lmax: f64) -> AppRequirements {
+        AppRequirements::new(Joules::new(budget), Seconds::new(lmax)).unwrap()
+    }
+
+    #[test]
+    fn ranking_orders_by_policy() {
+        let env = Deployment::reference();
+        let models = all_models();
+        let by_energy = rank_protocols(&models, &env, reqs(0.06, 4.0), RankingPolicy::MinEnergy);
+        for pair in by_energy.windows(2) {
+            let (a, b) = (&pair[0].report, &pair[1].report);
+            if let (Ok(a), Ok(b)) = (a, b) {
+                assert!(a.e_star() <= b.e_star());
+            }
+        }
+        let by_latency =
+            rank_protocols(&models, &env, reqs(0.06, 4.0), RankingPolicy::MinLatency);
+        for pair in by_latency.windows(2) {
+            if let (Ok(a), Ok(b)) = (&pair[0].report, &pair[1].report) {
+                assert!(a.l_star() <= b.l_star());
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_protocols_sort_last() {
+        // A 1 s bound with a starved budget knocks LMAC out.
+        let env = Deployment::reference();
+        let models = all_models();
+        let ranking = rank_protocols(&models, &env, reqs(0.03, 1.0), RankingPolicy::MinEnergy);
+        let last = ranking.last().unwrap();
+        assert!(last.report.is_err(), "{} should be infeasible", last.protocol);
+        assert!(ranking[0].report.is_ok());
+    }
+
+    #[test]
+    fn nash_product_policy_prefers_balanced_wins() {
+        let env = Deployment::reference();
+        let models = all_models();
+        let ranking =
+            rank_protocols(&models, &env, reqs(0.06, 6.0), RankingPolicy::MaxNashProduct);
+        // All three are feasible at the reference contract; the winner's
+        // gain product dominates.
+        let products: Vec<f64> = ranking
+            .iter()
+            .filter_map(|o| o.report.as_ref().ok())
+            .map(|r| (r.e_worst() - r.e_star()) * (r.l_worst() - r.l_star()))
+            .collect();
+        assert_eq!(products.len(), 3);
+        for pair in products.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn lifetime_arithmetic() {
+        let t = lifetime(Joules::new(1_000.0), Joules::new(1.0), Seconds::new(1.0));
+        assert!((t.value() - 1_000.0).abs() < 1e-9);
+        // Halving consumption doubles lifetime.
+        let t2 = lifetime(Joules::new(1_000.0), Joules::new(0.5), Seconds::new(1.0));
+        assert!((t2.value() - 2_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! The trade-off report: everything the paper's figures plot.
+
+use crate::analysis::OperatingPoint;
+use crate::requirements::AppRequirements;
+
+/// The complete outcome of one bargaining run, carrying the paper's
+/// five anchor quantities:
+///
+/// * `(Ebest, Lworst)` — [`TradeoffReport::energy_opt`], from (P1);
+/// * `(Eworst, Lbest)` — [`TradeoffReport::latency_opt`], from (P2);
+/// * `(E*, L*)` — [`TradeoffReport::nbs`], from (P3)/(P4);
+///
+/// plus the proportional-fairness ratios of the closing identity,
+/// `(E* − Eworst)/(Ebest − Eworst)` and `(L* − Lworst)/(Lbest − Lworst)`
+/// — equal at an exact Nash point on the paper's disagreement choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// The requirements this report was solved under.
+    pub requirements: AppRequirements,
+    /// (P1): the energy player's single-objective optimum
+    /// `(Ebest, Lworst)`.
+    pub energy_opt: OperatingPoint,
+    /// (P2): the latency player's single-objective optimum
+    /// `(Eworst, Lbest)`.
+    pub latency_opt: OperatingPoint,
+    /// (P3): the Nash bargaining agreement `(E*, L*)`.
+    pub nbs: OperatingPoint,
+    /// The energy player's concession fraction.
+    pub fairness_energy: f64,
+    /// The latency player's concession fraction.
+    pub fairness_latency: f64,
+}
+
+impl TradeoffReport {
+    /// `Ebest` in joules.
+    pub fn e_best(&self) -> f64 {
+        self.energy_opt.energy.value()
+    }
+
+    /// `Lworst` in seconds.
+    pub fn l_worst(&self) -> f64 {
+        self.energy_opt.latency.value()
+    }
+
+    /// `Eworst` in joules.
+    pub fn e_worst(&self) -> f64 {
+        self.latency_opt.energy.value()
+    }
+
+    /// `Lbest` in seconds.
+    pub fn l_best(&self) -> f64 {
+        self.latency_opt.latency.value()
+    }
+
+    /// `E*` in joules.
+    pub fn e_star(&self) -> f64 {
+        self.nbs.energy.value()
+    }
+
+    /// `L*` in seconds.
+    pub fn l_star(&self) -> f64 {
+        self.nbs.latency.value()
+    }
+
+    /// The absolute gap between the two fairness ratios: zero at an
+    /// exact proportionally fair agreement.
+    pub fn fairness_gap(&self) -> f64 {
+        (self.fairness_energy - self.fairness_latency).abs()
+    }
+
+    /// Header for [`TradeoffReport::to_csv_row`], matching the series
+    /// the paper's figures plot.
+    pub fn csv_header() -> &'static str {
+        "protocol,ebudget_j,lmax_s,e_best_j,l_worst_s,e_worst_j,l_best_s,\
+         e_star_j,l_star_ms,fair_e,fair_l"
+    }
+
+    /// One CSV row (latencies of the agreement in milliseconds, like
+    /// the paper's y-axes).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{:.6},{:.3},{:.6},{:.4},{:.6},{:.4},{:.6},{:.1},{:.4},{:.4}",
+            self.protocol,
+            self.requirements.energy_budget().value(),
+            self.requirements.latency_bound().value(),
+            self.e_best(),
+            self.l_worst(),
+            self.e_worst(),
+            self.l_best(),
+            self.e_star(),
+            self.l_star() * 1_000.0,
+            self.fairness_energy,
+            self.fairness_latency,
+        )
+    }
+}
+
+impl std::fmt::Display for TradeoffReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} under {}", self.protocol, self.requirements)?;
+        writeln!(
+            f,
+            "  P1 energy-opt : E_best  = {:.5} J, L_worst = {:.3} s  (X = {:?})",
+            self.e_best(),
+            self.l_worst(),
+            self.energy_opt.params
+        )?;
+        writeln!(
+            f,
+            "  P2 delay-opt  : E_worst = {:.5} J, L_best  = {:.3} s  (X = {:?})",
+            self.e_worst(),
+            self.l_best(),
+            self.latency_opt.params
+        )?;
+        writeln!(
+            f,
+            "  P3 Nash       : E*      = {:.5} J, L*      = {:.3} s  (X = {:?})",
+            self.e_star(),
+            self.l_star(),
+            self.nbs.params
+        )?;
+        write!(
+            f,
+            "  fairness      : energy {:.4} vs latency {:.4} (gap {:.4})",
+            self.fairness_energy,
+            self.fairness_latency,
+            self.fairness_gap()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_units::{Joules, Seconds};
+
+    fn point(e: f64, l: f64) -> OperatingPoint {
+        OperatingPoint {
+            params: vec![0.1],
+            energy: Joules::new(e),
+            latency: Seconds::new(l),
+            utilization: 0.1,
+        }
+    }
+
+    fn report() -> TradeoffReport {
+        TradeoffReport {
+            protocol: "X-MAC",
+            requirements: AppRequirements::new(Joules::new(0.06), Seconds::new(3.0)).unwrap(),
+            energy_opt: point(0.002, 2.5),
+            latency_opt: point(0.02, 0.2),
+            nbs: point(0.006, 1.2),
+            fairness_energy: 0.78,
+            fairness_latency: 0.57,
+        }
+    }
+
+    #[test]
+    fn accessors_map_to_the_papers_symbols() {
+        let r = report();
+        assert_eq!(r.e_best(), 0.002);
+        assert_eq!(r.l_worst(), 2.5);
+        assert_eq!(r.e_worst(), 0.02);
+        assert_eq!(r.l_best(), 0.2);
+        assert_eq!(r.e_star(), 0.006);
+        assert_eq!(r.l_star(), 1.2);
+        assert!((r.fairness_gap() - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let r = report();
+        let header_cols = TradeoffReport::csv_header().split(',').count();
+        let row_cols = r.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert!(r.to_csv_row().starts_with("X-MAC,"));
+    }
+
+    #[test]
+    fn display_mentions_all_programs() {
+        let text = report().to_string();
+        for key in ["P1", "P2", "P3", "fairness"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+}

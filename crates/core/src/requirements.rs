@@ -1,0 +1,124 @@
+//! Application requirements: the framework's inputs.
+
+use crate::error::CoreError;
+use edmac_units::{Joules, Seconds};
+
+/// The application's requirements, exactly as the paper frames them: a
+/// per-node energy budget `Ebudget` (over the deployment's reporting
+/// epoch) and a maximum tolerated end-to-end delay `Lmax`.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_core::AppRequirements;
+/// use edmac_units::{Joules, Seconds};
+///
+/// // The paper's Fig. 1 setting: 0.06 J budget, 3 s delay bound.
+/// let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(3.0)).unwrap();
+/// assert_eq!(reqs.energy_budget().value(), 0.06);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppRequirements {
+    energy_budget: Joules,
+    latency_bound: Seconds,
+}
+
+impl AppRequirements {
+    /// Creates requirements from a budget and a delay bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRequirements`] unless both are
+    /// positive and finite.
+    pub fn new(energy_budget: Joules, latency_bound: Seconds) -> Result<AppRequirements, CoreError> {
+        if !(energy_budget.is_finite() && energy_budget.value() > 0.0) {
+            return Err(CoreError::InvalidRequirements {
+                reason: format!(
+                    "energy budget must be positive and finite, got {} J",
+                    energy_budget.value()
+                ),
+            });
+        }
+        if !(latency_bound.is_finite() && latency_bound.value() > 0.0) {
+            return Err(CoreError::InvalidRequirements {
+                reason: format!(
+                    "latency bound must be positive and finite, got {} s",
+                    latency_bound.value()
+                ),
+            });
+        }
+        Ok(AppRequirements {
+            energy_budget,
+            latency_bound,
+        })
+    }
+
+    /// The per-epoch energy budget `Ebudget`.
+    pub fn energy_budget(&self) -> Joules {
+        self.energy_budget
+    }
+
+    /// The end-to-end delay bound `Lmax`.
+    pub fn latency_bound(&self) -> Seconds {
+        self.latency_bound
+    }
+
+    /// Returns a copy with a different energy budget.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AppRequirements::new`].
+    pub fn with_energy_budget(self, budget: Joules) -> Result<AppRequirements, CoreError> {
+        AppRequirements::new(budget, self.latency_bound)
+    }
+
+    /// Returns a copy with a different latency bound.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AppRequirements::new`].
+    pub fn with_latency_bound(self, bound: Seconds) -> Result<AppRequirements, CoreError> {
+        AppRequirements::new(self.energy_budget, bound)
+    }
+}
+
+impl std::fmt::Display for AppRequirements {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Ebudget = {:.4} J, Lmax = {:.3} s",
+            self.energy_budget.value(),
+            self.latency_bound.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_positivity_and_finiteness() {
+        assert!(AppRequirements::new(Joules::new(0.01), Seconds::new(1.0)).is_ok());
+        assert!(AppRequirements::new(Joules::ZERO, Seconds::new(1.0)).is_err());
+        assert!(AppRequirements::new(Joules::new(-0.1), Seconds::new(1.0)).is_err());
+        assert!(AppRequirements::new(Joules::new(0.1), Seconds::ZERO).is_err());
+        assert!(AppRequirements::new(Joules::new(f64::NAN), Seconds::new(1.0)).is_err());
+        assert!(AppRequirements::new(Joules::new(0.1), Seconds::new(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn with_methods_revalidate() {
+        let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
+        assert!(reqs.with_energy_budget(Joules::new(0.01)).is_ok());
+        assert!(reqs.with_energy_budget(Joules::new(-1.0)).is_err());
+        assert!(reqs.with_latency_bound(Seconds::new(2.0)).is_ok());
+        assert!(reqs.with_latency_bound(Seconds::ZERO).is_err());
+    }
+
+    #[test]
+    fn display_shows_both() {
+        let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(3.0)).unwrap();
+        assert_eq!(reqs.to_string(), "Ebudget = 0.0600 J, Lmax = 3.000 s");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests on the framework: invariants of (P1), (P2) and
+//! the bargaining solution across random requirements.
+
+use edmac_core::{AppRequirements, TradeoffAnalysis};
+use edmac_mac::{all_models, Deployment};
+use edmac_units::{Joules, Seconds};
+use proptest::prelude::*;
+
+fn requirements() -> impl Strategy<Value = AppRequirements> {
+    // Budgets and bounds spanning the feasible region of all three
+    // protocols at the reference deployment.
+    (0.02..0.2f64, 1.0..8.0f64).prop_map(|(budget, lmax)| {
+        AppRequirements::new(Joules::new(budget), Seconds::new(lmax)).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn agreements_respect_requirements_and_dominate_disagreement(reqs in requirements()) {
+        let env = Deployment::reference();
+        for model in all_models() {
+            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs);
+            let Ok(report) = analysis.bargain() else {
+                // Some random requirement sets are infeasible for some
+                // protocols (e.g. LMAC under a 1 s bound with a starved
+                // budget); that is a correct, reported outcome.
+                continue;
+            };
+            let eps = 1e-9;
+            prop_assert!(report.e_star() <= reqs.energy_budget().value() + eps,
+                "{}: E* over budget", model.name());
+            prop_assert!(report.l_star() <= reqs.latency_bound().value() + eps,
+                "{}: L* over bound", model.name());
+            prop_assert!(report.e_star() <= report.e_worst() + eps);
+            prop_assert!(report.l_star() <= report.l_worst() + eps);
+            prop_assert!(report.e_star() + eps >= report.e_best(),
+                "{}: E* cannot beat the energy player's optimum", model.name());
+            prop_assert!(report.l_star() + eps >= report.l_best(),
+                "{}: L* cannot beat the latency player's optimum", model.name());
+        }
+    }
+
+    #[test]
+    fn single_objective_optima_bracket_the_game(reqs in requirements()) {
+        let env = Deployment::reference();
+        for model in all_models() {
+            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs);
+            let (Ok(p1), Ok(p2)) = (analysis.energy_optimal(), analysis.latency_optimal())
+            else {
+                continue;
+            };
+            // Each program satisfies its own constraint...
+            prop_assert!(p1.latency.value() <= reqs.latency_bound().value() + 1e-9);
+            prop_assert!(p2.energy.value() <= reqs.energy_budget().value() + 1e-9);
+            // ...and when the requirements are jointly feasible, P1 is
+            // at least as energy-frugal as P2 (with joint infeasibility
+            // the two optima live in disjoint half-spaces and no
+            // bracketing holds — bargain() reports that case).
+            if p1.energy.value() <= reqs.energy_budget().value() {
+                prop_assert!(p1.energy <= p2.energy * (1.0 + 1e-9),
+                    "{}: Ebest must not exceed Eworst", model.name());
+                prop_assert!(p2.latency <= p1.latency * (1.0 + 1e-9),
+                    "{}: Lbest must not exceed Lworst", model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_latency_never_raises_best_energy(
+        lmax in 1.0..4.0f64,
+        extra in 0.5..3.0f64,
+    ) {
+        let env = Deployment::reference();
+        let budget = Joules::new(0.06);
+        for model in all_models() {
+            let tight = AppRequirements::new(budget, Seconds::new(lmax)).unwrap();
+            let loose = AppRequirements::new(budget, Seconds::new(lmax + extra)).unwrap();
+            let a = TradeoffAnalysis::new(model.as_ref(), env, tight).energy_optimal();
+            let b = TradeoffAnalysis::new(model.as_ref(), env, loose).energy_optimal();
+            let (Ok(a), Ok(b)) = (a, b) else { continue };
+            prop_assert!(
+                b.energy.value() <= a.energy.value() * (1.0 + 1e-6),
+                "{}: wider bound gave worse energy ({} -> {})",
+                model.name(), a.energy, b.energy
+            );
+        }
+    }
+
+    #[test]
+    fn raising_budget_never_raises_best_latency(
+        budget in 0.02..0.1f64,
+        extra in 0.01..0.1f64,
+    ) {
+        let env = Deployment::reference();
+        let lmax = Seconds::new(6.0);
+        for model in all_models() {
+            let poor = AppRequirements::new(Joules::new(budget), lmax).unwrap();
+            let rich = AppRequirements::new(Joules::new(budget + extra), lmax).unwrap();
+            let a = TradeoffAnalysis::new(model.as_ref(), env, poor).latency_optimal();
+            let b = TradeoffAnalysis::new(model.as_ref(), env, rich).latency_optimal();
+            let (Ok(a), Ok(b)) = (a, b) else { continue };
+            prop_assert!(
+                b.latency.value() <= a.latency.value() * (1.0 + 1e-6),
+                "{}: bigger budget gave worse latency",
+                model.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Executable checks of the Nash bargaining axioms.
+//!
+//! The paper cites the four axioms — Pareto optimality, symmetry, scale
+//! independence, independence of irrelevant alternatives — as the reason
+//! the Nash solution is *the* principled compromise. This module makes
+//! each axiom a checkable predicate over a concrete
+//! [`BargainingProblem`], so the property-test suite (and any downstream
+//! user with a custom solution concept) can verify them on sampled
+//! games rather than take them on faith.
+
+use crate::error::GameError;
+use crate::point::CostPoint;
+use crate::problem::{Bargain, BargainingProblem};
+
+/// Checks **Pareto optimality**: no feasible outcome dominates the
+/// selected one.
+pub fn is_pareto_optimal(solution: &Bargain, problem: &BargainingProblem) -> bool {
+    problem
+        .feasible()
+        .iter()
+        .all(|p| !p.dominates(solution.point))
+}
+
+/// Checks **symmetry** in its anonymity form: relabeling the players
+/// (swapping both coordinates of every outcome and of `v`) must yield
+/// the relabeled solution.
+///
+/// The textbook statement — a symmetric game awards equal gains —
+/// presumes a *convex* feasible set; on a sampled set the equal-gain
+/// point typically does not exist (e.g. `{(0,9),(9,0)}`). Anonymity is
+/// the form that is exactly verifiable on samples and implies the
+/// textbook form in the convex limit.
+///
+/// # Errors
+///
+/// Propagates solver errors from either game.
+pub fn check_symmetry(problem: &BargainingProblem) -> Result<bool, GameError> {
+    let swap = |p: CostPoint| CostPoint::new(p.y, p.x);
+    let original = problem.nash()?;
+    let swapped_problem = BargainingProblem::new(
+        problem.feasible().iter().map(|&p| swap(p)).collect(),
+        swap(problem.disagreement()),
+    )?;
+    let swapped = swapped_problem.nash()?;
+    let expected = swap(original.point);
+    Ok(swapped.point == expected)
+}
+
+/// Checks **scale independence** (covariance under positive affine
+/// rescaling of each player's cost): solving the transformed game
+/// selects the transform of the original solution.
+///
+/// `scale` and `shift` are applied per coordinate:
+/// `x' = scale.0 * x + shift.0`, `y' = scale.1 * y + shift.1` with
+/// positive scales.
+///
+/// # Errors
+///
+/// Propagates solver errors from the transformed game.
+pub fn check_scale_independence(
+    problem: &BargainingProblem,
+    scale: (f64, f64),
+    shift: (f64, f64),
+) -> Result<bool, GameError> {
+    assert!(scale.0 > 0.0 && scale.1 > 0.0, "scales must be positive");
+    let transform = |p: CostPoint| {
+        CostPoint::new(scale.0 * p.x + shift.0, scale.1 * p.y + shift.1)
+    };
+    let original = problem.nash()?;
+    let transformed_problem = BargainingProblem::new(
+        problem.feasible().iter().map(|&p| transform(p)).collect(),
+        transform(problem.disagreement()),
+    )?;
+    let transformed = transformed_problem.nash()?;
+    let expected = transform(original.point);
+    let tol = 1e-9 * (1.0 + expected.x.abs() + expected.y.abs());
+    Ok((transformed.point.x - expected.x).abs() <= tol
+        && (transformed.point.y - expected.y).abs() <= tol)
+}
+
+/// Checks **independence of irrelevant alternatives**: removing
+/// non-selected outcomes (while keeping the selected one) must not
+/// change the solution.
+///
+/// `keep` selects which non-solution outcomes survive; the solution
+/// outcome is always retained.
+///
+/// # Errors
+///
+/// Propagates solver errors from the reduced game.
+pub fn check_iia<F: Fn(usize, CostPoint) -> bool>(
+    problem: &BargainingProblem,
+    keep: F,
+) -> Result<bool, GameError> {
+    let original = problem.nash()?;
+    let reduced: Vec<CostPoint> = problem
+        .feasible()
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| i == original.index || keep(i, *p))
+        .map(|(_, &p)| p)
+        .collect();
+    let reduced_problem = BargainingProblem::new(reduced, problem.disagreement())?;
+    let reduced_solution = reduced_problem.nash()?;
+    Ok(reduced_solution.point == original.point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> BargainingProblem {
+        BargainingProblem::new(
+            vec![
+                CostPoint::new(1.0, 7.0),
+                CostPoint::new(3.0, 3.0),
+                CostPoint::new(7.0, 1.0),
+                CostPoint::new(6.0, 6.0), // dominated
+            ],
+            CostPoint::new(8.0, 8.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nash_is_pareto_optimal_here() {
+        let g = game();
+        let s = g.nash().unwrap();
+        assert!(is_pareto_optimal(&s, &g));
+    }
+
+    #[test]
+    fn dominated_pick_fails_pareto_check() {
+        let g = game();
+        let fake = Bargain {
+            point: CostPoint::new(6.0, 6.0),
+            index: 3,
+            nash_product: 4.0,
+        };
+        assert!(!is_pareto_optimal(&fake, &g));
+    }
+
+    #[test]
+    fn symmetry_holds_on_symmetric_game() {
+        let g = game(); // {.., (1,7),(7,1),(3,3),(6,6)} is swap-closed
+        assert!(check_symmetry(&g).unwrap());
+    }
+
+    #[test]
+    fn symmetry_holds_on_asymmetric_games_too() {
+        // Anonymity is not restricted to symmetric games: relabeling any
+        // game must relabel its solution.
+        let g = BargainingProblem::new(
+            vec![CostPoint::new(1.0, 2.0), CostPoint::new(0.5, 3.0)],
+            CostPoint::new(4.0, 4.0),
+        )
+        .unwrap();
+        assert!(check_symmetry(&g).unwrap());
+    }
+
+    #[test]
+    fn scale_independence_holds() {
+        let g = game();
+        assert!(check_scale_independence(&g, (2.0, 0.5), (1.0, -0.25)).unwrap());
+    }
+
+    #[test]
+    fn iia_holds_when_removing_losers() {
+        let g = game();
+        // Drop everything except extreme points and the solution.
+        assert!(check_iia(&g, |_, p| p.x <= 1.0 || p.y <= 1.0).unwrap());
+        // Drop everything but the solution.
+        assert!(check_iia(&g, |_, _| false).unwrap());
+    }
+}

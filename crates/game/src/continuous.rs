@@ -1,0 +1,231 @@
+//! The continuous Nash bargaining solver — the paper's problem (P4).
+
+use crate::error::GameError;
+use crate::point::CostPoint;
+use edmac_optim::{grid_minimize, Bounds, LogBarrier};
+
+/// Result of the continuous bargaining solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousBargain {
+    /// The optimal parameter vector `X*`.
+    pub params: Vec<f64>,
+    /// The costs `(E*, L*)` at `X*`.
+    pub point: CostPoint,
+    /// The Nash product of gains at the solution.
+    pub nash_product: f64,
+}
+
+/// Solves the paper's (P4): maximize
+/// `log(v.x − c₁(X)) + log(v.y − c₂(X))` over the parameter box, subject
+/// to the application caps `c(X) ≤ caps` component-wise.
+///
+/// `costs` maps a parameter vector to its cost pair and may return
+/// non-finite costs for invalid parameters (treated as infeasible). The
+/// solver runs a coarse grid sweep to locate a strictly feasible,
+/// product-maximizing cell — the global phase the untransformed (P3)
+/// needs because it is non-convex — then refines with the interior-point
+/// [`LogBarrier`].
+///
+/// # Errors
+///
+/// * [`GameError::NonFiniteDisagreement`] if `v` is not finite.
+/// * [`GameError::NoGainRegion`] if no grid point strictly improves on
+///   `v` while respecting `caps`.
+/// * [`GameError::Solver`] if the inner optimizer fails.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_game::{nash_continuous, CostPoint};
+/// use edmac_optim::Bounds;
+///
+/// // One parameter t in [0,1] trading cost x = t against y = 1 - t.
+/// let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+/// let costs = |p: &[f64]| CostPoint::new(p[0], 1.0 - p[0]);
+/// let v = CostPoint::new(1.0, 1.0);
+/// let caps = CostPoint::new(1.0, 1.0);
+/// let b = nash_continuous(costs, &bounds, v, caps, 64).unwrap();
+/// // Symmetric game: equal split.
+/// assert!((b.point.x - 0.5).abs() < 1e-3);
+/// ```
+pub fn nash_continuous<F: Fn(&[f64]) -> CostPoint>(
+    costs: F,
+    bounds: &Bounds,
+    v: CostPoint,
+    caps: CostPoint,
+    grid_points_per_dim: usize,
+) -> Result<ContinuousBargain, GameError> {
+    if !v.is_finite() {
+        return Err(GameError::NonFiniteDisagreement);
+    }
+    // Effective upper bounds on each cost: both the threat point and the
+    // application requirement must hold, per (P3)'s constraint block.
+    let cap_x = caps.x.min(v.x);
+    let cap_y = caps.y.min(v.y);
+
+    // Global phase: maximize the product on a grid (minimize its
+    // negation), mapping infeasible points to +inf.
+    let score = |p: &[f64]| {
+        let c = costs(p);
+        if !c.is_finite() || c.x >= cap_x || c.y >= cap_y {
+            return f64::INFINITY;
+        }
+        let product = (v.x - c.x) * (v.y - c.y);
+        -product
+    };
+    let seed = match grid_minimize(score, bounds, grid_points_per_dim.max(2)) {
+        Ok(m) if m.value < 0.0 => m,
+        Ok(_) | Err(edmac_optim::OptimError::Infeasible) => {
+            return Err(GameError::NoGainRegion)
+        }
+        Err(e) => return Err(GameError::Solver(e)),
+    };
+
+    // Local phase: interior-point refinement of the concave log form.
+    let objective = |p: &[f64]| {
+        let c = costs(p);
+        if !c.is_finite() {
+            return f64::NEG_INFINITY;
+        }
+        let (gx, gy) = (v.x - c.x, v.y - c.y);
+        if gx <= 0.0 || gy <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        gx.ln() + gy.ln()
+    };
+    let g_budget = |p: &[f64]| {
+        let c = costs(p);
+        if !c.is_finite() {
+            return 1.0; // infeasible
+        }
+        c.x - cap_x
+    };
+    let g_latency = |p: &[f64]| {
+        let c = costs(p);
+        if !c.is_finite() {
+            return 1.0;
+        }
+        c.y - cap_y
+    };
+    let refined = LogBarrier::default().maximize(
+        objective,
+        &[&g_budget, &g_latency],
+        &seed.x,
+        bounds,
+    );
+
+    let params = match refined {
+        Ok(m) => {
+            // Keep the better of seed and refinement (the barrier can
+            // stall on plateaus of piecewise models).
+            let seed_product = -seed.value;
+            let refined_product = costs(&m.x).nash_product(v);
+            if refined_product > seed_product {
+                m.x
+            } else {
+                seed.x
+            }
+        }
+        Err(_) => seed.x,
+    };
+    let point = costs(&params);
+    Ok(ContinuousBargain {
+        nash_product: point.nash_product(v),
+        params,
+        point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds() -> Bounds {
+        Bounds::new(vec![(0.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn symmetric_tradeoff_splits_equally() {
+        let costs = |p: &[f64]| CostPoint::new(p[0], 1.0 - p[0]);
+        let b = nash_continuous(
+            costs,
+            &unit_bounds(),
+            CostPoint::new(1.0, 1.0),
+            CostPoint::new(1.0, 1.0),
+            33,
+        )
+        .unwrap();
+        assert!((b.point.x - 0.5).abs() < 1e-3, "{:?}", b);
+        assert!((b.nash_product - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn caps_bind_the_solution() {
+        // Same trade-off but player-x cost capped at 0.3: solution must
+        // satisfy x <= 0.3 even though the unconstrained NBS is 0.5.
+        let costs = |p: &[f64]| CostPoint::new(p[0], 1.0 - p[0]);
+        let b = nash_continuous(
+            costs,
+            &unit_bounds(),
+            CostPoint::new(1.0, 1.0),
+            CostPoint::new(0.3, 1.0),
+            65,
+        )
+        .unwrap();
+        assert!(b.point.x <= 0.3 + 1e-9, "{:?}", b);
+        assert!(b.point.x > 0.25, "should press toward the cap, got {:?}", b);
+    }
+
+    #[test]
+    fn asymmetric_curvature_shifts_solution() {
+        // y falls off quadratically: gains are (1-t, 1-(1-t)^2)... Nash
+        // optimum of (1-t)*(1-(1-t)^2)... substitute u=1-t: max u(1-u^2)
+        // -> u = 1/sqrt(3).
+        let costs = |p: &[f64]| CostPoint::new(p[0], (1.0 - p[0]).powi(2));
+        let b = nash_continuous(
+            costs,
+            &unit_bounds(),
+            CostPoint::new(1.0, 1.0),
+            CostPoint::new(1.0, 1.0),
+            65,
+        )
+        .unwrap();
+        let expected = 1.0 - 1.0 / 3.0f64.sqrt();
+        assert!((b.point.x - expected).abs() < 1e-2, "{:?} vs {expected}", b);
+    }
+
+    #[test]
+    fn no_gain_region_is_reported() {
+        // Costs always exceed the disagreement point.
+        let costs = |p: &[f64]| CostPoint::new(p[0] + 2.0, 3.0 - p[0]);
+        let r = nash_continuous(
+            costs,
+            &unit_bounds(),
+            CostPoint::new(1.0, 1.0),
+            CostPoint::new(1.0, 1.0),
+            17,
+        );
+        assert_eq!(r.unwrap_err(), GameError::NoGainRegion);
+    }
+
+    #[test]
+    fn nan_costs_are_treated_as_infeasible() {
+        let costs = |p: &[f64]| {
+            if p[0] < 0.5 {
+                CostPoint::new(f64::NAN, 0.0)
+            } else {
+                CostPoint::new(p[0], 1.0 - p[0])
+            }
+        };
+        let b = nash_continuous(
+            costs,
+            &unit_bounds(),
+            CostPoint::new(1.0, 1.0),
+            CostPoint::new(1.0, 1.0),
+            65,
+        )
+        .unwrap();
+        assert!(b.point.is_finite());
+        assert!(b.params[0] >= 0.5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for bargaining problems.
+
+/// Errors from constructing or solving bargaining problems.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// The feasible set was empty after filtering non-finite points.
+    EmptyFeasibleSet,
+    /// No feasible point strictly improves on the disagreement point for
+    /// both players, so the bargaining game has no agreement region
+    /// (the paper's existence condition `∃ s ∈ S: s > v` fails).
+    NoGainRegion,
+    /// The disagreement point must be finite.
+    NonFiniteDisagreement,
+    /// The continuous solver failed; carries the underlying cause.
+    Solver(edmac_optim::OptimError),
+}
+
+impl std::fmt::Display for GameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GameError::EmptyFeasibleSet => write!(f, "feasible set is empty"),
+            GameError::NoGainRegion => write!(
+                f,
+                "no feasible point strictly improves on the disagreement point for both players"
+            ),
+            GameError::NonFiniteDisagreement => {
+                write!(f, "disagreement point must be finite")
+            }
+            GameError::Solver(e) => write!(f, "continuous bargaining solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GameError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<edmac_optim::OptimError> for GameError {
+    fn from(e: edmac_optim::OptimError) -> GameError {
+        GameError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::GameError;
+    use std::error::Error;
+
+    #[test]
+    fn solver_errors_chain_their_source() {
+        let e = GameError::from(edmac_optim::OptimError::Infeasible);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no feasible point"));
+    }
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        assert_eq!(GameError::EmptyFeasibleSet.to_string(), "feasible set is empty");
+        assert!(GameError::NoGainRegion.to_string().contains("disagreement"));
+    }
+}

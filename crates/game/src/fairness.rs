@@ -1,0 +1,70 @@
+//! The proportional-fairness identity of the paper's solution.
+
+use crate::point::CostPoint;
+
+/// Computes the two proportional-fairness ratios the paper's closing
+/// equation asserts are equal at the Nash solution when the
+/// disagreement point is `(Eworst, Lworst)`:
+///
+/// ```text
+/// (E* − Eworst) / (Ebest − Eworst)  =  (L* − Lworst) / (Lbest − Lworst)
+/// ```
+///
+/// `best` is `(Ebest, Lbest)` — each player's single-objective optimum —
+/// and `worst` is `(Eworst, Lworst)`, the disagreement point. Returns
+/// `(ratio_x, ratio_y)`; both lie in `[0, 1]` when the solution sits
+/// between the two anchors, and their equality (up to model curvature)
+/// is what makes the agreement *proportionally fair*: each player
+/// concedes the same fraction of its attainable improvement.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_game::{proportional_ratios, CostPoint};
+///
+/// let best = CostPoint::new(1.0, 1.0);
+/// let worst = CostPoint::new(5.0, 9.0);
+/// let star = CostPoint::new(3.0, 5.0); // halfway for both players
+/// let (rx, ry) = proportional_ratios(star, best, worst);
+/// assert_eq!(rx, 0.5);
+/// assert_eq!(ry, 0.5);
+/// ```
+pub fn proportional_ratios(star: CostPoint, best: CostPoint, worst: CostPoint) -> (f64, f64) {
+    let rx = (star.x - worst.x) / (best.x - worst.x);
+    let ry = (star.y - worst.y) / (best.y - worst.y);
+    (rx, ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_map_to_zero_and_one() {
+        let best = CostPoint::new(2.0, 3.0);
+        let worst = CostPoint::new(10.0, 30.0);
+        assert_eq!(proportional_ratios(worst, best, worst), (0.0, 0.0));
+        assert_eq!(proportional_ratios(best, best, worst), (1.0, 1.0));
+    }
+
+    #[test]
+    fn exact_nash_on_linear_frontier_is_proportionally_fair() {
+        // Frontier x + y = 1 with v = (1, 1): NBS at (0.5, 0.5);
+        // best points are (0, 1) for x and (1, 0) for y.
+        let star = CostPoint::new(0.5, 0.5);
+        let best = CostPoint::new(0.0, 0.0);
+        let worst = CostPoint::new(1.0, 1.0);
+        let (rx, ry) = proportional_ratios(star, best, worst);
+        assert!((rx - ry).abs() < 1e-12);
+        assert!((rx - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_point_yields_unequal_ratios() {
+        let best = CostPoint::new(0.0, 0.0);
+        let worst = CostPoint::new(1.0, 1.0);
+        let lopsided = CostPoint::new(0.1, 0.9);
+        let (rx, ry) = proportional_ratios(lopsided, best, worst);
+        assert!(rx > ry, "a point favoring player x must show it");
+    }
+}

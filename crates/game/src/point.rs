@@ -1,0 +1,124 @@
+//! Two-cost outcome points.
+
+/// An outcome of the game: a pair of costs, one per player, both to be
+/// minimized.
+///
+/// In the paper's instantiation `x` is the system energy `E` (joules per
+/// epoch at the bottleneck node) and `y` the worst end-to-end latency
+/// `L` (seconds); the crate is agnostic to the interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostPoint {
+    /// First player's cost (energy, in the paper).
+    pub x: f64,
+    /// Second player's cost (latency, in the paper).
+    pub y: f64,
+}
+
+impl CostPoint {
+    /// Creates a cost point.
+    pub const fn new(x: f64, y: f64) -> CostPoint {
+        CostPoint { x, y }
+    }
+
+    /// Returns `true` if both costs are finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Pareto dominance for costs: `self` dominates `other` if it is no
+    /// worse in both coordinates and strictly better in at least one.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_game::CostPoint;
+    ///
+    /// let a = CostPoint::new(1.0, 2.0);
+    /// let b = CostPoint::new(1.0, 3.0);
+    /// assert!(a.dominates(b));
+    /// assert!(!b.dominates(a));
+    /// assert!(!a.dominates(a)); // strictness
+    /// ```
+    pub fn dominates(&self, other: CostPoint) -> bool {
+        self.x <= other.x && self.y <= other.y && (self.x < other.x || self.y < other.y)
+    }
+
+    /// Returns `true` if `self` is strictly better than `other` in both
+    /// coordinates (the paper's `s > v` condition, stated for costs).
+    pub fn strictly_dominates(&self, other: CostPoint) -> bool {
+        self.x < other.x && self.y < other.y
+    }
+
+    /// The gains each player realizes at `self` relative to the
+    /// disagreement point `v` (positive when `self` improves on `v`).
+    pub fn gains_from(&self, v: CostPoint) -> (f64, f64) {
+        (v.x - self.x, v.y - self.y)
+    }
+
+    /// The Nash product of gains relative to `v`; negative if either
+    /// player loses.
+    ///
+    /// Points that are worse than `v` in *both* coordinates would get a
+    /// positive product from naive multiplication; they are mapped to
+    /// `-inf` so maximization can never select them.
+    pub fn nash_product(&self, v: CostPoint) -> f64 {
+        let (gx, gy) = self.gains_from(v);
+        if gx < 0.0 && gy < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            gx * gy
+        }
+    }
+}
+
+impl std::fmt::Display for CostPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CostPoint;
+
+    #[test]
+    fn dominance_cases() {
+        let a = CostPoint::new(1.0, 1.0);
+        let b = CostPoint::new(2.0, 2.0);
+        let c = CostPoint::new(0.5, 3.0);
+        assert!(a.dominates(b));
+        assert!(a.strictly_dominates(b));
+        assert!(!a.dominates(c) && !c.dominates(a), "incomparable pair");
+        assert!(!a.strictly_dominates(CostPoint::new(1.0, 2.0)));
+        assert!(a.dominates(CostPoint::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn gains_and_product() {
+        let v = CostPoint::new(10.0, 8.0);
+        let p = CostPoint::new(4.0, 5.0);
+        assert_eq!(p.gains_from(v), (6.0, 3.0));
+        assert_eq!(p.nash_product(v), 18.0);
+    }
+
+    #[test]
+    fn product_is_negative_when_one_player_loses() {
+        let v = CostPoint::new(1.0, 1.0);
+        let p = CostPoint::new(2.0, 0.5); // x-player loses
+        assert!(p.nash_product(v) < 0.0);
+    }
+
+    #[test]
+    fn product_rejects_double_loss() {
+        let v = CostPoint::new(1.0, 1.0);
+        let p = CostPoint::new(2.0, 3.0); // both lose: naive product +2
+        assert_eq!(p.nash_product(v), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(CostPoint::new(0.0, 0.0).is_finite());
+        assert!(!CostPoint::new(f64::NAN, 0.0).is_finite());
+        assert!(!CostPoint::new(0.0, f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,221 @@
+//! Asymmetric (weighted) Nash bargaining.
+//!
+//! The paper's game is symmetric: both metrics carry equal bargaining
+//! power, which is what makes its solution proportionally fair. The
+//! natural generalization — standard in the bargaining literature —
+//! maximizes a *weighted* product of gains,
+//! `(v₁ − c₁)^α · (v₂ − c₂)^(1−α)`, where `α ∈ (0, 1)` is the first
+//! player's bargaining power. An application that cares more about
+//! lifetime than latency sets `α > 1/2` for the energy player and the
+//! whole framework carries through; `α = 1/2` recovers the paper's
+//! solution exactly.
+
+use crate::error::GameError;
+use crate::point::CostPoint;
+use crate::problem::{Bargain, BargainingProblem};
+
+/// A bargaining-power split between the two players.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_game::BargainingPower;
+///
+/// let even = BargainingPower::symmetric();
+/// assert_eq!(even.first(), 0.5);
+/// let lifetime_first = BargainingPower::new(0.8).unwrap();
+/// assert!((lifetime_first.second() - 0.2).abs() < 1e-12);
+/// assert!(BargainingPower::new(0.0).is_none(), "degenerate powers are rejected");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BargainingPower(f64);
+
+impl BargainingPower {
+    /// Creates a power split giving the first player weight `alpha`
+    /// (and the second `1 − alpha`). Returns `None` unless
+    /// `0 < alpha < 1` — at the endpoints the "game" is a dictatorship
+    /// and the single-objective problems (P1)/(P2) already answer it.
+    pub fn new(alpha: f64) -> Option<BargainingPower> {
+        (alpha.is_finite() && 0.0 < alpha && alpha < 1.0).then_some(BargainingPower(alpha))
+    }
+
+    /// The paper's case: both players weigh 1/2.
+    pub fn symmetric() -> BargainingPower {
+        BargainingPower(0.5)
+    }
+
+    /// The first (energy) player's weight.
+    pub fn first(&self) -> f64 {
+        self.0
+    }
+
+    /// The second (latency) player's weight.
+    pub fn second(&self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl Default for BargainingPower {
+    fn default() -> BargainingPower {
+        BargainingPower::symmetric()
+    }
+}
+
+/// The weighted Nash product of gains at `point` relative to `v`.
+///
+/// `-inf` when either player fails to gain (and for double losses).
+pub fn weighted_nash_product(point: CostPoint, v: CostPoint, power: BargainingPower) -> f64 {
+    let (gx, gy) = point.gains_from(v);
+    if gx <= 0.0 || gy <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    // Work in logs: α·ln gx + (1−α)·ln gy is monotone in the product
+    // and immune to overflow on extreme gains.
+    power.first() * gx.ln() + power.second() * gy.ln()
+}
+
+impl BargainingProblem {
+    /// The **weighted Nash Bargaining Solution**: the outcome maximizing
+    /// `(v₁−c₁)^α (v₂−c₂)^(1−α)` among outcomes strictly improving on
+    /// the disagreement point. [`BargainingProblem::nash`] is the
+    /// `α = 1/2` special case (the argmax coincides; the reported
+    /// `nash_product` field stays the unweighted product for
+    /// comparability).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::NoGainRegion`] if no outcome strictly
+    /// improves on the disagreement point for both players.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_game::{BargainingPower, BargainingProblem, CostPoint};
+    ///
+    /// let game = BargainingProblem::new(
+    ///     vec![CostPoint::new(1.0, 7.0), CostPoint::new(4.0, 4.0), CostPoint::new(7.0, 1.0)],
+    ///     CostPoint::new(8.0, 8.0),
+    /// ).unwrap();
+    /// // Symmetric power picks the balanced point...
+    /// let mid = game.nash_weighted(BargainingPower::symmetric()).unwrap();
+    /// assert_eq!(mid.point, CostPoint::new(4.0, 4.0));
+    /// // ...a 0.9-weight first player drags the agreement its way.
+    /// let skewed = game.nash_weighted(BargainingPower::new(0.9).unwrap()).unwrap();
+    /// assert_eq!(skewed.point, CostPoint::new(1.0, 7.0));
+    /// ```
+    pub fn nash_weighted(&self, power: BargainingPower) -> Result<Bargain, GameError> {
+        let v = self.disagreement();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in self.feasible().iter().enumerate() {
+            let s = weighted_nash_product(*p, v, power);
+            if s == f64::NEG_INFINITY {
+                continue;
+            }
+            if best.is_none_or(|(_, bs)| s > bs) {
+                best = Some((i, s));
+            }
+        }
+        match best {
+            Some((index, _)) => Ok(Bargain {
+                point: self.feasible()[index],
+                index,
+                nash_product: self.feasible()[index].nash_product(v),
+            }),
+            None => Err(GameError::NoGainRegion),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> BargainingProblem {
+        BargainingProblem::new(
+            vec![
+                CostPoint::new(1.0, 7.0),
+                CostPoint::new(2.0, 5.0),
+                CostPoint::new(3.5, 3.5),
+                CostPoint::new(5.0, 2.0),
+                CostPoint::new(7.0, 1.0),
+            ],
+            CostPoint::new(8.0, 8.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn symmetric_weight_recovers_the_nash_solution() {
+        let g = game();
+        let plain = g.nash().unwrap();
+        let weighted = g.nash_weighted(BargainingPower::symmetric()).unwrap();
+        assert_eq!(plain.point, weighted.point);
+        assert_eq!(plain.index, weighted.index);
+    }
+
+    #[test]
+    fn weight_moves_the_agreement_monotonically() {
+        // Higher first-player (x-cost) power must never *raise* the
+        // chosen x cost.
+        let g = game();
+        let mut last_x = f64::INFINITY;
+        for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let b = g
+                .nash_weighted(BargainingPower::new(alpha).unwrap())
+                .unwrap();
+            assert!(
+                b.point.x <= last_x + 1e-12,
+                "alpha {alpha}: x {} after {last_x}",
+                b.point.x
+            );
+            last_x = b.point.x;
+        }
+    }
+
+    #[test]
+    fn extreme_weights_pick_near_dictatorial_outcomes() {
+        let g = game();
+        let x_heavy = g.nash_weighted(BargainingPower::new(0.99).unwrap()).unwrap();
+        assert_eq!(x_heavy.point, CostPoint::new(1.0, 7.0));
+        let y_heavy = g.nash_weighted(BargainingPower::new(0.01).unwrap()).unwrap();
+        assert_eq!(y_heavy.point, CostPoint::new(7.0, 1.0));
+    }
+
+    #[test]
+    fn power_validation() {
+        assert!(BargainingPower::new(0.0).is_none());
+        assert!(BargainingPower::new(1.0).is_none());
+        assert!(BargainingPower::new(-0.2).is_none());
+        assert!(BargainingPower::new(f64::NAN).is_none());
+        assert_eq!(BargainingPower::default(), BargainingPower::symmetric());
+    }
+
+    #[test]
+    fn weighted_product_rejects_losses() {
+        let v = CostPoint::new(1.0, 1.0);
+        let power = BargainingPower::symmetric();
+        assert_eq!(
+            weighted_nash_product(CostPoint::new(2.0, 0.5), v, power),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(
+            weighted_nash_product(CostPoint::new(2.0, 3.0), v, power),
+            f64::NEG_INFINITY
+        );
+        let fine = weighted_nash_product(CostPoint::new(0.5, 0.5), v, power);
+        assert!(fine.is_finite());
+    }
+
+    #[test]
+    fn no_gain_region_is_reported() {
+        let g = BargainingProblem::new(
+            vec![CostPoint::new(9.0, 1.0)],
+            CostPoint::new(5.0, 5.0),
+        )
+        .unwrap();
+        assert_eq!(
+            g.nash_weighted(BargainingPower::symmetric()).unwrap_err(),
+            GameError::NoGainRegion
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based verification of the Nash axioms on random games.
+
+use edmac_game::{axioms, pareto_filter, BargainingProblem, CostPoint};
+use proptest::prelude::*;
+
+/// Random cost clouds inside (0, 10)^2 with a disagreement point that is
+/// beaten by at least one sample (we place v at the cloud's max corner,
+/// nudged up, so a gain region always exists).
+fn cloud() -> impl Strategy<Value = (Vec<CostPoint>, CostPoint)> {
+    prop::collection::vec((0.01..10.0f64, 0.01..10.0f64), 2..40).prop_map(|pts| {
+        let points: Vec<CostPoint> = pts.iter().map(|&(x, y)| CostPoint::new(x, y)).collect();
+        let vx = points.iter().map(|p| p.x).fold(0.0f64, f64::max) + 0.5;
+        let vy = points.iter().map(|p| p.y).fold(0.0f64, f64::max) + 0.5;
+        (points, CostPoint::new(vx, vy))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nash_solution_is_pareto_optimal((points, v) in cloud()) {
+        let game = BargainingProblem::new(points, v).unwrap();
+        let s = game.nash().unwrap();
+        prop_assert!(axioms::is_pareto_optimal(&s, &game));
+    }
+
+    #[test]
+    fn nash_is_scale_independent(
+        (points, v) in cloud(),
+        sx in 0.1..5.0f64,
+        sy in 0.1..5.0f64,
+        tx in -3.0..3.0f64,
+        ty in -3.0..3.0f64,
+    ) {
+        let game = BargainingProblem::new(points, v).unwrap();
+        prop_assert!(axioms::check_scale_independence(&game, (sx, sy), (tx, ty)).unwrap());
+    }
+
+    #[test]
+    fn nash_satisfies_iia_under_random_removal(
+        (points, v) in cloud(),
+        mask in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let game = BargainingProblem::new(points, v).unwrap();
+        prop_assert!(
+            axioms::check_iia(&game, |i, _| mask.get(i).copied().unwrap_or(false)).unwrap()
+        );
+    }
+
+    #[test]
+    fn nash_is_anonymous_under_player_relabeling((points, v) in cloud()) {
+        let game = BargainingProblem::new(points, v).unwrap();
+        prop_assert!(axioms::check_symmetry(&game).unwrap());
+    }
+
+    #[test]
+    fn symmetrized_games_have_symmetric_maximizer_sets((points, v) in cloud()) {
+        // On a swap-closed cloud with symmetric v, the chosen point's
+        // mirror attains the same Nash product (the convex-set
+        // equal-gains statement degrades to this on samples).
+        let mut sym = points.clone();
+        sym.extend(points.iter().map(|p| CostPoint::new(p.y, p.x)));
+        let d = v.x.max(v.y);
+        let vv = CostPoint::new(d, d);
+        let game = BargainingProblem::new(sym, vv).unwrap();
+        let s = game.nash().unwrap();
+        let mirror = CostPoint::new(s.point.y, s.point.x);
+        prop_assert!((mirror.nash_product(vv) - s.nash_product).abs() <= 1e-9 * (1.0 + s.nash_product.abs()));
+    }
+
+    #[test]
+    fn solution_concepts_all_pick_pareto_points((points, v) in cloud()) {
+        let game = BargainingProblem::new(points, v).unwrap();
+        for s in [
+            game.nash().unwrap(),
+            game.kalai_smorodinsky().unwrap(),
+            game.egalitarian().unwrap(),
+        ] {
+            prop_assert!(axioms::is_pareto_optimal(&s, &game), "concept picked {:?}", s.point);
+        }
+    }
+
+    #[test]
+    fn nash_product_is_maximal_over_feasible((points, v) in cloud()) {
+        let game = BargainingProblem::new(points.clone(), v).unwrap();
+        let s = game.nash().unwrap();
+        for p in &points {
+            if p.strictly_dominates(v) {
+                prop_assert!(p.nash_product(v) <= s.nash_product + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_filter_is_idempotent_and_complete((points, _v) in cloud()) {
+        let f1 = pareto_filter(&points);
+        let f2 = pareto_filter(&f1);
+        prop_assert_eq!(&f1, &f2, "filtering a frontier must be a no-op");
+        // Every original point is dominated-or-equal by some frontier point.
+        for p in &points {
+            prop_assert!(
+                f1.iter().any(|q| q == p || q.dominates(*p)),
+                "point {p} escaped the frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn egalitarian_gains_are_maximin((points, v) in cloud()) {
+        let game = BargainingProblem::new(points.clone(), v).unwrap();
+        let s = game.egalitarian().unwrap();
+        let (gx, gy) = s.point.gains_from(v);
+        let chosen_min = gx.min(gy);
+        for p in &points {
+            if p.strictly_dominates(v) {
+                let (px, py) = p.gains_from(v);
+                prop_assert!(px.min(py) <= chosen_min + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! DMAC: slotted, staggered wake-up schedule for tree data gathering.
+//!
+//! The representative of the *slotted contention-based* family. Nodes at
+//! tree depth `d` wake one slot earlier than their parents, forming a
+//! "ladder": a packet generated anywhere flows to the sink within one
+//! sweep, one slot (`μ`) per hop, instead of waiting out a full cycle at
+//! every hop. The tunable is the cycle period `T` between ladder sweeps.
+//!
+//! # Model
+//!
+//! Each cycle a node is awake for `k·μ` (its receive slot and its
+//! transmit slot; `k = 2` by default — the protocol's adaptive
+//! "more-to-send" extensions are demand-driven and show up in the
+//! per-packet terms instead), with two radio startups. Per-second
+//! rates:
+//!
+//! * **Idle/carrier-sense** — the awake window minus actual packet
+//!   airtime, plus startups:
+//!   `Ecs = [2·t_up·P_startup + (k·μ − t_busy)·P_listen] / T`.
+//! * **Transmission** — contention (half the window `cw` on average),
+//!   data, ack: `Etx = F_out·(½cw·P_listen + t_data·P_tx + t_ack·P_rx)`.
+//! * **Reception** — `Erx = F_I·(t_data·P_rx + t_ack·P_tx)`.
+//! * **Overhearing** — same-depth nodes share the schedule, so nearby
+//!   transmissions fall inside the awake window; half are caught:
+//!   `Eovr = ½·(F_B − F_I − F_out)⁺·t_data·P_rx`.
+//! * **Sync** — schedule maintenance beacons every `sync_period`:
+//!   `Estx = t_sync·P_tx / T_sync`, `Esrx = t_sync·P_rx / T_sync`.
+//! * **Latency** — a source waits `T/2` on average for the next sweep,
+//!   then one slot per hop: `L_d = T/2 + d·μ`.
+//! * **Bottleneck utilization** — the sink's shared receive slot admits
+//!   about one exchange per cycle but serves every ring-1 sender, so
+//!   the whole network's generation must fit one packet per cycle:
+//!   `u = C·D²·Fs·T`.
+//!
+//! Energy is strictly decreasing in `T` (no interior optimum), so (P1)
+//! always pushes `T` to the latency bound or to `max_cycle` — which is
+//! what produces the saturation of the trade-off points at large `Lmax`
+//! in Fig. 1b.
+
+use crate::env::Deployment;
+use crate::error::MacError;
+use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use edmac_optim::Bounds;
+use edmac_radio::EnergyBreakdown;
+use edmac_units::Seconds;
+
+/// Validated DMAC parameters: the cycle period between ladder sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmacParams {
+    cycle: Seconds,
+}
+
+impl DmacParams {
+    /// Creates parameters with the given cycle period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::InvalidParameter`] unless the period is a
+    /// positive, finite duration.
+    pub fn new(cycle: Seconds) -> Result<DmacParams, MacError> {
+        require_positive("cycle", cycle)?;
+        Ok(DmacParams { cycle })
+    }
+
+    /// The cycle period `T`.
+    pub fn cycle(&self) -> Seconds {
+        self.cycle
+    }
+}
+
+/// The DMAC analytical model with its structural constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dmac {
+    /// Contention window at the head of each slot.
+    pub contention_window: Seconds,
+    /// Guard time per slot (drift absorption).
+    pub guard: Seconds,
+    /// Awake slots per cycle (receive + transmit).
+    pub awake_slots: f64,
+    /// Largest admissible cycle (bounded by schedule-drift maintenance).
+    pub max_cycle: Seconds,
+    /// Interval of schedule-synchronization beacons.
+    pub sync_period: Seconds,
+    /// Capacity cap on bottleneck utilization.
+    pub max_utilization: f64,
+}
+
+impl Default for Dmac {
+    /// 5 ms contention window (wider than one data airtime, so CCA can
+    /// work and hidden pairs decorrelate — matches the simulator's
+    /// structural constants), 0.5 ms guard, 2 awake slots, `T ≤ 8.5 s`,
+    /// sync every 60 s.
+    fn default() -> Dmac {
+        Dmac {
+            contention_window: Seconds::from_millis(5.0),
+            guard: Seconds::from_millis(0.5),
+            awake_slots: 2.0,
+            max_cycle: Seconds::new(8.5),
+            sync_period: Seconds::new(60.0),
+            max_utilization: 1.0,
+        }
+    }
+}
+
+impl Dmac {
+    /// The slot length `μ` under `env`: contention window, data, ack,
+    /// two turnarounds and the guard.
+    pub fn slot(&self, env: &Deployment) -> Seconds {
+        let radio = &env.radio;
+        self.contention_window
+            + radio.airtime(env.frames.data)
+            + radio.airtime(env.frames.ack)
+            + radio.timings.turnaround * 2.0
+            + self.guard
+    }
+
+    /// The shortest cycle that fits the ladder: `D·μ` (each depth is
+    /// staggered one slot; a sweep must finish before the next starts).
+    pub fn min_cycle(&self, env: &Deployment) -> Seconds {
+        self.slot(env) * env.traffic.model().depth() as f64
+    }
+
+    /// Evaluates the model with typed parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::InvalidParameter`] if the cycle is shorter
+    /// than the ladder span [`Dmac::min_cycle`].
+    pub fn evaluate(
+        &self,
+        params: DmacParams,
+        env: &Deployment,
+    ) -> Result<MacPerformance, MacError> {
+        let t_cycle = params.cycle.value();
+        let min_cycle = self.min_cycle(env).value();
+        if t_cycle < min_cycle {
+            return Err(MacError::InvalidParameter {
+                name: "cycle",
+                value: t_cycle,
+                reason: format!(
+                    "shorter than the D-slot ladder span ({min_cycle:.4} s) — the sweep \
+                     would overlap the next cycle"
+                ),
+            });
+        }
+
+        let radio = &env.radio;
+        let p = &radio.power;
+        let mu = self.slot(env).value();
+        let t_data = radio.airtime(env.frames.data).value();
+        let t_ack = radio.airtime(env.frames.ack).value();
+        let t_sync = radio.airtime(env.frames.sync).value();
+        let cw = self.contention_window.value();
+        let t_up = radio.timings.startup.value();
+
+        let depth = env.traffic.model().depth();
+        let mut rings = Vec::with_capacity(depth);
+        for d in env.traffic.model().rings() {
+            let f_out = env.traffic.f_out(d)?.value();
+            let f_in = env.traffic.f_in(d)?.value();
+            let f_bg = env.traffic.f_bg(d)?.value();
+            let overheard = (f_bg - f_in - f_out).max(0.0);
+
+            // Packet airtime occupying the awake window (subtracted from
+            // idle listening so time is not double counted).
+            let tx_time = f_out * (cw / 2.0 + t_data + t_ack);
+            let rx_time = f_in * (t_data + t_ack);
+            let ovr_time = 0.5 * overheard * t_data;
+            let window = self.awake_slots * mu / t_cycle;
+            let idle_listen = (window - tx_time - rx_time - ovr_time).max(0.0);
+
+            let mut e = EnergyBreakdown::ZERO;
+            e.carrier_sense = (p.startup * Seconds::new(2.0 * t_up)) * (1.0 / t_cycle)
+                + p.listen * Seconds::new(idle_listen)
+                + p.listen * Seconds::new(f_out * cw / 2.0);
+            e.tx = (p.tx * Seconds::new(t_data) + p.rx * Seconds::new(t_ack)) * f_out;
+            e.rx = (p.rx * Seconds::new(t_data) + p.tx * Seconds::new(t_ack)) * f_in;
+            e.overhearing = p.rx * Seconds::new(ovr_time);
+            e.sync_tx = (p.tx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
+            e.sync_rx = (p.rx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
+
+            let busy = 2.0 * t_up / t_cycle
+                + window
+                + (t_sync * 2.0) / self.sync_period.value();
+            // The ladder's real bottleneck is the *shared* slot: the
+            // sink's single receive slot admits roughly one exchange per
+            // cycle yet serves every ring-1 sender, so the whole
+            // network's generation must fit one packet per cycle. (A
+            // per-node `F_out·T` underestimates this by a factor of
+            // N_1 — the packet-level simulator exposes the difference
+            // as unbounded queues.)
+            let total_rate =
+                env.traffic.model().total_nodes() as f64 * env.traffic.fs().value();
+            let utilization = total_rate * t_cycle;
+
+            rings.push(RingRates {
+                energy: e,
+                busy,
+                utilization,
+            });
+        }
+
+        let latency = Seconds::new(t_cycle / 2.0 + depth as f64 * mu);
+        Ok(assemble(env, &rings, latency))
+    }
+}
+
+impl MacModel for Dmac {
+    fn name(&self) -> &'static str {
+        "DMAC"
+    }
+
+    fn parameter_names(&self) -> &'static [&'static str] {
+        &["cycle"]
+    }
+
+    fn bounds(&self, env: &Deployment) -> Bounds {
+        let lo = self.min_cycle(env).value();
+        Bounds::new(vec![(lo, self.max_cycle.value().max(lo * 2.0))])
+            .expect("structural bounds are validated by construction")
+    }
+
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
+        require_arity(1, x)?;
+        self.evaluate(DmacParams::new(Seconds::new(x[0]))?, env)
+    }
+
+    fn utilization_cap(&self) -> f64 {
+        self.max_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(cycle_s: f64) -> MacPerformance {
+        Dmac::default()
+            .evaluate(
+                DmacParams::new(Seconds::new(cycle_s)).unwrap(),
+                &Deployment::reference(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn cycle_shorter_than_ladder_is_rejected() {
+        let model = Dmac::default();
+        let env = Deployment::reference();
+        let min = model.min_cycle(&env).value();
+        assert!(model
+            .evaluate(DmacParams::new(Seconds::new(min * 0.9)).unwrap(), &env)
+            .is_err());
+        assert!(model
+            .evaluate(DmacParams::new(Seconds::new(min * 1.1)).unwrap(), &env)
+            .is_ok());
+    }
+
+    #[test]
+    fn energy_strictly_decreases_with_cycle() {
+        let e1 = eval(0.1).energy;
+        let e2 = eval(1.0).energy;
+        let e3 = eval(8.0).energy;
+        assert!(e1 > e2 && e2 > e3, "{e1} > {e2} > {e3} expected");
+    }
+
+    #[test]
+    fn latency_increases_with_cycle_and_depth_dominates_floor() {
+        assert!(eval(4.0).latency > eval(0.5).latency);
+        // At the smallest cycle the ladder itself is the floor: D * mu.
+        let env = Deployment::reference();
+        let model = Dmac::default();
+        let min = model.min_cycle(&env);
+        let perf = model.evaluate(DmacParams::new(min).unwrap(), &env).unwrap();
+        let floor = min.value() / 2.0 + min.value();
+        assert!((perf.latency.value() - floor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_beats_per_hop_sleeping() {
+        // DMAC's point: e2e latency is T/2 + D*mu, NOT D * (T/2 + mu).
+        let perf = eval(2.0);
+        let depth = 10.0;
+        let naive = depth * (2.0 / 2.0);
+        assert!(perf.latency.value() < naive / 2.0);
+    }
+
+    #[test]
+    fn breakdown_has_sync_and_no_double_counting() {
+        let perf = eval(1.0);
+        assert!(perf.breakdown.is_valid());
+        assert!(perf.breakdown.sync_tx.value() > 0.0, "DMAC maintains schedules");
+        assert!(perf.breakdown.sync_rx.value() > 0.0);
+        assert!(perf.breakdown.carrier_sense.value() > 0.0);
+        assert_eq!(perf.energy, perf.breakdown.total());
+    }
+
+    #[test]
+    fn utilization_is_network_packets_per_cycle() {
+        // 400 nodes sampling hourly: 1/9 pkt/s aggregate; at T = 4 s the
+        // shared sink slot is 4/9 loaded.
+        let env = Deployment::reference();
+        let total = env.traffic.model().total_nodes() as f64 * env.traffic.fs().value();
+        let perf = eval(4.0);
+        assert!((perf.utilization - total * 4.0).abs() < 1e-12);
+        // The default cycle bound keeps the reference deployment just
+        // inside capacity.
+        let at_cap = eval(8.5);
+        assert!(at_cap.utilization < 1.0, "u(8.5 s) = {}", at_cap.utilization);
+    }
+
+    #[test]
+    fn overloaded_network_saturates_utilization() {
+        // 2 Hz sampling over 10 rings: far beyond one packet per cycle.
+        let env = Deployment::reference().with_sampling(edmac_units::Hertz::new(2.0));
+        let model = Dmac::default();
+        let perf = model
+            .evaluate(DmacParams::new(Seconds::new(1.0)).unwrap(), &env)
+            .unwrap();
+        assert!(perf.utilization > model.utilization_cap());
+    }
+
+    #[test]
+    fn bounds_start_at_ladder_span() {
+        let model = Dmac::default();
+        let env = Deployment::reference();
+        let b = model.bounds(&env);
+        assert!((b.lower(0) - model.min_cycle(&env).value()).abs() < 1e-12);
+        assert_eq!(b.upper(0), model.max_cycle.value());
+    }
+
+    #[test]
+    fn trait_and_typed_paths_agree() {
+        let model = Dmac::default();
+        let env = Deployment::reference();
+        assert_eq!(
+            model.performance(&[2.0], &env).unwrap(),
+            model
+                .evaluate(DmacParams::new(Seconds::new(2.0)).unwrap(), &env)
+                .unwrap()
+        );
+    }
+}

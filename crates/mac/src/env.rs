@@ -1,0 +1,145 @@
+//! The shared evaluation environment: radio, frames, network, traffic
+//! and reporting epoch.
+
+use edmac_net::{RingModel, RingTraffic};
+use edmac_radio::{FrameSizes, Radio};
+use edmac_units::{Hertz, Seconds};
+
+/// Everything a protocol model needs to be evaluated, bundled so all
+/// protocols are compared under identical conditions.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_mac::Deployment;
+///
+/// let env = Deployment::reference();
+/// assert_eq!(env.traffic.model().depth(), 10);
+/// assert_eq!(env.radio.name, "CC2420");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Deployment {
+    /// Radio hardware description.
+    pub radio: Radio,
+    /// Frame formats.
+    pub frames: FrameSizes,
+    /// Ring network + traffic model (the paper's §2).
+    pub traffic: RingTraffic,
+    /// Energy reporting window: `E` is energy consumed per this many
+    /// seconds at the bottleneck node. The paper's budgets
+    /// (`0.01..0.06 J`) correspond to a 10 s epoch at CC2420-class
+    /// average powers.
+    pub epoch: Seconds,
+}
+
+impl Deployment {
+    /// The reference deployment used across the reproduction: CC2420
+    /// radio, default frame formats, `D = 10` rings of density `C = 4`,
+    /// hourly sampling (`Fs = 1/3600 Hz`), 10 s reporting epoch.
+    ///
+    /// This is the calibration under which the Fig. 1 / Fig. 2 shapes
+    /// (saturation patterns, protocol energy ordering) reproduce; see
+    /// EXPERIMENTS.md.
+    pub fn reference() -> Deployment {
+        let model = RingModel::new(10, 4).expect("reference parameters are valid");
+        Deployment {
+            radio: Radio::cc2420(),
+            frames: FrameSizes::default(),
+            traffic: RingTraffic::new(model, Hertz::per_interval(Seconds::new(3_600.0))),
+            epoch: Seconds::new(10.0),
+        }
+    }
+
+    /// The smaller deployment the packet-level validation experiments
+    /// run on: four rings of density four (65 nodes), sampling every
+    /// 80 s — unsaturated for every protocol yet large enough to
+    /// exercise forwarding, contention and overhearing.
+    pub fn validation() -> Deployment {
+        Deployment::reference()
+            .with_network(RingModel::new(4, 4).expect("static parameters"))
+            .with_sampling(Hertz::per_interval(Seconds::new(80.0)))
+    }
+
+    /// Returns a copy with a different network shape.
+    #[must_use]
+    pub fn with_network(mut self, model: RingModel) -> Deployment {
+        self.traffic = RingTraffic::new(model, self.traffic.fs());
+        self
+    }
+
+    /// Returns a copy with a different sampling rate.
+    #[must_use]
+    pub fn with_sampling(mut self, fs: Hertz) -> Deployment {
+        self.traffic = RingTraffic::new(self.traffic.model(), fs);
+        self
+    }
+
+    /// Returns a copy with a different radio.
+    #[must_use]
+    pub fn with_radio(mut self, radio: Radio) -> Deployment {
+        self.radio = radio;
+        self
+    }
+
+    /// Returns a copy with a different reporting epoch.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: Seconds) -> Deployment {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Returns `true` if every component is physically meaningful.
+    pub fn is_valid(&self) -> bool {
+        self.radio.is_valid()
+            && self.frames.is_valid()
+            && self.traffic.fs().value() > 0.0
+            && self.epoch.value() > 0.0
+            && self.epoch.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_valid() {
+        assert!(Deployment::reference().is_valid());
+    }
+
+    #[test]
+    fn validation_preset_is_smaller_and_busier() {
+        let v = Deployment::validation();
+        assert!(v.is_valid());
+        let r = Deployment::reference();
+        assert!(v.traffic.model().total_nodes() < r.traffic.model().total_nodes());
+        assert!(v.traffic.fs() > r.traffic.fs());
+    }
+
+    #[test]
+    fn builders_replace_one_field() {
+        let base = Deployment::reference();
+        let deeper = base.with_network(RingModel::new(20, 4).unwrap());
+        assert_eq!(deeper.traffic.model().depth(), 20);
+        assert_eq!(deeper.radio.name, base.radio.name);
+
+        let faster = base.with_sampling(Hertz::new(0.1));
+        assert_eq!(faster.traffic.fs().value(), 0.1);
+        assert_eq!(faster.traffic.model().depth(), 10);
+
+        let cc1000 = base.with_radio(edmac_radio::Radio::cc1000());
+        assert_eq!(cc1000.radio.name, "CC1000");
+
+        let longer = base.with_epoch(Seconds::new(60.0));
+        assert_eq!(longer.epoch.value(), 60.0);
+    }
+
+    #[test]
+    fn invalid_epoch_is_detected() {
+        let mut env = Deployment::reference();
+        env.epoch = Seconds::ZERO;
+        assert!(!env.is_valid());
+        env.epoch = Seconds::new(f64::INFINITY);
+        assert!(!env.is_valid());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for model evaluation.
+
+use edmac_net::NetError;
+
+/// Errors from evaluating a MAC model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MacError {
+    /// A protocol parameter was outside its physical domain (e.g. a
+    /// non-positive wake-up interval, a slot shorter than its control
+    /// section).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value (in base SI units).
+        value: f64,
+        /// Domain description.
+        reason: String,
+    },
+    /// The parameter vector had the wrong length for this model.
+    Arity {
+        /// Expected number of parameters.
+        expected: usize,
+        /// Received number of parameters.
+        got: usize,
+    },
+    /// The underlying network model rejected a query.
+    Net(NetError),
+}
+
+impl std::fmt::Display for MacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MacError::InvalidParameter { name, value, reason } => {
+                write!(f, "invalid parameter `{name}` = {value}: {reason}")
+            }
+            MacError::Arity { expected, got } => {
+                write!(f, "wrong parameter count: expected {expected}, got {got}")
+            }
+            MacError::Net(e) => write!(f, "network model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MacError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MacError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for MacError {
+    fn from(e: NetError) -> MacError {
+        MacError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = MacError::InvalidParameter {
+            name: "wakeup_interval",
+            value: -1.0,
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("wakeup_interval"));
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn net_errors_chain() {
+        use std::error::Error;
+        let e = MacError::from(NetError::RingOutOfRange { ring: 3, depth: 2 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,312 @@
+//! LMAC: frame-based TDMA with per-slot control sections.
+//!
+//! The representative of the *frame-based* family. Time is divided into
+//! frames of `N` slots; every node owns one slot (assigned so no two
+//! nodes within two hops share one — see
+//! [`distance_two_coloring`](edmac_net::distance_two_coloring)) and
+//! transmits collision-free in it. Each slot opens with a short control
+//! section announcing the owner and addressee; **every node listens to
+//! every control section** to track the schedule and learn whether the
+//! data that follows is for it — that always-on control listening is
+//! LMAC's energy signature and why the paper's Fig. 1c/2c energy axis
+//! dwarfs the other protocols'. The tunable is the slot length `Ts`.
+//!
+//! # Model
+//!
+//! * **Sync rx** — wake + listen one control section per slot (except
+//!   the own slot): `Esrx = (t_up·P_startup + t_ctl·P_listen)/Ts −
+//!   (t_ctl·P_listen)/Tf`, with `Tf = N·Ts`.
+//! * **Sync tx** — own control section once per frame:
+//!   `Estx = t_ctl·P_tx / Tf`.
+//! * **Transmission / reception** — collision-free data in owned slots:
+//!   `Etx = F_out·t_data·P_tx`, `Erx = F_I·t_data·P_rx`.
+//! * **Carrier sense / overhearing** — none: TDMA needs no CCA, and
+//!   non-addressees sleep right after the control section.
+//! * **Latency** — a forwarder waits on average half a frame for its
+//!   own slot: per hop `Tf/2 + t_ctl + t_data`, end-to-end `d` hops.
+//! * **Bottleneck utilization** — one data slot per frame per node:
+//!   `u = F_out·Tf`.
+//!
+//! Energy decreases and latency increases monotonically in `Ts`: the
+//! whole admissible range is Pareto-optimal, so the Fig. 1c trade-off
+//! points stay distinct for every `Lmax` — exactly what the paper shows.
+
+use crate::env::Deployment;
+use crate::error::MacError;
+use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use edmac_optim::Bounds;
+use edmac_radio::EnergyBreakdown;
+use edmac_units::Seconds;
+
+/// Validated LMAC parameters: the slot length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmacParams {
+    slot: Seconds,
+}
+
+impl LmacParams {
+    /// Creates parameters with the given slot length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::InvalidParameter`] unless the length is a
+    /// positive, finite duration.
+    pub fn new(slot: Seconds) -> Result<LmacParams, MacError> {
+        require_positive("slot", slot)?;
+        Ok(LmacParams { slot })
+    }
+
+    /// The slot length `Ts`.
+    pub fn slot(&self) -> Seconds {
+        self.slot
+    }
+}
+
+/// The LMAC analytical model with its structural constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lmac {
+    /// Slots per frame (`N`); must cover a distance-2 coloring of the
+    /// deployment (the original protocol shipped 32; 24 comfortably
+    /// covers the reference density's chromatic need of ~12).
+    pub frame_slots: usize,
+    /// Guard time per slot.
+    pub guard: Seconds,
+    /// Largest admissible slot length.
+    pub max_slot: Seconds,
+    /// Capacity cap on bottleneck utilization.
+    pub max_utilization: f64,
+}
+
+impl Default for Lmac {
+    /// 24 slots (double the distance-2 chromatic need of the reference
+    /// density, with growth headroom), 0.5 ms guard, `Ts ≤ 60 ms`.
+    fn default() -> Lmac {
+        Lmac {
+            frame_slots: 24,
+            guard: Seconds::from_millis(0.5),
+            max_slot: Seconds::from_millis(60.0),
+            max_utilization: 1.0,
+        }
+    }
+}
+
+impl Lmac {
+    /// The shortest slot that fits control, data and guard under `env`.
+    pub fn min_slot(&self, env: &Deployment) -> Seconds {
+        env.radio.airtime(env.frames.control)
+            + env.radio.airtime(env.frames.data)
+            + env.radio.timings.turnaround
+            + self.guard
+    }
+
+    /// The frame duration `Tf = N·Ts` for a given slot length.
+    pub fn frame(&self, slot: Seconds) -> Seconds {
+        slot * self.frame_slots as f64
+    }
+
+    /// Evaluates the model with typed parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::InvalidParameter`] if the slot cannot fit its
+    /// control section plus a data frame ([`Lmac::min_slot`]).
+    pub fn evaluate(
+        &self,
+        params: LmacParams,
+        env: &Deployment,
+    ) -> Result<MacPerformance, MacError> {
+        let ts = params.slot.value();
+        let min_slot = self.min_slot(env).value();
+        if ts < min_slot {
+            return Err(MacError::InvalidParameter {
+                name: "slot",
+                value: ts,
+                reason: format!(
+                    "shorter than control + data + guard ({min_slot:.4} s) — the owned \
+                     slot could not carry a packet"
+                ),
+            });
+        }
+
+        let radio = &env.radio;
+        let p = &radio.power;
+        let t_ctl = radio.airtime(env.frames.control).value();
+        let t_data = radio.airtime(env.frames.data).value();
+        let t_up = radio.timings.startup.value();
+        let tf = self.frame(params.slot).value();
+
+        let depth = env.traffic.model().depth();
+        let mut rings = Vec::with_capacity(depth);
+        for d in env.traffic.model().rings() {
+            let f_out = env.traffic.f_out(d)?.value();
+            let f_in = env.traffic.f_in(d)?.value();
+
+            let mut e = EnergyBreakdown::ZERO;
+            // Control listening: every slot except the own one.
+            let listen_rate = 1.0 / ts - 1.0 / tf;
+            e.sync_rx = (p.startup * Seconds::new(t_up) + p.listen * Seconds::new(t_ctl))
+                * listen_rate;
+            // Own control section once per frame (plus its startup).
+            e.sync_tx = (p.startup * Seconds::new(t_up) + p.tx * Seconds::new(t_ctl))
+                * (1.0 / tf);
+            // Collision-free data.
+            e.tx = (p.tx * Seconds::new(t_data)) * f_out;
+            e.rx = (p.rx * Seconds::new(t_data)) * f_in;
+
+            let busy = (t_up + t_ctl) / ts + f_out * t_data + f_in * t_data;
+            let utilization = f_out * tf;
+
+            rings.push(RingRates {
+                energy: e,
+                busy,
+                utilization,
+            });
+        }
+
+        let per_hop = tf / 2.0 + t_ctl + t_data;
+        let latency = Seconds::new(depth as f64 * per_hop);
+        Ok(assemble(env, &rings, latency))
+    }
+}
+
+impl MacModel for Lmac {
+    fn name(&self) -> &'static str {
+        "LMAC"
+    }
+
+    fn parameter_names(&self) -> &'static [&'static str] {
+        &["slot"]
+    }
+
+    fn bounds(&self, env: &Deployment) -> Bounds {
+        let lo = self.min_slot(env).value();
+        Bounds::new(vec![(lo, self.max_slot.value().max(lo * 2.0))])
+            .expect("structural bounds are validated by construction")
+    }
+
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
+        require_arity(1, x)?;
+        self.evaluate(LmacParams::new(Seconds::new(x[0]))?, env)
+    }
+
+    fn utilization_cap(&self) -> f64 {
+        self.max_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(slot_ms: f64) -> MacPerformance {
+        Lmac::default()
+            .evaluate(
+                LmacParams::new(Seconds::from_millis(slot_ms)).unwrap(),
+                &Deployment::reference(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn slot_must_fit_control_and_data() {
+        let model = Lmac::default();
+        let env = Deployment::reference();
+        let min = model.min_slot(&env).value();
+        assert!(model
+            .evaluate(LmacParams::new(Seconds::new(min * 0.5)).unwrap(), &env)
+            .is_err());
+        assert!(model
+            .evaluate(LmacParams::new(Seconds::new(min)).unwrap(), &env)
+            .is_ok());
+    }
+
+    #[test]
+    fn energy_decreases_latency_increases_with_slot() {
+        let fast = eval(3.0);
+        let slow = eval(30.0);
+        assert!(fast.energy > slow.energy);
+        assert!(fast.latency < slow.latency);
+    }
+
+    #[test]
+    fn control_listening_dominates_energy() {
+        let perf = eval(5.0);
+        assert!(
+            perf.breakdown.sync_rx > perf.breakdown.tx,
+            "sync-rx {} should dwarf data tx {}",
+            perf.breakdown.sync_rx,
+            perf.breakdown.tx
+        );
+        assert_eq!(perf.breakdown.carrier_sense.value(), 0.0, "TDMA needs no CCA");
+        assert_eq!(perf.breakdown.overhearing.value(), 0.0);
+        assert!(perf.breakdown.sync_tx.value() > 0.0);
+    }
+
+    #[test]
+    fn latency_scales_with_frame_not_slot() {
+        // Doubling N at fixed Ts should roughly double latency.
+        let env = Deployment::reference();
+        let small = Lmac { frame_slots: 16, ..Lmac::default() };
+        let big = Lmac { frame_slots: 32, ..Lmac::default() };
+        let ts = LmacParams::new(Seconds::from_millis(10.0)).unwrap();
+        let l16 = small.evaluate(ts, &env).unwrap().latency.value();
+        let l32 = big.evaluate(ts, &env).unwrap().latency.value();
+        assert!((l32 / l16 - 2.0).abs() < 0.05, "ratio {}", l32 / l16);
+    }
+
+    #[test]
+    fn lmac_is_the_most_expensive_protocol_at_speed() {
+        // The paper's energy-axis ordering: at comparable latency
+        // scales, LMAC >> X-MAC (Fig. 1c vs 1a: 0.25 J vs 0.04 J axes).
+        let env = Deployment::reference();
+        let lmac = eval(3.0); // L ~ 0.5 s
+        let xmac = crate::xmac::Xmac::default()
+            .evaluate(
+                crate::xmac::XmacParams::new(Seconds::from_millis(90.0)).unwrap(),
+                &env,
+            )
+            .unwrap(); // L ~ 0.5 s as well
+        assert!(
+            lmac.energy.value() > 3.0 * xmac.energy.value(),
+            "LMAC {} should dwarf X-MAC {} at matched latency",
+            lmac.energy,
+            xmac.energy
+        );
+    }
+
+    #[test]
+    fn utilization_is_packets_per_frame() {
+        let env = Deployment::reference();
+        let f_out = env.traffic.f_out(1).unwrap().value();
+        let perf = eval(10.0);
+        assert!((perf.utilization - f_out * 0.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_slots_cover_reference_coloring() {
+        // N = 32 must be at least the distance-2 chromatic need of the
+        // reference deployment's geometry.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let topo = edmac_net::Topology::ring_model(4, 4, &mut rng).unwrap();
+        let coloring = edmac_net::distance_two_coloring(&topo.graph());
+        assert!(
+            coloring.count() <= Lmac::default().frame_slots,
+            "need {} slots, have {}",
+            coloring.count(),
+            Lmac::default().frame_slots
+        );
+    }
+
+    #[test]
+    fn trait_and_typed_paths_agree() {
+        let model = Lmac::default();
+        let env = Deployment::reference();
+        assert_eq!(
+            model.performance(&[0.01], &env).unwrap(),
+            model
+                .evaluate(LmacParams::new(Seconds::new(0.01)).unwrap(), &env)
+                .unwrap()
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The object-safe model interface consumed by the optimization
+//! framework, plus shared evaluation plumbing.
+
+use crate::env::Deployment;
+use crate::error::MacError;
+use edmac_optim::Bounds;
+use edmac_radio::EnergyBreakdown;
+use edmac_units::{Joules, Seconds};
+
+/// What a protocol model reports for one parameter vector: the inputs to
+/// the paper's problems (P1), (P2), (P4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacPerformance {
+    /// System energy `E = max_d E_d` — consumption of the most loaded
+    /// node per reporting epoch.
+    pub energy: Joules,
+    /// The full cause decomposition at the bottleneck ring (per epoch,
+    /// sleep floor included).
+    pub breakdown: EnergyBreakdown,
+    /// Worst end-to-end latency `L = max_d L_d` (from the outermost
+    /// ring).
+    pub latency: Seconds,
+    /// Channel utilization around the bottleneck node; the paper's
+    /// "bottleneck constraint" is `utilization <= cap` (cap is a model
+    /// property, usually 0.5–1.0).
+    pub utilization: f64,
+    /// Which ring realizes the energy maximum (ring 1 for all models
+    /// here, but reported rather than assumed).
+    pub bottleneck_ring: usize,
+}
+
+/// A duty-cycled MAC protocol's analytical model, as seen by the
+/// optimizer: a map from a parameter vector in a box to
+/// [`MacPerformance`].
+///
+/// Object-safe ([C-OBJECT]) so the framework can treat the paper's three
+/// protocols — and any future one — uniformly; the concrete types also
+/// expose typed `evaluate` methods with validated parameter structs.
+///
+/// [C-OBJECT]: https://rust-lang.github.io/api-guidelines/flexibility.html
+pub trait MacModel {
+    /// Protocol name (e.g. `"X-MAC"`).
+    fn name(&self) -> &'static str;
+
+    /// Names of the tunable parameters, in vector order.
+    fn parameter_names(&self) -> &'static [&'static str];
+
+    /// The valid parameter box under `env`.
+    fn bounds(&self, env: &Deployment) -> Bounds;
+
+    /// Evaluates the model at parameter vector `x`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MacError::Arity`] if `x.len()` differs from
+    ///   [`MacModel::parameter_names`]`.len()`.
+    /// * [`MacError::InvalidParameter`] if a parameter is outside its
+    ///   physical domain.
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError>;
+
+    /// The maximum admissible bottleneck utilization (the capacity cap
+    /// of the paper's bottleneck constraint).
+    fn utilization_cap(&self) -> f64 {
+        1.0
+    }
+
+    /// Number of tunable parameters.
+    fn dim(&self) -> usize {
+        self.parameter_names().len()
+    }
+}
+
+/// The paper's three protocols, boxed for uniform iteration, in the
+/// order the figures use (X-MAC, DMAC, LMAC).
+pub fn all_models() -> Vec<Box<dyn MacModel>> {
+    vec![
+        Box::new(crate::xmac::Xmac::default()),
+        Box::new(crate::dmac::Dmac::default()),
+        Box::new(crate::lmac::Lmac::default()),
+    ]
+}
+
+/// Per-second operating rates of one ring: an energy rate per cause
+/// (stored as joules-per-second in an [`EnergyBreakdown`]) plus the
+/// fraction of wall-clock time the radio is awake.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RingRates {
+    /// Energy per second of operation, by cause (sleep bucket unused
+    /// here; it is derived in [`assemble`]).
+    pub energy: EnergyBreakdown,
+    /// Awake seconds per second (for the sleep-floor complement).
+    pub busy: f64,
+    /// Channel utilization around this ring.
+    pub utilization: f64,
+}
+
+/// Folds per-ring rates into a [`MacPerformance`]: finds the bottleneck
+/// ring (max energy rate), scales to the epoch, and charges the
+/// remaining time at the sleep draw.
+pub(crate) fn assemble(
+    env: &Deployment,
+    rings: &[RingRates],
+    latency: Seconds,
+) -> MacPerformance {
+    debug_assert!(!rings.is_empty(), "ring models have depth >= 1");
+    let (bottleneck_idx, rates) = rings
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.energy
+                .total()
+                .value()
+                .partial_cmp(&b.1.energy.total().value())
+                .expect("model energies are finite")
+        })
+        .expect("non-empty ring set");
+
+    let mut breakdown = rates.energy.scaled(env.epoch.value());
+    let sleep_fraction = (1.0 - rates.busy).clamp(0.0, 1.0);
+    breakdown.sleep = env.radio.power.sleep * (env.epoch * sleep_fraction);
+
+    let utilization = rings
+        .iter()
+        .map(|r| r.utilization)
+        .fold(0.0f64, f64::max);
+
+    MacPerformance {
+        energy: breakdown.total(),
+        breakdown,
+        latency,
+        utilization,
+        bottleneck_ring: bottleneck_idx + 1,
+    }
+}
+
+/// Validates a strictly positive, finite duration parameter.
+pub(crate) fn require_positive(
+    name: &'static str,
+    value: Seconds,
+) -> Result<(), MacError> {
+    if value.is_finite() && value.value() > 0.0 {
+        Ok(())
+    } else {
+        Err(MacError::InvalidParameter {
+            name,
+            value: value.value(),
+            reason: "must be a positive, finite duration in seconds".into(),
+        })
+    }
+}
+
+/// Validates the arity of a raw parameter vector.
+pub(crate) fn require_arity(expected: usize, x: &[f64]) -> Result<(), MacError> {
+    if x.len() == expected {
+        Ok(())
+    } else {
+        Err(MacError::Arity {
+            expected,
+            got: x.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_radio::Cause;
+
+    #[test]
+    fn assemble_picks_max_ring_and_adds_sleep() {
+        let env = Deployment::reference();
+        let mut hot = EnergyBreakdown::ZERO;
+        hot.tx = Joules::new(2e-3);
+        let mut cold = EnergyBreakdown::ZERO;
+        cold.tx = Joules::new(1e-3);
+        let rings = vec![
+            RingRates { energy: hot, busy: 0.25, utilization: 0.4 },
+            RingRates { energy: cold, busy: 0.01, utilization: 0.1 },
+        ];
+        let perf = assemble(&env, &rings, Seconds::new(1.0));
+        assert_eq!(perf.bottleneck_ring, 1);
+        assert_eq!(perf.utilization, 0.4);
+        // tx scaled by the 10 s epoch.
+        assert!((perf.breakdown.tx.value() - 2e-2).abs() < 1e-12);
+        // Sleep = 75% of the epoch at the sleep draw.
+        let expected_sleep = env.radio.power.sleep * (env.epoch * 0.75);
+        assert!((perf.breakdown.sleep.value() - expected_sleep.value()).abs() < 1e-15);
+        assert_eq!(perf.energy, perf.breakdown.total());
+    }
+
+    #[test]
+    fn assemble_clamps_overloaded_busy_fraction() {
+        let env = Deployment::reference();
+        let rings = vec![RingRates {
+            energy: EnergyBreakdown::ZERO,
+            busy: 1.7, // oversubscribed: no sleep remains
+            utilization: 1.7,
+        }];
+        let perf = assemble(&env, &rings, Seconds::new(1.0));
+        assert_eq!(perf.breakdown.sleep, Joules::ZERO);
+    }
+
+    #[test]
+    fn all_models_are_the_papers_three() {
+        let models = all_models();
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["X-MAC", "DMAC", "LMAC"]);
+        for m in &models {
+            assert_eq!(m.dim(), 1, "{} should expose one tunable", m.name());
+        }
+    }
+
+    #[test]
+    fn validators_reject_bad_inputs() {
+        assert!(require_positive("t", Seconds::new(1.0)).is_ok());
+        assert!(require_positive("t", Seconds::ZERO).is_err());
+        assert!(require_positive("t", Seconds::new(-2.0)).is_err());
+        assert!(require_positive("t", Seconds::new(f64::NAN)).is_err());
+        assert!(require_arity(1, &[0.1]).is_ok());
+        assert!(matches!(
+            require_arity(1, &[0.1, 0.2]),
+            Err(MacError::Arity { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn breakdown_causes_survive_assembly() {
+        let env = Deployment::reference();
+        let mut e = EnergyBreakdown::ZERO;
+        for (i, cause) in Cause::ALL.iter().take(6).enumerate() {
+            *e.get_mut(*cause) = Joules::new((i + 1) as f64 * 1e-6);
+        }
+        let perf = assemble(
+            &env,
+            &[RingRates { energy: e, busy: 0.0, utilization: 0.0 }],
+            Seconds::new(0.5),
+        );
+        for (i, cause) in Cause::ALL.iter().take(6).enumerate() {
+            let expected = (i + 1) as f64 * 1e-6 * env.epoch.value();
+            assert!((perf.breakdown.get(*cause).value() - expected).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! SCP-MAC: scheduled channel polling (extension beyond the paper's
+//! three protocols).
+//!
+//! The paper's related work highlights Ye et al.'s SCP-MAC ([10]) as the
+//! optimization target of earlier single-objective work. We include it
+//! as a fourth model so the framework can be exercised beyond the
+//! paper's trio (and because it ablates X-MAC cleanly: same polling
+//! structure, but polls are *synchronized*, collapsing the strobe train
+//! to a short wake-up tone at the cost of sync traffic).
+//!
+//! # Model
+//!
+//! With poll period `Tp`, sync period `T_sync` and clock drift `ρ`
+//! (±30 ppm by default), a sender must lead its data with a tone
+//! covering the schedule uncertainty `g = 2·ρ·T_sync` plus one poll:
+//!
+//! * **Carrier sensing** — identical to X-MAC:
+//!   `Ecs = (t_up·P_startup + t_poll·P_listen)/Tp`.
+//! * **Transmission** — `Etx = F_out·((g + t_poll)·P_tx + t_data·P_tx +
+//!   t_ack·P_rx)` — note: no `Tw/2` term, *the* difference from X-MAC.
+//! * **Reception** — `Erx = F_I·((g/2 + t_poll)·P_rx + t_data·P_rx +
+//!   t_ack·P_tx)`.
+//! * **Overhearing** — a nearby tone+data burst is caught by a poll
+//!   with probability `(g + t_data)/Tp`; the header suffices to drop
+//!   it: `Eovr = F_B·min(1, (g + t_data)/Tp)·t_hdr·P_rx`.
+//! * **Sync** — one schedule broadcast sent and one received per
+//!   `T_sync`.
+//! * **Latency** — the schedule is *common* to all nodes, so relaying
+//!   is store-and-forward: the source waits `Tp/2` on average for the
+//!   next boundary, and every further hop costs a full period:
+//!   `L_d = Tp/2 + (d−1)·Tp + d·(g + t_data)`.
+//! * **Bottleneck utilization** — the schedule *concentrates* traffic:
+//!   every exchange in a collision domain happens at the same poll
+//!   boundary, and one boundary carries about one exchange, so
+//!   `u = (F_B + F_out)·Tp` (packets per boundary near the bottleneck).
+//!   Long poll periods hit this capacity wall well before airtime
+//!   matters — the packet-level simulator is what exposed it.
+
+use crate::env::Deployment;
+use crate::error::MacError;
+use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use edmac_optim::Bounds;
+use edmac_radio::EnergyBreakdown;
+use edmac_units::Seconds;
+
+/// Validated SCP-MAC parameters: the poll period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScpParams {
+    poll_interval: Seconds,
+}
+
+impl ScpParams {
+    /// Creates parameters with the given poll period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::InvalidParameter`] unless the period is a
+    /// positive, finite duration.
+    pub fn new(poll_interval: Seconds) -> Result<ScpParams, MacError> {
+        require_positive("poll_interval", poll_interval)?;
+        Ok(ScpParams { poll_interval })
+    }
+
+    /// The poll period `Tp`.
+    pub fn poll_interval(&self) -> Seconds {
+        self.poll_interval
+    }
+}
+
+/// The SCP-MAC analytical model with its structural constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scp {
+    /// Listen duration of one channel poll once the radio is up.
+    pub poll_listen: Seconds,
+    /// Interval between schedule-synchronization broadcasts.
+    pub sync_period: Seconds,
+    /// One-sided clock drift rate (e.g. `30e-6` for ±30 ppm crystals).
+    pub drift: f64,
+    /// Smallest admissible poll period.
+    pub min_poll: Seconds,
+    /// Largest admissible poll period.
+    pub max_poll: Seconds,
+    /// Capacity cap on bottleneck utilization.
+    pub max_utilization: f64,
+}
+
+impl Default for Scp {
+    /// 2.5 ms polls, 60 s sync period, ±30 ppm drift,
+    /// `Tp ∈ [20 ms, 10 s]`.
+    fn default() -> Scp {
+        Scp {
+            poll_listen: Seconds::from_millis(2.5),
+            sync_period: Seconds::new(60.0),
+            drift: 30e-6,
+            min_poll: Seconds::from_millis(20.0),
+            max_poll: Seconds::new(10.0),
+            max_utilization: 0.5,
+        }
+    }
+}
+
+impl Scp {
+    /// The wake-up tone length: schedule uncertainty plus one poll.
+    pub fn tone(&self) -> Seconds {
+        Seconds::new(2.0 * self.drift * self.sync_period.value()) + self.poll_listen
+    }
+
+    /// Evaluates the model with typed parameters.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for positive finite parameters under a valid
+    /// deployment; future structural checks may add
+    /// [`MacError::InvalidParameter`] cases.
+    pub fn evaluate(
+        &self,
+        params: ScpParams,
+        env: &Deployment,
+    ) -> Result<MacPerformance, MacError> {
+        let tp = params.poll_interval.value();
+        let radio = &env.radio;
+        let p = &radio.power;
+        let t = &radio.timings;
+        let t_data = radio.airtime(env.frames.data).value();
+        let t_ack = radio.airtime(env.frames.ack).value();
+        let t_sync = radio.airtime(env.frames.sync).value();
+        let t_hdr = radio.airtime(env.frames.strobe).value();
+        let tone = self.tone().value();
+        let t_up = t.startup.value();
+
+        let poll_energy = (p.startup * t.startup) + (p.listen * self.poll_listen);
+        let poll_time = t_up + self.poll_listen.value();
+
+        let depth = env.traffic.model().depth();
+        let mut rings = Vec::with_capacity(depth);
+        for d in env.traffic.model().rings() {
+            let f_out = env.traffic.f_out(d)?.value();
+            let f_in = env.traffic.f_in(d)?.value();
+            let f_bg = env.traffic.f_bg(d)?.value();
+            let overheard = (f_bg - f_in).max(0.0);
+            let catch = ((tone + t_data) / tp).min(1.0);
+
+            let mut e = EnergyBreakdown::ZERO;
+            e.carrier_sense = poll_energy * (1.0 / tp);
+            e.tx = (p.tx * Seconds::new(tone + t_data) + p.rx * Seconds::new(t_ack)) * f_out;
+            e.rx = (p.rx * Seconds::new(tone / 2.0 + t_data) + p.tx * Seconds::new(t_ack))
+                * f_in;
+            e.overhearing = (p.rx * Seconds::new(t_hdr)) * (overheard * catch);
+            e.sync_tx = (p.tx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
+            e.sync_rx = (p.rx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
+
+            let busy = poll_time / tp
+                + f_out * (tone + t_data + t_ack)
+                + f_in * (tone / 2.0 + t_data + t_ack)
+                + overheard * catch * t_hdr
+                + 2.0 * t_sync / self.sync_period.value();
+            // Packets per boundary within hearing range: the common
+            // schedule makes every boundary a contention event.
+            let utilization = (f_bg + f_out) * tp;
+
+            rings.push(RingRates {
+                energy: e,
+                busy,
+                utilization,
+            });
+        }
+
+        // Common schedule => store-and-forward: half a period at the
+        // source, a full period per relay hop, plus each hop's airtime.
+        let latency = Seconds::new(
+            tp / 2.0
+                + (depth as f64 - 1.0) * tp
+                + depth as f64 * (tone + t_data),
+        );
+        Ok(assemble(env, &rings, latency))
+    }
+}
+
+impl MacModel for Scp {
+    fn name(&self) -> &'static str {
+        "SCP-MAC"
+    }
+
+    fn parameter_names(&self) -> &'static [&'static str] {
+        &["poll_interval"]
+    }
+
+    fn bounds(&self, env: &Deployment) -> Bounds {
+        let floor = 2.0 * (env.radio.timings.startup + self.poll_listen).value();
+        Bounds::new(vec![(self.min_poll.value().max(floor), self.max_poll.value())])
+            .expect("structural bounds are validated by construction")
+    }
+
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
+        require_arity(1, x)?;
+        self.evaluate(ScpParams::new(Seconds::new(x[0]))?, env)
+    }
+
+    fn utilization_cap(&self) -> f64 {
+        self.max_utilization
+    }
+}
+
+
+/// SCP-MAC with *two* tunables: the poll period and the
+/// synchronization period — the workspace's multi-dimensional
+/// showcase.
+///
+/// The sync period is a genuine second trade-off axis: resynchronizing
+/// rarely saves sync traffic (`Estx`, `Esrx ∝ 1/T_sync`) but lets
+/// clocks drift apart, lengthening the wake-up tone every data
+/// transmission must pay (`tone = 2·ρ·T_sync + t_poll`). The optimum
+/// is interior, so (P1)/(P2)/(P4) exercise the Nelder–Mead simplex and
+/// two-dimensional grid paths of `edmac-optim` end-to-end.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_mac::{Deployment, MacModel, ScpDual};
+///
+/// let model = ScpDual::default();
+/// assert_eq!(model.dim(), 2);
+/// let env = Deployment::reference();
+/// let perf = model.performance(&[0.25, 120.0], &env).unwrap();
+/// assert!(perf.energy.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScpDual {
+    /// The underlying single-parameter model supplying all structural
+    /// constants; its `sync_period` field is overridden per evaluation.
+    pub base: Scp,
+    /// Smallest admissible sync period.
+    pub min_sync: Seconds,
+    /// Largest admissible sync period.
+    pub max_sync: Seconds,
+}
+
+impl Default for ScpDual {
+    /// The default [`Scp`] constants with `T_sync ∈ [5 s, 900 s]`.
+    fn default() -> ScpDual {
+        ScpDual {
+            base: Scp::default(),
+            min_sync: Seconds::new(5.0),
+            max_sync: Seconds::new(900.0),
+        }
+    }
+}
+
+impl MacModel for ScpDual {
+    fn name(&self) -> &'static str {
+        "SCP-MAC-2D"
+    }
+
+    fn parameter_names(&self) -> &'static [&'static str] {
+        &["poll_interval", "sync_period"]
+    }
+
+    fn bounds(&self, env: &Deployment) -> Bounds {
+        let single = self.base.bounds(env);
+        Bounds::new(vec![
+            (single.lower(0), single.upper(0)),
+            (self.min_sync.value(), self.max_sync.value()),
+        ])
+        .expect("structural bounds are validated by construction")
+    }
+
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
+        require_arity(2, x)?;
+        let sync_period = Seconds::new(x[1]);
+        require_positive("sync_period", sync_period)?;
+        let tuned = Scp {
+            sync_period,
+            ..self.base
+        };
+        tuned.evaluate(ScpParams::new(Seconds::new(x[0]))?, env)
+    }
+
+    fn utilization_cap(&self) -> f64 {
+        self.base.max_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmac::{Xmac, XmacParams};
+
+    fn eval(tp_ms: f64) -> MacPerformance {
+        Scp::default()
+            .evaluate(
+                ScpParams::new(Seconds::from_millis(tp_ms)).unwrap(),
+                &Deployment::reference(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn energy_decreases_with_poll_period() {
+        // Unlike X-MAC, transmissions do not grow with the period: the
+        // tone is fixed. Energy is (nearly) monotone decreasing.
+        assert!(eval(50.0).energy > eval(500.0).energy);
+        assert!(eval(500.0).energy > eval(5_000.0).energy);
+    }
+
+    #[test]
+    fn scp_beats_xmac_at_equal_poll_period() {
+        // The SCP-MAC claim: synchronized polling removes the Tw/2
+        // strobe train, so at the same check interval it spends less.
+        let env = Deployment::reference();
+        for ms in [100.0, 300.0, 1_000.0] {
+            let scp = eval(ms);
+            let xmac = Xmac::default()
+                .evaluate(XmacParams::new(Seconds::from_millis(ms)).unwrap(), &env)
+                .unwrap();
+            assert!(
+                scp.energy < xmac.energy,
+                "at Tp=Tw={ms} ms SCP {} should beat X-MAC {}",
+                scp.energy,
+                xmac.energy
+            );
+        }
+    }
+
+    #[test]
+    fn latency_increases_with_poll_period() {
+        assert!(eval(1_000.0).latency > eval(100.0).latency);
+    }
+
+    #[test]
+    fn sync_buckets_are_charged() {
+        let perf = eval(200.0);
+        assert!(perf.breakdown.sync_tx.value() > 0.0);
+        assert!(perf.breakdown.sync_rx.value() > 0.0);
+        assert!(perf.breakdown.is_valid());
+    }
+
+    #[test]
+    fn tone_covers_drift_window() {
+        let scp = Scp::default();
+        let expected = 2.0 * 30e-6 * 60.0 + 0.0025;
+        assert!((scp.tone().value() - expected).abs() < 1e-12);
+        // Longer sync periods need longer tones.
+        let lazy = Scp { sync_period: Seconds::new(600.0), ..scp };
+        assert!(lazy.tone() > scp.tone());
+    }
+
+    #[test]
+    fn utilization_grows_with_the_period() {
+        // The synchronized schedule concentrates traffic at boundaries:
+        // packets per boundary scale with the period.
+        assert!(eval(2_000.0).utilization > eval(100.0).utilization * 10.0);
+    }
+
+    #[test]
+    fn trait_and_typed_paths_agree() {
+        let model = Scp::default();
+        let env = Deployment::reference();
+        assert_eq!(
+            model.performance(&[0.5], &env).unwrap(),
+            model
+                .evaluate(ScpParams::new(Seconds::new(0.5)).unwrap(), &env)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn dual_model_matches_single_at_the_default_sync_period() {
+        let env = Deployment::reference();
+        let single = Scp::default();
+        let dual = ScpDual::default();
+        let a = single.performance(&[0.3], &env).unwrap();
+        let b = dual
+            .performance(&[0.3, single.sync_period.value()], &env)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sync_period_has_an_interior_energy_optimum() {
+        // Short periods pay sync frames, long ones pay drift tones:
+        // somewhere in between beats both edges.
+        let env = Deployment::reference();
+        let dual = ScpDual::default();
+        let e_at = |tsync: f64| {
+            dual.performance(&[0.3, tsync], &env).unwrap().energy.value()
+        };
+        // Balance point ~ sqrt(sync-frame cost / drift-tone cost) ≈ 23 s
+        // at the reference traffic.
+        let (lo, mid, hi) = (e_at(5.0), e_at(25.0), e_at(900.0));
+        assert!(mid < lo, "mid {mid} should beat frequent sync {lo}");
+        assert!(mid < hi, "mid {mid} should beat rare sync {hi}");
+    }
+
+    #[test]
+    fn dual_model_validates_both_parameters() {
+        let env = Deployment::reference();
+        let dual = ScpDual::default();
+        assert!(dual.performance(&[0.3], &env).is_err(), "arity");
+        assert!(dual.performance(&[0.3, -1.0], &env).is_err(), "negative sync");
+        assert!(dual.performance(&[-0.3, 60.0], &env).is_err(), "negative poll");
+        assert_eq!(dual.bounds(&env).len(), 2);
+    }
+}

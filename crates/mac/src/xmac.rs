@@ -1,0 +1,314 @@
+//! X-MAC: asynchronous preamble sampling (LPL) with strobed preambles.
+//!
+//! The representative of the *preamble sampling* family in the paper.
+//! Receivers sleep and poll the channel every `Tw` (the tunable wake-up
+//! interval); a sender transmits a train of short, addressed preamble
+//! strobes — pausing after each for an early acknowledgement — until the
+//! receiver's poll catches one, then ships the data frame.
+//!
+//! # Model
+//!
+//! With flows `F_out/F_I/F_B` from the ring model and CC2420-class
+//! timings (`t_*` airtimes, `t_up` startup, strobe cycle
+//! `t_cyc = t_strobe + t_ack + 2·t_turn`):
+//!
+//! * **Carrier sensing** — one poll per `Tw`:
+//!   `Ecs = (t_up·P_startup + t_poll·P_listen) / Tw`.
+//! * **Transmission** — the strobe train lasts `Tw/2` on average
+//!   (uniform receiver phase), alternating strobe-tx and ack-listen:
+//!   `Etx = F_out · [ (Tw/2)·(ρ·P_tx + (1−ρ)·P_listen) + t_data·P_tx +
+//!   t_ack·P_rx ]` with `ρ = t_strobe/t_cyc`.
+//! * **Reception** — a poll that catches a strobe waits out the
+//!   remaining half strobe-cycle, hears one full strobe, answers the
+//!   early-ack and receives the data:
+//!   `Erx = F_I · [ (t_cyc/2 + t_strobe)·P_rx + t_ack·P_tx + t_data·P_rx ]`.
+//! * **Overhearing** — a third-party strobe train (mean length `Tw/2`)
+//!   is caught by this node's poll with probability `≈ 1/2`; X-MAC's
+//!   addressed strobes let it sleep after one strobe:
+//!   `Eovr = (F_B − F_I)⁺ · ½ · (t_cyc/2 + t_strobe)·P_rx`.
+//! * **Sync** — none (asynchronous): `Estx = Esrx = 0`.
+//! * **Latency** — per hop `Tw/2 + t_cyc + t_data`; end-to-end from
+//!   ring `d` is `d` hops of it (senders start strobing immediately —
+//!   no schedule alignment).
+//! * **Bottleneck utilization** — each packet near the bottleneck holds
+//!   the channel for its strobe train plus data:
+//!   `u = (F_B + F_out)·(Tw/2 + t_data + t_ack)`.
+//!
+//! The energy conflict: polls cost `∝ 1/Tw`, strobe trains and per-hop
+//! waits cost `∝ Tw` — so `E(Tw)` is U-shaped while `L(Tw)` increases,
+//! and the Pareto frontier is exactly `Tw ∈ [Tw_min, argmin E]`.
+
+use crate::env::Deployment;
+use crate::error::MacError;
+use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use edmac_optim::Bounds;
+use edmac_radio::EnergyBreakdown;
+use edmac_units::{Seconds, Watts};
+
+/// Validated X-MAC parameters: the wake-up (channel check) interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XmacParams {
+    wakeup_interval: Seconds,
+}
+
+impl XmacParams {
+    /// Creates parameters with the given wake-up interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::InvalidParameter`] unless the interval is a
+    /// positive, finite duration.
+    pub fn new(wakeup_interval: Seconds) -> Result<XmacParams, MacError> {
+        require_positive("wakeup_interval", wakeup_interval)?;
+        Ok(XmacParams { wakeup_interval })
+    }
+
+    /// The wake-up interval `Tw`.
+    pub fn wakeup_interval(&self) -> Seconds {
+        self.wakeup_interval
+    }
+}
+
+/// The X-MAC analytical model with its structural constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Xmac {
+    /// Listen duration of one channel poll once the radio is up
+    /// (BoX-MAC-class double-CCA check).
+    pub poll_listen: Seconds,
+    /// Smallest admissible wake-up interval.
+    pub min_wakeup: Seconds,
+    /// Largest admissible wake-up interval.
+    pub max_wakeup: Seconds,
+    /// Capacity cap on bottleneck utilization (the network is assumed
+    /// unsaturated; see the paper's network model).
+    pub max_utilization: f64,
+}
+
+impl Default for Xmac {
+    /// 2.5 ms polls, `Tw ∈ [45 ms, 5 s]`, utilization cap 0.5.
+    ///
+    /// The 45 ms floor keeps the poll duty below ~7.5% (practical LPL
+    /// implementations refuse faster checking); it also pins the
+    /// protocol's worst-case energy just under 0.04 J per epoch — the
+    /// paper's Fig. 1a/2a axis maximum.
+    fn default() -> Xmac {
+        Xmac {
+            poll_listen: Seconds::from_millis(2.5),
+            min_wakeup: Seconds::from_millis(45.0),
+            max_wakeup: Seconds::new(5.0),
+            max_utilization: 0.5,
+        }
+    }
+}
+
+impl Xmac {
+    /// Evaluates the model with typed parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacError::Net`] only if the deployment's ring model is
+    /// internally inconsistent (not constructible through public APIs).
+    pub fn evaluate(
+        &self,
+        params: XmacParams,
+        env: &Deployment,
+    ) -> Result<MacPerformance, MacError> {
+        let tw = params.wakeup_interval.value();
+        let radio = &env.radio;
+        let p = &radio.power;
+        let t = &radio.timings;
+
+        let t_data = radio.airtime(env.frames.data).value();
+        let t_ack = radio.airtime(env.frames.ack).value();
+        let t_strobe = radio.airtime(env.frames.strobe).value();
+        let t_cyc = t_strobe + t_ack + 2.0 * t.turnaround.value();
+        let rho = t_strobe / t_cyc;
+        let preamble_power =
+            Watts::new(rho * p.tx.value() + (1.0 - rho) * p.listen.value());
+
+        let poll_energy = (p.startup * t.startup) + (p.listen * self.poll_listen);
+        let poll_time = t.startup.value() + self.poll_listen.value();
+
+        let depth = env.traffic.model().depth();
+        let mut rings = Vec::with_capacity(depth);
+        for d in env.traffic.model().rings() {
+            let f_out = env.traffic.f_out(d)?.value();
+            let f_in = env.traffic.f_in(d)?.value();
+            let f_bg = env.traffic.f_bg(d)?.value();
+            let overheard = (f_bg - f_in).max(0.0);
+
+            let mut e = EnergyBreakdown::ZERO;
+            // Polling.
+            e.carrier_sense = poll_energy * (1.0 / tw);
+            // Transmit: mean half-interval strobe train, then data+ack.
+            let preamble_energy = preamble_power * Seconds::new(tw / 2.0);
+            e.tx = (preamble_energy
+                + p.tx * Seconds::new(t_data)
+                + p.rx * Seconds::new(t_ack))
+                * f_out;
+            // Receive: residual strobe wait, early-ack, data.
+            e.rx = (p.rx * Seconds::new(t_cyc / 2.0 + t_strobe)
+                + p.tx * Seconds::new(t_ack)
+                + p.rx * Seconds::new(t_data))
+                * f_in;
+            // Overhearing: half the nearby trains hit a poll; one strobe
+            // then early sleep.
+            e.overhearing =
+                (p.rx * Seconds::new(t_cyc / 2.0 + t_strobe)) * (0.5 * overheard);
+
+            let busy = poll_time / tw
+                + f_out * (tw / 2.0 + t_data + t_ack)
+                + f_in * (t_cyc / 2.0 + t_strobe + t_ack + t_data)
+                + 0.5 * overheard * (t_cyc / 2.0 + t_strobe);
+            let utilization = (f_bg + f_out) * (tw / 2.0 + t_data + t_ack);
+
+            rings.push(RingRates {
+                energy: e,
+                busy,
+                utilization,
+            });
+        }
+
+        let per_hop = tw / 2.0 + t_cyc + t_data;
+        let latency = Seconds::new(depth as f64 * per_hop);
+        Ok(assemble(env, &rings, latency))
+    }
+}
+
+impl MacModel for Xmac {
+    fn name(&self) -> &'static str {
+        "X-MAC"
+    }
+
+    fn parameter_names(&self) -> &'static [&'static str] {
+        &["wakeup_interval"]
+    }
+
+    fn bounds(&self, env: &Deployment) -> Bounds {
+        // The interval cannot be shorter than two poll durations (the
+        // radio must be able to sleep between checks).
+        let floor = 2.0 * (env.radio.timings.startup + self.poll_listen).value();
+        let lo = self.min_wakeup.value().max(floor);
+        Bounds::new(vec![(lo, self.max_wakeup.value())])
+            .expect("structural bounds are validated by construction")
+    }
+
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
+        require_arity(1, x)?;
+        self.evaluate(XmacParams::new(Seconds::new(x[0]))?, env)
+    }
+
+    fn utilization_cap(&self) -> f64 {
+        self.max_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(tw_ms: f64) -> MacPerformance {
+        Xmac::default()
+            .evaluate(
+                XmacParams::new(Seconds::from_millis(tw_ms)).unwrap(),
+                &Deployment::reference(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn params_validate() {
+        assert!(XmacParams::new(Seconds::from_millis(100.0)).is_ok());
+        assert!(XmacParams::new(Seconds::ZERO).is_err());
+        assert!(XmacParams::new(Seconds::new(-0.1)).is_err());
+        assert!(XmacParams::new(Seconds::new(f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn latency_increases_with_wakeup_interval() {
+        assert!(eval(400.0).latency > eval(100.0).latency);
+        assert!(eval(100.0).latency > eval(25.0).latency);
+    }
+
+    #[test]
+    fn energy_is_u_shaped_in_wakeup_interval() {
+        // Polls dominate at tiny Tw, preambles at huge Tw; the optimum
+        // sits between (~0.47 s at the reference deployment).
+        let tiny = eval(20.0).energy;
+        let mid = eval(450.0).energy;
+        let huge = eval(4_000.0).energy;
+        assert!(tiny > mid, "poll-dominated regime: {tiny} <= {mid}");
+        assert!(huge > mid, "preamble-dominated regime: {huge} <= {mid}");
+    }
+
+    #[test]
+    fn bottleneck_is_ring_one() {
+        let perf = eval(100.0);
+        assert_eq!(perf.bottleneck_ring, 1);
+    }
+
+    #[test]
+    fn breakdown_is_valid_and_async() {
+        let perf = eval(150.0);
+        assert!(perf.breakdown.is_valid());
+        assert_eq!(perf.breakdown.sync_tx.value(), 0.0, "X-MAC has no sync traffic");
+        assert_eq!(perf.breakdown.sync_rx.value(), 0.0);
+        assert!(perf.breakdown.carrier_sense.value() > 0.0);
+        assert!(perf.breakdown.tx.value() > 0.0);
+        assert_eq!(perf.energy, perf.breakdown.total());
+    }
+
+    #[test]
+    fn utilization_grows_with_interval_and_traffic() {
+        assert!(eval(500.0).utilization > eval(50.0).utilization);
+        let env = Deployment::reference().with_sampling(edmac_units::Hertz::new(0.05));
+        let busy = Xmac::default()
+            .evaluate(XmacParams::new(Seconds::from_millis(500.0)).unwrap(), &env)
+            .unwrap();
+        assert!(busy.utilization > eval(500.0).utilization);
+    }
+
+    #[test]
+    fn reference_magnitudes_are_sane() {
+        // At Tw = 100 ms the bottleneck node should burn low milliwatts:
+        // between 0.5 and 50 mJ over the 10 s epoch.
+        let perf = eval(100.0);
+        assert!(
+            perf.energy.value() > 5e-4 && perf.energy.value() < 5e-2,
+            "energy {} J out of plausible range",
+            perf.energy.value()
+        );
+        // Ten hops at ~54 ms per hop.
+        assert!((perf.latency.value() - 0.57).abs() < 0.1, "latency {}", perf.latency);
+    }
+
+    #[test]
+    fn trait_and_typed_paths_agree() {
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        let via_trait = model.performance(&[0.2], &env).unwrap();
+        let via_typed = model
+            .evaluate(XmacParams::new(Seconds::new(0.2)).unwrap(), &env)
+            .unwrap();
+        assert_eq!(via_trait, via_typed);
+    }
+
+    #[test]
+    fn trait_rejects_wrong_arity() {
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        assert!(matches!(
+            model.performance(&[0.1, 0.2], &env),
+            Err(MacError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_leave_room_to_sleep() {
+        let model = Xmac::default();
+        let env = Deployment::reference();
+        let b = model.bounds(&env);
+        assert!(b.lower(0) >= 2.0 * (env.radio.timings.startup + model.poll_listen).value());
+        assert!(b.upper(0) > b.lower(0));
+    }
+}

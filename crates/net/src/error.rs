@@ -1,0 +1,73 @@
+//! Error type for topology construction and queries.
+
+use crate::graph::NodeId;
+
+/// Errors produced while building or querying network models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A model parameter was outside its meaningful domain.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The generated topology is not connected, so no spanning tree to
+    /// the sink exists.
+    Disconnected {
+        /// A node with no path to the sink.
+        unreachable: NodeId,
+    },
+    /// A ring index outside `1..=D` was requested.
+    RingOutOfRange {
+        /// The offending ring index.
+        ring: usize,
+        /// The model depth `D`.
+        depth: usize,
+    },
+    /// A node index outside the topology was requested.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NetError::Disconnected { unreachable } => {
+                write!(f, "topology is disconnected: node {unreachable} cannot reach the sink")
+            }
+            NetError::RingOutOfRange { ring, depth } => {
+                write!(f, "ring {ring} outside valid range 1..={depth}")
+            }
+            NetError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} outside topology of {len} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::RingOutOfRange { ring: 9, depth: 4 };
+        assert_eq!(e.to_string(), "ring 9 outside valid range 1..=4");
+        let e = NetError::InvalidParameter {
+            name: "density",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("density"));
+    }
+}

@@ -1,0 +1,189 @@
+//! The analytic ring ("concentric circles") model of the paper.
+
+use crate::error::NetError;
+
+/// The ring abstraction of Langendoen & Meier adopted by the paper:
+/// nodes at minimal hop count `d ∈ 1..=D` from the sink form ring `d`,
+/// the field has uniform density such that a unit (radio) disk contains
+/// `C + 1` nodes.
+///
+/// With unit radio range, ring `d` occupies the annulus between radii
+/// `d−1` and `d`, whose area is `π(2d−1)`; at `C+1` nodes per unit disk
+/// (area `π`) that is `C·(2d−1)` nodes per ring and `C·D²` nodes overall
+/// (plus the sink).
+///
+/// # Examples
+///
+/// ```
+/// use edmac_net::RingModel;
+///
+/// let net = RingModel::new(8, 4).unwrap();
+/// assert_eq!(net.nodes_in_ring(1).unwrap(), 4);
+/// assert_eq!(net.nodes_in_ring(8).unwrap(), 60);
+/// assert_eq!(net.total_nodes(), 4 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RingModel {
+    depth: usize,
+    density: usize,
+}
+
+impl RingModel {
+    /// Creates a ring model of `depth` rings (`D`) and unit-disk density
+    /// `density` (`C`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] if either parameter is
+    /// zero: a network with no rings or no neighbors has no forwarding
+    /// problem to optimize.
+    pub fn new(depth: usize, density: usize) -> Result<RingModel, NetError> {
+        if depth == 0 {
+            return Err(NetError::InvalidParameter {
+                name: "depth",
+                reason: "the network needs at least one ring".into(),
+            });
+        }
+        if density == 0 {
+            return Err(NetError::InvalidParameter {
+                name: "density",
+                reason: "a unit disk must contain at least one neighbor".into(),
+            });
+        }
+        Ok(RingModel { depth, density })
+    }
+
+    /// The number of rings `D` (also the maximum hop count).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The unit-disk density `C`.
+    pub fn density(&self) -> usize {
+        self.density
+    }
+
+    /// Number of nodes in ring `d`: `C·(2d−1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] unless `1 <= d <= D`.
+    pub fn nodes_in_ring(&self, d: usize) -> Result<usize, NetError> {
+        self.check_ring(d)?;
+        Ok(self.density * (2 * d - 1))
+    }
+
+    /// Number of nodes in rings `d..=D` — everything whose traffic
+    /// crosses ring `d`: `C·(D² − (d−1)²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] unless `1 <= d <= D`.
+    pub fn nodes_at_or_beyond(&self, d: usize) -> Result<usize, NetError> {
+        self.check_ring(d)?;
+        Ok(self.density * (self.depth * self.depth - (d - 1) * (d - 1)))
+    }
+
+    /// Total node count excluding the sink: `C·D²`.
+    pub fn total_nodes(&self) -> usize {
+        self.density * self.depth * self.depth
+    }
+
+    /// Average number of tree children ("input links" `I^d`) of a
+    /// ring-`d` node: ring `d+1` has `(2d+1)/(2d−1)` times as many nodes,
+    /// all of which pick a parent in ring `d`. Outermost-ring nodes have
+    /// none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] unless `1 <= d <= D`.
+    pub fn input_links(&self, d: usize) -> Result<f64, NetError> {
+        self.check_ring(d)?;
+        if d == self.depth {
+            Ok(0.0)
+        } else {
+            Ok((2.0 * d as f64 + 1.0) / (2.0 * d as f64 - 1.0))
+        }
+    }
+
+    /// Validates a ring index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] unless `1 <= d <= D`.
+    pub fn check_ring(&self, d: usize) -> Result<(), NetError> {
+        if d == 0 || d > self.depth {
+            Err(NetError::RingOutOfRange {
+                ring: d,
+                depth: self.depth,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Iterates over all ring indices `1..=D`.
+    pub fn rings(&self) -> impl Iterator<Item = usize> {
+        1..=self.depth
+    }
+}
+
+impl std::fmt::Display for RingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ring model D={} C={} ({} nodes)", self.depth, self.density, self.total_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(RingModel::new(0, 4).is_err());
+        assert!(RingModel::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn ring_sizes_sum_to_total() {
+        let net = RingModel::new(7, 3).unwrap();
+        let sum: usize = net.rings().map(|d| net.nodes_in_ring(d).unwrap()).sum();
+        assert_eq!(sum, net.total_nodes());
+    }
+
+    #[test]
+    fn at_or_beyond_matches_suffix_sum() {
+        let net = RingModel::new(6, 5).unwrap();
+        for d in net.rings() {
+            let suffix: usize = (d..=6).map(|k| net.nodes_in_ring(k).unwrap()).sum();
+            assert_eq!(net.nodes_at_or_beyond(d).unwrap(), suffix, "ring {d}");
+        }
+    }
+
+    #[test]
+    fn input_links_conserve_children() {
+        // N_{d+1} = I^d * N_d for every interior ring.
+        let net = RingModel::new(9, 2).unwrap();
+        for d in 1..9 {
+            let nd = net.nodes_in_ring(d).unwrap() as f64;
+            let nd1 = net.nodes_in_ring(d + 1).unwrap() as f64;
+            let links = net.input_links(d).unwrap();
+            assert!((links * nd - nd1).abs() < 1e-9, "ring {d}");
+        }
+        assert_eq!(net.input_links(9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ring_bounds_are_enforced() {
+        let net = RingModel::new(3, 1).unwrap();
+        assert!(net.nodes_in_ring(0).is_err());
+        assert!(net.nodes_in_ring(4).is_err());
+        assert!(net.nodes_in_ring(3).is_ok());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let net = RingModel::new(8, 4).unwrap();
+        assert_eq!(net.to_string(), "ring model D=8 C=4 (256 nodes)");
+    }
+}

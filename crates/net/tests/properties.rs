@@ -1,0 +1,127 @@
+//! Property-based tests tying the analytic ring model to its geometric
+//! realizations.
+
+use edmac_net::{
+    distance_two_coloring, NodeId, RingModel, RingTraffic, RoutingTree, Topology, TreeTraffic,
+};
+use edmac_units::Hertz;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_flows_are_nonnegative_and_monotone(
+        depth in 1usize..12,
+        density in 1usize..10,
+        fs in 1e-4..1.0f64,
+    ) {
+        let t = RingTraffic::new(RingModel::new(depth, density).unwrap(), Hertz::new(fs));
+        let mut prev = f64::INFINITY;
+        for d in 1..=depth {
+            let out = t.f_out(d).unwrap().value();
+            let fin = t.f_in(d).unwrap().value();
+            prop_assert!(out >= 0.0 && fin >= 0.0);
+            prop_assert!(out <= prev + 1e-12, "F_out must not grow outward");
+            prop_assert!((out - fin - fs).abs() < 1e-9, "own traffic is exactly Fs");
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn ring_totals_conserve_generation(
+        depth in 1usize..10,
+        density in 1usize..8,
+        fs in 1e-3..1.0f64,
+    ) {
+        // Everything generated in the network crosses ring 1.
+        let net = RingModel::new(depth, density).unwrap();
+        let t = RingTraffic::new(net, Hertz::new(fs));
+        let through_ring1 =
+            t.f_out(1).unwrap().value() * net.nodes_in_ring(1).unwrap() as f64;
+        let generated = fs * net.total_nodes() as f64;
+        prop_assert!((through_ring1 - generated).abs() < 1e-9 * generated.max(1.0));
+    }
+
+    #[test]
+    fn generated_ring_topologies_connect_and_layer(seed in any::<u64>(), depth in 1usize..5, density in 3usize..7) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = Topology::ring_model(depth, density, &mut rng).unwrap();
+        let g = topo.graph();
+        let tree = RoutingTree::shortest_path(&g, topo.sink()).unwrap();
+        prop_assert_eq!(tree.max_depth(), depth);
+        // Parent depth decreases strictly along every path.
+        for node in g.nodes() {
+            if let Some(p) = tree.parent(node) {
+                prop_assert_eq!(tree.depth(p) + 1, tree.depth(node));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_traffic_conserves_at_sink(seed in any::<u64>(), n in 20usize..80) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Dense enough that a random draw is almost surely connected;
+        // skip the rare partitioned draws rather than fail.
+        let Ok(topo) = Topology::uniform_disk(n, 2.0, &mut rng) else {
+            return Ok(());
+        };
+        let g = topo.graph();
+        let tree = RoutingTree::shortest_path(&g, topo.sink()).unwrap();
+        let fs = 0.25;
+        let t = TreeTraffic::from_tree(&g, &tree, Hertz::new(fs));
+        // Traffic entering the sink equals total generation.
+        let into_sink: f64 = tree
+            .children(topo.sink())
+            .iter()
+            .map(|&c| t.f_out(c).value())
+            .sum();
+        let generated = fs * (n as f64 - 1.0);
+        prop_assert!((into_sink - generated).abs() < 1e-9 * generated.max(1.0));
+    }
+
+    #[test]
+    fn subtree_sizes_partition_nodes(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = Topology::ring_model(3, 4, &mut rng).unwrap();
+        let g = topo.graph();
+        let tree = RoutingTree::shortest_path(&g, topo.sink()).unwrap();
+        let from_children: usize = tree
+            .children(topo.sink())
+            .iter()
+            .map(|&c| tree.subtree_size(c))
+            .sum();
+        prop_assert_eq!(from_children + 1, g.len());
+    }
+
+    #[test]
+    fn coloring_is_distance_two_valid(seed in any::<u64>(), depth in 1usize..4, density in 3usize..6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = Topology::ring_model(depth, density, &mut rng).unwrap();
+        let g = topo.graph();
+        let c = distance_two_coloring(&g);
+        prop_assert!(c.is_valid_for(&g));
+        prop_assert!(c.count() <= g.len());
+        // Every color index below count is actually used.
+        for color in 0..c.count() {
+            prop_assert!(c.colors().contains(&color), "gap at color {color}");
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(seed in any::<u64>()) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let Ok(topo) = Topology::uniform_disk(50, 2.0, &mut rng) else {
+            return Ok(());
+        };
+        let g = topo.graph();
+        let dist = g.bfs_distances(NodeId::new(0));
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let (du, dv) = (dist[u.index()].unwrap(), dist[v.index()].unwrap());
+                prop_assert!(du.abs_diff(dv) <= 1, "adjacent nodes differ by at most one hop");
+            }
+        }
+    }
+}

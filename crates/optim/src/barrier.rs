@@ -1,0 +1,159 @@
+//! Interior-point (log-barrier) maximization for the concave Nash
+//! bargaining program.
+
+use crate::error::OptimError;
+use crate::grid::Bounds;
+use crate::nelder_mead::{NelderMead, SimplexMinimum};
+use crate::penalty::Constraint;
+
+/// Log-barrier maximizer for `max f(x)` s.t. `g_i(x) < 0`, `x` in a box.
+///
+/// This mirrors how the paper solves (P4): the transformed Nash
+/// objective `log(Eworst − E(X)) + log(Lworst − L(X))` is concave, and
+/// the requirement constraints `E ≤ Ebudget`, `L ≤ Lmax` are folded in
+/// through a barrier `−(1/t)·Σ log(−g_i)`, with `t` increased
+/// geometrically while re-solving from the previous center.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_optim::{Bounds, LogBarrier};
+///
+/// // max log(x) + log(2 - x) s.t. x <= 1.5: unconstrained optimum at 1,
+/// // already feasible, so the barrier must not move it.
+/// let bounds = Bounds::new(vec![(1e-6, 2.0 - 1e-6)]).unwrap();
+/// let g = |x: &[f64]| x[0] - 1.5;
+/// let m = LogBarrier::default()
+///     .maximize(|x| x[0].ln() + (2.0 - x[0]).ln(), &[&g], &[0.5], &bounds)
+///     .unwrap();
+/// assert!((m.x[0] - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogBarrier {
+    /// Initial barrier weight `t`.
+    pub t0: f64,
+    /// Multiplicative growth of `t` per round.
+    pub growth: f64,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Inner unconstrained solver.
+    pub local: NelderMead,
+}
+
+impl Default for LogBarrier {
+    fn default() -> LogBarrier {
+        LogBarrier {
+            t0: 1.0,
+            growth: 8.0,
+            rounds: 10,
+            local: NelderMead::default(),
+        }
+    }
+}
+
+impl LogBarrier {
+    /// Maximizes `f` subject to `constraints[i](x) < 0` within `bounds`,
+    /// starting from the strictly feasible `x0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::Infeasible`] if `x0` violates a constraint (the
+    ///   barrier needs a strictly feasible start; use a grid scan to
+    ///   find one).
+    /// * Propagates inner-solver errors.
+    pub fn maximize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut f: F,
+        constraints: &[Constraint<'_>],
+        x0: &[f64],
+        bounds: &Bounds,
+    ) -> Result<SimplexMinimum, OptimError> {
+        if constraints.iter().any(|g| g(x0) >= 0.0) {
+            return Err(OptimError::Infeasible);
+        }
+        let mut t = self.t0;
+        let mut x = x0.to_vec();
+        let mut best: Option<SimplexMinimum> = None;
+        for _ in 0..self.rounds {
+            let objective = |p: &[f64]| {
+                // Infeasible points get +inf so the simplex retreats.
+                let mut barrier = 0.0;
+                for g in constraints {
+                    let gv = g(p);
+                    if gv >= 0.0 {
+                        return f64::INFINITY;
+                    }
+                    barrier += (-gv).ln();
+                }
+                let fv = f(p);
+                if fv == f64::NEG_INFINITY {
+                    return f64::INFINITY;
+                }
+                -fv - barrier / t
+            };
+            let m = self.local.minimize(objective, &x, bounds)?;
+            if m.value.is_finite() {
+                x = m.x.clone();
+                let true_value = f(&x);
+                let candidate = SimplexMinimum {
+                    x: m.x,
+                    value: true_value,
+                    iterations: m.iterations,
+                };
+                if best.as_ref().is_none_or(|b| candidate.value > b.value) {
+                    best = Some(candidate);
+                }
+            }
+            t *= self.growth;
+        }
+        best.ok_or(OptimError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_analytic_product_maximum() {
+        // The canonical symmetric Nash product: max log(x) + log(y)
+        // s.t. x + y <= 1 has its unique optimum at (0.5, 0.5).
+        let bounds = Bounds::new(vec![(1e-9, 1.0), (1e-9, 1.0)]).unwrap();
+        let g = |p: &[f64]| p[0] + p[1] - 1.0;
+        let m = LogBarrier::default()
+            .maximize(|p| p[0].ln() + p[1].ln(), &[&g], &[0.2, 0.2], &bounds)
+            .unwrap();
+        assert!((m.x[0] - 0.5).abs() < 1e-2, "got {:?}", m.x);
+        assert!((m.x[1] - 0.5).abs() < 1e-2, "got {:?}", m.x);
+    }
+
+    #[test]
+    fn interior_optimum_is_untouched_by_barrier() {
+        let bounds = Bounds::new(vec![(0.0, 10.0)]).unwrap();
+        let g = |p: &[f64]| p[0] - 9.0;
+        let m = LogBarrier::default()
+            .maximize(|p| -(p[0] - 4.0) * (p[0] - 4.0), &[&g], &[1.0], &bounds)
+            .unwrap();
+        assert!((m.x[0] - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn infeasible_start_is_rejected() {
+        let bounds = Bounds::new(vec![(0.0, 10.0)]).unwrap();
+        let g = |p: &[f64]| p[0] - 1.0;
+        let r = LogBarrier::default().maximize(|p| p[0], &[&g], &[5.0], &bounds);
+        assert!(matches!(r, Err(OptimError::Infeasible)));
+    }
+
+    #[test]
+    fn constrained_optimum_approaches_boundary() {
+        // max x s.t. x <= 2 -> x* -> 2 as t grows.
+        let bounds = Bounds::new(vec![(0.0, 10.0)]).unwrap();
+        let g = |p: &[f64]| p[0] - 2.0;
+        let m = LogBarrier::default()
+            .maximize(|p| p[0], &[&g], &[0.5], &bounds)
+            .unwrap();
+        assert!(m.x[0] <= 2.0 + 1e-9);
+        assert!(m.x[0] > 1.99, "should press against the constraint, got {}", m.x[0]);
+    }
+}

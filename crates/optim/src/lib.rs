@@ -1,0 +1,54 @@
+//! Numerical optimization substrate for the energy–delay game.
+//!
+//! The paper's framework solves three nonlinear programs per protocol —
+//! energy minimization under a delay bound **(P1)**, delay minimization
+//! under an energy budget **(P2)**, and the concave Nash-bargaining
+//! program **(P4)** — over one- or two-dimensional MAC parameter vectors.
+//! None of the permitted dependencies provide a solver, so this crate
+//! implements the required numerics from scratch:
+//!
+//! * [`golden_section_min`] / [`brent_min`] — derivative-free scalar
+//!   minimization over an interval;
+//! * [`bisect_root`] / [`find_sign_change`] — root finding for
+//!   constraint-boundary inversion ("largest wake-up interval with
+//!   `L(X) ≤ Lmax`");
+//! * [`NelderMead`] — simplex minimization with box bounds for
+//!   multi-parameter protocols;
+//! * [`Penalty`] — exterior penalty wrapper turning constrained problems
+//!   into a sequence of unconstrained ones;
+//! * [`LogBarrier`] — interior-point maximizer for the concave (P4)
+//!   objective `log(Eworst − E) + log(Lworst − L)`;
+//! * [`grid_minimize`] / [`multistart`] — coarse global sweeps that seed
+//!   the local methods, guarding against the non-convexity the paper
+//!   notes in (P3) before its transform.
+//!
+//! Every solver is deterministic, allocation-light and returns a typed
+//! [`OptimError`] instead of silently returning garbage on bad input.
+//!
+//! # Examples
+//!
+//! ```
+//! use edmac_optim::{golden_section_min, Tolerance};
+//!
+//! let m = golden_section_min(|x| (x - 2.0).powi(2), 0.0, 5.0, Tolerance::default()).unwrap();
+//! assert!((m.x - 2.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod barrier;
+mod error;
+mod grid;
+mod nelder_mead;
+mod penalty;
+mod scalar;
+
+pub use barrier::LogBarrier;
+pub use error::OptimError;
+pub use grid::{grid_minimize, multistart, Bounds};
+pub use nelder_mead::{NelderMead, SimplexMinimum};
+pub use penalty::Penalty;
+pub use scalar::{
+    bisect_root, brent_min, find_sign_change, golden_section_min, ScalarMinimum, Tolerance,
+};

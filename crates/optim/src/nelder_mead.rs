@@ -1,0 +1,300 @@
+//! Nelder–Mead simplex minimization with box bounds.
+
+use crate::error::OptimError;
+use crate::grid::Bounds;
+
+/// Result of a simplex minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexMinimum {
+    /// Argument of the minimum.
+    pub x: Vec<f64>,
+    /// Objective value at [`SimplexMinimum::x`].
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Derivative-free simplex minimizer (Nelder–Mead) with box bounds,
+/// used for protocols with more than one tunable MAC parameter.
+///
+/// Iterates reflection / expansion / contraction / shrink with the
+/// standard coefficients; every candidate is clamped into the bounds, so
+/// the simplex can crawl along an active box constraint.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_optim::{Bounds, NelderMead};
+///
+/// let bounds = Bounds::new(vec![(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+/// let rosenbrock = |x: &[f64]| {
+///     (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+/// };
+/// let m = NelderMead::default().minimize(rosenbrock, &[-1.0, 2.0], &bounds).unwrap();
+/// assert!((m.x[0] - 1.0).abs() < 1e-4 && (m.x[1] - 1.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMead {
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Convergence threshold on the simplex diameter. Both thresholds
+    /// must hold to terminate: an objective tie across a wide simplex
+    /// (e.g. symmetric straddling of a 1-D optimum) triggers a shrink
+    /// instead of a premature exit.
+    pub x_tol: f64,
+    /// Initial simplex edge, as a fraction of each bound's width.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> NelderMead {
+        NelderMead {
+            max_iter: 2_000,
+            f_tol: 1e-12,
+            x_tol: 1e-9,
+            initial_step: 0.05,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Minimizes `f` starting from `x0`, keeping all iterates inside
+    /// `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::Dimension`] if `x0` and `bounds` disagree.
+    /// * [`OptimError::ObjectiveNaN`] if `f` produces NaN.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut f: F,
+        x0: &[f64],
+        bounds: &Bounds,
+    ) -> Result<SimplexMinimum, OptimError> {
+        let n = bounds.len();
+        if x0.len() != n {
+            return Err(OptimError::Dimension {
+                expected: n,
+                got: x0.len(),
+            });
+        }
+        let clamp = |x: &mut Vec<f64>| bounds.clamp(x);
+
+        // Initial simplex: x0 plus one step along each axis.
+        let mut start = x0.to_vec();
+        clamp(&mut start);
+        let mut simplex: Vec<Vec<f64>> = vec![start.clone()];
+        for i in 0..n {
+            let mut v = start.clone();
+            let width = bounds.width(i);
+            let step = (self.initial_step * width).max(1e-12);
+            // Step inward if the start sits on the upper edge.
+            v[i] = if v[i] + step <= bounds.upper(i) {
+                v[i] + step
+            } else {
+                v[i] - step
+            };
+            clamp(&mut v);
+            simplex.push(v);
+        }
+        let mut values = Vec::with_capacity(n + 1);
+        for v in &simplex {
+            let fv = f(v);
+            if fv.is_nan() {
+                return Err(OptimError::ObjectiveNaN { at: v.clone() });
+            }
+            values.push(fv);
+        }
+
+        let mut iterations = 0;
+        while iterations < self.max_iter {
+            // Order the simplex by objective value.
+            let mut idx: Vec<usize> = (0..=n).collect();
+            idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN by invariant"));
+            let best = idx[0];
+            let worst = idx[n];
+            let second_worst = idx[n.saturating_sub(1)];
+
+            let diameter = simplex
+                .iter()
+                .map(|v| {
+                    v.iter()
+                        .zip(&simplex[best])
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max)
+                })
+                .fold(0.0f64, f64::max);
+            if (values[worst] - values[best]).abs() <= self.f_tol {
+                if diameter <= self.x_tol {
+                    break;
+                }
+                // Objective tie across a wide simplex: shrink toward the
+                // best vertex rather than terminating early.
+                let anchor = simplex[best].clone();
+                for (k, v) in simplex.iter_mut().enumerate() {
+                    if k == best {
+                        continue;
+                    }
+                    for (xi, &ai) in v.iter_mut().zip(&anchor) {
+                        *xi = ai + 0.5 * (*xi - ai);
+                    }
+                    bounds.clamp(v);
+                    values[k] = f(v);
+                    if values[k].is_nan() {
+                        return Err(OptimError::ObjectiveNaN { at: v.clone() });
+                    }
+                }
+                iterations += 1;
+                continue;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (k, v) in simplex.iter().enumerate() {
+                if k == worst {
+                    continue;
+                }
+                for (c, &xi) in centroid.iter_mut().zip(v) {
+                    *c += xi / n as f64;
+                }
+            }
+
+            let propose = |coef: f64, f: &mut F| -> Result<(Vec<f64>, f64), OptimError> {
+                let mut p: Vec<f64> = centroid
+                    .iter()
+                    .zip(&simplex[worst])
+                    .map(|(&c, &w)| c + coef * (c - w))
+                    .collect();
+                bounds.clamp(&mut p);
+                let fp = f(&p);
+                if fp.is_nan() {
+                    return Err(OptimError::ObjectiveNaN { at: p });
+                }
+                Ok((p, fp))
+            };
+
+            let (reflected, f_reflected) = propose(1.0, &mut f)?;
+            if f_reflected < values[best] {
+                // Try to expand further in the same direction.
+                let (expanded, f_expanded) = propose(2.0, &mut f)?;
+                if f_expanded < f_reflected {
+                    simplex[worst] = expanded;
+                    values[worst] = f_expanded;
+                } else {
+                    simplex[worst] = reflected;
+                    values[worst] = f_reflected;
+                }
+            } else if f_reflected < values[second_worst] {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            } else {
+                let (contracted, f_contracted) = propose(-0.5, &mut f)?;
+                if f_contracted < values[worst] {
+                    simplex[worst] = contracted;
+                    values[worst] = f_contracted;
+                } else {
+                    // Shrink toward the best vertex.
+                    let anchor = simplex[best].clone();
+                    for (k, v) in simplex.iter_mut().enumerate() {
+                        if k == best {
+                            continue;
+                        }
+                        for (xi, &ai) in v.iter_mut().zip(&anchor) {
+                            *xi = ai + 0.5 * (*xi - ai);
+                        }
+                        bounds.clamp(v);
+                        values[k] = f(v);
+                        if values[k].is_nan() {
+                            return Err(OptimError::ObjectiveNaN { at: v.clone() });
+                        }
+                    }
+                }
+            }
+            iterations += 1;
+        }
+
+        let best = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN by invariant"))
+            .map(|(i, _)| i)
+            .expect("simplex is non-empty");
+        Ok(SimplexMinimum {
+            x: simplex[best].clone(),
+            value: values[best],
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds2(lo: f64, hi: f64) -> Bounds {
+        Bounds::new(vec![(lo, hi), (lo, hi)]).unwrap()
+    }
+
+    #[test]
+    fn minimizes_convex_quadratic() {
+        let m = NelderMead::default()
+            .minimize(
+                |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+                &[4.0, 4.0],
+                &bounds2(-5.0, 5.0),
+            )
+            .unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-5);
+        assert!((m.x[1] + 2.0).abs() < 1e-5);
+        assert!(m.value < 1e-9);
+    }
+
+    #[test]
+    fn respects_active_box_constraint() {
+        // Unconstrained optimum at (-3, 0) but the box stops at -1.
+        let m = NelderMead::default()
+            .minimize(
+                |x| (x[0] + 3.0).powi(2) + x[1].powi(2),
+                &[0.5, 0.5],
+                &bounds2(-1.0, 1.0),
+            )
+            .unwrap();
+        assert!((m.x[0] + 1.0).abs() < 1e-5, "x0 should pin to the lower bound");
+        assert!(m.x[1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn start_on_upper_edge_steps_inward() {
+        let m = NelderMead::default()
+            .minimize(
+                |x| (x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2),
+                &[1.0, 1.0],
+                &bounds2(0.0, 1.0),
+            )
+            .unwrap();
+        assert!((m.x[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let r = NelderMead::default().minimize(|x| x[0], &[0.0, 0.0, 0.0], &bounds2(0.0, 1.0));
+        assert!(matches!(r, Err(OptimError::Dimension { expected: 2, got: 3 })));
+    }
+
+    #[test]
+    fn nan_objective_is_reported() {
+        let r = NelderMead::default().minimize(|_| f64::NAN, &[0.5, 0.5], &bounds2(0.0, 1.0));
+        assert!(matches!(r, Err(OptimError::ObjectiveNaN { .. })));
+    }
+
+    #[test]
+    fn one_dimensional_problems_work() {
+        let bounds = Bounds::new(vec![(0.0, 10.0)]).unwrap();
+        let m = NelderMead::default()
+            .minimize(|x| (x[0] - 7.25).powi(2), &[1.0], &bounds)
+            .unwrap();
+        assert!((m.x[0] - 7.25).abs() < 1e-5);
+    }
+}

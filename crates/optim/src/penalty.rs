@@ -1,0 +1,163 @@
+//! Exterior penalty method for inequality-constrained minimization.
+
+use crate::error::OptimError;
+use crate::grid::Bounds;
+use crate::nelder_mead::{NelderMead, SimplexMinimum};
+
+/// Inequality constraint convention used across the crate: a constraint
+/// function `g` is satisfied where `g(x) <= 0`.
+pub type Constraint<'a> = &'a dyn Fn(&[f64]) -> f64;
+
+/// Exterior penalty solver for `min f(x)` s.t. `g_i(x) <= 0`, `x` in a
+/// box.
+///
+/// Solves a sequence of unconstrained problems
+/// `min f(x) + mu * sum_i max(0, g_i(x))^2` with geometrically growing
+/// `mu`, restarting the simplex search from the previous round's
+/// solution. This is the solver behind (P1) and (P2): the protocols'
+/// capacity/latency/budget constraints are handed in as `g_i`.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_optim::{Bounds, Penalty};
+///
+/// // min (x-3)^2 s.t. x <= 1  ->  x* = 1.
+/// let bounds = Bounds::new(vec![(0.0, 10.0)]).unwrap();
+/// let g = |x: &[f64]| x[0] - 1.0;
+/// let m = Penalty::default()
+///     .minimize(|x| (x[0] - 3.0).powi(2), &[&g], &[5.0], &bounds)
+///     .unwrap();
+/// assert!((m.x[0] - 1.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Penalty {
+    /// Initial penalty weight.
+    pub mu0: f64,
+    /// Multiplicative growth of the weight per round.
+    pub growth: f64,
+    /// Number of penalty rounds.
+    pub rounds: usize,
+    /// Feasibility tolerance on each `g_i` at the final point.
+    pub feasibility_tol: f64,
+    /// Inner unconstrained solver.
+    pub local: NelderMead,
+}
+
+impl Default for Penalty {
+    fn default() -> Penalty {
+        Penalty {
+            mu0: 10.0,
+            growth: 10.0,
+            rounds: 8,
+            feasibility_tol: 1e-6,
+            local: NelderMead::default(),
+        }
+    }
+}
+
+impl Penalty {
+    /// Minimizes `f` subject to `constraints[i](x) <= 0` within
+    /// `bounds`, starting from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates inner-solver errors ([`OptimError::Dimension`],
+    ///   [`OptimError::ObjectiveNaN`]).
+    /// * [`OptimError::Infeasible`] if the final point still violates a
+    ///   constraint by more than `feasibility_tol` (scaled by the
+    ///   violation's magnitude).
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        mut f: F,
+        constraints: &[Constraint<'_>],
+        x0: &[f64],
+        bounds: &Bounds,
+    ) -> Result<SimplexMinimum, OptimError> {
+        let mut mu = self.mu0;
+        let mut x = x0.to_vec();
+        let mut last = None;
+        for _ in 0..self.rounds {
+            let penalized = |p: &[f64]| {
+                let base = f(p);
+                let violation: f64 = constraints
+                    .iter()
+                    .map(|g| g(p).max(0.0).powi(2))
+                    .sum();
+                base + mu * violation
+            };
+            let m = self.local.minimize(penalized, &x, bounds)?;
+            x = m.x.clone();
+            last = Some(m);
+            mu *= self.growth;
+        }
+        let m = last.expect("rounds >= 1 by default; guarded below");
+        let worst_violation = constraints
+            .iter()
+            .map(|g| g(&m.x))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst_violation > self.feasibility_tol {
+            return Err(OptimError::Infeasible);
+        }
+        // Report the true objective, not the penalized one.
+        let value = f(&m.x);
+        Ok(SimplexMinimum { value, ..m })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_problem_passes_through() {
+        let bounds = Bounds::new(vec![(-5.0, 5.0)]).unwrap();
+        let m = Penalty::default()
+            .minimize(|x| (x[0] + 2.0).powi(2), &[], &[3.0], &bounds)
+            .unwrap();
+        assert!((m.x[0] + 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn active_constraint_binds() {
+        // min x^2 + y^2 s.t. x + y >= 1 (i.e. 1 - x - y <= 0):
+        // optimum at (0.5, 0.5).
+        let bounds = Bounds::new(vec![(-2.0, 2.0), (-2.0, 2.0)]).unwrap();
+        let g = |x: &[f64]| 1.0 - x[0] - x[1];
+        let m = Penalty::default()
+            .minimize(|x| x[0] * x[0] + x[1] * x[1], &[&g], &[1.5, 1.5], &bounds)
+            .unwrap();
+        assert!((m.x[0] - 0.5).abs() < 5e-3, "got {:?}", m.x);
+        assert!((m.x[1] - 0.5).abs() < 5e-3);
+        assert!(g(&m.x) <= 1e-5);
+    }
+
+    #[test]
+    fn inactive_constraint_is_ignored() {
+        let bounds = Bounds::new(vec![(-5.0, 5.0)]).unwrap();
+        let g = |x: &[f64]| x[0] - 100.0; // never active in bounds
+        let m = Penalty::default()
+            .minimize(|x| (x[0] - 1.0).powi(2), &[&g], &[-4.0], &bounds)
+            .unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn contradictory_constraints_are_infeasible() {
+        let bounds = Bounds::new(vec![(0.0, 1.0)]).unwrap();
+        let g1 = |x: &[f64]| x[0] - 0.2; // x <= 0.2
+        let g2 = |x: &[f64]| 0.8 - x[0]; // x >= 0.8
+        let r = Penalty::default().minimize(|x| x[0], &[&g1, &g2], &[0.5], &bounds);
+        assert!(matches!(r, Err(OptimError::Infeasible)));
+    }
+
+    #[test]
+    fn reported_value_is_unpenalized() {
+        let bounds = Bounds::new(vec![(0.0, 10.0)]).unwrap();
+        let g = |x: &[f64]| 2.0 - x[0]; // x >= 2
+        let m = Penalty::default()
+            .minimize(|x| x[0], &[&g], &[5.0], &bounds)
+            .unwrap();
+        assert!((m.value - 2.0).abs() < 1e-3, "value {} should be f(x*), not penalized", m.value);
+    }
+}

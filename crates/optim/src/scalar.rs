@@ -1,0 +1,427 @@
+//! Scalar minimization and root finding.
+
+use crate::error::OptimError;
+
+/// Convergence control shared by the scalar solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute tolerance on the argument.
+    pub x_abs: f64,
+    /// Maximum iterations before giving up.
+    pub max_iter: usize,
+}
+
+impl Default for Tolerance {
+    /// `1e-10` on the argument, 200 iterations — tight enough that model
+    /// noise, not solver noise, dominates every experiment.
+    fn default() -> Tolerance {
+        Tolerance {
+            x_abs: 1e-10,
+            max_iter: 200,
+        }
+    }
+}
+
+impl Tolerance {
+    /// A looser tolerance for coarse scans.
+    pub fn coarse() -> Tolerance {
+        Tolerance {
+            x_abs: 1e-6,
+            max_iter: 120,
+        }
+    }
+}
+
+/// Result of a scalar minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalarMinimum {
+    /// Argument of the minimum.
+    pub x: f64,
+    /// Objective value at [`ScalarMinimum::x`].
+    pub value: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+fn check_interval(a: f64, b: f64) -> Result<(), OptimError> {
+    if a.is_finite() && b.is_finite() && a < b {
+        Ok(())
+    } else {
+        Err(OptimError::InvalidInterval { a, b })
+    }
+}
+
+/// Minimizes a unimodal `f` on `[a, b]` by golden-section search.
+///
+/// Golden-section is slow but certain: it needs no smoothness and its
+/// bracket shrinks by a constant factor per evaluation, which suits the
+/// piecewise model formulas (ceil/max terms) in `edmac-mac`.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidInterval`] if `a >= b` or an endpoint is not
+///   finite.
+/// * [`OptimError::ObjectiveNaN`] if `f` returns NaN.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_optim::{golden_section_min, Tolerance};
+///
+/// let m = golden_section_min(|x: f64| x.abs(), -1.0, 3.0, Tolerance::default()).unwrap();
+/// assert!(m.x.abs() < 1e-6);
+/// ```
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: Tolerance,
+) -> Result<ScalarMinimum, OptimError> {
+    check_interval(a, b)?;
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut lo = a;
+    let mut hi = b;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut iterations = 0;
+    while hi - lo > tol.x_abs && iterations < tol.max_iter {
+        if f1.is_nan() {
+            return Err(OptimError::ObjectiveNaN { at: vec![x1] });
+        }
+        if f2.is_nan() {
+            return Err(OptimError::ObjectiveNaN { at: vec![x2] });
+        }
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+        iterations += 1;
+    }
+    let x = 0.5 * (lo + hi);
+    let value = f(x);
+    if value.is_nan() {
+        return Err(OptimError::ObjectiveNaN { at: vec![x] });
+    }
+    // Also consider the probe points and original endpoints: on
+    // monotone objectives the optimum sits on the boundary.
+    let mut best = ScalarMinimum { x, value, iterations };
+    for (cx, cv) in [(a, f(a)), (b, f(b)), (x1, f1), (x2, f2)] {
+        if cv < best.value {
+            best = ScalarMinimum { x: cx, value: cv, iterations };
+        }
+    }
+    Ok(best)
+}
+
+/// Minimizes `f` on `[a, b]` by Brent's method (golden-section with
+/// parabolic acceleration).
+///
+/// Converges superlinearly on smooth objectives; falls back to
+/// golden-section steps otherwise. Use this when `f` is smooth (the
+/// closed-form protocol models); use [`golden_section_min`] when it is
+/// not.
+///
+/// # Errors
+///
+/// Same contract as [`golden_section_min`].
+pub fn brent_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: Tolerance,
+) -> Result<ScalarMinimum, OptimError> {
+    check_interval(a, b)?;
+    const INV_PHI2: f64 = 0.381_966_011_250_105_1; // 2 - phi
+    let (mut lo, mut hi) = (a, b);
+    let mut x = lo + INV_PHI2 * (hi - lo);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    if fx.is_nan() {
+        return Err(OptimError::ObjectiveNaN { at: vec![x] });
+    }
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+    let mut iterations = 0;
+
+    while iterations < tol.max_iter {
+        let m = 0.5 * (lo + hi);
+        let tol1 = tol.x_abs.max(1e-12 * x.abs());
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (hi - lo) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Fit a parabola through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_prev = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_prev).abs() && p > q * (lo - x) && p < q * (hi - x) {
+                d = p / q;
+                let u = x + d;
+                if u - lo < tol2 || hi - u < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { hi - x } else { lo - x };
+            d = INV_PHI2 * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else if d > 0.0 {
+            x + tol1
+        } else {
+            x - tol1
+        };
+        let fu = f(u);
+        if fu.is_nan() {
+            return Err(OptimError::ObjectiveNaN { at: vec![u] });
+        }
+        if fu <= fx {
+            if u < x {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                lo = u;
+            } else {
+                hi = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+        iterations += 1;
+    }
+
+    // Guard the boundary case exactly as golden-section does.
+    let mut best = ScalarMinimum { x, value: fx, iterations };
+    for cx in [a, b] {
+        let cv = f(cx);
+        if cv < best.value {
+            best = ScalarMinimum { x: cx, value: cv, iterations };
+        }
+    }
+    Ok(best)
+}
+
+/// Finds a root of `f` on `[a, b]` by bisection, given `f(a)` and `f(b)`
+/// of opposite sign.
+///
+/// # Errors
+///
+/// * [`OptimError::InvalidInterval`] for a malformed interval.
+/// * [`OptimError::NoSignChange`] if `f(a)·f(b) > 0`.
+/// * [`OptimError::ObjectiveNaN`] if `f` returns NaN.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_optim::{bisect_root, Tolerance};
+///
+/// let root = bisect_root(|x| x * x - 2.0, 0.0, 2.0, Tolerance::default()).unwrap();
+/// assert!((root - 2.0f64.sqrt()).abs() < 1e-9);
+/// ```
+pub fn bisect_root<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: Tolerance,
+) -> Result<f64, OptimError> {
+    check_interval(a, b)?;
+    let mut lo = a;
+    let mut hi = b;
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo.is_nan() {
+        return Err(OptimError::ObjectiveNaN { at: vec![lo] });
+    }
+    if fhi.is_nan() {
+        return Err(OptimError::ObjectiveNaN { at: vec![hi] });
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(OptimError::NoSignChange { fa: flo, fb: fhi });
+    }
+    for _ in 0..tol.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid.is_nan() {
+            return Err(OptimError::ObjectiveNaN { at: vec![mid] });
+        }
+        if fmid == 0.0 || hi - lo < tol.x_abs {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Scans `[a, b]` in `steps` uniform increments for a sub-interval where
+/// `f` changes sign, returning it for use with [`bisect_root`].
+///
+/// Returns `None` if no sign change is observed (the function may still
+/// have roots between samples — pick `steps` from the known scale of the
+/// problem).
+pub fn find_sign_change<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    steps: usize,
+) -> Option<(f64, f64)> {
+    if steps == 0 || a >= b || a.is_nan() || b.is_nan() {
+        return None;
+    }
+    let dx = (b - a) / steps as f64;
+    let mut x_prev = a;
+    let mut f_prev = f(a);
+    for i in 1..=steps {
+        let x = a + dx * i as f64;
+        let fx = f(x);
+        if f_prev.is_finite() && fx.is_finite() && f_prev.signum() != fx.signum() {
+            return Some((x_prev, x));
+        }
+        x_prev = x;
+        f_prev = fx;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_quadratic_minimum() {
+        let m = golden_section_min(|x| (x - 3.5).powi(2) + 1.0, -10.0, 10.0, Tolerance::default())
+            .unwrap();
+        assert!((m.x - 3.5).abs() < 1e-6);
+        assert!((m.value - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_handles_boundary_minimum() {
+        // Monotone increasing: minimum at the left edge.
+        let m = golden_section_min(|x| x, 2.0, 9.0, Tolerance::default()).unwrap();
+        assert_eq!(m.x, 2.0);
+        assert_eq!(m.value, 2.0);
+    }
+
+    #[test]
+    fn golden_rejects_bad_interval() {
+        assert!(matches!(
+            golden_section_min(|x| x, 1.0, 1.0, Tolerance::default()),
+            Err(OptimError::InvalidInterval { .. })
+        ));
+        assert!(golden_section_min(|x| x, f64::NAN, 1.0, Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn golden_detects_nan_objective() {
+        let r = golden_section_min(
+            |x| if x > 0.5 { f64::NAN } else { x },
+            0.0,
+            1.0,
+            Tolerance::default(),
+        );
+        assert!(matches!(r, Err(OptimError::ObjectiveNaN { .. })));
+    }
+
+    #[test]
+    fn brent_matches_golden_on_smooth_function() {
+        let f = |x: f64| (x - 1.25).powi(2) + 0.5 * (x - 1.25).powi(4);
+        let g = golden_section_min(f, -4.0, 6.0, Tolerance::default()).unwrap();
+        let b = brent_min(f, -4.0, 6.0, Tolerance::default()).unwrap();
+        assert!((g.x - b.x).abs() < 1e-6);
+        assert!(b.iterations <= g.iterations, "brent should not be slower on smooth f");
+    }
+
+    #[test]
+    fn brent_handles_boundary_minimum() {
+        let m = brent_min(|x| -x, 0.0, 4.0, Tolerance::default()).unwrap();
+        assert_eq!(m.x, 4.0);
+    }
+
+    #[test]
+    fn brent_on_nonsmooth_still_converges() {
+        let m = brent_min(|x: f64| (x - 0.3).abs(), -2.0, 2.0, Tolerance::default()).unwrap();
+        assert!((m.x - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, Tolerance::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_accepts_exact_endpoint_roots() {
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(), 0.0);
+        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, Tolerance::default()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_requires_sign_change() {
+        assert!(matches!(
+            bisect_root(|x| x * x + 1.0, -1.0, 1.0, Tolerance::default()),
+            Err(OptimError::NoSignChange { .. })
+        ));
+    }
+
+    #[test]
+    fn sign_change_scan_brackets_root() {
+        let (lo, hi) = find_sign_change(|x| x.cos(), 0.0, 3.0, 30).unwrap();
+        assert!(lo < std::f64::consts::FRAC_PI_2 && std::f64::consts::FRAC_PI_2 < hi);
+        assert!(find_sign_change(|x| x * x + 1.0, -1.0, 1.0, 10).is_none());
+        assert!(find_sign_change(|x| x, 1.0, 0.0, 10).is_none());
+        assert!(find_sign_change(|x| x, 0.0, 1.0, 0).is_none());
+    }
+}

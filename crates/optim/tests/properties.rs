@@ -1,0 +1,99 @@
+//! Property-based tests for the optimization substrate.
+
+use edmac_optim::{
+    bisect_root, brent_min, golden_section_min, grid_minimize, multistart, Bounds, NelderMead,
+    Penalty, Tolerance,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn golden_section_solves_random_quartics(
+        center in -50.0..50.0f64,
+        c2 in 0.1..10.0f64,
+        c4 in 0.0..5.0f64,
+        offset in -10.0..10.0f64,
+    ) {
+        // Strictly unimodal with minimum at `center`.
+        let f = |x: f64| c2 * (x - center).powi(2) + c4 * (x - center).powi(4) + offset;
+        let m = golden_section_min(f, center - 60.0, center + 55.0, Tolerance::default()).unwrap();
+        prop_assert!((m.x - center).abs() < 1e-5, "x={} center={center}", m.x);
+        prop_assert!((m.value - offset).abs() < 1e-8);
+    }
+
+    #[test]
+    fn brent_agrees_with_golden_on_random_quartics(
+        center in -20.0..20.0f64,
+        c2 in 0.1..10.0f64,
+        c4 in 0.0..5.0f64,
+    ) {
+        let f = |x: f64| c2 * (x - center).powi(2) + c4 * (x - center).powi(4);
+        let g = golden_section_min(f, center - 25.0, center + 30.0, Tolerance::default()).unwrap();
+        let b = brent_min(f, center - 25.0, center + 30.0, Tolerance::default()).unwrap();
+        prop_assert!((g.x - b.x).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bisection_inverts_monotone_cubics(
+        root in -30.0..30.0f64,
+        scale in 0.1..5.0f64,
+    ) {
+        // Strictly increasing cubic with a single real root at `root`.
+        let f = |x: f64| scale * ((x - root) + (x - root).powi(3));
+        let r = bisect_root(f, root - 40.0, root + 45.0, Tolerance::default()).unwrap();
+        prop_assert!((r - root).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nelder_mead_solves_random_convex_quadratics(
+        cx in -3.0..3.0f64,
+        cy in -3.0..3.0f64,
+        ax in 0.5..5.0f64,
+        ay in 0.5..5.0f64,
+    ) {
+        let bounds = Bounds::new(vec![(-5.0, 5.0), (-5.0, 5.0)]).unwrap();
+        let f = |p: &[f64]| ax * (p[0] - cx).powi(2) + ay * (p[1] - cy).powi(2);
+        let m = NelderMead::default().minimize(f, &[4.9, -4.9], &bounds).unwrap();
+        prop_assert!((m.x[0] - cx).abs() < 1e-3, "{:?} vs ({cx},{cy})", m.x);
+        prop_assert!((m.x[1] - cy).abs() < 1e-3);
+    }
+
+    #[test]
+    fn grid_result_is_within_one_cell_of_optimum(center in -1.0..1.0f64) {
+        let bounds = Bounds::new(vec![(-2.0, 2.0)]).unwrap();
+        let m = grid_minimize(|p| (p[0] - center).powi(2), &bounds, 81).unwrap();
+        let cell = 4.0 / 80.0;
+        prop_assert!((m.x[0] - center).abs() <= cell);
+    }
+
+    #[test]
+    fn multistart_at_least_matches_grid(
+        center in -1.5..1.5f64,
+        wiggle in 0.0..3.0f64,
+    ) {
+        // A rippled quadratic: many shallow local minima.
+        let f = move |p: &[f64]| (p[0] - center).powi(2) + wiggle * (6.0 * p[0]).sin().powi(2) * 0.1;
+        let bounds = Bounds::new(vec![(-3.0, 3.0)]).unwrap();
+        let grid = grid_minimize(f, &bounds, 31).unwrap();
+        let multi = multistart(f, &bounds, 31, 4, NelderMead::default()).unwrap();
+        prop_assert!(multi.value <= grid.value + 1e-12);
+    }
+
+    #[test]
+    fn penalty_solution_is_feasible_when_reported(
+        limit in -1.0..1.0f64,
+        target in 1.5..4.0f64,
+    ) {
+        // min (x - target)^2 s.t. x <= limit, with target > limit:
+        // solution must land on the boundary.
+        let bounds = Bounds::new(vec![(-5.0, 5.0)]).unwrap();
+        let g = move |p: &[f64]| p[0] - limit;
+        let m = Penalty::default()
+            .minimize(|p| (p[0] - target).powi(2), &[&g], &[-2.0], &bounds)
+            .unwrap();
+        prop_assert!(g(&m.x) <= 1e-5, "violation {}", g(&m.x));
+        prop_assert!((m.x[0] - limit).abs() < 5e-3, "x={} limit={limit}", m.x[0]);
+    }
+}

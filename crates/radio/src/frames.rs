@@ -1,0 +1,91 @@
+//! Frame formats shared by the analytical models and the simulator.
+
+use edmac_units::Bytes;
+
+/// Sizes of the frame types a duty-cycled MAC exchanges.
+///
+/// The defaults follow the packet formats used in the Langendoen & Meier
+/// analysis the paper builds on: a 32-byte application payload behind an
+/// 18-byte PHY+MAC header, short strobes/acks, and small schedule/control
+/// frames for the synchronous protocols.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_radio::{FrameSizes, Radio};
+///
+/// let sizes = FrameSizes::default();
+/// let radio = Radio::cc2420();
+/// assert!(radio.airtime(sizes.data) > radio.airtime(sizes.ack));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSizes {
+    /// A full data frame: headers plus application payload.
+    pub data: Bytes,
+    /// A link-layer acknowledgement.
+    pub ack: Bytes,
+    /// One X-MAC-style short preamble strobe (carries the target
+    /// address).
+    pub strobe: Bytes,
+    /// A schedule-synchronization frame (DMAC / SCP-MAC style).
+    pub sync: Bytes,
+    /// The per-slot control section of a frame-based MAC (LMAC's slot
+    /// header: owner id, hop count, addressee).
+    pub control: Bytes,
+}
+
+impl FrameSizes {
+    /// Returns `true` if the sizes are internally consistent: data frames
+    /// carry more than control traffic, nothing is zero.
+    pub fn is_valid(&self) -> bool {
+        self.data.value() > 0
+            && self.ack.value() > 0
+            && self.strobe.value() > 0
+            && self.sync.value() > 0
+            && self.control.value() > 0
+            && self.data >= self.strobe
+            && self.data >= self.control
+    }
+}
+
+impl Default for FrameSizes {
+    /// 50 B data (18 B header + 32 B payload), 11 B ack, 18 B strobe,
+    /// 16 B sync, 12 B control section.
+    fn default() -> FrameSizes {
+        FrameSizes {
+            data: Bytes::new(50),
+            ack: Bytes::new(11),
+            strobe: Bytes::new(18),
+            sync: Bytes::new(16),
+            control: Bytes::new(12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizes_are_valid() {
+        assert!(FrameSizes::default().is_valid());
+    }
+
+    #[test]
+    fn zero_data_is_invalid() {
+        let sizes = FrameSizes {
+            data: Bytes::ZERO,
+            ..FrameSizes::default()
+        };
+        assert!(!sizes.is_valid());
+    }
+
+    #[test]
+    fn control_larger_than_data_is_invalid() {
+        let sizes = FrameSizes {
+            control: Bytes::new(100),
+            ..FrameSizes::default()
+        };
+        assert!(!sizes.is_valid());
+    }
+}

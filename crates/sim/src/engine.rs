@@ -1,0 +1,923 @@
+//! The simulation engine: event loop, radio state machine, unit-disk
+//! channel with collisions, timers and energy accounting.
+
+use crate::events::{Event, EventQueue};
+use crate::frame::{Frame, FrameKind, Packet, PacketId};
+use crate::protocols;
+use crate::report::{NodeStats, PacketRecord, SimReport};
+use crate::time::SimTime;
+use edmac_net::{distance_two_coloring, Graph, NetError, NodeId, RoutingTree, Topology};
+use edmac_radio::{Cause, EnergyLedger, FrameSizes, Mode, Radio};
+use edmac_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Run-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Simulated duration.
+    pub duration: Seconds,
+    /// Application sampling period (`1/Fs`) of every non-sink node.
+    pub sample_period: Seconds,
+    /// Packets created before this instant are excluded from latency
+    /// statistics (cold-start transient).
+    pub warmup: Seconds,
+    /// RNG seed; equal seeds reproduce runs exactly.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    /// 600 simulated seconds, one sample per 60 s, 30 s warmup.
+    fn default() -> SimConfig {
+        SimConfig {
+            duration: Seconds::new(600.0),
+            sample_period: Seconds::new(60.0),
+            warmup: Seconds::new(30.0),
+            seed: 0,
+        }
+    }
+}
+
+/// Which protocol to simulate, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolConfig {
+    /// X-MAC low-power listening.
+    Xmac {
+        /// Wake-up (channel check) interval `Tw`.
+        wakeup_interval: Seconds,
+        /// Listen duration of one poll.
+        poll_listen: Seconds,
+        /// Retransmission attempts per packet before dropping it.
+        max_retries: u32,
+    },
+    /// DMAC staggered slot ladder.
+    Dmac {
+        /// Cycle period `T` between ladder sweeps.
+        cycle: Seconds,
+        /// Slot length `μ`.
+        slot: Seconds,
+        /// Contention window at the head of the transmit slot.
+        contention_window: Seconds,
+    },
+    /// LMAC TDMA frame.
+    Lmac {
+        /// Slot length `Ts`.
+        slot: Seconds,
+        /// Slots per frame `N`; must cover the topology's distance-2
+        /// chromatic need.
+        frame_slots: usize,
+    },
+    /// SCP-MAC scheduled channel polling (the extension protocol).
+    Scp {
+        /// Poll period `Tp` (all nodes share the schedule).
+        poll_interval: Seconds,
+        /// Listen duration of one poll.
+        poll_listen: Seconds,
+        /// Interval between schedule-maintenance broadcasts.
+        sync_period: Seconds,
+    },
+}
+
+impl ProtocolConfig {
+    /// X-MAC with standard structural constants (2.5 ms polls, 5
+    /// retries).
+    pub fn xmac(wakeup_interval: Seconds) -> ProtocolConfig {
+        ProtocolConfig::Xmac {
+            wakeup_interval,
+            poll_listen: Seconds::from_millis(2.5),
+            max_retries: 5,
+        }
+    }
+
+    /// DMAC with standard structural constants (8 ms slots, 5 ms
+    /// contention window — wider than a data airtime, so contenders
+    /// that can hear each other resolve by CCA and hidden pairs at
+    /// least sometimes miss each other).
+    pub fn dmac(cycle: Seconds) -> ProtocolConfig {
+        ProtocolConfig::Dmac {
+            cycle,
+            slot: Seconds::from_millis(8.0),
+            contention_window: Seconds::from_millis(5.0),
+        }
+    }
+
+    /// LMAC with a 24-slot frame (double the distance-2 chromatic
+    /// need of reference-density deployments; matches the analytical
+    /// model's default).
+    pub fn lmac(slot: Seconds) -> ProtocolConfig {
+        ProtocolConfig::Lmac {
+            slot,
+            frame_slots: 24,
+        }
+    }
+
+    /// SCP-MAC with standard structural constants (2.5 ms polls, 60 s
+    /// sync period).
+    pub fn scp(poll_interval: Seconds) -> ProtocolConfig {
+        ProtocolConfig::Scp {
+            poll_interval,
+            poll_listen: Seconds::from_millis(2.5),
+            sync_period: Seconds::new(60.0),
+        }
+    }
+
+    /// The protocol's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolConfig::Xmac { .. } => "X-MAC",
+            ProtocolConfig::Dmac { .. } => "DMAC",
+            ProtocolConfig::Lmac { .. } => "LMAC",
+            ProtocolConfig::Scp { .. } => "SCP-MAC",
+        }
+    }
+}
+
+/// A protocol's per-node behavior: a state machine driven by the
+/// engine's callbacks.
+///
+/// Implementations own their packet queues and timers; the engine owns
+/// the radio, the channel and the clock. All radio work goes through
+/// [`Ctx`].
+pub trait MacNode: std::fmt::Debug {
+    /// Called once at simulation start.
+    fn start(&mut self, ctx: &mut Ctx<'_>);
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64);
+    /// A frame was received intact (the radio is back in listen mode).
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame);
+    /// The frame passed to [`Ctx::send`] has left the antenna (the
+    /// radio is back in listen mode).
+    fn on_tx_done(&mut self, ctx: &mut Ctx<'_>);
+    /// The application sampled a new packet at this node.
+    fn on_generate(&mut self, ctx: &mut Ctx<'_>, packet: Packet);
+    /// The radio finished starting up after [`Ctx::wake`].
+    fn on_radio_ready(&mut self, ctx: &mut Ctx<'_>);
+}
+
+/// Placeholder swapped in while a real node is being called (the engine
+/// cannot hold two mutable borrows).
+#[derive(Debug)]
+struct NullNode;
+
+impl MacNode for NullNode {
+    fn start(&mut self, _: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _: &mut Ctx<'_>, _: u32, _: u64) {}
+    fn on_frame(&mut self, _: &mut Ctx<'_>, _: &Frame) {}
+    fn on_tx_done(&mut self, _: &mut Ctx<'_>) {}
+    fn on_generate(&mut self, _: &mut Ctx<'_>, _: Packet) {}
+    fn on_radio_ready(&mut self, _: &mut Ctx<'_>) {}
+}
+
+/// Per-node radio bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct RadioState {
+    mode: Mode,
+    since: SimTime,
+    cause: Cause,
+    /// Invalidates in-flight `RadioReady` events after `sleep()`.
+    startup_token: u64,
+}
+
+/// An in-progress reception.
+#[derive(Debug, Clone)]
+struct ActiveRx {
+    tx_seq: u64,
+    corrupted: bool,
+}
+
+/// Engine state shared with nodes through [`Ctx`].
+#[derive(Debug)]
+pub(crate) struct Core {
+    now: SimTime,
+    end: SimTime,
+    queue: EventQueue,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    next_tx_seq: u64,
+    next_packet_id: u64,
+    radio_hw: Radio,
+    frames: FrameSizes,
+    neighbors: Vec<Vec<NodeId>>,
+    parent: Vec<Option<NodeId>>,
+    depth: Vec<usize>,
+    max_depth: usize,
+    sink: NodeId,
+    radios: Vec<RadioState>,
+    ledgers: Vec<EnergyLedger>,
+    active_rx: Vec<Option<ActiveRx>>,
+    air_count: Vec<u32>,
+    counters: Vec<crate::frame::FrameCounters>,
+    records: Vec<PacketRecord>,
+    rng: StdRng,
+    config: SimConfig,
+}
+
+impl Core {
+    fn charge_current(&mut self, node: NodeId) {
+        let state = self.radios[node.index()];
+        let elapsed = self.now.since(state.since);
+        let cause = if state.mode == Mode::Sleep {
+            Cause::Sleep
+        } else {
+            state.cause
+        };
+        self.ledgers[node.index()].charge(state.mode, cause, elapsed);
+    }
+
+    fn set_mode(&mut self, node: NodeId, mode: Mode, cause: Cause) {
+        self.charge_current(node);
+        let state = &mut self.radios[node.index()];
+        state.mode = mode;
+        state.since = self.now;
+        state.cause = cause;
+    }
+
+    fn mode(&self, node: NodeId) -> Mode {
+        self.radios[node.index()].mode
+    }
+}
+
+/// The node-facing API: everything a [`MacNode`] may do to the world.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    core: &'a mut Core,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// Returns `true` if this node is the sink.
+    pub fn is_sink(&self) -> bool {
+        self.node == self.core.sink
+    }
+
+    /// The next hop toward the sink (`None` at the sink).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.core.parent[self.node.index()]
+    }
+
+    /// This node's hop distance from the sink.
+    pub fn depth(&self) -> usize {
+        self.core.depth[self.node.index()]
+    }
+
+    /// The deepest hop distance in the network (`D`).
+    pub fn max_depth(&self) -> usize {
+        self.core.max_depth
+    }
+
+    /// The airtime of a frame of `kind` on this deployment's radio.
+    pub fn airtime(&self, kind: FrameKind) -> Seconds {
+        self.core.radio_hw.airtime(kind.size(&self.core.frames))
+    }
+
+    /// The radio's startup latency.
+    pub fn startup_delay(&self) -> Seconds {
+        self.core.radio_hw.timings.startup
+    }
+
+    /// Returns `true` if any in-range transmission is currently on the
+    /// air (the CCA primitive).
+    pub fn channel_busy(&self) -> bool {
+        self.core.air_count[self.node.index()] > 0
+    }
+
+    /// Returns `true` if the radio is currently locked onto a frame.
+    pub fn is_receiving(&self) -> bool {
+        self.core.active_rx[self.node.index()].is_some()
+    }
+
+    /// The radio's current mode.
+    pub fn mode(&self) -> Mode {
+        self.core.mode(self.node)
+    }
+
+    /// Schedules a timer `delay` from now; returns its id.
+    pub fn set_timer(&mut self, delay: Seconds, tag: u32) -> u64 {
+        let id = self.core.next_timer_id;
+        self.core.next_timer_id += 1;
+        let at = self.core.now.after(delay);
+        self.core.queue.schedule(
+            at,
+            Event::Timer {
+                node: self.node,
+                id,
+                tag,
+            },
+        );
+        id
+    }
+
+    /// Cancels a pending timer (firing becomes a no-op).
+    pub fn cancel_timer(&mut self, id: u64) {
+        self.core.cancelled_timers.insert(id);
+    }
+
+    /// Uniform random sample in `[lo, hi)` from the run's seeded RNG.
+    pub fn random_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.core.rng.gen_range(lo..hi)
+    }
+
+    /// Starts the radio from sleep; [`MacNode::on_radio_ready`] fires
+    /// after the startup delay. No-op unless sleeping.
+    ///
+    /// `cause` is charged for the startup period (poll startups are
+    /// carrier-sense, schedule wake-ups are sync, ...).
+    pub fn wake(&mut self, cause: Cause) {
+        if self.core.mode(self.node) != Mode::Sleep {
+            return;
+        }
+        self.core.set_mode(self.node, Mode::Startup, cause);
+        let token = {
+            let s = &mut self.core.radios[self.node.index()];
+            s.startup_token += 1;
+            s.startup_token
+        };
+        let at = self.core.now.after(self.core.radio_hw.timings.startup);
+        self.core.queue.schedule(
+            at,
+            Event::RadioReady {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Puts the radio to sleep immediately, aborting any reception in
+    /// progress and invalidating a pending startup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-transmission — a protocol must never
+    /// abandon its own frame on the air.
+    pub fn sleep(&mut self) {
+        assert!(
+            self.core.mode(self.node) != Mode::Tx,
+            "node {} tried to sleep while transmitting",
+            self.node
+        );
+        self.core.active_rx[self.node.index()] = None;
+        self.core.radios[self.node.index()].startup_token += 1;
+        self.core.set_mode(self.node, Mode::Sleep, Cause::Sleep);
+    }
+
+    /// Re-labels the cause charged for the current listening period
+    /// (e.g. a poll that turned into an exchange).
+    pub fn relabel_listen(&mut self, cause: Cause) {
+        if self.core.mode(self.node) == Mode::Listen {
+            self.core.set_mode(self.node, Mode::Listen, cause);
+        }
+    }
+
+    /// Transmits a frame; [`MacNode::on_tx_done`] fires when it leaves
+    /// the antenna. The radio must be listening (awake and not mid-
+    /// exchange).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio is not in listen mode — protocols must
+    /// sequence their own transmissions.
+    pub fn send(&mut self, kind: FrameKind, dst: Option<NodeId>, packet: Option<Packet>) {
+        assert_eq!(
+            self.core.mode(self.node),
+            Mode::Listen,
+            "node {} tried to send {kind:?} while not listening",
+            self.node
+        );
+        // Transmitting tears down any half-received frame.
+        self.core.active_rx[self.node.index()] = None;
+
+        let frame = Frame {
+            kind,
+            src: self.node,
+            dst,
+            packet,
+        };
+        let duration = self.airtime(kind);
+        let tx_seq = self.core.next_tx_seq;
+        self.core.next_tx_seq += 1;
+        self.core.counters[self.node.index()].record_tx(kind);
+
+        self.core.set_mode(self.node, Mode::Tx, kind.tx_cause());
+        let start = self.core.now;
+        let end = start.after(duration);
+        for i in 0..self.core.neighbors[self.node.index()].len() {
+            let neighbor = self.core.neighbors[self.node.index()][i];
+            self.core.queue.schedule(
+                start,
+                Event::AirStart {
+                    node: neighbor,
+                    tx_seq,
+                    frame,
+                },
+            );
+            self.core.queue.schedule(
+                end,
+                Event::AirEnd {
+                    node: neighbor,
+                    tx_seq,
+                    frame,
+                },
+            );
+        }
+        self.core
+            .queue
+            .schedule(end, Event::TxDone { node: self.node });
+    }
+
+    /// Records the final delivery of `packet` at the sink.
+    pub fn deliver(&mut self, packet: Packet) {
+        let record = &mut self.core.records[packet.id.0 as usize];
+        if record.delivered.is_none() {
+            record.delivered = Some(self.core.now);
+            record.hops = packet.hops;
+        }
+    }
+}
+
+/// A fully built simulation, ready to [`run`](Simulation::run).
+#[derive(Debug)]
+pub struct Simulation {
+    core: Core,
+    nodes: Vec<Box<dyn MacNode>>,
+    protocol: &'static str,
+}
+
+impl Simulation {
+    /// Builds a simulation over an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Disconnected`] if some node cannot reach the sink.
+    /// * [`NetError::InvalidParameter`] if an LMAC frame has fewer slots
+    ///   than the topology's distance-2 coloring needs.
+    pub fn build(
+        topology: &Topology,
+        radio: Radio,
+        frames: FrameSizes,
+        protocol: ProtocolConfig,
+        config: SimConfig,
+    ) -> Result<Simulation, NetError> {
+        let graph = topology.graph();
+        let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
+        Simulation::from_graph(&graph, &tree, radio, frames, protocol, config)
+    }
+
+    /// Builds a simulation over the paper's ring topology (a geometric
+    /// realization seeded from `config.seed`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Topology::ring_model`] and [`Simulation::build`]
+    /// errors.
+    pub fn ring(
+        depth: usize,
+        density: usize,
+        protocol: ProtocolConfig,
+        config: SimConfig,
+    ) -> Result<Simulation, NetError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let topology = Topology::ring_model(depth, density, &mut rng)?;
+        Simulation::build(
+            &topology,
+            Radio::cc2420(),
+            FrameSizes::default(),
+            protocol,
+            config,
+        )
+    }
+
+    /// Builds a simulation with *custom* per-node state machines — the
+    /// extension point for experimenting with new MAC protocols on the
+    /// same channel, radio and traffic substrate.
+    ///
+    /// `make` is called once per node with its id and the routing tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some node cannot reach the
+    /// sink.
+    ///
+    /// # Examples
+    ///
+    /// See `tests/engine_channel.rs` for scripted-node usage.
+    pub fn with_nodes<F>(
+        topology: &Topology,
+        radio: Radio,
+        frames: FrameSizes,
+        config: SimConfig,
+        protocol_name: &'static str,
+        mut make: F,
+    ) -> Result<Simulation, NetError>
+    where
+        F: FnMut(NodeId, &RoutingTree) -> Box<dyn MacNode>,
+    {
+        let graph = topology.graph();
+        let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
+        let nodes: Vec<Box<dyn MacNode>> =
+            graph.nodes().map(|u| make(u, &tree)).collect();
+        Simulation::assemble(&graph, &tree, radio, frames, nodes, protocol_name, config)
+    }
+
+    fn from_graph(
+        graph: &Graph,
+        tree: &RoutingTree,
+        radio: Radio,
+        frames: FrameSizes,
+        protocol: ProtocolConfig,
+        config: SimConfig,
+    ) -> Result<Simulation, NetError> {
+        let nodes: Vec<Box<dyn MacNode>> = match protocol {
+            ProtocolConfig::Xmac {
+                wakeup_interval,
+                poll_listen,
+                max_retries,
+            } => graph
+                .nodes()
+                .map(|_| {
+                    Box::new(protocols::xmac::XmacNode::new(
+                        wakeup_interval,
+                        poll_listen,
+                        max_retries,
+                    )) as Box<dyn MacNode>
+                })
+                .collect(),
+            ProtocolConfig::Dmac {
+                cycle,
+                slot,
+                contention_window,
+            } => graph
+                .nodes()
+                .map(|u| {
+                    let has_children = !tree.children(u).is_empty();
+                    Box::new(protocols::dmac::DmacNode::new(
+                        cycle,
+                        slot,
+                        contention_window,
+                        has_children,
+                    )) as Box<dyn MacNode>
+                })
+                .collect(),
+            ProtocolConfig::Scp {
+                poll_interval,
+                poll_listen,
+                sync_period,
+            } => graph
+                .nodes()
+                .map(|_| {
+                    Box::new(protocols::scp::ScpNode::new(
+                        poll_interval,
+                        poll_listen,
+                        sync_period,
+                    )) as Box<dyn MacNode>
+                })
+                .collect(),
+            ProtocolConfig::Lmac { slot, frame_slots } => {
+                let coloring = distance_two_coloring(graph);
+                if coloring.count() > frame_slots {
+                    return Err(NetError::InvalidParameter {
+                        name: "frame_slots",
+                        reason: format!(
+                            "topology needs {} distance-2 slots but the frame has {}",
+                            coloring.count(),
+                            frame_slots
+                        ),
+                    });
+                }
+                graph
+                    .nodes()
+                    .map(|u| {
+                        Box::new(protocols::lmac::LmacNode::new(
+                            slot,
+                            frame_slots,
+                            coloring.color(u),
+                        )) as Box<dyn MacNode>
+                    })
+                    .collect()
+            }
+        };
+
+        Simulation::assemble(graph, tree, radio, frames, nodes, protocol.name(), config)
+    }
+
+    fn assemble(
+        graph: &Graph,
+        tree: &RoutingTree,
+        radio: Radio,
+        frames: FrameSizes,
+        nodes: Vec<Box<dyn MacNode>>,
+        protocol: &'static str,
+        config: SimConfig,
+    ) -> Result<Simulation, NetError> {
+        let n = graph.len();
+        let neighbors: Vec<Vec<NodeId>> =
+            graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+        let parent: Vec<Option<NodeId>> = graph.nodes().map(|u| tree.parent(u)).collect();
+        let depth: Vec<usize> = graph.nodes().map(|u| tree.depth(u)).collect();
+        let max_depth = tree.max_depth();
+        let ledger = EnergyLedger::new(radio.power);
+        let core = Core {
+            now: SimTime::ZERO,
+            end: SimTime::from_seconds(config.duration),
+            queue: EventQueue::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer_id: 0,
+            next_tx_seq: 0,
+            next_packet_id: 0,
+            radio_hw: radio,
+            frames,
+            neighbors,
+            parent,
+            depth,
+            max_depth,
+            sink: tree.sink(),
+            radios: vec![
+                RadioState {
+                    mode: Mode::Sleep,
+                    since: SimTime::ZERO,
+                    cause: Cause::Sleep,
+                    startup_token: 0,
+                };
+                n
+            ],
+            ledgers: vec![ledger; n],
+            active_rx: vec![None; n],
+            air_count: vec![0; n],
+            counters: vec![crate::frame::FrameCounters::default(); n],
+            records: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x5DEECE66D),
+            config,
+        };
+
+        Ok(Simulation {
+            core,
+            nodes,
+            protocol,
+        })
+    }
+
+    /// Number of nodes, sink included.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        // Seed traffic: every non-sink node samples periodically with a
+        // random initial phase.
+        let period = self.core.config.sample_period;
+        for i in 0..self.nodes.len() {
+            let node = NodeId::new(i);
+            if node == self.core.sink {
+                continue;
+            }
+            let phase = self.core.rng.gen_range(0.0..period.value());
+            self.core
+                .queue
+                .schedule(SimTime::from_seconds(Seconds::new(phase)), Event::Generate { node });
+        }
+
+        // Start every node.
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId::new(i), |node, ctx| node.start(ctx));
+        }
+
+        // Main loop.
+        while let Some((at, event)) = self.core.queue.pop() {
+            if at > self.core.end {
+                break;
+            }
+            self.core.now = at;
+            self.dispatch(event);
+        }
+
+        // Flush residual mode time up to the horizon.
+        self.core.now = self.core.end;
+        for i in 0..self.nodes.len() {
+            self.core.charge_current(NodeId::new(i));
+            self.core.radios[i].since = self.core.now;
+        }
+
+        let per_node: Vec<NodeStats> = (0..self.nodes.len())
+            .map(|i| NodeStats {
+                node: NodeId::new(i),
+                depth: self.core.depth[i],
+                breakdown: self.core.ledgers[i].breakdown(),
+                busy: self.core.ledgers[i].busy_time(),
+                counters: self.core.counters[i],
+            })
+            .collect();
+
+        SimReport::new(
+            self.protocol,
+            self.core.config,
+            self.core.sink,
+            per_node,
+            std::mem::take(&mut self.core.records),
+        )
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Generate { node } => {
+                let id = PacketId(self.core.next_packet_id);
+                self.core.next_packet_id += 1;
+                let packet = Packet {
+                    id,
+                    origin: node,
+                    created: self.core.now,
+                    hops: 0,
+                };
+                self.core.records.push(PacketRecord {
+                    id,
+                    origin: node,
+                    origin_depth: self.core.depth[node.index()],
+                    created: self.core.now,
+                    delivered: None,
+                    hops: 0,
+                });
+                // Schedule the next sample before handing over.
+                let next = self.core.now.after(self.core.config.sample_period);
+                self.core.queue.schedule(next, Event::Generate { node });
+                self.with_node(node, |n, ctx| n.on_generate(ctx, packet));
+            }
+            Event::Timer { node, id, tag } => {
+                if self.core.cancelled_timers.remove(&id) {
+                    return;
+                }
+                self.with_node(node, |n, ctx| n.on_timer(ctx, tag, id));
+            }
+            Event::RadioReady { node, token } => {
+                let state = self.core.radios[node.index()];
+                if state.startup_token != token || state.mode != Mode::Startup {
+                    return; // stale: the node went back to sleep
+                }
+                let cause = state.cause;
+                self.core.set_mode(node, Mode::Listen, cause);
+                self.with_node(node, |n, ctx| n.on_radio_ready(ctx));
+            }
+            Event::AirStart { node, tx_seq, frame } => {
+                self.core.air_count[node.index()] += 1;
+                match self.core.mode(node) {
+                    Mode::Listen => {
+                        if self.core.active_rx[node.index()].is_none() {
+                            let cause = frame.kind.rx_cause(frame.addressed_to(node));
+                            self.core.set_mode(node, Mode::Rx, cause);
+                            self.core.active_rx[node.index()] =
+                                Some(ActiveRx { tx_seq, corrupted: false });
+                        } else if let Some(rx) = &mut self.core.active_rx[node.index()] {
+                            // A second in-range transmission: collision.
+                            rx.corrupted = true;
+                        }
+                    }
+                    Mode::Rx => {
+                        if let Some(rx) = &mut self.core.active_rx[node.index()] {
+                            rx.corrupted = true;
+                        }
+                    }
+                    Mode::Sleep | Mode::Startup | Mode::Tx => {}
+                }
+            }
+            Event::AirEnd { node, tx_seq, frame } => {
+                self.core.air_count[node.index()] =
+                    self.core.air_count[node.index()].saturating_sub(1);
+                let finished = match &self.core.active_rx[node.index()] {
+                    Some(rx) if rx.tx_seq == tx_seq => Some(rx.corrupted),
+                    _ => None,
+                };
+                if let Some(corrupted) = finished {
+                    self.core.active_rx[node.index()] = None;
+                    // Back to plain listening; the node decides what
+                    // happens next.
+                    self.core.set_mode(node, Mode::Listen, Cause::CarrierSense);
+                    if corrupted {
+                        self.core.counters[node.index()].record_collision();
+                    } else {
+                        self.core.counters[node.index()].record_rx(frame.kind);
+                        self.with_node(node, |n, ctx| n.on_frame(ctx, &frame));
+                    }
+                }
+            }
+            Event::TxDone { node } => {
+                debug_assert_eq!(self.core.mode(node), Mode::Tx);
+                self.core.set_mode(node, Mode::Listen, Cause::CarrierSense);
+                self.with_node(node, |n, ctx| n.on_tx_done(ctx));
+            }
+        }
+    }
+
+    fn with_node<F: FnOnce(&mut Box<dyn MacNode>, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
+        let mut taken: Box<dyn MacNode> =
+            std::mem::replace(&mut self.nodes[node.index()], Box::new(NullNode));
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node,
+            };
+            f(&mut taken, &mut ctx);
+        }
+        self.nodes[node.index()] = taken;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SimConfig {
+        SimConfig {
+            duration: Seconds::new(60.0),
+            sample_period: Seconds::new(10.0),
+            warmup: Seconds::ZERO,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn ring_builder_counts_nodes() {
+        let sim = Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(100.0)), tiny_config())
+            .unwrap();
+        assert_eq!(sim.node_count(), 1 + 4 * 4);
+    }
+
+    #[test]
+    fn lmac_rejects_undersized_frames() {
+        let cfg = tiny_config();
+        let protocol = ProtocolConfig::Lmac {
+            slot: Seconds::from_millis(10.0),
+            frame_slots: 2, // far below any 2-hop neighborhood
+        };
+        assert!(matches!(
+            Simulation::ring(2, 4, protocol, cfg),
+            Err(NetError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let run = |seed: u64| {
+            let cfg = SimConfig { seed, ..tiny_config() };
+            Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
+                .unwrap()
+                .run()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.delivery_ratio(), b.delivery_ratio());
+        assert_eq!(a.delivered_count(), b.delivered_count());
+        let ea: Vec<f64> = a.per_node().iter().map(|s| s.breakdown.total().value()).collect();
+        let eb: Vec<f64> = b.per_node().iter().map(|s| s.breakdown.total().value()).collect();
+        assert_eq!(ea, eb, "energy accounting must be bit-identical");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed: u64| {
+            let cfg = SimConfig { seed, ..tiny_config() };
+            Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
+                .unwrap()
+                .run()
+        };
+        let a = run(1);
+        let b = run(2);
+        // Phases differ, so per-node energies will not be identical.
+        let ea: Vec<f64> = a.per_node().iter().map(|s| s.breakdown.total().value()).collect();
+        let eb: Vec<f64> = b.per_node().iter().map(|s| s.breakdown.total().value()).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn energy_is_conserved_over_the_horizon() {
+        // Every node's charged time (busy + sleep) must equal the run
+        // duration exactly.
+        let cfg = tiny_config();
+        let report =
+            Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(100.0)), cfg)
+                .unwrap()
+                .run();
+        for stats in report.per_node() {
+            let sleep_time = stats.breakdown.sleep.value()
+                / Radio::cc2420().power.sleep.value();
+            let total = stats.busy.value() + sleep_time;
+            assert!(
+                (total - cfg.duration.value()).abs() < 1e-6,
+                "node {} accounted {total} s of {} s",
+                stats.node,
+                cfg.duration.value()
+            );
+        }
+    }
+}

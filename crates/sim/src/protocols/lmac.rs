@@ -1,0 +1,229 @@
+//! LMAC node: frame-based TDMA with per-slot control sections.
+//!
+//! Time is a sequence of frames of `N` slots of length `Ts`. Every node
+//! owns one slot — assigned by distance-2 coloring at build time, which
+//! stands in for LMAC's distributed slot-claiming phase (the paper's
+//! analysis likewise assumes steady state). At every slot boundary all
+//! nodes wake and listen to the owner's control section: if it names
+//! them as data addressee they stay up for the data, otherwise they
+//! sleep until the next slot. Owners always transmit their control
+//! section (the schedule heartbeat) and append at most one queued data
+//! frame per slot.
+
+use crate::engine::{Ctx, MacNode};
+use crate::frame::{Frame, FrameKind, Packet};
+use edmac_radio::Cause;
+use edmac_units::Seconds;
+use std::collections::VecDeque;
+
+const TAG_SLOT_START: u32 = 1;
+const TAG_CONTROL_MISSING: u32 = 2;
+const TAG_DATA_TIMEOUT: u32 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Sleeping,
+    /// Waking for a slot boundary.
+    WakingForSlot,
+    /// Listening for the slot owner's control section.
+    AwaitingControl,
+    /// Own slot: control section on the air.
+    SendingControl { data_follows: bool },
+    /// Own slot: data frame on the air.
+    SendingData,
+    /// Named as addressee: waiting for the data frame.
+    AwaitingData,
+}
+
+/// The LMAC per-node state machine.
+#[derive(Debug)]
+pub(crate) struct LmacNode {
+    slot: Seconds,
+    frame_slots: usize,
+    my_slot: usize,
+    phase: Phase,
+    queue: VecDeque<Packet>,
+    /// Index of the next slot (global, monotonically increasing).
+    next_slot: u64,
+    control_timer: u64,
+    data_timer: u64,
+}
+
+impl LmacNode {
+    pub fn new(slot: Seconds, frame_slots: usize, my_slot: usize) -> LmacNode {
+        assert!(my_slot < frame_slots, "slot assignment exceeds frame");
+        LmacNode {
+            slot,
+            frame_slots,
+            my_slot,
+            phase: Phase::Sleeping,
+            queue: VecDeque::new(),
+            next_slot: 0,
+            control_timer: u64::MAX,
+            data_timer: u64::MAX,
+        }
+    }
+
+    /// Whether global slot index `k` belongs to this node.
+    fn owns(&self, k: u64) -> bool {
+        (k % self.frame_slots as u64) as usize == self.my_slot
+    }
+
+    /// Schedules the wake-up for global slot `k` (one startup early).
+    fn schedule_slot(&mut self, ctx: &mut Ctx<'_>, k: u64) {
+        let at = self.slot.value() * k as f64 - ctx.startup_delay().value();
+        let delay = Seconds::new((at - ctx.now().as_seconds().value()).max(0.0));
+        ctx.set_timer(delay, TAG_SLOT_START);
+        self.next_slot = k;
+    }
+}
+
+impl MacNode for LmacNode {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.schedule_slot(ctx, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64) {
+        match tag {
+            TAG_SLOT_START => {
+                let slot = self.next_slot;
+                // Schedule the next boundary first, so a crash in this
+                // slot's logic cannot stall the schedule.
+                self.schedule_slot(ctx, slot + 1);
+                if self.phase != Phase::Sleeping {
+                    // Still busy from the previous slot (e.g. long data
+                    // reception): skip this boundary.
+                    return;
+                }
+                self.phase = Phase::WakingForSlot;
+                let cause = if self.owns(slot) {
+                    Cause::SyncTx
+                } else {
+                    Cause::SyncRx
+                };
+                ctx.wake(cause);
+            }
+            TAG_CONTROL_MISSING if id == self.control_timer => {
+                if self.phase != Phase::AwaitingControl {
+                    return;
+                }
+                if ctx.is_receiving() {
+                    // A frame (hopefully the control) is mid-air: extend
+                    // instead of abandoning the timer — a corrupted
+                    // reception produces no callback, and without a
+                    // pending timer the node would listen forever.
+                    self.control_timer =
+                        ctx.set_timer(Seconds::from_micros(300.0), TAG_CONTROL_MISSING);
+                } else {
+                    // Empty or corrupted control section: sleep until
+                    // the next slot.
+                    self.phase = Phase::Sleeping;
+                    ctx.sleep();
+                }
+            }
+            TAG_DATA_TIMEOUT if id == self.data_timer => {
+                if self.phase != Phase::AwaitingData {
+                    return;
+                }
+                if ctx.is_receiving() {
+                    self.data_timer =
+                        ctx.set_timer(Seconds::from_millis(1.0), TAG_DATA_TIMEOUT);
+                } else {
+                    self.phase = Phase::Sleeping;
+                    ctx.sleep();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_radio_ready(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::WakingForSlot {
+            return;
+        }
+        // We are at the slot boundary now (the wake-up led by exactly
+        // the startup delay).
+        let current = self.next_slot.saturating_sub(1);
+        if self.owns(current) {
+            let data_follows = !self.queue.is_empty() && !ctx.is_sink();
+            let dst = if data_follows { ctx.parent() } else { None };
+            self.phase = Phase::SendingControl { data_follows };
+            ctx.send(FrameKind::Control, dst, None);
+        } else {
+            self.phase = Phase::AwaitingControl;
+            // Real listeners sample the slot head: if no carrier shows
+            // within a CCA-scale window the slot is silent (no owner in
+            // range this frame) and the radio goes straight back down.
+            // An in-progress reception makes the timer a no-op.
+            let timeout = Seconds::from_micros(300.0);
+            self.control_timer = ctx.set_timer(timeout, TAG_CONTROL_MISSING);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        let me = ctx.me();
+        match frame.kind {
+            FrameKind::Control => {
+                if self.phase != Phase::AwaitingControl {
+                    return;
+                }
+                ctx.cancel_timer(self.control_timer);
+                if frame.dst == Some(me) {
+                    // The owner's data is for us: stay up.
+                    self.phase = Phase::AwaitingData;
+                    let timeout = ctx.airtime(FrameKind::Data) + Seconds::from_millis(1.0);
+                    self.data_timer = ctx.set_timer(timeout, TAG_DATA_TIMEOUT);
+                } else {
+                    // Not for us: sleep for the rest of the slot.
+                    self.phase = Phase::Sleeping;
+                    ctx.sleep();
+                }
+            }
+            FrameKind::Data if frame.addressed_to(me)
+                && self.phase == Phase::AwaitingData => {
+                    ctx.cancel_timer(self.data_timer);
+                    let mut packet = frame.packet.expect("data frames carry packets");
+                    packet.hops += 1;
+                    if ctx.is_sink() {
+                        ctx.deliver(packet);
+                    } else {
+                        self.queue.push_back(packet);
+                    }
+                    self.phase = Phase::Sleeping;
+                    ctx.sleep();
+                }
+            _ => {}
+        }
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut Ctx<'_>) {
+        match self.phase {
+            Phase::SendingControl { data_follows } => {
+                if data_follows {
+                    let packet = self
+                        .queue
+                        .pop_front()
+                        .expect("data_follows implies a queued packet");
+                    let parent = ctx.parent().expect("non-sink nodes have parents");
+                    self.phase = Phase::SendingData;
+                    ctx.send(FrameKind::Data, Some(parent), Some(packet));
+                } else {
+                    self.phase = Phase::Sleeping;
+                    ctx.sleep();
+                }
+            }
+            Phase::SendingData => {
+                // TDMA: no ack needed, the slot is collision-free by
+                // construction.
+                self.phase = Phase::Sleeping;
+                ctx.sleep();
+            }
+            _ => {}
+        }
+    }
+
+    fn on_generate(&mut self, _ctx: &mut Ctx<'_>, packet: Packet) {
+        // Data waits for the own slot.
+        self.queue.push_back(packet);
+    }
+}

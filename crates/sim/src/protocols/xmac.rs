@@ -1,0 +1,336 @@
+//! X-MAC node: low-power listening with strobed preambles and early
+//! acknowledgements.
+//!
+//! Receiver side: sleep; wake every `Tw` for a short poll; if a strobe
+//! addressed here is caught, answer a strobe-ack, receive the data,
+//! acknowledge it, and forward (or deliver at the sink).
+//!
+//! Sender side: strobe the addressed preamble — one strobe, one
+//! ack-listen gap — until the receiver's strobe-ack arrives (bounded by
+//! `Tw` plus slack), then ship the data frame and wait for the final
+//! ack. Collisions and misses are retried with a random backoff, up to
+//! `max_retries` per packet.
+
+use crate::engine::{Ctx, MacNode};
+use crate::frame::{Frame, FrameKind, Packet};
+use edmac_radio::Cause;
+use edmac_units::Seconds;
+use std::collections::VecDeque;
+
+const TAG_POLL: u32 = 1;
+const TAG_POLL_END: u32 = 2;
+const TAG_STROBE_GAP: u32 = 3;
+const TAG_ACK_TIMEOUT: u32 = 4;
+const TAG_DATA_TIMEOUT: u32 = 5;
+const TAG_BACKOFF: u32 = 6;
+
+/// Sender/receiver phase of the node's state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Radio down between polls.
+    Sleeping,
+    /// Poll in progress (listening briefly).
+    Polling,
+    /// Powering up to begin a transmission.
+    WakingToSend,
+    /// Strobes are on the air; the instant the train started is kept to
+    /// bound it.
+    Strobing { started: crate::time::SimTime },
+    /// One strobe sent; the ack-listen gap runs.
+    StrobeGap { started: crate::time::SimTime },
+    /// Data frame on the air.
+    SendingData,
+    /// Data sent; waiting for the final ack.
+    AwaitingAck,
+    /// Heard a strobe for us; answering with the strobe-ack.
+    AnsweringStrobe,
+    /// Strobe-ack sent; waiting for the data frame.
+    AwaitingData,
+    /// Received data; final ack on the air.
+    Acking,
+    /// Backing off after a failed exchange.
+    BackingOff,
+}
+
+/// The X-MAC per-node state machine.
+#[derive(Debug)]
+pub(crate) struct XmacNode {
+    wakeup: Seconds,
+    poll_listen: Seconds,
+    max_retries: u32,
+    phase: Phase,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+    retries: u32,
+    poll_end_timer: u64,
+    gap_timer: u64,
+    ack_timer: u64,
+    data_timer: u64,
+}
+
+impl XmacNode {
+    pub fn new(wakeup: Seconds, poll_listen: Seconds, max_retries: u32) -> XmacNode {
+        XmacNode {
+            wakeup,
+            poll_listen,
+            max_retries,
+            phase: Phase::Sleeping,
+            queue: VecDeque::new(),
+            in_flight: None,
+            retries: 0,
+            poll_end_timer: u64::MAX,
+            gap_timer: u64::MAX,
+            ack_timer: u64::MAX,
+            data_timer: u64::MAX,
+        }
+    }
+
+    /// The ack-listen gap after each strobe: turnaround, the ack
+    /// airtime, and scheduling slack.
+    fn gap(&self, ctx: &Ctx<'_>) -> Seconds {
+        ctx.airtime(FrameKind::StrobeAck) + Seconds::from_micros(600.0)
+    }
+
+    /// Upper bound on one strobe train: a full wake-up interval plus
+    /// slack (every receiver must have polled once by then).
+    fn preamble_budget(&self, ctx: &Ctx<'_>) -> Seconds {
+        self.wakeup
+            + ctx.airtime(FrameKind::Strobe) * 2.0
+            + self.gap(ctx) * 2.0
+            + ctx.startup_delay()
+    }
+
+    fn try_begin_tx(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Sleeping || self.queue.is_empty() || ctx.is_sink() {
+            return;
+        }
+        self.phase = Phase::WakingToSend;
+        ctx.wake(Cause::DataTx);
+    }
+
+    fn begin_strobing(&mut self, ctx: &mut Ctx<'_>) {
+        if self.in_flight.is_none() {
+            self.in_flight = self.queue.pop_front();
+        }
+        let Some(_) = self.in_flight else {
+            self.go_to_sleep(ctx);
+            return;
+        };
+        self.phase = Phase::Strobing { started: ctx.now() };
+        self.send_one_strobe(ctx);
+    }
+
+    fn send_one_strobe(&mut self, ctx: &mut Ctx<'_>) {
+        let parent = ctx.parent().expect("non-sink nodes have parents");
+        ctx.send(FrameKind::Strobe, Some(parent), None);
+    }
+
+    fn exchange_failed(&mut self, ctx: &mut Ctx<'_>) {
+        self.retries += 1;
+        if self.retries > self.max_retries {
+            // Drop the packet: it will show as undelivered in the
+            // report.
+            self.in_flight = None;
+            self.retries = 0;
+        }
+        self.phase = Phase::BackingOff;
+        // Contention backoff: a random fraction of the wake-up interval.
+        let backoff = Seconds::new(ctx.random_range(0.1, 1.0) * self.wakeup.value());
+        ctx.sleep();
+        ctx.set_timer(backoff, TAG_BACKOFF);
+    }
+
+    fn exchange_succeeded(&mut self, ctx: &mut Ctx<'_>) {
+        self.in_flight = None;
+        self.retries = 0;
+        if self.queue.is_empty() {
+            self.go_to_sleep(ctx);
+        } else {
+            // Channel momentum: keep the radio up and start the next
+            // packet's preamble immediately.
+            self.begin_strobing(ctx);
+        }
+    }
+
+    fn go_to_sleep(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Sleeping;
+        ctx.sleep();
+        self.try_begin_tx(ctx);
+    }
+}
+
+impl MacNode for XmacNode {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        // Desynchronize poll phases across nodes.
+        let phase = Seconds::new(ctx.random_range(0.0, self.wakeup.value()));
+        ctx.set_timer(phase, TAG_POLL);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64) {
+        match tag {
+            TAG_POLL => {
+                // The poll clock ticks regardless of activity.
+                ctx.set_timer(self.wakeup, TAG_POLL);
+                if self.phase == Phase::Sleeping {
+                    if self.queue.is_empty() {
+                        self.phase = Phase::Polling;
+                        ctx.wake(Cause::CarrierSense);
+                    } else {
+                        self.try_begin_tx(ctx);
+                    }
+                }
+            }
+            TAG_POLL_END if id == self.poll_end_timer => {
+                if self.phase != Phase::Polling {
+                    return;
+                }
+                if ctx.is_receiving() {
+                    // Mid-frame: extend the poll by one listen quantum.
+                    self.poll_end_timer = ctx.set_timer(self.poll_listen, TAG_POLL_END);
+                } else {
+                    self.go_to_sleep(ctx);
+                }
+            }
+            TAG_STROBE_GAP if id == self.gap_timer => {
+                let Phase::StrobeGap { started } = self.phase else {
+                    return;
+                };
+                if ctx.is_receiving() {
+                    // A frame (hopefully our strobe-ack) is landing:
+                    // give it one more gap.
+                    self.gap_timer = ctx.set_timer(self.gap(ctx), TAG_STROBE_GAP);
+                    return;
+                }
+                if ctx.now().since(started) > self.preamble_budget(ctx) {
+                    self.exchange_failed(ctx);
+                } else {
+                    self.phase = Phase::Strobing { started };
+                    self.send_one_strobe(ctx);
+                }
+            }
+            TAG_ACK_TIMEOUT if id == self.ack_timer
+                && self.phase == Phase::AwaitingAck => {
+                    self.exchange_failed(ctx);
+                }
+            TAG_DATA_TIMEOUT if id == self.data_timer
+                && self.phase == Phase::AwaitingData => {
+                    // The sender vanished; go back to sleep.
+                    self.go_to_sleep(ctx);
+                }
+            TAG_BACKOFF
+                if self.phase == Phase::BackingOff => {
+                    self.phase = Phase::Sleeping;
+                    self.try_begin_tx(ctx);
+                }
+            _ => {} // stale timer from an abandoned phase
+        }
+    }
+
+    fn on_radio_ready(&mut self, ctx: &mut Ctx<'_>) {
+        match self.phase {
+            Phase::Polling => {
+                self.poll_end_timer = ctx.set_timer(self.poll_listen, TAG_POLL_END);
+            }
+            Phase::WakingToSend => {
+                if ctx.channel_busy() {
+                    // Someone is mid-exchange: defer.
+                    self.exchange_failed(ctx);
+                } else {
+                    self.begin_strobing(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        let me = ctx.me();
+        match frame.kind {
+            FrameKind::Strobe if frame.addressed_to(me) => {
+                // Answer regardless of phase (polling or tail of another
+                // exchange): the sender is waiting.
+                if matches!(self.phase, Phase::Polling | Phase::Sleeping) {
+                    if self.phase == Phase::Polling {
+                        ctx.cancel_timer(self.poll_end_timer);
+                    }
+                    self.phase = Phase::AnsweringStrobe;
+                    ctx.send(FrameKind::StrobeAck, Some(frame.src), None);
+                }
+            }
+            FrameKind::Strobe
+                // Someone else's preamble: X-MAC early sleep.
+                if self.phase == Phase::Polling => {
+                    ctx.cancel_timer(self.poll_end_timer);
+                    self.go_to_sleep(ctx);
+                }
+            FrameKind::StrobeAck if frame.addressed_to(me) => {
+                if matches!(self.phase, Phase::StrobeGap { .. }) {
+                    ctx.cancel_timer(self.gap_timer);
+                    self.phase = Phase::SendingData;
+                    let packet = self.in_flight.expect("strobing implies a packet in flight");
+                    ctx.send(FrameKind::Data, Some(frame.src), Some(packet));
+                }
+            }
+            FrameKind::Data if frame.addressed_to(me)
+                && self.phase == Phase::AwaitingData => {
+                    ctx.cancel_timer(self.data_timer);
+                    let mut packet = frame.packet.expect("data frames carry packets");
+                    packet.hops += 1;
+                    self.phase = Phase::Acking;
+                    ctx.send(FrameKind::Ack, Some(frame.src), None);
+                    if ctx.is_sink() {
+                        ctx.deliver(packet);
+                    } else {
+                        self.queue.push_back(packet);
+                    }
+                }
+            FrameKind::Data
+                // Overheard data for someone else: back to sleep if we
+                // were merely polling.
+                if self.phase == Phase::Polling => {
+                    ctx.cancel_timer(self.poll_end_timer);
+                    self.go_to_sleep(ctx);
+                }
+            FrameKind::Ack if frame.addressed_to(me)
+                && self.phase == Phase::AwaitingAck => {
+                    ctx.cancel_timer(self.ack_timer);
+                    self.exchange_succeeded(ctx);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut Ctx<'_>) {
+        match self.phase {
+            Phase::Strobing { started } => {
+                self.phase = Phase::StrobeGap { started };
+                self.gap_timer = ctx.set_timer(self.gap(ctx), TAG_STROBE_GAP);
+            }
+            Phase::SendingData => {
+                self.phase = Phase::AwaitingAck;
+                let timeout = ctx.airtime(FrameKind::Ack) + Seconds::from_micros(800.0);
+                self.ack_timer = ctx.set_timer(timeout, TAG_ACK_TIMEOUT);
+            }
+            Phase::AnsweringStrobe => {
+                self.phase = Phase::AwaitingData;
+                let timeout = ctx.airtime(FrameKind::Data) * 2.0 + Seconds::from_millis(2.0);
+                self.data_timer = ctx.set_timer(timeout, TAG_DATA_TIMEOUT);
+            }
+            Phase::Acking => {
+                // Exchange complete on the receiver side; forward if we
+                // queued something.
+                if self.queue.is_empty() || ctx.is_sink() {
+                    self.go_to_sleep(ctx);
+                } else {
+                    self.begin_strobing(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_generate(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        self.queue.push_back(packet);
+        self.try_begin_tx(ctx);
+    }
+}

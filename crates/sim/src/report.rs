@@ -1,0 +1,342 @@
+//! Simulation outputs: per-node energy and per-packet delivery records.
+
+use crate::engine::SimConfig;
+use crate::frame::{FrameCounters, PacketId};
+use crate::time::SimTime;
+use edmac_net::NodeId;
+use edmac_radio::EnergyBreakdown;
+use edmac_units::{Joules, Seconds};
+
+/// One node's accounting over the whole run.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// The node.
+    pub node: NodeId,
+    /// Its hop distance from the sink.
+    pub depth: usize,
+    /// Energy by cause over the run.
+    pub breakdown: EnergyBreakdown,
+    /// Total non-sleep radio time.
+    pub busy: Seconds,
+    /// Frame-level accounting (transmissions, receptions, collisions).
+    pub counters: FrameCounters,
+}
+
+/// One application packet's fate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    /// Packet id.
+    pub id: PacketId,
+    /// Sampling node.
+    pub origin: NodeId,
+    /// The origin's hop distance (ring) from the sink.
+    pub origin_depth: usize,
+    /// Sampling time.
+    pub created: SimTime,
+    /// Delivery time at the sink, if it arrived within the horizon.
+    pub delivered: Option<SimTime>,
+    /// Hops traversed (filled at delivery).
+    pub hops: u32,
+}
+
+impl PacketRecord {
+    /// End-to-end delay, if delivered.
+    pub fn delay(&self) -> Option<Seconds> {
+        self.delivered.map(|d| d.since(self.created))
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    protocol: &'static str,
+    config: SimConfig,
+    sink: NodeId,
+    per_node: Vec<NodeStats>,
+    records: Vec<PacketRecord>,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        protocol: &'static str,
+        config: SimConfig,
+        sink: NodeId,
+        per_node: Vec<NodeStats>,
+        records: Vec<PacketRecord>,
+    ) -> SimReport {
+        SimReport {
+            protocol,
+            config,
+            sink,
+            per_node,
+            records,
+        }
+    }
+
+    /// The simulated protocol's name.
+    pub fn protocol(&self) -> &'static str {
+        self.protocol
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Per-node statistics, indexed by node id.
+    pub fn per_node(&self) -> &[NodeStats] {
+        &self.per_node
+    }
+
+    /// All packet records.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Packets created after warm-up (the statistical population).
+    fn counted(&self) -> impl Iterator<Item = &PacketRecord> {
+        let warmup = SimTime::from_seconds(self.config.warmup);
+        // Packets born too close to the horizon never had a chance to
+        // arrive; exclude the final 5% of the run as cool-down.
+        let cooldown = SimTime::from_nanos(
+            (SimTime::from_seconds(self.config.duration).as_nanos() as f64 * 0.95) as u64,
+        );
+        self.records
+            .iter()
+            .filter(move |r| r.created >= warmup && r.created <= cooldown)
+    }
+
+    /// Fraction of counted packets that reached the sink.
+    pub fn delivery_ratio(&self) -> f64 {
+        let (total, delivered) = self.counted().fold((0usize, 0usize), |(t, d), r| {
+            (t + 1, d + usize::from(r.delivered.is_some()))
+        });
+        if total == 0 {
+            return 1.0;
+        }
+        delivered as f64 / total as f64
+    }
+
+    /// Number of delivered, counted packets.
+    pub fn delivered_count(&self) -> usize {
+        self.counted().filter(|r| r.delivered.is_some()).count()
+    }
+
+    /// Mean end-to-end delay of delivered, counted packets.
+    pub fn mean_delay(&self) -> Option<Seconds> {
+        let delays: Vec<f64> = self
+            .counted()
+            .filter_map(|r| r.delay())
+            .map(|d| d.value())
+            .collect();
+        if delays.is_empty() {
+            return None;
+        }
+        Some(Seconds::new(delays.iter().sum::<f64>() / delays.len() as f64))
+    }
+
+    /// Mean end-to-end delay of delivered packets originating at
+    /// `depth` hops.
+    pub fn mean_delay_at_depth(&self, depth: usize) -> Option<Seconds> {
+        let delays: Vec<f64> = self
+            .counted()
+            .filter(|r| r.origin_depth == depth)
+            .filter_map(|r| r.delay())
+            .map(|d| d.value())
+            .collect();
+        if delays.is_empty() {
+            return None;
+        }
+        Some(Seconds::new(delays.iter().sum::<f64>() / delays.len() as f64))
+    }
+
+    /// Median end-to-end delay of delivered packets originating at
+    /// `depth` hops.
+    ///
+    /// The median is the right comparator against the analytical
+    /// models: their expected-delay formulas ignore the rare
+    /// retry-cascade tail (a lost exchange costs whole backoff+retry
+    /// rounds), which contaminates the mean but not the typical packet.
+    pub fn median_delay_at_depth(&self, depth: usize) -> Option<Seconds> {
+        let mut delays: Vec<f64> = self
+            .counted()
+            .filter(|r| r.origin_depth == depth)
+            .filter_map(|r| r.delay())
+            .map(|d| d.value())
+            .collect();
+        if delays.is_empty() {
+            return None;
+        }
+        delays.sort_by(f64::total_cmp);
+        Some(Seconds::new(delays[delays.len() / 2]))
+    }
+
+    /// The worst observed end-to-end delay.
+    pub fn max_delay(&self) -> Option<Seconds> {
+        self.counted()
+            .filter_map(|r| r.delay())
+            .max_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite delays"))
+    }
+
+    /// Total corrupted receptions across all nodes — the network-wide
+    /// collision count.
+    pub fn total_collisions(&self) -> u64 {
+        self.per_node.iter().map(|s| s.counters.collisions()).sum()
+    }
+
+    /// The highest per-node energy over the run, excluding the sink
+    /// (assumed mains-powered), scaled to `epoch` — directly comparable
+    /// to the analytical models' `E`.
+    pub fn bottleneck_energy(&self, epoch: Seconds) -> Joules {
+        let scale = epoch.value() / self.config.duration.value();
+        self.per_node
+            .iter()
+            .filter(|s| s.node != self.sink)
+            .map(|s| s.breakdown.total() * scale)
+            .fold(Joules::ZERO, Joules::max)
+    }
+
+    /// The energy breakdown of the most-consuming non-sink node, scaled
+    /// to `epoch`.
+    pub fn bottleneck_breakdown(&self, epoch: Seconds) -> EnergyBreakdown {
+        let scale = epoch.value() / self.config.duration.value();
+        self.per_node
+            .iter()
+            .filter(|s| s.node != self.sink)
+            .max_by(|a, b| {
+                a.breakdown
+                    .total()
+                    .value()
+                    .partial_cmp(&b.breakdown.total().value())
+                    .expect("finite energies")
+            })
+            .map(|s| s.breakdown.scaled(scale))
+            .unwrap_or(EnergyBreakdown::ZERO)
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} simulation: {} nodes, {:.0} s simulated",
+            self.protocol,
+            self.per_node.len(),
+            self.config.duration.value()
+        )?;
+        writeln!(f, "  delivery ratio : {:.3}", self.delivery_ratio())?;
+        if let Some(d) = self.mean_delay() {
+            writeln!(f, "  mean e2e delay : {:.3} s", d.value())?;
+        }
+        if let Some(d) = self.max_delay() {
+            writeln!(f, "  max e2e delay  : {:.3} s", d.value())?;
+        }
+        write!(
+            f,
+            "  bottleneck     : {:.5} J per 10 s epoch",
+            self.bottleneck_energy(Seconds::new(10.0)).value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(created_s: f64, delivered_s: Option<f64>, depth: usize) -> PacketRecord {
+        PacketRecord {
+            id: PacketId(0),
+            origin: NodeId::new(1),
+            origin_depth: depth,
+            created: SimTime::from_seconds(Seconds::new(created_s)),
+            delivered: delivered_s.map(|s| SimTime::from_seconds(Seconds::new(s))),
+            hops: depth as u32,
+        }
+    }
+
+    fn report(records: Vec<PacketRecord>) -> SimReport {
+        SimReport::new(
+            "T",
+            SimConfig {
+                duration: Seconds::new(100.0),
+                sample_period: Seconds::new(10.0),
+                warmup: Seconds::new(10.0),
+                seed: 0,
+            },
+            NodeId::new(0),
+            vec![],
+            records,
+        )
+    }
+
+    #[test]
+    fn warmup_and_cooldown_are_excluded() {
+        let r = report(vec![
+            record(5.0, Some(6.0), 1),    // before warmup: excluded
+            record(50.0, Some(51.0), 1),  // counted, delivered
+            record(60.0, None, 1),        // counted, lost
+            record(97.0, None, 1),        // cooldown: excluded
+        ]);
+        assert_eq!(r.delivery_ratio(), 0.5);
+        assert_eq!(r.delivered_count(), 1);
+    }
+
+    #[test]
+    fn delay_statistics() {
+        let r = report(vec![
+            record(20.0, Some(21.0), 2),
+            record(30.0, Some(33.0), 2),
+            record(40.0, Some(42.0), 3),
+        ]);
+        assert!((r.mean_delay().unwrap().value() - 2.0).abs() < 1e-9);
+        assert!((r.max_delay().unwrap().value() - 3.0).abs() < 1e-9);
+        assert!((r.mean_delay_at_depth(2).unwrap().value() - 2.0).abs() < 1e-9);
+        assert!((r.mean_delay_at_depth(3).unwrap().value() - 2.0).abs() < 1e-9);
+        assert!(r.mean_delay_at_depth(7).is_none());
+    }
+
+    #[test]
+    fn empty_population_is_fully_delivered() {
+        let r = report(vec![]);
+        assert_eq!(r.delivery_ratio(), 1.0);
+        assert!(r.mean_delay().is_none());
+    }
+
+    #[test]
+    fn bottleneck_excludes_sink() {
+        let mut sink_breakdown = EnergyBreakdown::ZERO;
+        sink_breakdown.rx = Joules::new(100.0);
+        let mut node_breakdown = EnergyBreakdown::ZERO;
+        node_breakdown.tx = Joules::new(1.0);
+        let r = SimReport::new(
+            "T",
+            SimConfig {
+                duration: Seconds::new(10.0),
+                sample_period: Seconds::new(1.0),
+                warmup: Seconds::ZERO,
+                seed: 0,
+            },
+            NodeId::new(0),
+            vec![
+                NodeStats {
+                    node: NodeId::new(0),
+                    depth: 0,
+                    breakdown: sink_breakdown,
+                    busy: Seconds::new(10.0),
+                    counters: FrameCounters::default(),
+                },
+                NodeStats {
+                    node: NodeId::new(1),
+                    depth: 1,
+                    breakdown: node_breakdown,
+                    busy: Seconds::new(1.0),
+                    counters: FrameCounters::default(),
+                },
+            ],
+            vec![],
+        );
+        // Same epoch as duration: scale 1. The sink's 100 J must not win.
+        assert_eq!(r.bottleneck_energy(Seconds::new(10.0)), Joules::new(1.0));
+        assert_eq!(r.bottleneck_breakdown(Seconds::new(10.0)).tx, Joules::new(1.0));
+    }
+}

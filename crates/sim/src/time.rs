@@ -1,0 +1,112 @@
+//! Simulation time: integer nanoseconds.
+//!
+//! Floating-point event times accumulate ordering hazards (two events
+//! "at the same time" that differ in the last ulp); integer nanoseconds
+//! make event ordering exact and the simulation reproducible.
+
+use edmac_units::Seconds;
+
+/// A point in simulated time, in nanoseconds from the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Converts a (non-negative, finite) duration into simulation time
+    /// units, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `s` is negative or not finite — a
+    /// protocol scheduling a NaN timer is a bug worth stopping on.
+    pub fn from_seconds(s: Seconds) -> SimTime {
+        debug_assert!(s.is_non_negative(), "negative or non-finite duration: {s}");
+        SimTime((s.value() * 1e9).round() as u64)
+    }
+
+    /// This time as a [`Seconds`] duration since the run began.
+    pub fn as_seconds(self) -> Seconds {
+        Seconds::new(self.0 as f64 / 1e9)
+    }
+
+    /// The time `duration` after `self`.
+    #[must_use]
+    pub fn after(self, duration: Seconds) -> SimTime {
+        SimTime(self.0 + SimTime::from_seconds(duration).0)
+    }
+
+    /// The elapsed duration since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self` (time cannot flow
+    /// backward in a monotone event loop).
+    pub fn since(self, earlier: SimTime) -> Seconds {
+        assert!(
+            earlier.0 <= self.0,
+            "time moved backward: {} < {}",
+            self.0,
+            earlier.0
+        );
+        Seconds::new((self.0 - earlier.0) as f64 / 1e9)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.0 as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips() {
+        let t = SimTime::from_seconds(Seconds::from_millis(2.5));
+        assert_eq!(t.as_nanos(), 2_500_000);
+        assert!((t.as_seconds().as_millis() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn after_and_since_are_inverse() {
+        let t0 = SimTime::from_seconds(Seconds::new(1.0));
+        let t1 = t0.after(Seconds::from_millis(125.0));
+        assert!((t1.since(t0).as_millis() - 125.0).abs() < 1e-9);
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backward")]
+    fn since_rejects_reversed_arguments() {
+        let t0 = SimTime::from_nanos(10);
+        let t1 = SimTime::from_nanos(20);
+        let _ = t0.since(t1);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_nanos(1);
+        let b = SimTime::from_nanos(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(SimTime::from_nanos(1_500_000_000).to_string(), "1.500000s");
+    }
+}

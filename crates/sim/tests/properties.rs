@@ -1,0 +1,126 @@
+//! Property-based tests of the simulation engine: invariants that must
+//! hold for any protocol, parameter point and seed.
+
+use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation};
+use edmac_units::Seconds;
+use proptest::prelude::*;
+
+/// A protocol at a random (but valid) operating point.
+fn protocols() -> impl Strategy<Value = ProtocolConfig> {
+    prop_oneof![
+        (0.05..0.4f64).prop_map(|tw| ProtocolConfig::xmac(Seconds::new(tw))),
+        (0.3..2.0f64).prop_map(|t| ProtocolConfig::dmac(Seconds::new(t))),
+        (0.004..0.03f64).prop_map(|ts| ProtocolConfig::lmac(Seconds::new(ts))),
+        (0.1..0.5f64).prop_map(|tp| ProtocolConfig::scp(Seconds::new(tp))),
+    ]
+}
+
+fn run(protocol: ProtocolConfig, seed: u64) -> SimReport {
+    let cfg = SimConfig {
+        duration: Seconds::new(120.0),
+        sample_period: Seconds::new(30.0),
+        warmup: Seconds::new(20.0),
+        seed,
+    };
+    Simulation::ring(2, 4, protocol, cfg)
+        .expect("small rings always build")
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn runs_are_deterministic(protocol in protocols(), seed in any::<u64>()) {
+        let a = run(protocol, seed);
+        let b = run(protocol, seed);
+        prop_assert_eq!(a.delivered_count(), b.delivered_count());
+        prop_assert_eq!(a.total_collisions(), b.total_collisions());
+        for (sa, sb) in a.per_node().iter().zip(b.per_node()) {
+            prop_assert_eq!(
+                sa.breakdown.total().value(),
+                sb.breakdown.total().value(),
+                "node {} energy differs across identical runs", sa.node
+            );
+            prop_assert_eq!(sa.counters, sb.counters);
+        }
+    }
+
+    #[test]
+    fn time_is_fully_accounted(protocol in protocols(), seed in any::<u64>()) {
+        // busy + sleep time must equal the horizon exactly, for every
+        // node: the ledger never loses or invents a nanosecond.
+        let report = run(protocol, seed);
+        let sleep_draw = edmac_radio::Radio::cc2420().power.sleep.value();
+        for stats in report.per_node() {
+            let sleep_time = stats.breakdown.sleep.value() / sleep_draw;
+            let total = stats.busy.value() + sleep_time;
+            prop_assert!(
+                (total - 120.0).abs() < 1e-6,
+                "{}: node {} accounted {total:.9} s of 120 s",
+                report.protocol(), stats.node
+            );
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded(protocol in protocols(), seed in any::<u64>()) {
+        // Nobody consumes more than an always-on listen radio, and
+        // everybody pays at least the sleep floor.
+        let report = run(protocol, seed);
+        let listen = edmac_radio::Radio::cc2420().power.listen.value();
+        let always_on = listen * 120.0 * 1.05;
+        for stats in report.per_node() {
+            let e = stats.breakdown.total().value();
+            prop_assert!(e > 0.0, "node {} consumed nothing", stats.node);
+            prop_assert!(
+                e < always_on,
+                "{}: node {} consumed {e:.4} J, above an always-on radio",
+                report.protocol(), stats.node
+            );
+            prop_assert!(stats.breakdown.is_valid());
+        }
+    }
+
+    #[test]
+    fn deliveries_have_sane_records(protocol in protocols(), seed in any::<u64>()) {
+        let report = run(protocol, seed);
+        for r in report.records() {
+            if let Some(delivered) = r.delivered {
+                prop_assert!(delivered >= r.created, "delivery before creation");
+                prop_assert!(
+                    r.hops as usize >= r.origin_depth,
+                    "{}: packet {} claims {} hops from depth {}",
+                    report.protocol(), r.id, r.hops, r.origin_depth
+                );
+            }
+        }
+        // Light load on a 2-ring network: the protocols must deliver
+        // the clear majority of traffic.
+        prop_assert!(
+            report.delivery_ratio() > 0.7,
+            "{}: delivery {}",
+            report.protocol(),
+            report.delivery_ratio()
+        );
+    }
+
+    #[test]
+    fn counters_are_consistent_with_records(protocol in protocols(), seed in any::<u64>()) {
+        use edmac_sim::FrameKind;
+        let report = run(protocol, seed);
+        let tx_data: u64 = report.per_node().iter().map(|s| s.counters.tx(FrameKind::Data)).sum();
+        // Every delivery implies at least origin_depth data transmissions.
+        let min_tx: u64 = report
+            .records()
+            .iter()
+            .filter(|r| r.delivered.is_some())
+            .map(|r| r.hops as u64)
+            .sum();
+        prop_assert!(
+            tx_data >= min_tx,
+            "{}: {tx_data} data tx cannot carry {min_tx} delivered hops",
+            report.protocol()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Energy ([`Joules`]) and power ([`Watts`]).
+
+use crate::time::Seconds;
+
+quantity! {
+    /// An amount of energy in joules.
+    ///
+    /// The paper's player *Energy* bargains over exactly this quantity:
+    /// the energy consumed by the most-loaded (bottleneck) node during one
+    /// reporting epoch. Budgets in the paper's figures range over
+    /// `0.01 J` to `0.06 J`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_units::{Joules, Seconds, Watts};
+    ///
+    /// let e = Joules::from_milli(141.0);
+    /// let p: Watts = e / Seconds::new(10.0);
+    /// assert!((p.value() - 0.0141).abs() < 1e-12);
+    /// ```
+    pub struct Joules("J");
+}
+
+quantity! {
+    /// Power draw in watts.
+    ///
+    /// Radio datasheet figures (e.g. the CC2420 listens at ~56.4 mW) enter
+    /// the models through this type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_units::{Joules, Seconds, Watts};
+    ///
+    /// let rx = Watts::from_milli(56.4);
+    /// let energy: Joules = rx * Seconds::from_millis(4.0);
+    /// assert!((energy.value() - 225.6e-6).abs() < 1e-12);
+    /// ```
+    pub struct Watts("W");
+}
+
+impl Joules {
+    /// Creates an energy amount from millijoules.
+    #[inline]
+    pub const fn from_milli(mj: f64) -> Joules {
+        Joules::new(mj / 1_000.0)
+    }
+
+    /// Creates an energy amount from microjoules.
+    #[inline]
+    pub const fn from_micro(uj: f64) -> Joules {
+        Joules::new(uj / 1_000_000.0)
+    }
+
+    /// Returns the amount expressed in millijoules.
+    #[inline]
+    pub fn as_milli(self) -> f64 {
+        self.value() * 1_000.0
+    }
+}
+
+impl Watts {
+    /// Creates a power draw from milliwatts.
+    #[inline]
+    pub const fn from_milli(mw: f64) -> Watts {
+        Watts::new(mw / 1_000.0)
+    }
+
+    /// Creates a power draw from microwatts.
+    #[inline]
+    pub const fn from_micro(uw: f64) -> Watts {
+        Watts::new(uw / 1_000_000.0)
+    }
+
+    /// Returns the draw expressed in milliwatts.
+    #[inline]
+    pub fn as_milli(self) -> f64 {
+        self.value() * 1_000.0
+    }
+}
+
+/// Power sustained for a duration yields energy.
+impl std::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+/// Duration at a power level yields energy.
+impl std::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+/// Energy spread over a duration yields average power.
+impl std::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+/// Energy drawn at a power level lasts for a duration.
+impl std::ops::Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Joules, Seconds, Watts};
+
+    #[test]
+    fn power_time_energy_triangle() {
+        let p = Watts::new(0.05);
+        let t = Seconds::new(4.0);
+        let e = p * t;
+        assert!((e.value() - 0.2).abs() < 1e-15);
+        assert!(((t * p).value() - 0.2).abs() < 1e-15);
+        assert!(((e / t).value() - p.value()).abs() < 1e-15);
+        assert!(((e / p).value() - t.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn milli_constructors() {
+        assert!((Joules::from_milli(60.0).value() - 0.06).abs() < 1e-15);
+        assert!((Watts::from_milli(52.2).value() - 0.0522).abs() < 1e-15);
+        assert!((Watts::from_micro(60.0).value() - 60e-6).abs() < 1e-18);
+        assert!((Joules::from_micro(5.0).value() - 5e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn as_milli_round_trips() {
+        assert!((Joules::from_milli(12.5).as_milli() - 12.5).abs() < 1e-12);
+        assert!((Watts::from_milli(1.75).as_milli() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_lifetime_example() {
+        // A pair of AA cells ~ 20 kJ; a node drawing 1 mW lasts ~231 days.
+        let battery = Joules::new(20_000.0);
+        let draw = Watts::from_milli(1.0);
+        let lifetime = battery / draw;
+        let days = lifetime.value() / 86_400.0;
+        assert!((days - 231.48).abs() < 0.01);
+    }
+}

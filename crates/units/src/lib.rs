@@ -1,0 +1,149 @@
+//! Typed physical quantities for the `edmac` workspace.
+//!
+//! Energy/latency model code is dominated by unit arithmetic: milliwatts
+//! multiplied by milliseconds, packet counts per second, duty-cycle ratios.
+//! Getting one conversion wrong silently skews every downstream figure, so
+//! this crate wraps each physical dimension in a newtype ([C-NEWTYPE]) and
+//! only exposes the dimensionally sound operations:
+//!
+//! * [`Watts`] `*` [`Seconds`] = [`Joules`]
+//! * [`Joules`] `/` [`Seconds`] = [`Watts`], [`Joules`] `/` [`Watts`] = [`Seconds`]
+//! * [`Hertz`] `*` [`Seconds`] = dimensionless `f64` (an expected count)
+//! * [`Seconds::recip`] = [`Hertz`], [`Hertz::period`] = [`Seconds`]
+//! * [`Bytes`] `/` [`BitsPerSecond`] = [`Seconds`] (airtime)
+//!
+//! All quantities are thin wrappers over `f64` (or `u32` for [`Bytes`]),
+//! are `Copy`, ordered, display with their unit suffix, and implement the
+//! arithmetic traits for same-type addition/subtraction and scalar
+//! multiplication/division.
+//!
+//! # Examples
+//!
+//! ```
+//! use edmac_units::{Joules, Seconds, Watts};
+//!
+//! let listen_power = Watts::from_milli(56.4);
+//! let poll = Seconds::from_millis(2.5);
+//! let per_poll: Joules = listen_power * poll;
+//! assert!((per_poll.value() - 141e-6).abs() < 1e-9);
+//!
+//! // Average power over a 10 s epoch:
+//! let avg: Watts = per_poll / Seconds::new(10.0);
+//! assert!(avg < listen_power);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+#[macro_use]
+mod scalar;
+
+mod data;
+mod energy;
+mod time;
+
+pub use data::{BitsPerSecond, Bytes};
+pub use energy::{Joules, Watts};
+pub use time::{Hertz, Seconds};
+
+/// A dimensionless ratio in `[0, 1]`, used for duty cycles and
+/// channel-utilization figures.
+///
+/// Unlike the physical quantities, `Ratio` validates its range at
+/// construction: a duty cycle of 1.3 is always a modelling bug.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_units::Ratio;
+///
+/// let duty = Ratio::new(0.02).unwrap();
+/// assert_eq!(duty.value(), 0.02);
+/// assert!(Ratio::new(1.5).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The zero ratio.
+    pub const ZERO: Ratio = Ratio(0.0);
+    /// The unit ratio (always-on duty cycle, fully utilized channel).
+    pub const ONE: Ratio = Ratio(1.0);
+
+    /// Creates a ratio, returning `None` unless `0.0 <= value <= 1.0`
+    /// and the value is finite.
+    pub fn new(value: f64) -> Option<Ratio> {
+        (value.is_finite() && (0.0..=1.0).contains(&value)).then_some(Ratio(value))
+    }
+
+    /// Creates a ratio, clamping the input into `[0, 1]`.
+    ///
+    /// Non-finite inputs clamp to zero.
+    pub fn saturating(value: f64) -> Ratio {
+        if value.is_finite() {
+            Ratio(value.clamp(0.0, 1.0))
+        } else if value == f64::INFINITY {
+            Ratio(1.0)
+        } else {
+            Ratio(0.0)
+        }
+    }
+
+    /// Returns the raw value in `[0, 1]`.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the complementary ratio `1 - self`.
+    ///
+    /// ```
+    /// use edmac_units::Ratio;
+    /// assert_eq!(Ratio::new(0.25).unwrap().complement().value(), 0.75);
+    /// ```
+    pub fn complement(self) -> Ratio {
+        Ratio(1.0 - self.0)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}%", self.0 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod ratio_tests {
+    use super::Ratio;
+
+    #[test]
+    fn new_accepts_unit_interval_only() {
+        assert!(Ratio::new(0.0).is_some());
+        assert!(Ratio::new(1.0).is_some());
+        assert!(Ratio::new(-0.001).is_none());
+        assert!(Ratio::new(1.001).is_none());
+        assert!(Ratio::new(f64::NAN).is_none());
+        assert!(Ratio::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Ratio::saturating(-3.0), Ratio::ZERO);
+        assert_eq!(Ratio::saturating(42.0), Ratio::ONE);
+        assert_eq!(Ratio::saturating(f64::INFINITY), Ratio::ONE);
+        assert_eq!(Ratio::saturating(f64::NAN), Ratio::ZERO);
+        assert_eq!(Ratio::saturating(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let r = Ratio::new(0.3).unwrap();
+        assert!((r.complement().complement().value() - r.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_percentage() {
+        assert_eq!(Ratio::new(0.0215).unwrap().to_string(), "2.150%");
+    }
+}

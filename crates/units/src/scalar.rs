@@ -1,0 +1,247 @@
+//! The `quantity!` macro: shared boilerplate for `f64`-backed newtypes.
+//!
+//! Each invocation defines a `Copy` newtype with constructors, accessors,
+//! same-type additive arithmetic, scalar multiplicative arithmetic, an
+//! iterator [`Sum`](std::iter::Sum) impl and a unit-suffixed
+//! [`Display`](std::fmt::Display).
+
+/// Defines a physical-quantity newtype over `f64`.
+///
+/// The macro is internal to the crate; its syntax mirrors a struct
+/// declaration followed by the unit suffix used by `Display`:
+///
+/// ```ignore
+/// quantity! {
+///     /// docs...
+///     pub struct Seconds("s");
+/// }
+/// ```
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident($unit:literal);
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a quantity from its value in base units.
+            #[inline]
+            pub const fn new(value: f64) -> $name {
+                $name(value)
+            }
+
+            /// Returns the value in base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` (same contract as [`f64::clamp`]).
+            #[inline]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is neither infinite nor NaN.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns `true` if the value is finite and `>= 0`.
+            ///
+            /// Physical quantities in this workspace are almost always
+            /// non-negative; model code uses this to validate inputs.
+            #[inline]
+            pub fn is_non_negative(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Dividing two like quantities yields their dimensionless ratio.
+        impl std::ops::Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> std::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    quantity! {
+        /// Test-only quantity.
+        pub struct Foo("foo");
+    }
+
+    #[test]
+    fn additive_arithmetic() {
+        let a = Foo::new(2.0);
+        let b = Foo::new(0.5);
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((-a).value(), -2.0);
+        let mut c = a;
+        c += b;
+        c -= Foo::new(1.0);
+        assert_eq!(c.value(), 1.5);
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_ratio() {
+        let a = Foo::new(2.0);
+        assert_eq!((a * 3.0).value(), 6.0);
+        assert_eq!((3.0 * a).value(), 6.0);
+        assert_eq!((a / 4.0).value(), 0.5);
+        assert_eq!(a / Foo::new(0.5), 4.0);
+    }
+
+    #[test]
+    fn ordering_min_max_clamp() {
+        let lo = Foo::new(1.0);
+        let hi = Foo::new(3.0);
+        assert!(lo < hi);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+        assert_eq!(Foo::new(9.0).clamp(lo, hi), hi);
+        assert_eq!(Foo::new(-9.0).clamp(lo, hi), lo);
+        assert_eq!(Foo::new(2.0).clamp(lo, hi), Foo::new(2.0));
+    }
+
+    #[test]
+    fn sum_over_iterators() {
+        let parts = [Foo::new(1.0), Foo::new(2.0), Foo::new(3.5)];
+        let owned: Foo = parts.iter().copied().sum();
+        let borrowed: Foo = parts.iter().sum();
+        assert_eq!(owned.value(), 6.5);
+        assert_eq!(borrowed.value(), 6.5);
+    }
+
+    #[test]
+    fn display_includes_unit_and_precision() {
+        assert_eq!(Foo::new(1.25).to_string(), "1.25 foo");
+        assert_eq!(format!("{:.1}", Foo::new(1.25)), "1.2 foo");
+    }
+
+    #[test]
+    fn validity_predicates() {
+        assert!(Foo::new(1.0).is_non_negative());
+        assert!(Foo::ZERO.is_non_negative());
+        assert!(!Foo::new(-1.0).is_non_negative());
+        assert!(!Foo::new(f64::NAN).is_non_negative());
+        assert!(!Foo::new(f64::INFINITY).is_finite());
+    }
+}

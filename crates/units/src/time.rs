@@ -1,0 +1,145 @@
+//! Time ([`Seconds`]) and event rates ([`Hertz`]).
+
+quantity! {
+    /// A span of time in seconds.
+    ///
+    /// The workspace measures every protocol timing (wake-up intervals,
+    /// slot durations, packet airtimes, end-to-end delays) in `Seconds`;
+    /// the millisecond/microsecond helpers exist because datasheets and
+    /// the paper's figures use those scales.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_units::Seconds;
+    ///
+    /// let wakeup = Seconds::from_millis(125.0);
+    /// assert_eq!(wakeup.as_millis(), 125.0);
+    /// assert_eq!(wakeup.value(), 0.125);
+    /// ```
+    pub struct Seconds("s");
+}
+
+quantity! {
+    /// An event rate in events per second.
+    ///
+    /// Used for application sampling rates (`Fs` in the paper) and the
+    /// per-ring traffic flows `F_out^d`, `F_I^d`, `F_B^d`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_units::{Hertz, Seconds};
+    ///
+    /// // One reading per minute:
+    /// let fs = Hertz::per_interval(Seconds::new(60.0));
+    /// // Expected packets in a ten-minute window:
+    /// assert!((fs * Seconds::new(600.0) - 10.0).abs() < 1e-12);
+    /// ```
+    pub struct Hertz("Hz");
+}
+
+impl Seconds {
+    /// Creates a span from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: f64) -> Seconds {
+        Seconds::new(ms / 1_000.0)
+    }
+
+    /// Creates a span from microseconds.
+    #[inline]
+    pub const fn from_micros(us: f64) -> Seconds {
+        Seconds::new(us / 1_000_000.0)
+    }
+
+    /// Returns the span expressed in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.value() * 1_000.0
+    }
+
+    /// Returns the span expressed in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.value() * 1_000_000.0
+    }
+
+    /// Returns the rate whose period is `self`.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; a zero span yields an infinite rate, mirroring `f64`
+    /// division.
+    #[inline]
+    pub fn recip(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+impl Hertz {
+    /// Creates the rate of one event per `period`.
+    #[inline]
+    pub fn per_interval(period: Seconds) -> Hertz {
+        period.recip()
+    }
+
+    /// Returns the period between events at this rate.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+/// Rate × time = expected event count (dimensionless).
+impl std::ops::Mul<Seconds> for Hertz {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.value() * rhs.value()
+    }
+}
+
+/// Time × rate = expected event count (dimensionless).
+impl std::ops::Mul<Hertz> for Seconds {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Hertz) -> f64 {
+        self.value() * rhs.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Hertz, Seconds};
+
+    #[test]
+    fn milli_and_micro_round_trip() {
+        let t = Seconds::from_millis(2.5);
+        assert!((t.value() - 0.0025).abs() < 1e-15);
+        assert!((t.as_millis() - 2.5).abs() < 1e-12);
+        let u = Seconds::from_micros(320.0);
+        assert!((u.as_micros() - 320.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recip_and_period_are_inverses() {
+        let t = Seconds::new(0.2);
+        let f = t.recip();
+        assert!((f.value() - 5.0).abs() < 1e-12);
+        assert!((f.period().value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_times_time_counts_events() {
+        let fs = Hertz::new(0.5);
+        let window = Seconds::new(8.0);
+        assert_eq!(fs * window, 4.0);
+        assert_eq!(window * fs, 4.0);
+    }
+
+    #[test]
+    fn per_interval_matches_recip() {
+        let period = Seconds::new(60.0);
+        assert_eq!(Hertz::per_interval(period).value(), period.recip().value());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the algebra of physical quantities.
+
+use edmac_units::{BitsPerSecond, Bytes, Hertz, Joules, Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+/// Finite, moderately sized magnitudes; the algebra is linear so there is
+/// no value in chasing subnormals here.
+fn magnitude() -> impl Strategy<Value = f64> {
+    -1e9..1e9f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-9..1e9f64
+}
+
+proptest! {
+    #[test]
+    fn seconds_addition_commutes(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Seconds::new(a), Seconds::new(b));
+        prop_assert_eq!((x + y).value(), (y + x).value());
+    }
+
+    #[test]
+    fn joules_sub_is_add_of_neg(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Joules::new(a), Joules::new(b));
+        prop_assert_eq!((x - y).value(), (x + (-y)).value());
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_add(a in magnitude(), b in magnitude(), k in -1e6..1e6f64) {
+        let lhs = (Watts::new(a) + Watts::new(b)) * k;
+        let rhs = Watts::new(a) * k + Watts::new(b) * k;
+        // One rounding step apart at most.
+        prop_assert!((lhs.value() - rhs.value()).abs() <= 1e-6 * (1.0 + lhs.value().abs()));
+    }
+
+    #[test]
+    fn power_time_energy_round_trip(p in positive(), t in positive()) {
+        let e = Watts::new(p) * Seconds::new(t);
+        let p2 = e / Seconds::new(t);
+        let t2 = e / Watts::new(p);
+        prop_assert!((p2.value() - p).abs() <= 1e-9 * p.abs());
+        prop_assert!((t2.value() - t).abs() <= 1e-9 * t.abs());
+    }
+
+    #[test]
+    fn rate_period_round_trip(f in positive()) {
+        let period = Hertz::new(f).period();
+        prop_assert!((period.recip().value() - f).abs() <= 1e-9 * f);
+    }
+
+    #[test]
+    fn like_ratio_is_scalar_quotient(a in positive(), b in positive()) {
+        prop_assert_eq!(Seconds::new(a) / Seconds::new(b), a / b);
+        prop_assert_eq!(Joules::new(a) / Joules::new(b), a / b);
+    }
+
+    #[test]
+    fn airtime_scales_linearly_in_size(n in 0u32..4096, rate in 1e3..1e9f64) {
+        let r = BitsPerSecond::new(rate);
+        let one = r.airtime(Bytes::new(1)).value();
+        let many = r.airtime(Bytes::new(n)).value();
+        prop_assert!((many - one * n as f64).abs() <= 1e-9 * (1.0 + many.abs()));
+    }
+
+    #[test]
+    fn ratio_saturating_always_in_unit_interval(x in any::<f64>()) {
+        let r = Ratio::saturating(x);
+        prop_assert!((0.0..=1.0).contains(&r.value()));
+    }
+
+    #[test]
+    fn min_max_are_consistent_with_ordering(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Seconds::new(a), Seconds::new(b));
+        let lo = x.min(y);
+        let hi = x.max(y);
+        prop_assert!(lo <= hi);
+        prop_assert!(lo == x || lo == y);
+        prop_assert!(hi == x || hi == y);
+    }
+
+    #[test]
+    fn clamp_is_idempotent(a in magnitude(), lo in -1e6..0.0f64, hi in 0.0..1e6f64) {
+        let clamped = Joules::new(a).clamp(Joules::new(lo), Joules::new(hi));
+        let twice = clamped.clamp(Joules::new(lo), Joules::new(hi));
+        prop_assert_eq!(clamped.value(), twice.value());
+        prop_assert!(clamped.value() >= lo && clamped.value() <= hi);
+    }
+
+    #[test]
+    fn sum_matches_fold(values in prop::collection::vec(magnitude(), 0..50)) {
+        let total: Joules = values.iter().map(|&v| Joules::new(v)).sum();
+        let folded = values
+            .iter()
+            .fold(Joules::ZERO, |acc, &v| acc + Joules::new(v));
+        prop_assert!((total.value() - folded.value()).abs() <= 1e-6 * (1.0 + folded.value().abs()));
+    }
+}

@@ -1,0 +1,56 @@
+//! Which MAC should this deployment run?
+//!
+//! The framework's practical punchline: given one application contract,
+//! solve the bargaining game for every protocol family — the paper's
+//! three plus the SCP-MAC extension — and rank the agreements. This is
+//! the system-designer workflow the paper's introduction motivates
+//! (parameters chosen by optimization instead of "repeated real
+//! experiences").
+//!
+//! ```text
+//! cargo run --example protocol_comparison
+//! ```
+
+use edmac::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = Deployment::reference();
+    let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(4.0))?;
+    println!("Deployment: {} | {}", env.traffic.model(), reqs);
+    println!();
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}  parameters",
+        "MAC", "E* [mJ]", "L* [ms]", "Ebest [mJ]", "Lbest [ms]"
+    );
+
+    let mut models = all_models();
+    models.push(Box::new(Scp::default()));
+
+    // Rank by agreed energy (the metric that sets network lifetime).
+    let ranking = rank_protocols(&models, &env, reqs, RankingPolicy::MinEnergy);
+    for outcome in &ranking {
+        match &outcome.report {
+            Ok(report) => println!(
+                "{:<8} {:>12.2} {:>12.0} {:>12.2} {:>12.0}  {:?}",
+                report.protocol,
+                report.e_star() * 1e3,
+                report.l_star() * 1e3,
+                report.e_best() * 1e3,
+                report.l_best() * 1e3,
+                report.nbs.params,
+            ),
+            Err(e) => println!("{:<8} cannot serve this contract: {e}", outcome.protocol),
+        }
+    }
+
+    println!();
+    if let Some(best) = ranking.first().and_then(|o| o.report.as_ref().ok()) {
+        println!(
+            "Pick: {} — lifetime-optimal agreement at {:.2} mJ/epoch and {:.0} ms.",
+            best.protocol,
+            best.e_star() * 1e3,
+            best.l_star() * 1e3,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # edmac — game-theoretic energy–delay balancing for duty-cycled MACs
+//!
+//! A reproduction of Doudou, Barcelo-Ordinas, Djenouri, Garcia-Vidal and
+//! Badache, *"Brief Announcement: Game Theoretical Approach for
+//! Energy-Delay Balancing in Distributed Duty-Cycled MAC Protocols of
+//! Wireless Networks"* (PODC 2014), built as a workspace of reusable
+//! crates. This facade re-exports them:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`units`] | `edmac-units` | typed physical quantities |
+//! | [`radio`] | `edmac-radio` | radio hardware models, energy ledger |
+//! | [`net`] | `edmac-net` | ring/traffic model, topologies, routing trees |
+//! | [`optim`] | `edmac-optim` | scalar/simplex solvers, penalty and barrier methods |
+//! | [`game`] | `edmac-game` | Nash bargaining, Kalai–Smorodinsky, egalitarian |
+//! | [`mac`] | `edmac-mac` | analytical X-MAC / DMAC / LMAC / SCP-MAC models |
+//! | [`sim`] | `edmac-sim` | packet-level discrete-event simulator |
+//! | [`core`] | `edmac-core` | the paper's framework: (P1), (P2), (P3)/(P4) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use edmac::prelude::*;
+//!
+//! // Application requirements: a 60 mJ-per-epoch budget, 3 s delay bound.
+//! let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(3.0))?;
+//!
+//! // Bargain over X-MAC's wake-up interval at the reference deployment.
+//! let xmac = Xmac::default();
+//! let report = TradeoffAnalysis::new(&xmac, Deployment::reference(), reqs).bargain()?;
+//!
+//! println!("{report}");
+//! assert!(report.e_star() <= 0.06 && report.l_star() <= 3.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use edmac_core as core;
+pub use edmac_game as game;
+pub use edmac_mac as mac;
+pub use edmac_net as net;
+pub use edmac_optim as optim;
+pub use edmac_radio as radio;
+pub use edmac_sim as sim;
+pub use edmac_units as units;
+
+/// The most common imports, for `use edmac::prelude::*`.
+pub mod prelude {
+    pub use edmac_core::{
+        lifetime, rank_protocols, AppRequirements, CoreError, OperatingPoint, RankedOutcome,
+        RankingPolicy, TradeoffAnalysis, TradeoffReport,
+    };
+    pub use edmac_game::{BargainingPower, BargainingProblem, CostPoint};
+    pub use edmac_mac::{
+        all_models, Deployment, Dmac, DmacParams, Lmac, LmacParams, MacModel, MacPerformance,
+        Scp, ScpDual, ScpParams, Xmac, XmacParams,
+    };
+    pub use edmac_net::{RingModel, RingTraffic};
+    pub use edmac_radio::{EnergyBreakdown, FrameSizes, Radio};
+    pub use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation};
+    pub use edmac_units::{Hertz, Joules, Seconds, Watts};
+}

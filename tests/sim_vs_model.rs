@@ -1,0 +1,199 @@
+//! Packet-level validation of the analytical models (the T-valid
+//! experiment): at matched, unsaturated operating points the simulator
+//! and the closed-form models must agree on energy and typical latency.
+//!
+//! Tolerances are deliberately asymmetric per protocol and documented
+//! in EXPERIMENTS.md: LMAC/DMAC are schedule-driven and agree tightly;
+//! X-MAC's strobed contention adds real costs the first-order model
+//! omits, so its band is wider.
+
+use edmac::prelude::*;
+
+fn validation_env() -> Deployment {
+    Deployment::validation()
+}
+
+fn sim_at(model: &dyn MacModel, x: f64, seed: u64) -> SimReport {
+    let protocol = match model.name() {
+        "X-MAC" => ProtocolConfig::xmac(Seconds::new(x)),
+        "DMAC" => ProtocolConfig::dmac(Seconds::new(x)),
+        "LMAC" => ProtocolConfig::lmac(Seconds::new(x)),
+        "SCP-MAC" => ProtocolConfig::scp(Seconds::new(x)),
+        other => panic!("no simulator for {other}"),
+    };
+    let cfg = SimConfig {
+        duration: Seconds::new(2_400.0),
+        sample_period: Seconds::new(80.0),
+        warmup: Seconds::new(200.0),
+        seed,
+    };
+    Simulation::ring(4, 4, protocol, cfg).unwrap().run()
+}
+
+/// A mid-range, clearly unsaturated operating point for each protocol
+/// under the validation deployment.
+fn probe_point(model: &dyn MacModel, env: &Deployment) -> f64 {
+    let b = model.bounds(env);
+    let cap = 0.3 * model.utilization_cap();
+    let mut x = b.lower(0);
+    for k in 0..=200 {
+        let candidate = b.lower(0) + b.width(0) * k as f64 / 200.0;
+        match model.performance(&[candidate], env) {
+            Ok(p) if p.utilization <= cap => x = candidate,
+            _ => break,
+        }
+    }
+    0.5 * (b.lower(0) + x)
+}
+
+#[test]
+fn energy_agrees_within_protocol_bands() {
+    let env = validation_env();
+    // (model, relative band): sim/model must land in [1/band, band].
+    let bands: [(&dyn MacModel, f64); 3] = [
+        (&Xmac::default(), 1.7),
+        (&Dmac::default(), 1.25),
+        (&Lmac::default(), 1.25),
+    ];
+    for (model, band) in bands {
+        let x = probe_point(model, &env);
+        let analytic = model.performance(&[x], &env).unwrap().energy.value();
+        let simulated = sim_at(model, x, 42).bottleneck_energy(env.epoch).value();
+        let ratio = simulated / analytic;
+        assert!(
+            (1.0 / band..=band).contains(&ratio),
+            "{} at x={x:.4}: energy ratio {ratio:.2} outside ±{band}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn typical_latency_agrees_within_protocol_bands() {
+    let env = validation_env();
+    let depth = env.traffic.model().depth();
+    let bands: [(&dyn MacModel, f64); 3] = [
+        (&Xmac::default(), 1.5),
+        (&Dmac::default(), 1.35),
+        (&Lmac::default(), 1.2),
+    ];
+    for (model, band) in bands {
+        let x = probe_point(model, &env);
+        let analytic = model.performance(&[x], &env).unwrap().latency.value();
+        let report = sim_at(model, x, 43);
+        let simulated = report
+            .median_delay_at_depth(depth)
+            .expect("outer-ring packets delivered")
+            .value();
+        let ratio = simulated / analytic;
+        assert!(
+            (1.0 / band..=band).contains(&ratio),
+            "{} at x={x:.4}: latency ratio {ratio:.2} outside ±{band}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn unsaturated_runs_deliver_nearly_everything() {
+    let env = validation_env();
+    for model in all_models() {
+        let x = probe_point(model.as_ref(), &env);
+        let report = sim_at(model.as_ref(), x, 44);
+        assert!(
+            report.delivery_ratio() > 0.97,
+            "{}: delivery {:.3} at unsaturated point",
+            model.name(),
+            report.delivery_ratio()
+        );
+    }
+}
+
+#[test]
+fn simulated_breakdown_structure_matches_the_models() {
+    let env = validation_env();
+
+    // X-MAC: asynchronous — no sync traffic at all; polling dominates
+    // at short wake-up intervals.
+    let xmac = &Xmac::default();
+    let x = probe_point(xmac, &env);
+    let b = sim_at(xmac, x, 45).bottleneck_breakdown(env.epoch);
+    assert_eq!(b.sync_tx.value(), 0.0);
+    assert_eq!(b.sync_rx.value(), 0.0);
+    assert!(b.carrier_sense > b.rx, "polling should dominate data rx");
+
+    // LMAC: all idle cost lives in the control plane (sync buckets),
+    // none in CCA.
+    let lmac = &Lmac::default();
+    let x = probe_point(lmac, &env);
+    let b = sim_at(lmac, x, 46).bottleneck_breakdown(env.epoch);
+    assert_eq!(b.carrier_sense.value(), 0.0, "TDMA needs no CCA");
+    assert!(b.sync_rx > b.tx, "control listening dominates data");
+
+    // DMAC: idle window listening dominates; schedule maintenance is
+    // carrier-sense-tagged wake-ups, not sync frames at the bottleneck
+    // scale.
+    let dmac = &Dmac::default();
+    let x = probe_point(dmac, &env);
+    let b = sim_at(dmac, x, 47).bottleneck_breakdown(env.epoch);
+    assert!(
+        b.carrier_sense > b.tx + b.rx,
+        "the ladder's awake window should dominate packet airtime"
+    );
+}
+
+#[test]
+fn latency_scales_with_depth_in_both_worlds() {
+    let env = validation_env();
+    let model = Lmac::default();
+    let x = probe_point(&model, &env);
+    let report = sim_at(&model, x, 48);
+    // The analytic per-hop latency — measured per-depth medians should
+    // grow by roughly that increment per ring.
+    let per_hop = model.performance(&[x], &env).unwrap().latency.value() / 4.0;
+    let mut previous = 0.0;
+    for depth in 1..=4 {
+        let med = report
+            .median_delay_at_depth(depth)
+            .expect("deliveries at every depth")
+            .value();
+        let expected = per_hop * depth as f64;
+        assert!(
+            (med - expected).abs() <= 0.35 * expected,
+            "depth {depth}: median {med:.3} vs expected {expected:.3}"
+        );
+        assert!(med > previous, "medians must grow with depth");
+        previous = med;
+    }
+}
+
+
+#[test]
+fn scp_extension_validates_against_its_model() {
+    // The extension protocol gets the same treatment as the paper's
+    // trio: analytic vs packet-level at an unsaturated point.
+    let env = validation_env();
+    let model = Scp::default();
+    let x = probe_point(&model, &env);
+    let perf = model.performance(&[x], &env).unwrap();
+    let report = sim_at(&model, x, 49);
+    assert!(report.delivery_ratio() > 0.95, "delivery {}", report.delivery_ratio());
+    let sim_e = report.bottleneck_energy(env.epoch).value();
+    let e_ratio = sim_e / perf.energy.value();
+    assert!(
+        (0.6..=1.7).contains(&e_ratio),
+        "SCP energy ratio {e_ratio:.2} (model {:.5} J, sim {sim_e:.5} J)",
+        perf.energy.value()
+    );
+    let depth = env.traffic.model().depth();
+    let sim_l = report
+        .median_delay_at_depth(depth)
+        .expect("outer-ring deliveries")
+        .value();
+    let l_ratio = sim_l / perf.latency.value();
+    assert!(
+        (0.6..=1.5).contains(&l_ratio),
+        "SCP latency ratio {l_ratio:.2} (model {:.3} s, sim {sim_l:.3} s)",
+        perf.latency.value()
+    );
+}
