@@ -24,8 +24,8 @@ fn depth_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("nbs_vs_depth");
     group.sample_size(10);
     for depth in [5usize, 10, 20, 40] {
-        let env = Deployment::reference()
-            .with_network(RingModel::new(depth, 4).expect("valid ring"));
+        let env =
+            Deployment::reference().with_network(RingModel::new(depth, 4).expect("valid ring"));
         let nodes = env.traffic.model().total_nodes();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("D{depth}_{nodes}nodes")),
@@ -44,8 +44,8 @@ fn density_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("nbs_vs_density");
     group.sample_size(10);
     for density in [2usize, 4, 8, 16] {
-        let env = Deployment::reference()
-            .with_network(RingModel::new(10, density).expect("valid ring"));
+        let env =
+            Deployment::reference().with_network(RingModel::new(10, density).expect("valid ring"));
         let nodes = env.traffic.model().total_nodes();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("C{density}_{nodes}nodes")),

@@ -67,7 +67,11 @@ fn main() {
     for model in all_models() {
         for (lmax, result) in fig1_sweep(model.as_ref(), &env) {
             if let Ok(report) = result {
-                row(model.as_ref(), &format!("fig1:lmax={}s", lmax.value()), &report);
+                row(
+                    model.as_ref(),
+                    &format!("fig1:lmax={}s", lmax.value()),
+                    &report,
+                );
             }
         }
         for (budget, result) in fig2_sweep(model.as_ref(), &env) {

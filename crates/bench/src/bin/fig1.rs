@@ -30,7 +30,12 @@ fn main() {
     println!("# fig1: Ebudget fixed at {} J", FIG1_ENERGY_BUDGET.value());
     for model in all_models() {
         if let Some(f) = &filter {
-            if !model.name().to_lowercase().replace('-', "").starts_with(f.as_str()) {
+            if !model
+                .name()
+                .to_lowercase()
+                .replace('-', "")
+                .starts_with(f.as_str())
+            {
                 continue;
             }
         }

@@ -29,7 +29,12 @@ fn main() {
     println!("# fig2: Lmax fixed at {} s", FIG2_LATENCY_BOUND.value());
     for model in all_models() {
         if let Some(f) = &filter {
-            if !model.name().to_lowercase().replace('-', "").starts_with(f.as_str()) {
+            if !model
+                .name()
+                .to_lowercase()
+                .replace('-', "")
+                .starts_with(f.as_str())
+            {
                 continue;
             }
         }

@@ -14,6 +14,7 @@
 //!   matched operating points.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 use edmac_core::{sample_pareto_frontier, OperatingPoint};

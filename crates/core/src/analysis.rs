@@ -151,13 +151,7 @@ impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
         // only if it is better *and* exactly feasible, else keep the
         // feasible grid seed.
         let best = match refined {
-            Ok(m)
-                if m.value <= seed.value
-                    && g_limit(&m.x) <= 0.0
-                    && g_cap(&m.x) <= 0.0 =>
-            {
-                m.x
-            }
+            Ok(m) if m.value <= seed.value && g_limit(&m.x) <= 0.0 && g_cap(&m.x) <= 0.0 => m.x,
             _ => seed.x,
         };
         self.operating_point(&best)

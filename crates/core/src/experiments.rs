@@ -124,7 +124,11 @@ mod tests {
         );
         // The last three bounds give the same agreement.
         let tail: Vec<&TradeoffReport> = reports[3..].to_vec();
-        assert_eq!(distinct_points(&tail, 0.02), 1, "Lmax = 4,5,6 s must coincide");
+        assert_eq!(
+            distinct_points(&tail, 0.02),
+            1,
+            "Lmax = 4,5,6 s must coincide"
+        );
     }
 
     #[test]

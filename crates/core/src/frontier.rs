@@ -12,11 +12,7 @@ use edmac_units::{Joules, Seconds};
 ///
 /// One-dimensional models (the paper's three) produce exactly the curve
 /// plotted in Fig. 1/2.
-pub fn sample_frontier(
-    model: &dyn MacModel,
-    env: &Deployment,
-    n: usize,
-) -> Vec<OperatingPoint> {
+pub fn sample_frontier(model: &dyn MacModel, env: &Deployment, n: usize) -> Vec<OperatingPoint> {
     let bounds = model.bounds(env);
     let dims = bounds.len();
     let n = n.max(2);

@@ -136,8 +136,7 @@ mod tests {
                 assert!(a.e_star() <= b.e_star());
             }
         }
-        let by_latency =
-            rank_protocols(&models, &env, reqs(0.06, 4.0), RankingPolicy::MinLatency);
+        let by_latency = rank_protocols(&models, &env, reqs(0.06, 4.0), RankingPolicy::MinLatency);
         for pair in by_latency.windows(2) {
             if let (Ok(a), Ok(b)) = (&pair[0].report, &pair[1].report) {
                 assert!(a.l_star() <= b.l_star());
@@ -152,7 +151,11 @@ mod tests {
         let models = all_models();
         let ranking = rank_protocols(&models, &env, reqs(0.03, 1.0), RankingPolicy::MinEnergy);
         let last = ranking.last().unwrap();
-        assert!(last.report.is_err(), "{} should be infeasible", last.protocol);
+        assert!(
+            last.report.is_err(),
+            "{} should be infeasible",
+            last.protocol
+        );
         assert!(ranking[0].report.is_ok());
     }
 
@@ -160,8 +163,12 @@ mod tests {
     fn nash_product_policy_prefers_balanced_wins() {
         let env = Deployment::reference();
         let models = all_models();
-        let ranking =
-            rank_protocols(&models, &env, reqs(0.06, 6.0), RankingPolicy::MaxNashProduct);
+        let ranking = rank_protocols(
+            &models,
+            &env,
+            reqs(0.06, 6.0),
+            RankingPolicy::MaxNashProduct,
+        );
         // All three are feasible at the reference contract; the winner's
         // gain product dominates.
         let products: Vec<f64> = ranking

@@ -30,7 +30,10 @@ impl AppRequirements {
     ///
     /// Returns [`CoreError::InvalidRequirements`] unless both are
     /// positive and finite.
-    pub fn new(energy_budget: Joules, latency_bound: Seconds) -> Result<AppRequirements, CoreError> {
+    pub fn new(
+        energy_budget: Joules,
+        latency_bound: Seconds,
+    ) -> Result<AppRequirements, CoreError> {
         if !(energy_budget.is_finite() && energy_budget.value() > 0.0) {
             return Err(CoreError::InvalidRequirements {
                 reason: format!(

@@ -63,9 +63,7 @@ pub fn check_scale_independence(
     shift: (f64, f64),
 ) -> Result<bool, GameError> {
     assert!(scale.0 > 0.0 && scale.1 > 0.0, "scales must be positive");
-    let transform = |p: CostPoint| {
-        CostPoint::new(scale.0 * p.x + shift.0, scale.1 * p.y + shift.1)
-    };
+    let transform = |p: CostPoint| CostPoint::new(scale.0 * p.x + shift.0, scale.1 * p.y + shift.1);
     let original = problem.nash()?;
     let transformed_problem = BargainingProblem::new(
         problem.feasible().iter().map(|&p| transform(p)).collect(),

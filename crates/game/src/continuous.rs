@@ -75,9 +75,7 @@ pub fn nash_continuous<F: Fn(&[f64]) -> CostPoint>(
     };
     let seed = match grid_minimize(score, bounds, grid_points_per_dim.max(2)) {
         Ok(m) if m.value < 0.0 => m,
-        Ok(_) | Err(edmac_optim::OptimError::Infeasible) => {
-            return Err(GameError::NoGainRegion)
-        }
+        Ok(_) | Err(edmac_optim::OptimError::Infeasible) => return Err(GameError::NoGainRegion),
         Err(e) => return Err(GameError::Solver(e)),
     };
 
@@ -107,12 +105,8 @@ pub fn nash_continuous<F: Fn(&[f64]) -> CostPoint>(
         }
         c.y - cap_y
     };
-    let refined = LogBarrier::default().maximize(
-        objective,
-        &[&g_budget, &g_latency],
-        &seed.x,
-        bounds,
-    );
+    let refined =
+        LogBarrier::default().maximize(objective, &[&g_budget, &g_latency], &seed.x, bounds);
 
     let params = match refined {
         Ok(m) => {

@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_specific() {
-        assert_eq!(GameError::EmptyFeasibleSet.to_string(), "feasible set is empty");
+        assert_eq!(
+            GameError::EmptyFeasibleSet.to_string(),
+            "feasible set is empty"
+        );
         assert!(GameError::NoGainRegion.to_string().contains("disagreement"));
     }
 }

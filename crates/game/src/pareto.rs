@@ -23,7 +23,11 @@ use crate::point::CostPoint;
 /// assert_eq!(frontier[0], CostPoint::new(1.0, 5.0));
 /// ```
 pub fn pareto_filter(points: &[CostPoint]) -> Vec<CostPoint> {
-    let mut sorted: Vec<CostPoint> = points.iter().copied().filter(CostPoint::is_finite).collect();
+    let mut sorted: Vec<CostPoint> = points
+        .iter()
+        .copied()
+        .filter(CostPoint::is_finite)
+        .collect();
     // Sort by x ascending, then y ascending so the first of equal-x
     // points is the best.
     sorted.sort_by(|a, b| {
@@ -134,7 +138,10 @@ mod tests {
             CostPoint::new(5.0, 1.0),
         ];
         let hull = lower_left_hull(&cloud);
-        assert_eq!(hull, vec![CostPoint::new(1.0, 5.0), CostPoint::new(5.0, 1.0)]);
+        assert_eq!(
+            hull,
+            vec![CostPoint::new(1.0, 5.0), CostPoint::new(5.0, 1.0)]
+        );
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl BargainingProblem {
         if !disagreement.is_finite() {
             return Err(GameError::NonFiniteDisagreement);
         }
-        let feasible: Vec<CostPoint> =
-            feasible.into_iter().filter(CostPoint::is_finite).collect();
+        let feasible: Vec<CostPoint> = feasible.into_iter().filter(CostPoint::is_finite).collect();
         if feasible.is_empty() {
             return Err(GameError::EmptyFeasibleSet);
         }
@@ -256,7 +255,10 @@ mod tests {
         .unwrap();
         assert!(!game.has_gain_region());
         assert_eq!(game.nash().unwrap_err(), GameError::NoGainRegion);
-        assert_eq!(game.kalai_smorodinsky().unwrap_err(), GameError::NoGainRegion);
+        assert_eq!(
+            game.kalai_smorodinsky().unwrap_err(),
+            GameError::NoGainRegion
+        );
         assert_eq!(game.egalitarian().unwrap_err(), GameError::NoGainRegion);
     }
 

@@ -175,9 +175,13 @@ mod tests {
     #[test]
     fn extreme_weights_pick_near_dictatorial_outcomes() {
         let g = game();
-        let x_heavy = g.nash_weighted(BargainingPower::new(0.99).unwrap()).unwrap();
+        let x_heavy = g
+            .nash_weighted(BargainingPower::new(0.99).unwrap())
+            .unwrap();
         assert_eq!(x_heavy.point, CostPoint::new(1.0, 7.0));
-        let y_heavy = g.nash_weighted(BargainingPower::new(0.01).unwrap()).unwrap();
+        let y_heavy = g
+            .nash_weighted(BargainingPower::new(0.01).unwrap())
+            .unwrap();
         assert_eq!(y_heavy.point, CostPoint::new(7.0, 1.0));
     }
 
@@ -208,11 +212,8 @@ mod tests {
 
     #[test]
     fn no_gain_region_is_reported() {
-        let g = BargainingProblem::new(
-            vec![CostPoint::new(9.0, 1.0)],
-            CostPoint::new(5.0, 5.0),
-        )
-        .unwrap();
+        let g = BargainingProblem::new(vec![CostPoint::new(9.0, 1.0)], CostPoint::new(5.0, 5.0))
+            .unwrap();
         assert_eq!(
             g.nash_weighted(BargainingPower::symmetric()).unwrap_err(),
             GameError::NoGainRegion

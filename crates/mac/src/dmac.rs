@@ -39,7 +39,9 @@
 
 use crate::env::Deployment;
 use crate::error::MacError;
-use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use crate::model::{
+    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+};
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
 use edmac_units::Seconds;
@@ -179,9 +181,7 @@ impl Dmac {
             e.sync_tx = (p.tx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
             e.sync_rx = (p.rx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
 
-            let busy = 2.0 * t_up / t_cycle
-                + window
-                + (t_sync * 2.0) / self.sync_period.value();
+            let busy = 2.0 * t_up / t_cycle + window + (t_sync * 2.0) / self.sync_period.value();
             // The ladder's real bottleneck is the *shared* slot: the
             // sink's single receive slot admits roughly one exchange per
             // cycle yet serves every ring-1 sender, so the whole
@@ -189,8 +189,7 @@ impl Dmac {
             // per-node `F_out·T` underestimates this by a factor of
             // N_1 — the packet-level simulator exposes the difference
             // as unbounded queues.)
-            let total_rate =
-                env.traffic.model().total_nodes() as f64 * env.traffic.fs().value();
+            let total_rate = env.traffic.model().total_nodes() as f64 * env.traffic.fs().value();
             let utilization = total_rate * t_cycle;
 
             rings.push(RingRates {
@@ -289,7 +288,10 @@ mod tests {
     fn breakdown_has_sync_and_no_double_counting() {
         let perf = eval(1.0);
         assert!(perf.breakdown.is_valid());
-        assert!(perf.breakdown.sync_tx.value() > 0.0, "DMAC maintains schedules");
+        assert!(
+            perf.breakdown.sync_tx.value() > 0.0,
+            "DMAC maintains schedules"
+        );
         assert!(perf.breakdown.sync_rx.value() > 0.0);
         assert!(perf.breakdown.carrier_sense.value() > 0.0);
         assert_eq!(perf.energy, perf.breakdown.total());
@@ -306,7 +308,11 @@ mod tests {
         // The default cycle bound keeps the reference deployment just
         // inside capacity.
         let at_cap = eval(8.5);
-        assert!(at_cap.utilization < 1.0, "u(8.5 s) = {}", at_cap.utilization);
+        assert!(
+            at_cap.utilization < 1.0,
+            "u(8.5 s) = {}",
+            at_cap.utilization
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub enum MacError {
 impl std::fmt::Display for MacError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MacError::InvalidParameter { name, value, reason } => {
+            MacError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
                 write!(f, "invalid parameter `{name}` = {value}: {reason}")
             }
             MacError::Arity { expected, got } => {

@@ -57,6 +57,7 @@
 //! and cannot be expected to track the paper's figures.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod dmac;

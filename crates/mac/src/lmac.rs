@@ -33,7 +33,9 @@
 
 use crate::env::Deployment;
 use crate::error::MacError;
-use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use crate::model::{
+    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+};
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
 use edmac_units::Seconds;
@@ -144,11 +146,10 @@ impl Lmac {
             let mut e = EnergyBreakdown::ZERO;
             // Control listening: every slot except the own one.
             let listen_rate = 1.0 / ts - 1.0 / tf;
-            e.sync_rx = (p.startup * Seconds::new(t_up) + p.listen * Seconds::new(t_ctl))
-                * listen_rate;
+            e.sync_rx =
+                (p.startup * Seconds::new(t_up) + p.listen * Seconds::new(t_ctl)) * listen_rate;
             // Own control section once per frame (plus its startup).
-            e.sync_tx = (p.startup * Seconds::new(t_up) + p.tx * Seconds::new(t_ctl))
-                * (1.0 / tf);
+            e.sync_tx = (p.startup * Seconds::new(t_up) + p.tx * Seconds::new(t_ctl)) * (1.0 / tf);
             // Collision-free data.
             e.tx = (p.tx * Seconds::new(t_data)) * f_out;
             e.rx = (p.rx * Seconds::new(t_data)) * f_in;
@@ -237,7 +238,11 @@ mod tests {
             perf.breakdown.sync_rx,
             perf.breakdown.tx
         );
-        assert_eq!(perf.breakdown.carrier_sense.value(), 0.0, "TDMA needs no CCA");
+        assert_eq!(
+            perf.breakdown.carrier_sense.value(),
+            0.0,
+            "TDMA needs no CCA"
+        );
         assert_eq!(perf.breakdown.overhearing.value(), 0.0);
         assert!(perf.breakdown.sync_tx.value() > 0.0);
     }
@@ -246,8 +251,14 @@ mod tests {
     fn latency_scales_with_frame_not_slot() {
         // Doubling N at fixed Ts should roughly double latency.
         let env = Deployment::reference();
-        let small = Lmac { frame_slots: 16, ..Lmac::default() };
-        let big = Lmac { frame_slots: 32, ..Lmac::default() };
+        let small = Lmac {
+            frame_slots: 16,
+            ..Lmac::default()
+        };
+        let big = Lmac {
+            frame_slots: 32,
+            ..Lmac::default()
+        };
         let ts = LmacParams::new(Seconds::from_millis(10.0)).unwrap();
         let l16 = small.evaluate(ts, &env).unwrap().latency.value();
         let l32 = big.evaluate(ts, &env).unwrap().latency.value();

@@ -97,11 +97,7 @@ pub(crate) struct RingRates {
 /// Folds per-ring rates into a [`MacPerformance`]: finds the bottleneck
 /// ring (max energy rate), scales to the epoch, and charges the
 /// remaining time at the sleep draw.
-pub(crate) fn assemble(
-    env: &Deployment,
-    rings: &[RingRates],
-    latency: Seconds,
-) -> MacPerformance {
+pub(crate) fn assemble(env: &Deployment, rings: &[RingRates], latency: Seconds) -> MacPerformance {
     debug_assert!(!rings.is_empty(), "ring models have depth >= 1");
     let (bottleneck_idx, rates) = rings
         .iter()
@@ -119,10 +115,7 @@ pub(crate) fn assemble(
     let sleep_fraction = (1.0 - rates.busy).clamp(0.0, 1.0);
     breakdown.sleep = env.radio.power.sleep * (env.epoch * sleep_fraction);
 
-    let utilization = rings
-        .iter()
-        .map(|r| r.utilization)
-        .fold(0.0f64, f64::max);
+    let utilization = rings.iter().map(|r| r.utilization).fold(0.0f64, f64::max);
 
     MacPerformance {
         energy: breakdown.total(),
@@ -134,10 +127,7 @@ pub(crate) fn assemble(
 }
 
 /// Validates a strictly positive, finite duration parameter.
-pub(crate) fn require_positive(
-    name: &'static str,
-    value: Seconds,
-) -> Result<(), MacError> {
+pub(crate) fn require_positive(name: &'static str, value: Seconds) -> Result<(), MacError> {
     if value.is_finite() && value.value() > 0.0 {
         Ok(())
     } else {
@@ -174,8 +164,16 @@ mod tests {
         let mut cold = EnergyBreakdown::ZERO;
         cold.tx = Joules::new(1e-3);
         let rings = vec![
-            RingRates { energy: hot, busy: 0.25, utilization: 0.4 },
-            RingRates { energy: cold, busy: 0.01, utilization: 0.1 },
+            RingRates {
+                energy: hot,
+                busy: 0.25,
+                utilization: 0.4,
+            },
+            RingRates {
+                energy: cold,
+                busy: 0.01,
+                utilization: 0.1,
+            },
         ];
         let perf = assemble(&env, &rings, Seconds::new(1.0));
         assert_eq!(perf.bottleneck_ring, 1);
@@ -219,7 +217,10 @@ mod tests {
         assert!(require_arity(1, &[0.1]).is_ok());
         assert!(matches!(
             require_arity(1, &[0.1, 0.2]),
-            Err(MacError::Arity { expected: 1, got: 2 })
+            Err(MacError::Arity {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -232,7 +233,11 @@ mod tests {
         }
         let perf = assemble(
             &env,
-            &[RingRates { energy: e, busy: 0.0, utilization: 0.0 }],
+            &[RingRates {
+                energy: e,
+                busy: 0.0,
+                utilization: 0.0,
+            }],
             Seconds::new(0.5),
         );
         for (i, cause) in Cause::ALL.iter().take(6).enumerate() {

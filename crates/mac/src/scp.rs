@@ -38,7 +38,9 @@
 
 use crate::env::Deployment;
 use crate::error::MacError;
-use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use crate::model::{
+    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+};
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
 use edmac_units::Seconds;
@@ -143,8 +145,7 @@ impl Scp {
             let mut e = EnergyBreakdown::ZERO;
             e.carrier_sense = poll_energy * (1.0 / tp);
             e.tx = (p.tx * Seconds::new(tone + t_data) + p.rx * Seconds::new(t_ack)) * f_out;
-            e.rx = (p.rx * Seconds::new(tone / 2.0 + t_data) + p.tx * Seconds::new(t_ack))
-                * f_in;
+            e.rx = (p.rx * Seconds::new(tone / 2.0 + t_data) + p.tx * Seconds::new(t_ack)) * f_in;
             e.overhearing = (p.rx * Seconds::new(t_hdr)) * (overheard * catch);
             e.sync_tx = (p.tx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
             e.sync_rx = (p.rx * Seconds::new(t_sync)) * (1.0 / self.sync_period.value());
@@ -167,11 +168,8 @@ impl Scp {
 
         // Common schedule => store-and-forward: half a period at the
         // source, a full period per relay hop, plus each hop's airtime.
-        let latency = Seconds::new(
-            tp / 2.0
-                + (depth as f64 - 1.0) * tp
-                + depth as f64 * (tone + t_data),
-        );
+        let latency =
+            Seconds::new(tp / 2.0 + (depth as f64 - 1.0) * tp + depth as f64 * (tone + t_data));
         Ok(assemble(env, &rings, latency))
     }
 }
@@ -187,8 +185,11 @@ impl MacModel for Scp {
 
     fn bounds(&self, env: &Deployment) -> Bounds {
         let floor = 2.0 * (env.radio.timings.startup + self.poll_listen).value();
-        Bounds::new(vec![(self.min_poll.value().max(floor), self.max_poll.value())])
-            .expect("structural bounds are validated by construction")
+        Bounds::new(vec![(
+            self.min_poll.value().max(floor),
+            self.max_poll.value(),
+        )])
+        .expect("structural bounds are validated by construction")
     }
 
     fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
@@ -200,7 +201,6 @@ impl MacModel for Scp {
         self.max_utilization
     }
 }
-
 
 /// SCP-MAC with *two* tunables: the poll period and the
 /// synchronization period — the workspace's multi-dimensional
@@ -340,7 +340,10 @@ mod tests {
         let expected = 2.0 * 30e-6 * 60.0 + 0.0025;
         assert!((scp.tone().value() - expected).abs() < 1e-12);
         // Longer sync periods need longer tones.
-        let lazy = Scp { sync_period: Seconds::new(600.0), ..scp };
+        let lazy = Scp {
+            sync_period: Seconds::new(600.0),
+            ..scp
+        };
         assert!(lazy.tone() > scp.tone());
     }
 
@@ -382,7 +385,10 @@ mod tests {
         let env = Deployment::reference();
         let dual = ScpDual::default();
         let e_at = |tsync: f64| {
-            dual.performance(&[0.3, tsync], &env).unwrap().energy.value()
+            dual.performance(&[0.3, tsync], &env)
+                .unwrap()
+                .energy
+                .value()
         };
         // Balance point ~ sqrt(sync-frame cost / drift-tone cost) ≈ 23 s
         // at the reference traffic.
@@ -396,8 +402,14 @@ mod tests {
         let env = Deployment::reference();
         let dual = ScpDual::default();
         assert!(dual.performance(&[0.3], &env).is_err(), "arity");
-        assert!(dual.performance(&[0.3, -1.0], &env).is_err(), "negative sync");
-        assert!(dual.performance(&[-0.3, 60.0], &env).is_err(), "negative poll");
+        assert!(
+            dual.performance(&[0.3, -1.0], &env).is_err(),
+            "negative sync"
+        );
+        assert!(
+            dual.performance(&[-0.3, 60.0], &env).is_err(),
+            "negative poll"
+        );
         assert_eq!(dual.bounds(&env).len(), 2);
     }
 }

@@ -40,7 +40,9 @@
 
 use crate::env::Deployment;
 use crate::error::MacError;
-use crate::model::{assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates};
+use crate::model::{
+    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+};
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
 use edmac_units::{Seconds, Watts};
@@ -123,8 +125,7 @@ impl Xmac {
         let t_strobe = radio.airtime(env.frames.strobe).value();
         let t_cyc = t_strobe + t_ack + 2.0 * t.turnaround.value();
         let rho = t_strobe / t_cyc;
-        let preamble_power =
-            Watts::new(rho * p.tx.value() + (1.0 - rho) * p.listen.value());
+        let preamble_power = Watts::new(rho * p.tx.value() + (1.0 - rho) * p.listen.value());
 
         let poll_energy = (p.startup * t.startup) + (p.listen * self.poll_listen);
         let poll_time = t.startup.value() + self.poll_listen.value();
@@ -142,9 +143,7 @@ impl Xmac {
             e.carrier_sense = poll_energy * (1.0 / tw);
             // Transmit: mean half-interval strobe train, then data+ack.
             let preamble_energy = preamble_power * Seconds::new(tw / 2.0);
-            e.tx = (preamble_energy
-                + p.tx * Seconds::new(t_data)
-                + p.rx * Seconds::new(t_ack))
+            e.tx = (preamble_energy + p.tx * Seconds::new(t_data) + p.rx * Seconds::new(t_ack))
                 * f_out;
             // Receive: residual strobe wait, early-ack, data.
             e.rx = (p.rx * Seconds::new(t_cyc / 2.0 + t_strobe)
@@ -153,8 +152,7 @@ impl Xmac {
                 * f_in;
             // Overhearing: half the nearby trains hit a poll; one strobe
             // then early sleep.
-            e.overhearing =
-                (p.rx * Seconds::new(t_cyc / 2.0 + t_strobe)) * (0.5 * overheard);
+            e.overhearing = (p.rx * Seconds::new(t_cyc / 2.0 + t_strobe)) * (0.5 * overheard);
 
             let busy = poll_time / tw
                 + f_out * (tw / 2.0 + t_data + t_ack)
@@ -251,7 +249,11 @@ mod tests {
     fn breakdown_is_valid_and_async() {
         let perf = eval(150.0);
         assert!(perf.breakdown.is_valid());
-        assert_eq!(perf.breakdown.sync_tx.value(), 0.0, "X-MAC has no sync traffic");
+        assert_eq!(
+            perf.breakdown.sync_tx.value(),
+            0.0,
+            "X-MAC has no sync traffic"
+        );
         assert_eq!(perf.breakdown.sync_rx.value(), 0.0);
         assert!(perf.breakdown.carrier_sense.value() > 0.0);
         assert!(perf.breakdown.tx.value() > 0.0);
@@ -279,7 +281,11 @@ mod tests {
             perf.energy.value()
         );
         // Ten hops at ~54 ms per hop.
-        assert!((perf.latency.value() - 0.57).abs() < 0.1, "latency {}", perf.latency);
+        assert!(
+            (perf.latency.value() - 0.57).abs() < 0.1,
+            "latency {}",
+            perf.latency
+        );
     }
 
     #[test]

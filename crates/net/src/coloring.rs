@@ -7,6 +7,7 @@
 //! exactly a coloring of the square of the connectivity graph.
 
 use crate::graph::{Graph, NodeId};
+use rand::Rng;
 
 /// A distance-2 coloring: a slot index per node such that any two nodes
 /// within two hops differ.
@@ -22,8 +23,10 @@ impl Coloring {
         self.colors[node.index()]
     }
 
-    /// Number of distinct colors used (the minimum viable LMAC frame
-    /// length in slots).
+    /// One past the highest color (slot index) used: the minimum LMAC
+    /// frame length able to carry this assignment. For the contiguous
+    /// colorings of [`distance_two_coloring`] this equals the number of
+    /// distinct colors; [`random_slot_assignment`] may leave gaps.
     pub fn count(&self) -> usize {
         self.count
     }
@@ -67,8 +70,7 @@ impl Coloring {
 /// ```
 pub fn distance_two_coloring(graph: &Graph) -> Coloring {
     let n = graph.len();
-    let neighborhoods: Vec<Vec<NodeId>> =
-        graph.nodes().map(|u| graph.neighborhood(u, 2)).collect();
+    let neighborhoods: Vec<Vec<NodeId>> = graph.nodes().map(|u| graph.neighborhood(u, 2)).collect();
 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| (std::cmp::Reverse(neighborhoods[i].len()), i));
@@ -84,11 +86,62 @@ pub fn distance_two_coloring(graph: &Graph) -> Coloring {
                 used[c] = true;
             }
         }
-        let color = (0..).find(|&c| c >= used.len() || !used[c]).expect("unbounded search");
+        let color = (0..)
+            .find(|&c| c >= used.len() || !used[c])
+            .expect("unbounded search");
         colors[i] = color;
         count = count.max(color + 1);
     }
     Coloring { colors, count }
+}
+
+/// Randomized distance-2 slot assignment into a fixed frame of `slots`
+/// slots, LMAC-style: nodes (in random order) claim a uniformly random
+/// slot unused within their 2-hop neighborhood.
+///
+/// This mirrors LMAC's distributed slot-claiming phase, where each node
+/// picks at random among the slots it hears as free — unlike
+/// [`distance_two_coloring`], which is a deterministic Welsh–Powell pass
+/// that correlates slot numbers with node enumeration order and thereby
+/// biases per-hop forwarding delays on symmetric topologies. Analytical
+/// LMAC latency models assume the *average* half-frame wait per hop, so
+/// simulations should use this assignment.
+///
+/// Deterministic for a given `rng` state. Returns `None` if some node
+/// finds every slot of the frame occupied within two hops (the frame is
+/// too short for the topology); retrying with a fresh `rng` draw may
+/// still succeed, since feasibility depends on the random order.
+pub fn random_slot_assignment<R: Rng + ?Sized>(
+    graph: &Graph,
+    slots: usize,
+    rng: &mut R,
+) -> Option<Coloring> {
+    let n = graph.len();
+    let neighborhoods: Vec<Vec<NodeId>> = graph.nodes().map(|u| graph.neighborhood(u, 2)).collect();
+
+    // Fisher–Yates over the claiming order.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..i + 1));
+    }
+
+    const UNCOLORED: usize = usize::MAX;
+    let mut colors = vec![UNCOLORED; n];
+    let mut count = 0;
+    let mut free: Vec<usize> = Vec::with_capacity(slots);
+    for i in order {
+        free.clear();
+        free.extend(
+            (0..slots).filter(|&c| neighborhoods[i].iter().all(|v| colors[v.index()] != c)),
+        );
+        if free.is_empty() {
+            return None;
+        }
+        let color = free[rng.gen_range(0..free.len())];
+        colors[i] = color;
+        count = count.max(color + 1);
+    }
+    Some(Coloring { colors, count })
 }
 
 #[cfg(test)]
@@ -136,13 +189,40 @@ mod tests {
         let c = distance_two_coloring(&g);
         assert!(c.is_valid_for(&g));
         // Greedy uses at most (max 2-hop neighborhood) + 1 colors.
-        let bound = g
-            .nodes()
-            .map(|u| g.neighborhood(u, 2).len())
-            .max()
-            .unwrap()
-            + 1;
+        let bound = g.nodes().map(|u| g.neighborhood(u, 2).len()).max().unwrap() + 1;
         assert!(c.count() <= bound, "{} > {bound}", c.count());
+    }
+
+    #[test]
+    fn random_assignment_is_valid_and_fits_the_frame() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let topo = Topology::ring_model(4, 4, &mut rng).unwrap();
+        let g = topo.graph();
+        let c = random_slot_assignment(&g, 32, &mut rng).expect("32 slots fit");
+        assert!(c.is_valid_for(&g));
+        assert!(c.count() <= 32);
+    }
+
+    #[test]
+    fn random_assignment_fails_on_too_short_frames() {
+        // A 6-star needs 6 distinct slots; 5 can never fit.
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(NodeId::new(0), NodeId::new(i));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(random_slot_assignment(&g, 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_assignment_is_deterministic_per_seed() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId::new(i - 1), NodeId::new(i));
+        }
+        let a = random_slot_assignment(&g, 8, &mut rand::rngs::StdRng::seed_from_u64(11));
+        let b = random_slot_assignment(&g, 8, &mut rand::rngs::StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
     }
 
     #[test]

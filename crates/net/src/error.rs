@@ -42,7 +42,10 @@ impl std::fmt::Display for NetError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             NetError::Disconnected { unreachable } => {
-                write!(f, "topology is disconnected: node {unreachable} cannot reach the sink")
+                write!(
+                    f,
+                    "topology is disconnected: node {unreachable} cannot reach the sink"
+                )
             }
             NetError::RingOutOfRange { ring, depth } => {
                 write!(f, "ring {ring} outside valid range 1..={depth}")

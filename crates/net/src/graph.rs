@@ -84,7 +84,10 @@ impl Graph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        assert!(a.index() < self.len() && b.index() < self.len(), "edge endpoint out of range");
+        assert!(
+            a.index() < self.len() && b.index() < self.len(),
+            "edge endpoint out of range"
+        );
         if a == b || self.adjacency[a.index()].contains(&b) {
             return;
         }
@@ -289,7 +292,12 @@ mod tests {
         n2.sort();
         assert_eq!(
             n2,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(3), NodeId::new(4)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(3),
+                NodeId::new(4)
+            ]
         );
     }
 
@@ -319,7 +327,11 @@ mod tests {
         g.add_edge(NodeId::new(1), NodeId::new(2));
         g.add_edge(NodeId::new(0), NodeId::new(2));
         let heavy_direct = |a: NodeId, b: NodeId| {
-            if a.index() + b.index() == 2 && a != b { 10.0 } else { 1.0 }
+            if a.index() + b.index() == 2 && a != b {
+                10.0
+            } else {
+                1.0
+            }
         };
         let (dist, prev) = g.dijkstra(NodeId::new(0), heavy_direct);
         assert_eq!(dist[2], Some(2.0), "detour beats the heavy direct edge");

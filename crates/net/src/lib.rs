@@ -51,6 +51,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod coloring;
@@ -62,7 +63,7 @@ mod topology;
 mod traffic;
 mod tree;
 
-pub use coloring::{distance_two_coloring, Coloring};
+pub use coloring::{distance_two_coloring, random_slot_assignment, Coloring};
 pub use error::NetError;
 pub use geometry::Point2;
 pub use graph::{Graph, NodeId};

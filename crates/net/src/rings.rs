@@ -130,7 +130,13 @@ impl RingModel {
 
 impl std::fmt::Display for RingModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ring model D={} C={} ({} nodes)", self.depth, self.density, self.total_nodes())
+        write!(
+            f,
+            "ring model D={} C={} ({} nodes)",
+            self.depth,
+            self.density,
+            self.total_nodes()
+        )
     }
 }
 

@@ -176,7 +176,11 @@ mod tests {
     fn parents_point_toward_sink() {
         let (_, t) = diamond();
         assert_eq!(t.parent(NodeId::new(0)), None);
-        assert_eq!(t.parent(NodeId::new(4)), Some(NodeId::new(1)), "ties break low");
+        assert_eq!(
+            t.parent(NodeId::new(4)),
+            Some(NodeId::new(1)),
+            "ties break low"
+        );
         for i in 1..6 {
             let n = NodeId::new(i);
             let p = t.parent(n).unwrap();
@@ -200,7 +204,10 @@ mod tests {
         let (_, t) = diamond();
         assert_eq!(t.ring(0), vec![NodeId::new(0)]);
         assert_eq!(t.ring(1), vec![NodeId::new(1), NodeId::new(2)]);
-        assert_eq!(t.ring(2), vec![NodeId::new(3), NodeId::new(4), NodeId::new(5)]);
+        assert_eq!(
+            t.ring(2),
+            vec![NodeId::new(3), NodeId::new(4), NodeId::new(5)]
+        );
         assert_eq!(t.max_depth(), 2);
     }
 

@@ -154,6 +154,10 @@ mod tests {
             .maximize(|p| p[0], &[&g], &[0.5], &bounds)
             .unwrap();
         assert!(m.x[0] <= 2.0 + 1e-9);
-        assert!(m.x[0] > 1.99, "should press against the constraint, got {}", m.x[0]);
+        assert!(
+            m.x[0] > 1.99,
+            "should press against the constraint, got {}",
+            m.x[0]
+        );
     }
 }

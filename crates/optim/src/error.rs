@@ -47,7 +47,10 @@ impl std::fmt::Display for OptimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OptimError::InvalidInterval { a, b } => {
-                write!(f, "invalid interval [{a}, {b}]: endpoints must be finite with a < b")
+                write!(
+                    f,
+                    "invalid interval [{a}, {b}]: endpoints must be finite with a < b"
+                )
             }
             OptimError::NoSignChange { fa, fb } => {
                 write!(f, "no sign change bracketed: f(a)={fa}, f(b)={fb}")
@@ -78,7 +81,10 @@ mod tests {
         assert!(e.to_string().contains("[2, 1]"));
         let e = OptimError::NoConvergence { iterations: 100 };
         assert!(e.to_string().contains("100"));
-        let e = OptimError::Dimension { expected: 2, got: 3 };
+        let e = OptimError::Dimension {
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("expected 2"));
     }
 }

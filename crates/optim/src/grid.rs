@@ -30,7 +30,10 @@ impl Bounds {
     /// [`OptimError::Dimension`] if empty.
     pub fn new(ranges: Vec<(f64, f64)>) -> Result<Bounds, OptimError> {
         if ranges.is_empty() {
-            return Err(OptimError::Dimension { expected: 1, got: 0 });
+            return Err(OptimError::Dimension {
+                expected: 1,
+                got: 0,
+            });
         }
         for &(lo, hi) in &ranges {
             if !(lo.is_finite() && hi.is_finite() && lo < hi) {
@@ -68,7 +71,10 @@ impl Bounds {
 
     /// The box center.
     pub fn center(&self) -> Vec<f64> {
-        self.ranges.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect()
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| 0.5 * (lo + hi))
+            .collect()
     }
 
     /// Clamps `x` into the box, component-wise.
@@ -130,8 +136,7 @@ pub fn grid_minimize<F: FnMut(&[f64]) -> f64>(
         for (i, xi) in x.iter_mut().enumerate() {
             let k = rem % points_per_dim;
             rem /= points_per_dim;
-            *xi = bounds.lower(i)
-                + bounds.width(i) * k as f64 / (points_per_dim - 1) as f64;
+            *xi = bounds.lower(i) + bounds.width(i) * k as f64 / (points_per_dim - 1) as f64;
         }
         let v = f(&x);
         if v.is_finite() && best.as_ref().is_none_or(|b| v < b.value) {
@@ -176,8 +181,7 @@ pub fn multistart<F: FnMut(&[f64]) -> f64>(
         for (i, xi) in x.iter_mut().enumerate() {
             let k = rem % points_per_dim;
             rem /= points_per_dim;
-            *xi = bounds.lower(i)
-                + bounds.width(i) * k as f64 / (points_per_dim - 1) as f64;
+            *xi = bounds.lower(i) + bounds.width(i) * k as f64 / (points_per_dim - 1) as f64;
         }
         let v = f(&x);
         if v.is_finite() {
@@ -244,7 +248,13 @@ mod tests {
         // NaN left half-plane; the minimum of the feasible half is at 0.5.
         let b = Bounds::new(vec![(-1.0, 1.0)]).unwrap();
         let m = grid_minimize(
-            |x| if x[0] < 0.5 { f64::NAN } else { (x[0] - 0.5).powi(2) },
+            |x| {
+                if x[0] < 0.5 {
+                    f64::NAN
+                } else {
+                    (x[0] - 0.5).powi(2)
+                }
+            },
             &b,
             21,
         )
@@ -271,7 +281,11 @@ mod tests {
         };
         let b = Bounds::new(vec![(-4.0, 4.0)]).unwrap();
         let m = multistart(f, &b, 17, 3, NelderMead::default()).unwrap();
-        assert!((m.x[0] + 2.03).abs() < 0.05, "deeper well is near -2, got {}", m.x[0]);
+        assert!(
+            (m.x[0] + 2.03).abs() < 0.05,
+            "deeper well is near -2, got {}",
+            m.x[0]
+        );
     }
 
     #[test]

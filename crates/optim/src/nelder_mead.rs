@@ -112,7 +112,11 @@ impl NelderMead {
         while iterations < self.max_iter {
             // Order the simplex by objective value.
             let mut idx: Vec<usize> = (0..=n).collect();
-            idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN by invariant"));
+            idx.sort_by(|&a, &b| {
+                values[a]
+                    .partial_cmp(&values[b])
+                    .expect("no NaN by invariant")
+            });
             let best = idx[0];
             let worst = idx[n];
             let second_worst = idx[n.saturating_sub(1)];
@@ -261,7 +265,10 @@ mod tests {
                 &bounds2(-1.0, 1.0),
             )
             .unwrap();
-        assert!((m.x[0] + 1.0).abs() < 1e-5, "x0 should pin to the lower bound");
+        assert!(
+            (m.x[0] + 1.0).abs() < 1e-5,
+            "x0 should pin to the lower bound"
+        );
         assert!(m.x[1].abs() < 1e-4);
     }
 
@@ -280,7 +287,13 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_reported() {
         let r = NelderMead::default().minimize(|x| x[0], &[0.0, 0.0, 0.0], &bounds2(0.0, 1.0));
-        assert!(matches!(r, Err(OptimError::Dimension { expected: 2, got: 3 })));
+        assert!(matches!(
+            r,
+            Err(OptimError::Dimension {
+                expected: 2,
+                got: 3
+            })
+        ));
     }
 
     #[test]

@@ -80,10 +80,7 @@ impl Penalty {
         for _ in 0..self.rounds {
             let penalized = |p: &[f64]| {
                 let base = f(p);
-                let violation: f64 = constraints
-                    .iter()
-                    .map(|g| g(p).max(0.0).powi(2))
-                    .sum();
+                let violation: f64 = constraints.iter().map(|g| g(p).max(0.0).powi(2)).sum();
                 base + mu * violation
             };
             let m = self.local.minimize(penalized, &x, bounds)?;
@@ -158,6 +155,10 @@ mod tests {
         let m = Penalty::default()
             .minimize(|x| x[0], &[&g], &[5.0], &bounds)
             .unwrap();
-        assert!((m.value - 2.0).abs() < 1e-3, "value {} should be f(x*), not penalized", m.value);
+        assert!(
+            (m.value - 2.0).abs() < 1e-3,
+            "value {} should be f(x*), not penalized",
+            m.value
+        );
     }
 }

@@ -115,10 +115,18 @@ pub fn golden_section_min<F: FnMut(f64) -> f64>(
     }
     // Also consider the probe points and original endpoints: on
     // monotone objectives the optimum sits on the boundary.
-    let mut best = ScalarMinimum { x, value, iterations };
+    let mut best = ScalarMinimum {
+        x,
+        value,
+        iterations,
+    };
     for (cx, cv) in [(a, f(a)), (b, f(b)), (x1, f1), (x2, f2)] {
         if cv < best.value {
-            best = ScalarMinimum { x: cx, value: cv, iterations };
+            best = ScalarMinimum {
+                x: cx,
+                value: cv,
+                iterations,
+            };
         }
     }
     Ok(best)
@@ -233,11 +241,19 @@ pub fn brent_min<F: FnMut(f64) -> f64>(
     }
 
     // Guard the boundary case exactly as golden-section does.
-    let mut best = ScalarMinimum { x, value: fx, iterations };
+    let mut best = ScalarMinimum {
+        x,
+        value: fx,
+        iterations,
+    };
     for cx in [a, b] {
         let cv = f(cx);
         if cv < best.value {
-            best = ScalarMinimum { x: cx, value: cv, iterations };
+            best = ScalarMinimum {
+                x: cx,
+                value: cv,
+                iterations,
+            };
         }
     }
     Ok(best)
@@ -341,8 +357,13 @@ mod tests {
 
     #[test]
     fn golden_finds_quadratic_minimum() {
-        let m = golden_section_min(|x| (x - 3.5).powi(2) + 1.0, -10.0, 10.0, Tolerance::default())
-            .unwrap();
+        let m = golden_section_min(
+            |x| (x - 3.5).powi(2) + 1.0,
+            -10.0,
+            10.0,
+            Tolerance::default(),
+        )
+        .unwrap();
         assert!((m.x - 3.5).abs() < 1e-6);
         assert!((m.value - 1.0).abs() < 1e-10);
     }
@@ -381,7 +402,10 @@ mod tests {
         let g = golden_section_min(f, -4.0, 6.0, Tolerance::default()).unwrap();
         let b = brent_min(f, -4.0, 6.0, Tolerance::default()).unwrap();
         assert!((g.x - b.x).abs() < 1e-6);
-        assert!(b.iterations <= g.iterations, "brent should not be slower on smooth f");
+        assert!(
+            b.iterations <= g.iterations,
+            "brent should not be slower on smooth f"
+        );
     }
 
     #[test]
@@ -404,8 +428,14 @@ mod tests {
 
     #[test]
     fn bisect_accepts_exact_endpoint_roots() {
-        assert_eq!(bisect_root(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(), 0.0);
-        assert_eq!(bisect_root(|x| x - 1.0, 0.0, 1.0, Tolerance::default()).unwrap(), 1.0);
+        assert_eq!(
+            bisect_root(|x| x, 0.0, 1.0, Tolerance::default()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            bisect_root(|x| x - 1.0, 0.0, 1.0, Tolerance::default()).unwrap(),
+            1.0
+        );
     }
 
     #[test]

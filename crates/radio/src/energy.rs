@@ -351,7 +351,9 @@ mod tests {
     #[test]
     fn display_mentions_every_bucket() {
         let text = EnergyBreakdown::ZERO.to_string();
-        for key in ["cs=", "tx=", "rx=", "ovr=", "stx=", "srx=", "sleep=", "total="] {
+        for key in [
+            "cs=", "tx=", "rx=", "ovr=", "stx=", "srx=", "sleep=", "total=",
+        ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }
     }

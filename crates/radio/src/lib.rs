@@ -38,6 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod energy;

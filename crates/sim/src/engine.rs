@@ -6,7 +6,9 @@ use crate::frame::{Frame, FrameKind, Packet, PacketId};
 use crate::protocols;
 use crate::report::{NodeStats, PacketRecord, SimReport};
 use crate::time::SimTime;
-use edmac_net::{distance_two_coloring, Graph, NetError, NodeId, RoutingTree, Topology};
+use edmac_net::{
+    distance_two_coloring, random_slot_assignment, Graph, NetError, NodeId, RoutingTree, Topology,
+};
 use edmac_radio::{Cause, EnergyLedger, FrameSizes, Mode, Radio};
 use edmac_units::Seconds;
 use rand::rngs::StdRng;
@@ -527,8 +529,7 @@ impl Simulation {
     {
         let graph = topology.graph();
         let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
-        let nodes: Vec<Box<dyn MacNode>> =
-            graph.nodes().map(|u| make(u, &tree)).collect();
+        let nodes: Vec<Box<dyn MacNode>> = graph.nodes().map(|u| make(u, &tree)).collect();
         Simulation::assemble(&graph, &tree, radio, frames, nodes, protocol_name, config)
     }
 
@@ -586,17 +587,34 @@ impl Simulation {
                 })
                 .collect(),
             ProtocolConfig::Lmac { slot, frame_slots } => {
-                let coloring = distance_two_coloring(graph);
-                if coloring.count() > frame_slots {
-                    return Err(NetError::InvalidParameter {
-                        name: "frame_slots",
-                        reason: format!(
-                            "topology needs {} distance-2 slots but the frame has {}",
-                            coloring.count(),
-                            frame_slots
-                        ),
-                    });
-                }
+                // LMAC's slot-claiming phase picks random free slots; a
+                // dedicated stream (decoupled from the run's event RNG)
+                // keeps slot layouts and packet arrivals independent.
+                let mut slot_rng = StdRng::seed_from_u64(config.seed ^ 0x1b873593);
+                let coloring = match (0..16)
+                    .find_map(|_| random_slot_assignment(graph, frame_slots, &mut slot_rng))
+                {
+                    Some(coloring) => coloring,
+                    None => {
+                        // Random claiming can dead-end on frames close
+                        // to the chromatic need even when an assignment
+                        // exists; the deterministic Welsh–Powell pass
+                        // settles feasibility (at the cost of a slot
+                        // layout correlated with node order).
+                        let greedy = distance_two_coloring(graph);
+                        if greedy.count() > frame_slots {
+                            return Err(NetError::InvalidParameter {
+                                name: "frame_slots",
+                                reason: format!(
+                                    "topology needs {} distance-2 slots but the frame \
+                                     has {frame_slots}",
+                                    greedy.count()
+                                ),
+                            });
+                        }
+                        greedy
+                    }
+                };
                 graph
                     .nodes()
                     .map(|u| {
@@ -685,9 +703,10 @@ impl Simulation {
                 continue;
             }
             let phase = self.core.rng.gen_range(0.0..period.value());
-            self.core
-                .queue
-                .schedule(SimTime::from_seconds(Seconds::new(phase)), Event::Generate { node });
+            self.core.queue.schedule(
+                SimTime::from_seconds(Seconds::new(phase)),
+                Event::Generate { node },
+            );
         }
 
         // Start every node.
@@ -749,8 +768,14 @@ impl Simulation {
                     delivered: None,
                     hops: 0,
                 });
-                // Schedule the next sample before handing over.
-                let next = self.core.now.after(self.core.config.sample_period);
+                // Schedule the next sample before handing over. The
+                // interval is jittered within ±half a period (mean rate
+                // preserved): strictly periodic sampling phase-locks
+                // against frame and ladder schedules, which biases delay
+                // medians in ways the analytical models' uniform-arrival
+                // assumption excludes.
+                let jitter = self.core.rng.gen_range(0.5..1.5);
+                let next = self.core.now.after(self.core.config.sample_period * jitter);
                 self.core.queue.schedule(next, Event::Generate { node });
                 self.with_node(node, |n, ctx| n.on_generate(ctx, packet));
             }
@@ -769,15 +794,21 @@ impl Simulation {
                 self.core.set_mode(node, Mode::Listen, cause);
                 self.with_node(node, |n, ctx| n.on_radio_ready(ctx));
             }
-            Event::AirStart { node, tx_seq, frame } => {
+            Event::AirStart {
+                node,
+                tx_seq,
+                frame,
+            } => {
                 self.core.air_count[node.index()] += 1;
                 match self.core.mode(node) {
                     Mode::Listen => {
                         if self.core.active_rx[node.index()].is_none() {
                             let cause = frame.kind.rx_cause(frame.addressed_to(node));
                             self.core.set_mode(node, Mode::Rx, cause);
-                            self.core.active_rx[node.index()] =
-                                Some(ActiveRx { tx_seq, corrupted: false });
+                            self.core.active_rx[node.index()] = Some(ActiveRx {
+                                tx_seq,
+                                corrupted: false,
+                            });
                         } else if let Some(rx) = &mut self.core.active_rx[node.index()] {
                             // A second in-range transmission: collision.
                             rx.corrupted = true;
@@ -791,7 +822,11 @@ impl Simulation {
                     Mode::Sleep | Mode::Startup | Mode::Tx => {}
                 }
             }
-            Event::AirEnd { node, tx_seq, frame } => {
+            Event::AirEnd {
+                node,
+                tx_seq,
+                frame,
+            } => {
                 self.core.air_count[node.index()] =
                     self.core.air_count[node.index()].saturating_sub(1);
                 let finished = match &self.core.active_rx[node.index()] {
@@ -848,8 +883,13 @@ mod tests {
 
     #[test]
     fn ring_builder_counts_nodes() {
-        let sim = Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(100.0)), tiny_config())
-            .unwrap();
+        let sim = Simulation::ring(
+            2,
+            4,
+            ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+            tiny_config(),
+        )
+        .unwrap();
         assert_eq!(sim.node_count(), 1 + 4 * 4);
     }
 
@@ -869,7 +909,10 @@ mod tests {
     #[test]
     fn identical_seeds_reproduce_runs() {
         let run = |seed: u64| {
-            let cfg = SimConfig { seed, ..tiny_config() };
+            let cfg = SimConfig {
+                seed,
+                ..tiny_config()
+            };
             Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
                 .unwrap()
                 .run()
@@ -878,15 +921,26 @@ mod tests {
         let b = run(42);
         assert_eq!(a.delivery_ratio(), b.delivery_ratio());
         assert_eq!(a.delivered_count(), b.delivered_count());
-        let ea: Vec<f64> = a.per_node().iter().map(|s| s.breakdown.total().value()).collect();
-        let eb: Vec<f64> = b.per_node().iter().map(|s| s.breakdown.total().value()).collect();
+        let ea: Vec<f64> = a
+            .per_node()
+            .iter()
+            .map(|s| s.breakdown.total().value())
+            .collect();
+        let eb: Vec<f64> = b
+            .per_node()
+            .iter()
+            .map(|s| s.breakdown.total().value())
+            .collect();
         assert_eq!(ea, eb, "energy accounting must be bit-identical");
     }
 
     #[test]
     fn different_seeds_differ() {
         let run = |seed: u64| {
-            let cfg = SimConfig { seed, ..tiny_config() };
+            let cfg = SimConfig {
+                seed,
+                ..tiny_config()
+            };
             Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
                 .unwrap()
                 .run()
@@ -894,8 +948,16 @@ mod tests {
         let a = run(1);
         let b = run(2);
         // Phases differ, so per-node energies will not be identical.
-        let ea: Vec<f64> = a.per_node().iter().map(|s| s.breakdown.total().value()).collect();
-        let eb: Vec<f64> = b.per_node().iter().map(|s| s.breakdown.total().value()).collect();
+        let ea: Vec<f64> = a
+            .per_node()
+            .iter()
+            .map(|s| s.breakdown.total().value())
+            .collect();
+        let eb: Vec<f64> = b
+            .per_node()
+            .iter()
+            .map(|s| s.breakdown.total().value())
+            .collect();
         assert_ne!(ea, eb);
     }
 
@@ -904,13 +966,11 @@ mod tests {
         // Every node's charged time (busy + sleep) must equal the run
         // duration exactly.
         let cfg = tiny_config();
-        let report =
-            Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(100.0)), cfg)
-                .unwrap()
-                .run();
+        let report = Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(100.0)), cfg)
+            .unwrap()
+            .run();
         for stats in report.per_node() {
-            let sleep_time = stats.breakdown.sleep.value()
-                / Radio::cc2420().power.sleep.value();
+            let sleep_time = stats.breakdown.sleep.value() / Radio::cc2420().power.sleep.value();
             let total = stats.busy.value() + sleep_time;
             assert!(
                 (total - cfg.duration.value()).abs() < 1e-6,

@@ -19,9 +19,17 @@ pub(crate) enum Event {
     RadioReady { node: NodeId, token: u64 },
     /// A frame's first bit arrives at `node` (propagation is treated as
     /// instantaneous at these ranges).
-    AirStart { node: NodeId, tx_seq: u64, frame: Frame },
+    AirStart {
+        node: NodeId,
+        tx_seq: u64,
+        frame: Frame,
+    },
     /// A frame's last bit leaves the air at `node`.
-    AirEnd { node: NodeId, tx_seq: u64, frame: Frame },
+    AirEnd {
+        node: NodeId,
+        tx_seq: u64,
+        frame: Frame,
+    },
     /// `node` finishes transmitting its current frame.
     TxDone { node: NodeId },
 }
@@ -116,9 +124,24 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(t(30), Event::Generate { node: NodeId::new(3) });
-        q.schedule(t(10), Event::Generate { node: NodeId::new(1) });
-        q.schedule(t(20), Event::Generate { node: NodeId::new(2) });
+        q.schedule(
+            t(30),
+            Event::Generate {
+                node: NodeId::new(3),
+            },
+        );
+        q.schedule(
+            t(10),
+            Event::Generate {
+                node: NodeId::new(1),
+            },
+        );
+        q.schedule(
+            t(20),
+            Event::Generate {
+                node: NodeId::new(2),
+            },
+        );
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(at, _)| at.as_nanos())
             .collect();
@@ -128,8 +151,18 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(t(5), Event::Generate { node: NodeId::new(7) });
-        q.schedule(t(5), Event::TxDone { node: NodeId::new(8) });
+        q.schedule(
+            t(5),
+            Event::Generate {
+                node: NodeId::new(7),
+            },
+        );
+        q.schedule(
+            t(5),
+            Event::TxDone {
+                node: NodeId::new(8),
+            },
+        );
         let (_, first) = q.pop().unwrap();
         let (_, second) = q.pop().unwrap();
         assert_eq!(first.node(), NodeId::new(7));
@@ -140,7 +173,12 @@ mod tests {
     fn len_and_empty_track_contents() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(t(1), Event::TxDone { node: NodeId::new(0) });
+        q.schedule(
+            t(1),
+            Event::TxDone {
+                node: NodeId::new(0),
+            },
+        );
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
@@ -149,7 +187,11 @@ mod tests {
 
     #[test]
     fn event_node_extraction() {
-        let e = Event::Timer { node: NodeId::new(4), id: 1, tag: 2 };
+        let e = Event::Timer {
+            node: NodeId::new(4),
+            id: 1,
+            tag: 2,
+        };
         assert_eq!(e.node(), NodeId::new(4));
     }
 }

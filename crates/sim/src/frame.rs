@@ -168,7 +168,12 @@ impl std::fmt::Display for FrameCounters {
         write!(
             f,
             "tx: data={} ack={} strobe={} sack={} sync={} ctl={} | rx total={} | collisions={}",
-            self.tx[0], self.tx[1], self.tx[2], self.tx[3], self.tx[4], self.tx[5],
+            self.tx[0],
+            self.tx[1],
+            self.tx[2],
+            self.tx[3],
+            self.tx[4],
+            self.tx[5],
             self.rx_total(),
             self.collisions
         )

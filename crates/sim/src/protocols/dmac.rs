@@ -213,13 +213,12 @@ impl MacNode for DmacNode {
                     ctx.set_timer(self.slot * 0.5, TAG_SLEEP);
                 }
             }
-            TAG_ACK_TIMEOUT if id == self.ack_timer
-                && self.phase == Phase::AwaitingAck => {
-                    // No ack: the packet stays in flight and recontends
-                    // after a randomized pause.
-                    self.fail_attempt(ctx);
-                    self.linger_then_sleep(ctx);
-                }
+            TAG_ACK_TIMEOUT if id == self.ack_timer && self.phase == Phase::AwaitingAck => {
+                // No ack: the packet stays in flight and recontends
+                // after a randomized pause.
+                self.fail_attempt(ctx);
+                self.linger_then_sleep(ctx);
+            }
             _ => {}
         }
     }
@@ -248,13 +247,12 @@ impl MacNode for DmacNode {
                     self.queue.push_back(packet);
                 }
             }
-            FrameKind::Ack if frame.addressed_to(me)
-                && self.phase == Phase::AwaitingAck => {
-                    ctx.cancel_timer(self.ack_timer);
-                    self.in_flight = None;
-                    self.retries = 0;
-                    self.linger_then_sleep(ctx);
-                }
+            FrameKind::Ack if frame.addressed_to(me) && self.phase == Phase::AwaitingAck => {
+                ctx.cancel_timer(self.ack_timer);
+                self.in_flight = None;
+                self.retries = 0;
+                self.linger_then_sleep(ctx);
+            }
             _ => {} // overheard sibling traffic: engine charged it
         }
     }
@@ -295,9 +293,7 @@ impl DmacNode {
             return;
         }
         self.phase = Phase::ContentionBackoff;
-        let backoff = Seconds::new(
-            ctx.random_range(0.05, 1.0) * self.contention_window.value(),
-        );
+        let backoff = Seconds::new(ctx.random_range(0.05, 1.0) * self.contention_window.value());
         ctx.set_timer(backoff, TAG_BACKOFF_DONE);
     }
 

@@ -1,9 +1,11 @@
 //! LMAC node: frame-based TDMA with per-slot control sections.
 //!
 //! Time is a sequence of frames of `N` slots of length `Ts`. Every node
-//! owns one slot — assigned by distance-2 coloring at build time, which
-//! stands in for LMAC's distributed slot-claiming phase (the paper's
-//! analysis likewise assumes steady state). At every slot boundary all
+//! owns one slot — a random distance-2-free slot claimed at build time
+//! ([`edmac_net::random_slot_assignment`]), standing in for LMAC's
+//! distributed slot-claiming phase in steady state (the analytical
+//! model's half-frame-per-hop term assumes exactly this uncorrelated
+//! layout). At every slot boundary all
 //! nodes wake and listen to the owner's control section: if it names
 //! them as data addressee they stay up for the data, otherwise they
 //! sleep until the next slot. Owners always transmit their control
@@ -28,7 +30,9 @@ enum Phase {
     /// Listening for the slot owner's control section.
     AwaitingControl,
     /// Own slot: control section on the air.
-    SendingControl { data_follows: bool },
+    SendingControl {
+        data_follows: bool,
+    },
     /// Own slot: data frame on the air.
     SendingData,
     /// Named as addressee: waiting for the data frame.
@@ -126,8 +130,7 @@ impl MacNode for LmacNode {
                     return;
                 }
                 if ctx.is_receiving() {
-                    self.data_timer =
-                        ctx.set_timer(Seconds::from_millis(1.0), TAG_DATA_TIMEOUT);
+                    self.data_timer = ctx.set_timer(Seconds::from_millis(1.0), TAG_DATA_TIMEOUT);
                 } else {
                     self.phase = Phase::Sleeping;
                     ctx.sleep();
@@ -179,19 +182,18 @@ impl MacNode for LmacNode {
                     ctx.sleep();
                 }
             }
-            FrameKind::Data if frame.addressed_to(me)
-                && self.phase == Phase::AwaitingData => {
-                    ctx.cancel_timer(self.data_timer);
-                    let mut packet = frame.packet.expect("data frames carry packets");
-                    packet.hops += 1;
-                    if ctx.is_sink() {
-                        ctx.deliver(packet);
-                    } else {
-                        self.queue.push_back(packet);
-                    }
-                    self.phase = Phase::Sleeping;
-                    ctx.sleep();
+            FrameKind::Data if frame.addressed_to(me) && self.phase == Phase::AwaitingData => {
+                ctx.cancel_timer(self.data_timer);
+                let mut packet = frame.packet.expect("data frames carry packets");
+                packet.hops += 1;
+                if ctx.is_sink() {
+                    ctx.deliver(packet);
+                } else {
+                    self.queue.push_back(packet);
                 }
+                self.phase = Phase::Sleeping;
+                ctx.sleep();
+            }
             _ => {}
         }
     }

@@ -1,6 +1,6 @@
 //! Per-node protocol state machines.
 
 pub(crate) mod dmac;
-pub(crate) mod scp;
 pub(crate) mod lmac;
+pub(crate) mod scp;
 pub(crate) mod xmac;

@@ -73,11 +73,7 @@ pub(crate) struct ScpNode {
 }
 
 impl ScpNode {
-    pub fn new(
-        poll_interval: Seconds,
-        poll_listen: Seconds,
-        sync_period: Seconds,
-    ) -> ScpNode {
+    pub fn new(poll_interval: Seconds, poll_listen: Seconds, sync_period: Seconds) -> ScpNode {
         ScpNode {
             poll_interval,
             poll_listen,
@@ -147,8 +143,7 @@ impl MacNode for ScpNode {
                 if self.skip_polls > 0 {
                     self.skip_polls -= 1;
                 }
-                let due_sync =
-                    boundary.wrapping_sub(self.last_sync_boundary) >= self.sync_every();
+                let due_sync = boundary.wrapping_sub(self.last_sync_boundary) >= self.sync_every();
                 let cause = if wants_tx {
                     Cause::DataTx
                 } else if due_sync {
@@ -205,17 +200,15 @@ impl MacNode for ScpNode {
                     return;
                 }
                 if ctx.is_receiving() {
-                    self.data_timer =
-                        ctx.set_timer(ctx.airtime(FrameKind::Data), TAG_DATA_TIMEOUT);
+                    self.data_timer = ctx.set_timer(ctx.airtime(FrameKind::Data), TAG_DATA_TIMEOUT);
                 } else {
                     self.sleep_now(ctx);
                 }
             }
-            TAG_ACK_TIMEOUT if id == self.ack_timer
-                && self.phase == Phase::AwaitingAck => {
-                    self.fail_attempt(ctx);
-                    self.sleep_now(ctx);
-                }
+            TAG_ACK_TIMEOUT if id == self.ack_timer && self.phase == Phase::AwaitingAck => {
+                self.fail_attempt(ctx);
+                self.sleep_now(ctx);
+            }
             _ => {}
         }
     }
@@ -226,8 +219,7 @@ impl MacNode for ScpNode {
         }
         let boundary = self.next_boundary.saturating_sub(1);
         let due_sync = boundary == self.last_sync_boundary && boundary != 0;
-        let wants_tx =
-            (self.in_flight.is_some() || !self.queue.is_empty()) && !ctx.is_sink();
+        let wants_tx = (self.in_flight.is_some() || !self.queue.is_empty()) && !ctx.is_sink();
         if due_sync {
             // Broadcast schedule maintenance in this slot instead of
             // polling; data waits one boundary.
@@ -235,9 +227,8 @@ impl MacNode for ScpNode {
             ctx.send(FrameKind::Sync, None, None);
         } else if wants_tx && self.skip_polls == 0 {
             self.phase = Phase::ContentionBackoff;
-            let backoff = Seconds::new(
-                ctx.random_range(0.05, 1.0) * self.contention_window.value(),
-            );
+            let backoff =
+                Seconds::new(ctx.random_range(0.05, 1.0) * self.contention_window.value());
             ctx.set_timer(backoff, TAG_BACKOFF_DONE);
         } else {
             self.phase = Phase::Polling;

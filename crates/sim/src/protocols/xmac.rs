@@ -100,8 +100,13 @@ impl XmacNode {
             + ctx.startup_delay()
     }
 
+    /// Whether a packet is waiting, either queued or mid-retry.
+    fn has_pending(&self) -> bool {
+        self.in_flight.is_some() || !self.queue.is_empty()
+    }
+
     fn try_begin_tx(&mut self, ctx: &mut Ctx<'_>) {
-        if self.phase != Phase::Sleeping || self.queue.is_empty() || ctx.is_sink() {
+        if self.phase != Phase::Sleeping || !self.has_pending() || ctx.is_sink() {
             return;
         }
         self.phase = Phase::WakingToSend;
@@ -172,11 +177,14 @@ impl MacNode for XmacNode {
                 // The poll clock ticks regardless of activity.
                 ctx.set_timer(self.wakeup, TAG_POLL);
                 if self.phase == Phase::Sleeping {
-                    if self.queue.is_empty() {
+                    if self.has_pending() && !ctx.is_sink() {
+                        // A queued packet or an interrupted retry
+                        // (in_flight survives a failed exchange) takes
+                        // priority over the idle poll.
+                        self.try_begin_tx(ctx);
+                    } else {
                         self.phase = Phase::Polling;
                         ctx.wake(Cause::CarrierSense);
-                    } else {
-                        self.try_begin_tx(ctx);
                     }
                 }
             }
@@ -208,20 +216,17 @@ impl MacNode for XmacNode {
                     self.send_one_strobe(ctx);
                 }
             }
-            TAG_ACK_TIMEOUT if id == self.ack_timer
-                && self.phase == Phase::AwaitingAck => {
-                    self.exchange_failed(ctx);
-                }
-            TAG_DATA_TIMEOUT if id == self.data_timer
-                && self.phase == Phase::AwaitingData => {
-                    // The sender vanished; go back to sleep.
-                    self.go_to_sleep(ctx);
-                }
-            TAG_BACKOFF
-                if self.phase == Phase::BackingOff => {
-                    self.phase = Phase::Sleeping;
-                    self.try_begin_tx(ctx);
-                }
+            TAG_ACK_TIMEOUT if id == self.ack_timer && self.phase == Phase::AwaitingAck => {
+                self.exchange_failed(ctx);
+            }
+            TAG_DATA_TIMEOUT if id == self.data_timer && self.phase == Phase::AwaitingData => {
+                // The sender vanished; go back to sleep.
+                self.go_to_sleep(ctx);
+            }
+            TAG_BACKOFF if self.phase == Phase::BackingOff => {
+                self.phase = Phase::Sleeping;
+                self.try_begin_tx(ctx);
+            }
             _ => {} // stale timer from an abandoned phase
         }
     }

@@ -132,7 +132,9 @@ impl SimReport {
         if delays.is_empty() {
             return None;
         }
-        Some(Seconds::new(delays.iter().sum::<f64>() / delays.len() as f64))
+        Some(Seconds::new(
+            delays.iter().sum::<f64>() / delays.len() as f64,
+        ))
     }
 
     /// Mean end-to-end delay of delivered packets originating at
@@ -147,7 +149,9 @@ impl SimReport {
         if delays.is_empty() {
             return None;
         }
-        Some(Seconds::new(delays.iter().sum::<f64>() / delays.len() as f64))
+        Some(Seconds::new(
+            delays.iter().sum::<f64>() / delays.len() as f64,
+        ))
     }
 
     /// Median end-to-end delay of delivered packets originating at
@@ -272,10 +276,10 @@ mod tests {
     #[test]
     fn warmup_and_cooldown_are_excluded() {
         let r = report(vec![
-            record(5.0, Some(6.0), 1),    // before warmup: excluded
-            record(50.0, Some(51.0), 1),  // counted, delivered
-            record(60.0, None, 1),        // counted, lost
-            record(97.0, None, 1),        // cooldown: excluded
+            record(5.0, Some(6.0), 1),   // before warmup: excluded
+            record(50.0, Some(51.0), 1), // counted, delivered
+            record(60.0, None, 1),       // counted, lost
+            record(97.0, None, 1),       // cooldown: excluded
         ]);
         assert_eq!(r.delivery_ratio(), 0.5);
         assert_eq!(r.delivered_count(), 1);
@@ -337,6 +341,9 @@ mod tests {
         );
         // Same epoch as duration: scale 1. The sink's 100 J must not win.
         assert_eq!(r.bottleneck_energy(Seconds::new(10.0)), Joules::new(1.0));
-        assert_eq!(r.bottleneck_breakdown(Seconds::new(10.0)).tx, Joules::new(1.0));
+        assert_eq!(
+            r.bottleneck_breakdown(Seconds::new(10.0)).tx,
+            Joules::new(1.0)
+        );
     }
 }

@@ -247,8 +247,8 @@ fn energy_ledger_charges_the_scripted_activity() {
     // one 1.6 ms data frame, rest asleep.
     let talker = &report.per_node()[0];
     let t_data = radio.airtime(FrameSizes::default().data);
-    let expected_tx = (radio.power.tx * t_data).value()
-        + (radio.power.startup * radio.timings.startup).value();
+    let expected_tx =
+        (radio.power.tx * t_data).value() + (radio.power.startup * radio.timings.startup).value();
     assert!(
         (talker.breakdown.tx.value() - expected_tx).abs() < 1e-9,
         "tx bucket {} vs expected {expected_tx}",

@@ -35,6 +35,7 @@
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 #[macro_use]

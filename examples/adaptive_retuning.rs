@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut last_tw = None;
     for (label, period_s) in phases {
-        let env = Deployment::reference()
-            .with_sampling(Hertz::per_interval(Seconds::new(period_s)));
+        let env =
+            Deployment::reference().with_sampling(Hertz::per_interval(Seconds::new(period_s)));
         match TradeoffAnalysis::new(&xmac, env, reqs).bargain() {
             Ok(report) => {
                 let tw_ms = report.nbs.params[0] * 1e3;
@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
                 last_tw = Some(tw_ms);
             }
-            Err(e) => println!("{label:<22} {:>10.1} re-tune failed: {e}", 3_600.0 / period_s),
+            Err(e) => println!(
+                "{label:<22} {:>10.1} re-tune failed: {e}",
+                3_600.0 / period_s
+            ),
         }
     }
 

@@ -23,7 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Deployment::reference();
     let epoch = env.epoch;
 
-    println!("Battery {:.0} kJ, epoch {:.0} s | {}", BATTERY_J / 1e3, epoch.value(), env.traffic.model());
+    println!(
+        "Battery {:.0} kJ, epoch {:.0} s | {}",
+        BATTERY_J / 1e3,
+        epoch.value(),
+        env.traffic.model()
+    );
     println!();
     println!(
         "{:<10} {:>8} {:>14} {:>14} {:>12}",

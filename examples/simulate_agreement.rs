@@ -10,8 +10,8 @@
 //! cargo run --release --example simulate_agreement
 //! ```
 
-use edmac::prelude::*;
 use edmac::net::RingModel;
+use edmac::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A validation-sized deployment: 4 rings of density 4 (65 nodes),
@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let xmac = Xmac::default();
     let report = TradeoffAnalysis::new(&xmac, env, reqs).bargain()?;
     let tw = Seconds::new(report.nbs.params[0]);
-    println!("Analytic agreement for X-MAC: Tw = {:.0} ms", tw.as_millis());
+    println!(
+        "Analytic agreement for X-MAC: Tw = {:.0} ms",
+        tw.as_millis()
+    );
     println!(
         "  promised: E* = {:.2} mJ/epoch, L* = {:.0} ms",
         report.e_star() * 1e3,
@@ -39,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
     };
     let sim = Simulation::ring(4, 4, ProtocolConfig::xmac(tw), cfg)?;
-    println!("  simulating {} nodes for {:.0} s ...", sim.node_count(), cfg.duration.value());
+    println!(
+        "  simulating {} nodes for {:.0} s ...",
+        sim.node_count(),
+        cfg.duration.value()
+    );
     let measured = sim.run();
 
     let e = measured.bottleneck_energy(env.epoch);

@@ -35,6 +35,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub use edmac_core as core;
@@ -54,8 +55,8 @@ pub mod prelude {
     };
     pub use edmac_game::{BargainingPower, BargainingProblem, CostPoint};
     pub use edmac_mac::{
-        all_models, Deployment, Dmac, DmacParams, Lmac, LmacParams, MacModel, MacPerformance,
-        Scp, ScpDual, ScpParams, Xmac, XmacParams,
+        all_models, Deployment, Dmac, DmacParams, Lmac, LmacParams, MacModel, MacPerformance, Scp,
+        ScpDual, ScpParams, Xmac, XmacParams,
     };
     pub use edmac_net::{RingModel, RingTraffic};
     pub use edmac_radio::{EnergyBreakdown, FrameSizes, Radio};

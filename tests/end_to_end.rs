@@ -11,9 +11,9 @@ fn full_pipeline_for_every_protocol() {
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(4.0)).unwrap();
     for model in all_models() {
         let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs);
-        let report = analysis.bargain().unwrap_or_else(|e| {
-            panic!("{} failed the reference contract: {e}", model.name())
-        });
+        let report = analysis
+            .bargain()
+            .unwrap_or_else(|e| panic!("{} failed the reference contract: {e}", model.name()));
         // The agreement is feasible, bracketed and fair-ish.
         assert!(report.e_star() <= 0.06 + 1e-9);
         assert!(report.l_star() <= 4.0 + 1e-9);
@@ -75,8 +75,7 @@ fn nash_beats_the_alternatives_on_its_own_criterion() {
         let nash = game.nash().unwrap();
         let ks = game.kalai_smorodinsky().unwrap();
         let eg = game.egalitarian().unwrap();
-        let continuous_product =
-            CostPoint::new(report.e_star(), report.l_star()).nash_product(v);
+        let continuous_product = CostPoint::new(report.e_star(), report.l_star()).nash_product(v);
         for (name, other) in [("KS", ks), ("egalitarian", eg)] {
             assert!(
                 continuous_product >= other.point.nash_product(v) - 1e-9,
@@ -111,8 +110,8 @@ fn scalability_claim_solve_output_is_node_count_independent() {
     // the criterion bench `scalability`.
     let reqs = AppRequirements::new(Joules::new(0.2), Seconds::new(8.0)).unwrap();
     for depth in [5usize, 10, 20, 40] {
-        let env = Deployment::reference()
-            .with_network(edmac::net::RingModel::new(depth, 4).unwrap());
+        let env =
+            Deployment::reference().with_network(edmac::net::RingModel::new(depth, 4).unwrap());
         let xmac = Xmac::default();
         let report = TradeoffAnalysis::new(&xmac, env, reqs)
             .bargain()
@@ -180,7 +179,6 @@ fn scp_extension_plays_the_same_game() {
         xmac_report.e_best()
     );
 }
-
 
 #[test]
 fn weighted_bargaining_spans_the_frontier() {

@@ -21,14 +21,22 @@ fn fig1_saturation_patterns_match_the_paper() {
     let xmac = ok_reports(fig1_sweep(&Xmac::default(), &env()));
     assert_eq!(xmac.len(), 6);
     let refs: Vec<&TradeoffReport> = xmac.iter().collect();
-    assert_eq!(distinct_points(&refs, 0.02), 3, "X-MAC: 3 distinct agreements");
+    assert_eq!(
+        distinct_points(&refs, 0.02),
+        3,
+        "X-MAC: 3 distinct agreements"
+    );
     assert_eq!(distinct_points(&refs[2..], 0.02), 1, "3..6 s coincide");
 
     // Paper Fig. 1b: DMAC distinct at 1..4 s, shared for 5,6 s.
     let dmac = ok_reports(fig1_sweep(&Dmac::default(), &env()));
     assert_eq!(dmac.len(), 6);
     let refs: Vec<&TradeoffReport> = dmac.iter().collect();
-    assert_eq!(distinct_points(&refs, 0.02), 5, "DMAC: 5 distinct agreements");
+    assert_eq!(
+        distinct_points(&refs, 0.02),
+        5,
+        "DMAC: 5 distinct agreements"
+    );
     assert_eq!(distinct_points(&refs[4..], 0.02), 1, "5,6 s coincide");
 
     // Paper Fig. 1c: LMAC never saturates — all six distinct.
@@ -82,7 +90,10 @@ fn fig2_xmac_saturates_at_generous_budgets() {
     let tail: Vec<&TradeoffReport> = reports[3..].iter().collect();
     assert_eq!(distinct_points(&tail, 0.02), 1, "0.04..0.06 J coincide");
     let head: Vec<&TradeoffReport> = reports.iter().collect();
-    assert!(distinct_points(&head, 0.02) >= 4, "small budgets stay distinct");
+    assert!(
+        distinct_points(&head, 0.02) >= 4,
+        "small budgets stay distinct"
+    );
 }
 
 /// Energy a protocol pays to deliver at (approximately) the target
@@ -141,9 +152,20 @@ fn frontiers_span_the_papers_latency_range() {
     let e = env();
     for model in all_models() {
         let pts = sample_pareto_frontier(model.as_ref(), &e, 300);
-        let lo = pts.iter().map(|p| p.latency.value()).fold(f64::MAX, f64::min);
+        let lo = pts
+            .iter()
+            .map(|p| p.latency.value())
+            .fold(f64::MAX, f64::min);
         let hi = pts.iter().map(|p| p.latency.value()).fold(0.0f64, f64::max);
-        assert!(lo < 1.0, "{}: fastest point {lo:.2}s too slow", model.name());
-        assert!(hi > 2.0, "{}: slowest point {hi:.2}s too fast", model.name());
+        assert!(
+            lo < 1.0,
+            "{}: fastest point {lo:.2}s too slow",
+            model.name()
+        );
+        assert!(
+            hi > 2.0,
+            "{}: slowest point {hi:.2}s too fast",
+            model.name()
+        );
     }
 }

@@ -167,7 +167,6 @@ fn latency_scales_with_depth_in_both_worlds() {
     }
 }
 
-
 #[test]
 fn scp_extension_validates_against_its_model() {
     // The extension protocol gets the same treatment as the paper's
@@ -177,7 +176,11 @@ fn scp_extension_validates_against_its_model() {
     let x = probe_point(&model, &env);
     let perf = model.performance(&[x], &env).unwrap();
     let report = sim_at(&model, x, 49);
-    assert!(report.delivery_ratio() > 0.95, "delivery {}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.95,
+        "delivery {}",
+        report.delivery_ratio()
+    );
     let sim_e = report.bottleneck_energy(env.epoch).value();
     let e_ratio = sim_e / perf.energy.value();
     assert!(

@@ -1,0 +1,228 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the slice of criterion's API the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (with
+//! [`sample_size`](BenchmarkGroup::sample_size),
+//! [`bench_function`](BenchmarkGroup::bench_function),
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input)),
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery it times a fixed number of
+//! iterations per benchmark with [`std::time::Instant`] and prints
+//! `<group>/<name>  mean <t> (n=<iters>)` lines — enough to rank hot paths
+//! and catch order-of-magnitude regressions, and it keeps
+//! `cargo bench --no-run` plus the `[[bench]] harness = false` wiring
+//! compiling exactly as the real harness would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &name.into(), self.default_sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(Some(&self.name), &id.0, self.sample_size, &mut f);
+        self
+    }
+
+    /// Times `f(input)` under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(Some(&self.name), &id.0, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The stand-in reports as it goes, so this only
+    /// exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters: usize,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` `n` warmup + `n` timed times and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed pass to populate caches and lazy statics.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, iters: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: None,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+    match bencher.elapsed {
+        Some(total) => {
+            let mean = total / iters as u32;
+            println!("{label:<48} mean {mean:>12.3?} (n={iters})");
+        }
+        None => println!("{label:<48} (no Bencher::iter call)"),
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+///
+/// `criterion_group!(name, f1, f2)` defines `fn name()` that runs `f1` and
+/// `f2` against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` running the given groups, honouring a substring
+/// filter argument like `cargo bench -- nash`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; ignore flags, keep substrings.
+            let _filters: Vec<String> = std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("a", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        // 1 warmup + 3 timed iterations.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3), BenchmarkId::from("f/3"));
+        assert_eq!(BenchmarkId::from_parameter("D4"), BenchmarkId::from("D4"));
+    }
+}

@@ -1,0 +1,535 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! re-implements the slice of proptest's API the workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * the [`strategy::Strategy`] trait with
+//!   [`prop_map`](strategy::Strategy::prop_map), implemented for half-open
+//!   ranges, tuples of strategies and boxed strategies;
+//! * [`arbitrary::any`] for primitives (floats include ±∞/NaN edge cases);
+//! * [`collection::vec`] with proptest-style size ranges;
+//! * [`prop_oneof!`] building a uniform [`strategy::Union`];
+//! * [`test_runner::ProptestConfig`].
+//!
+//! What it deliberately does **not** do is shrink: a failing case panics
+//! immediately with the case number baked into the deterministic seed, so a
+//! failure is reproducible by construction (`TestRng::for_case`) but not
+//! minimized. That trade keeps the stub small while preserving the coverage
+//! the tests were written for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod strategy {
+    //! The [`Strategy`] abstraction: composable random value generators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of an output type.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` draws a
+    /// fresh value directly, and failing cases are not shrunk.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the deterministic per-case generator.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies of one value type; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! [`any`] — canonical strategies for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy over the full domain of `T` (see [`any`]).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Returns the canonical strategy covering all of `T`, including the
+    /// awkward corners (for floats: ±0, ±∞, NaN, subnormal-ish tiny values).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng.gen_range(0u32..2) == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.rng.next_u64() as $wide as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // One case in eight is a special value; real proptest likewise
+            // over-weights the corners of the float domain.
+            match rng.rng.gen_range(0u32..8) {
+                0 => {
+                    const SPECIALS: [f64; 8] = [
+                        0.0,
+                        -0.0,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::NAN,
+                        f64::MIN_POSITIVE,
+                        f64::MAX,
+                        f64::MIN,
+                    ];
+                    SPECIALS[rng.rng.gen_range(0usize..SPECIALS.len())]
+                }
+                // Spread the rest over a wide dynamic range rather than
+                // uniformly over the reals (which would almost always be
+                // astronomically large).
+                _ => {
+                    let exp = rng.rng.gen_range(-300.0..300.0f64);
+                    let mantissa = rng.rng.gen_range(-1.0..1.0f64);
+                    mantissa * 10f64.powf(exp)
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections ([`vec()`]).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A length domain for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and the deterministic case generator.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// How many cases [`proptest!`](crate::proptest) runs per property.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a generated case failed. Bodies inside
+    /// [`proptest!`](crate::proptest) may `return Ok(())` to accept a case
+    /// early or `Err` one of these to reject it, exactly as with the real
+    /// crate.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold for this input.
+        Fail(String),
+        /// The input should be discarded (not counted as a failure).
+        Reject(String),
+    }
+
+    /// The generator handed to strategies: deterministic per (property,
+    /// case-index), so every failure is reproducible from the panic message.
+    pub struct TestRng {
+        /// Underlying seeded generator. Public within the crate's modules so
+        /// strategies can draw from it; not part of the stable surface.
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Builds the generator for case number `case` of a property.
+        pub fn for_case(case: u32) -> TestRng {
+            // Golden-ratio stride decorrelates consecutive case seeds.
+            TestRng {
+                rng: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)),
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias of the crate root so tests can say `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property test functions.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     // In a test module this would carry #[test]; the attribute is
+///     // forwarded verbatim.
+///     fn addition_commutes(a in -1e6..1e6f64, b in -1e6..1e6f64) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    // The body runs inside a Result-returning closure so
+                    // `return Ok(())` / `Err(...)?` work as in real proptest.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!("property '{}' case {case} failed: {msg}", stringify!($name)),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property; panics (failing the case) if
+/// false. Accepts `assert!`-style format arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies producing one value type.
+///
+/// ```
+/// use proptest::prelude::*;
+/// use proptest::strategy::Strategy as _;
+///
+/// let coin = prop_oneof![Just(0u32), Just(1u32)];
+/// let mut rng = proptest::test_runner::TestRng::for_case(0);
+/// let v = proptest::strategy::Strategy::generate(&coin, &mut rng);
+/// assert!(v == 0 || v == 1);
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3.0..5.0f64, n in 10usize..20) {
+            prop_assert!((3.0..5.0).contains(&x));
+            prop_assert!((10..20).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn tuples_and_vec_and_map(
+            (a, b) in (0.0..1.0f64, 1.0..2.0f64),
+            v in prop::collection::vec(0u32..7, 2..9),
+            s in (0u32..5).prop_map(|x| x * 10),
+        ) {
+            prop_assert!(a < b);
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 7));
+            prop_assert_eq!(s % 10, 0);
+            prop_assert!(s <= 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn oneof_hits_all_arms(pick in prop_oneof![0usize..1, 1usize..2, 2usize..3]) {
+            prop_assert!(pick < 3);
+        }
+    }
+
+    #[test]
+    fn any_f64_emits_specials_and_finite_values() {
+        let mut saw_finite = false;
+        let mut saw_nonfinite = false;
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        for _ in 0..4096 {
+            let x: f64 = crate::arbitrary::Arbitrary::arbitrary(&mut rng);
+            if x.is_finite() {
+                saw_finite = true;
+            } else {
+                saw_nonfinite = true;
+            }
+        }
+        assert!(saw_finite && saw_nonfinite);
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate re-implements the small slice of rand 0.8's API the
+//! workspace actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   ([`SeedableRng::seed_from_u64`]);
+//! * the [`Rng`] extension trait with [`Rng::gen_range`] over half-open
+//!   integer and float ranges;
+//! * the [`RngCore`] base trait ([`RngCore::next_u64`] /
+//!   [`RngCore::next_u32`]).
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — not ChaCha12 like the real `StdRng`, but statistically solid
+//! for simulation workloads and fully deterministic for a given seed, which
+//! is the property the simulator's reproducibility tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::ops::Range;
+
+/// Base trait for generators: a source of uniformly distributed bits.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the half-open `range`.
+    ///
+    /// Panics if the range is empty, mirroring rand 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range from which [`Rng::gen_range`] can sample a `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let sample = self.start + unit * (self.end - self.start);
+        // Floating rounding can land exactly on `end`; clamp back inside.
+        if sample >= self.end {
+            self.start
+        } else {
+            sample
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let sample = self.start + unit * (self.end - self.start);
+        if sample >= self.end {
+            self.start
+        } else {
+            sample
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift rejection-free mapping; the tiny modulo
+                // bias (< 2^-64) is irrelevant for simulation workloads.
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (xoshiro256++ under the hood).
+    ///
+    /// ```
+    /// use rand::{Rng, SeedableRng};
+    /// let mut a = rand::rngs::StdRng::seed_from_u64(7);
+    /// let mut b = rand::rngs::StdRng::seed_from_u64(7);
+    /// assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+    /// ```
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro
+            // authors for seeding from a single word.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(2.5..3.5f64);
+            assert!((2.5..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let x = rng.gen_range(0usize..8);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+}
