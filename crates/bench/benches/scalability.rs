@@ -26,13 +26,13 @@ fn depth_scaling(c: &mut Criterion) {
     for depth in [5usize, 10, 20, 40] {
         let env =
             Deployment::reference().with_network(RingModel::new(depth, 4).expect("valid ring"));
-        let nodes = env.traffic.model().total_nodes();
+        let nodes = env.traffic.sources();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("D{depth}_{nodes}nodes")),
             &env,
             |b, env| {
                 let xmac = Xmac::default();
-                let analysis = TradeoffAnalysis::new(&xmac, *env, reqs());
+                let analysis = TradeoffAnalysis::new(&xmac, env, reqs());
                 b.iter(|| black_box(&analysis).bargain().unwrap())
             },
         );
@@ -46,13 +46,13 @@ fn density_scaling(c: &mut Criterion) {
     for density in [2usize, 4, 8, 16] {
         let env =
             Deployment::reference().with_network(RingModel::new(10, density).expect("valid ring"));
-        let nodes = env.traffic.model().total_nodes();
+        let nodes = env.traffic.sources();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("C{density}_{nodes}nodes")),
             &env,
             |b, env| {
                 let xmac = Xmac::default();
-                let analysis = TradeoffAnalysis::new(&xmac, *env, reqs());
+                let analysis = TradeoffAnalysis::new(&xmac, env, reqs());
                 b.iter(|| black_box(&analysis).bargain().unwrap())
             },
         );

@@ -2,7 +2,7 @@
 //! validation-scale ring (65 nodes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use edmac_sim::{ProtocolConfig, SimConfig, Simulation};
+use edmac_sim::{ProtocolConfig, SimConfig, Simulation, WakeMode};
 use edmac_units::Seconds;
 use std::hint::black_box;
 
@@ -12,6 +12,7 @@ fn short_config(seed: u64) -> SimConfig {
         sample_period: Seconds::new(20.0),
         warmup: Seconds::new(10.0),
         seed,
+        scheduling: WakeMode::Coarse,
     }
 }
 

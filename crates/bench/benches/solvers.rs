@@ -18,15 +18,15 @@ fn programs(c: &mut Criterion) {
     group.sample_size(10);
     for model in all_models() {
         group.bench_function(format!("P1/{}", model.name()), |b| {
-            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs());
+            let analysis = TradeoffAnalysis::new(model.as_ref(), &env, reqs());
             b.iter(|| black_box(&analysis).energy_optimal().unwrap())
         });
         group.bench_function(format!("P2/{}", model.name()), |b| {
-            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs());
+            let analysis = TradeoffAnalysis::new(model.as_ref(), &env, reqs());
             b.iter(|| black_box(&analysis).latency_optimal().unwrap())
         });
         group.bench_function(format!("P3/{}", model.name()), |b| {
-            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs());
+            let analysis = TradeoffAnalysis::new(model.as_ref(), &env, reqs());
             b.iter(|| black_box(&analysis).bargain().unwrap())
         });
     }

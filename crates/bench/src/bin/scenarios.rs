@@ -1,0 +1,71 @@
+//! Scenario sweep: every preset workload × every protocol, packet
+//! level, printed as CSV.
+//!
+//! ```text
+//! cargo run --release --bin scenarios
+//! ```
+//!
+//! Columns: `scenario,protocol,nodes,delivery,median_delay_ms,
+//! bottleneck_mj_per_epoch,collisions`.
+
+use edmac_core::Scenario;
+use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
+use edmac_units::Seconds;
+
+fn protocols() -> [ProtocolConfig; 4] {
+    [
+        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+        ProtocolConfig::dmac(Seconds::new(0.5)),
+        ProtocolConfig::Lmac {
+            slot: Seconds::from_millis(10.0),
+            frame_slots: 64, // disk neighborhoods out-color the ring default
+        },
+        ProtocolConfig::scp(Seconds::from_millis(250.0)),
+    ]
+}
+
+fn main() {
+    let period = Seconds::new(60.0);
+    let scenarios = [
+        Scenario::validation_ring(),
+        Scenario::uniform_disk(65, 2.5, period),
+        Scenario::hotspot_disk(65, 2.5, period),
+        Scenario::event_burst_disk(65, 2.2, period),
+    ];
+    let config = SimConfig {
+        duration: Seconds::new(600.0),
+        sample_period: period, // overridden per scenario
+        warmup: Seconds::new(60.0),
+        seed: 7,
+        scheduling: WakeMode::Coarse,
+    };
+
+    println!("scenario,protocol,nodes,delivery,median_delay_ms,bottleneck_mj_per_epoch,collisions");
+    for scenario in &scenarios {
+        for protocol in protocols() {
+            let report = match scenario.simulation(protocol, config) {
+                Ok(sim) => sim.run(),
+                Err(e) => {
+                    eprintln!("skip {} / {}: {e}", scenario.name, protocol.name());
+                    continue;
+                }
+            };
+            let nodes = report.per_node().len();
+            let deepest = report.per_node().iter().map(|s| s.depth).max().unwrap_or(0);
+            let median_ms = report
+                .median_delay_at_depth(deepest)
+                .map(|d| d.value() * 1_000.0)
+                .unwrap_or(f64::NAN);
+            println!(
+                "{},{},{},{:.4},{:.1},{:.4},{}",
+                scenario.name,
+                report.protocol(),
+                nodes,
+                report.delivery_ratio(),
+                median_ms,
+                report.bottleneck_energy(Seconds::new(10.0)).value() * 1_000.0,
+                report.total_collisions(),
+            );
+        }
+    }
+}

@@ -20,7 +20,7 @@ fn main() {
     let epoch = env.epoch;
     println!("protocol,param_s,model_e_j,sim_e_j,e_ratio,model_l_s,sim_l_s,l_ratio,delivery");
     for model in all_models() {
-        let depth = env.traffic.model().depth();
+        let depth = env.traffic.depth();
         for x in validation_points(model.as_ref(), &env, 3) {
             let perf = model
                 .performance(&[x], &env)

@@ -19,7 +19,7 @@
 
 use edmac_core::{sample_pareto_frontier, OperatingPoint};
 use edmac_mac::{Deployment, MacModel};
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation};
+use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
 use edmac_units::Seconds;
 
 /// The deployment every figure uses (the calibrated reference).
@@ -42,6 +42,7 @@ pub fn validation_sim_config(seed: u64) -> SimConfig {
         sample_period: Seconds::new(80.0),
         warmup: Seconds::new(200.0),
         seed,
+        scheduling: WakeMode::Coarse,
     }
 }
 
@@ -85,14 +86,13 @@ pub fn sim_protocol_at(model: &dyn MacModel, x: &[f64]) -> ProtocolConfig {
 pub fn simulate_at(model: &dyn MacModel, x: &[f64], seed: u64) -> SimReport {
     let env = validation_env();
     let cfg = validation_sim_config(seed);
-    Simulation::ring(
-        env.traffic.model().depth(),
-        env.traffic.model().density(),
-        sim_protocol_at(model, x),
-        cfg,
-    )
-    .expect("validation topology is constructible")
-    .run()
+    let ring = env
+        .traffic
+        .ring_model()
+        .expect("the validation deployment is ring-based");
+    Simulation::ring(ring.depth(), ring.density(), sim_protocol_at(model, x), cfg)
+        .expect("validation topology is constructible")
+        .run()
 }
 
 /// Prints an operating-point series as CSV rows prefixed by `label`.

@@ -42,17 +42,35 @@ impl std::fmt::Display for OperatingPoint {
 /// set of application requirements.
 ///
 /// See the crate docs for the mapping to the paper's (P1)–(P4).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TradeoffAnalysis<'a, M: MacModel + ?Sized> {
     model: &'a M,
-    env: Deployment,
+    env: &'a Deployment,
     reqs: AppRequirements,
+    /// One-slot memo of the last evaluated candidate: the penalized
+    /// refinement phase evaluates the objective and each constraint as
+    /// separate closures at the same `x`, and the solvers re-probe
+    /// simplex points — without the memo every probe pays a full
+    /// model evaluation.
+    memo: CostMemo,
 }
+
+/// `(E, L, u)` at the last evaluated parameter vector.
+type CostMemo = std::cell::RefCell<Option<(Vec<f64>, (f64, f64, f64))>>;
 
 impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
     /// Creates an analysis for `model` under `env` and `reqs`.
-    pub fn new(model: &'a M, env: Deployment, reqs: AppRequirements) -> TradeoffAnalysis<'a, M> {
-        TradeoffAnalysis { model, env, reqs }
+    pub fn new(
+        model: &'a M,
+        env: &'a Deployment,
+        reqs: AppRequirements,
+    ) -> TradeoffAnalysis<'a, M> {
+        TradeoffAnalysis {
+            model,
+            env,
+            reqs,
+            memo: std::cell::RefCell::new(None),
+        }
     }
 
     /// The protocol model under analysis.
@@ -62,7 +80,7 @@ impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
 
     /// The deployment.
     pub fn env(&self) -> &Deployment {
-        &self.env
+        self.env
     }
 
     /// The application requirements.
@@ -71,16 +89,32 @@ impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
     }
 
     /// Evaluates the model at `x`, reduced to `(E, L, u)` with
-    /// non-finite values for invalid parameters.
+    /// non-finite values for invalid parameters; repeated evaluations
+    /// at the same point hit the one-slot memo.
     fn costs(&self, x: &[f64]) -> (f64, f64, f64) {
-        match self.model.performance(x, &self.env) {
+        if let Some((cached_x, cached)) = self.memo.borrow().as_ref() {
+            if cached_x.as_slice() == x {
+                return *cached;
+            }
+        }
+        let costs = match self.model.performance(x, self.env) {
             Ok(p) => (p.energy.value(), p.latency.value(), p.utilization),
             Err(_) => (f64::INFINITY, f64::INFINITY, f64::INFINITY),
+        };
+        let mut slot = self.memo.borrow_mut();
+        match slot.as_mut() {
+            Some((cached_x, cached)) => {
+                cached_x.clear();
+                cached_x.extend_from_slice(x);
+                *cached = costs;
+            }
+            None => *slot = Some((x.to_vec(), costs)),
         }
+        costs
     }
 
     fn operating_point(&self, x: &[f64]) -> Result<OperatingPoint, CoreError> {
-        let perf = self.model.performance(x, &self.env)?;
+        let perf = self.model.performance(x, self.env)?;
         Ok(OperatingPoint {
             params: x.to_vec(),
             energy: perf.energy,
@@ -100,7 +134,7 @@ impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
         constrained: impl Fn(&(f64, f64, f64)) -> f64,
         limit: f64,
     ) -> Result<OperatingPoint, CoreError> {
-        let bounds = self.model.bounds(&self.env);
+        let bounds = self.model.bounds(self.env);
         let cap = self.model.utilization_cap();
 
         // Global phase: sweep the box, fold constraints as infinities.
@@ -223,7 +257,7 @@ impl<'a, M: MacModel + ?Sized> TradeoffAnalysis<'a, M> {
             self.reqs.energy_budget().value(),
             self.reqs.latency_bound().value(),
         );
-        let bounds = self.model.bounds(&self.env);
+        let bounds = self.model.bounds(self.env);
         let cap = self.model.utilization_cap();
         let costs = |x: &[f64]| {
             let c = self.costs(x);
@@ -282,7 +316,7 @@ mod tests {
         let model = Xmac::default();
         let env = Deployment::reference();
         for lmax in [0.8, 1.0, 2.0, 4.0] {
-            let a = TradeoffAnalysis::new(&model, env, reqs(0.06, lmax));
+            let a = TradeoffAnalysis::new(&model, &env, reqs(0.06, lmax));
             let p = a.energy_optimal().unwrap();
             assert!(
                 p.latency.value() <= lmax + 1e-6,
@@ -296,10 +330,10 @@ mod tests {
     fn p1_energy_improves_as_bound_relaxes() {
         let model = Xmac::default();
         let env = Deployment::reference();
-        let tight = TradeoffAnalysis::new(&model, env, reqs(0.06, 0.8))
+        let tight = TradeoffAnalysis::new(&model, &env, reqs(0.06, 0.8))
             .energy_optimal()
             .unwrap();
-        let loose = TradeoffAnalysis::new(&model, env, reqs(0.06, 3.0))
+        let loose = TradeoffAnalysis::new(&model, &env, reqs(0.06, 3.0))
             .energy_optimal()
             .unwrap();
         assert!(loose.energy <= tight.energy);
@@ -311,10 +345,10 @@ mod tests {
         // reference deployment; Lmax = 4 and Lmax = 6 must coincide.
         let model = Xmac::default();
         let env = Deployment::reference();
-        let a4 = TradeoffAnalysis::new(&model, env, reqs(0.06, 4.0))
+        let a4 = TradeoffAnalysis::new(&model, &env, reqs(0.06, 4.0))
             .energy_optimal()
             .unwrap();
-        let a6 = TradeoffAnalysis::new(&model, env, reqs(0.06, 6.0))
+        let a6 = TradeoffAnalysis::new(&model, &env, reqs(0.06, 6.0))
             .energy_optimal()
             .unwrap();
         assert!((a4.energy.value() - a6.energy.value()).abs() < 1e-6 * a4.energy.value());
@@ -325,7 +359,7 @@ mod tests {
         let model = Lmac::default();
         let env = Deployment::reference();
         for budget in [0.02, 0.05, 0.1] {
-            let a = TradeoffAnalysis::new(&model, env, reqs(budget, 6.0));
+            let a = TradeoffAnalysis::new(&model, &env, reqs(budget, 6.0));
             let p = a.latency_optimal().unwrap();
             assert!(
                 p.energy.value() <= budget * (1.0 + 1e-6),
@@ -339,10 +373,10 @@ mod tests {
     fn p2_latency_improves_with_budget() {
         let model = Lmac::default();
         let env = Deployment::reference();
-        let poor = TradeoffAnalysis::new(&model, env, reqs(0.02, 6.0))
+        let poor = TradeoffAnalysis::new(&model, &env, reqs(0.02, 6.0))
             .latency_optimal()
             .unwrap();
-        let rich = TradeoffAnalysis::new(&model, env, reqs(0.15, 6.0))
+        let rich = TradeoffAnalysis::new(&model, &env, reqs(0.15, 6.0))
             .latency_optimal()
             .unwrap();
         assert!(rich.latency <= poor.latency);
@@ -353,7 +387,7 @@ mod tests {
         // LMAC cannot deliver in 50 ms across ten rings.
         let model = Lmac::default();
         let env = Deployment::reference();
-        let a = TradeoffAnalysis::new(&model, env, reqs(0.06, 0.05));
+        let a = TradeoffAnalysis::new(&model, &env, reqs(0.06, 0.05));
         assert!(matches!(
             a.energy_optimal(),
             Err(CoreError::Infeasible { program: "P1", .. })
@@ -365,7 +399,7 @@ mod tests {
         // A nanojoule budget is below any protocol's floor.
         let model = Dmac::default();
         let env = Deployment::reference();
-        let a = TradeoffAnalysis::new(&model, env, reqs(1e-9, 6.0));
+        let a = TradeoffAnalysis::new(&model, &env, reqs(1e-9, 6.0));
         assert!(matches!(
             a.latency_optimal(),
             Err(CoreError::Infeasible { program: "P2", .. })
@@ -377,7 +411,7 @@ mod tests {
         let env = Deployment::reference();
         let r = reqs(0.06, 3.0);
         for model in edmac_mac::all_models() {
-            let a = TradeoffAnalysis::new(model.as_ref(), env, r);
+            let a = TradeoffAnalysis::new(model.as_ref(), &env, r);
             let report = a.bargain().unwrap();
             let eps = 1e-9;
             assert!(
@@ -399,7 +433,7 @@ mod tests {
     fn bargain_is_between_the_single_objective_extremes() {
         let model = Xmac::default();
         let env = Deployment::reference();
-        let report = TradeoffAnalysis::new(&model, env, reqs(0.06, 2.0))
+        let report = TradeoffAnalysis::new(&model, &env, reqs(0.06, 2.0))
             .bargain()
             .unwrap();
         assert!(report.nbs.energy >= report.energy_opt.energy);
@@ -410,7 +444,7 @@ mod tests {
     fn fairness_ratios_are_in_unit_interval() {
         let env = Deployment::reference();
         for model in edmac_mac::all_models() {
-            let report = TradeoffAnalysis::new(model.as_ref(), env, reqs(0.06, 4.0))
+            let report = TradeoffAnalysis::new(model.as_ref(), &env, reqs(0.06, 4.0))
                 .bargain()
                 .unwrap();
             for r in [report.fairness_energy, report.fairness_latency] {

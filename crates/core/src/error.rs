@@ -2,6 +2,7 @@
 
 use edmac_game::GameError;
 use edmac_mac::MacError;
+use edmac_net::NetError;
 use edmac_optim::OptimError;
 
 /// Errors from the trade-off framework.
@@ -29,6 +30,8 @@ pub enum CoreError {
     Game(GameError),
     /// A numerical solver failed.
     Optim(OptimError),
+    /// A scenario's topology or traffic realization failed.
+    Net(NetError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Mac(e) => write!(f, "protocol model error: {e}"),
             CoreError::Game(e) => write!(f, "bargaining error: {e}"),
             CoreError::Optim(e) => write!(f, "solver error: {e}"),
+            CoreError::Net(e) => write!(f, "scenario realization error: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl std::error::Error for CoreError {
             CoreError::Mac(e) => Some(e),
             CoreError::Game(e) => Some(e),
             CoreError::Optim(e) => Some(e),
+            CoreError::Net(e) => Some(e),
             _ => None,
         }
     }

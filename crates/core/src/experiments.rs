@@ -15,6 +15,7 @@ use crate::analysis::TradeoffAnalysis;
 use crate::error::CoreError;
 use crate::report::TradeoffReport;
 use crate::requirements::AppRequirements;
+use crate::scenario::Scenario;
 use edmac_mac::{Deployment, MacModel};
 use edmac_units::{Joules, Seconds};
 
@@ -34,21 +35,23 @@ pub fn fig2_energy_budgets() -> Vec<Joules> {
     (1..=6).map(|k| Joules::new(k as f64 / 100.0)).collect()
 }
 
+/// One figure sweep: the swept bound paired with each point's
+/// bargaining outcome (infeasible bounds keep their error, mirroring
+/// how the paper's plots simply lack those points).
+pub type Sweep<B> = Vec<(B, Result<TradeoffReport, CoreError>)>;
+
 /// Solves the Fig. 1 sweep for one protocol: `Ebudget` fixed at
 /// [`FIG1_ENERGY_BUDGET`], `Lmax` swept over [`fig1_latency_bounds`].
 ///
 /// Bounds that are infeasible for the protocol (below its latency
 /// floor) are skipped with their error, mirroring how the paper's plots
 /// simply lack those points.
-pub fn fig1_sweep(
-    model: &dyn MacModel,
-    env: &Deployment,
-) -> Vec<(Seconds, Result<TradeoffReport, CoreError>)> {
+pub fn fig1_sweep(model: &dyn MacModel, env: &Deployment) -> Sweep<Seconds> {
     fig1_latency_bounds()
         .into_iter()
         .map(|lmax| {
             let result = AppRequirements::new(FIG1_ENERGY_BUDGET, lmax)
-                .and_then(|reqs| TradeoffAnalysis::new(model, *env, reqs).bargain());
+                .and_then(|reqs| TradeoffAnalysis::new(model, env, reqs).bargain());
             (lmax, result)
         })
         .collect()
@@ -56,18 +59,45 @@ pub fn fig1_sweep(
 
 /// Solves the Fig. 2 sweep for one protocol: `Lmax` fixed at
 /// [`FIG2_LATENCY_BOUND`], `Ebudget` swept over [`fig2_energy_budgets`].
-pub fn fig2_sweep(
-    model: &dyn MacModel,
-    env: &Deployment,
-) -> Vec<(Joules, Result<TradeoffReport, CoreError>)> {
+pub fn fig2_sweep(model: &dyn MacModel, env: &Deployment) -> Sweep<Joules> {
     fig2_energy_budgets()
         .into_iter()
         .map(|budget| {
             let result = AppRequirements::new(budget, FIG2_LATENCY_BOUND)
-                .and_then(|reqs| TradeoffAnalysis::new(model, *env, reqs).bargain());
+                .and_then(|reqs| TradeoffAnalysis::new(model, env, reqs).bargain());
             (budget, result)
         })
         .collect()
+}
+
+/// [`fig1_sweep`] over any [`Scenario`] (ring scenarios reproduce the
+/// paper's numbers exactly; disk and non-uniform scenarios run the
+/// same bargaining over their empirical flow tables).
+///
+/// # Errors
+///
+/// Propagates scenario realization failures.
+pub fn fig1_sweep_scenario(
+    model: &dyn MacModel,
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<Sweep<Seconds>, CoreError> {
+    let env = scenario.deployment(seed)?;
+    Ok(fig1_sweep(model, &env))
+}
+
+/// [`fig2_sweep`] over any [`Scenario`].
+///
+/// # Errors
+///
+/// Propagates scenario realization failures.
+pub fn fig2_sweep_scenario(
+    model: &dyn MacModel,
+    scenario: &Scenario,
+    seed: u64,
+) -> Result<Sweep<Joules>, CoreError> {
+    let env = scenario.deployment(seed)?;
+    Ok(fig2_sweep(model, &env))
 }
 
 /// Counts how many *distinct* trade-off points a sweep produced —
@@ -196,5 +226,53 @@ mod tests {
         assert_eq!(distinct_points(&[&a, &b, &c], 0.01), 2);
         assert_eq!(distinct_points(&[&a, &b, &c], 1e-6), 3);
         assert_eq!(distinct_points(&[], 0.01), 0);
+    }
+
+    #[test]
+    fn scenario_api_reproduces_the_paper_ring_numbers() {
+        // The acceptance bar for the scenario layer: routing the figure
+        // sweeps through `Scenario::paper_reference()` must land on the
+        // same trade-off points as the legacy hard-wired deployment —
+        // not approximately, identically.
+        let legacy = Deployment::reference();
+        let scenario = Scenario::paper_reference();
+        for model in [&Xmac::default() as &dyn MacModel, &Lmac::default()] {
+            let old = fig1_sweep(model, &legacy);
+            let new = fig1_sweep_scenario(model, &scenario, 0).unwrap();
+            assert_eq!(old.len(), new.len());
+            for ((lmax_a, a), (lmax_b, b)) in old.iter().zip(&new) {
+                assert_eq!(lmax_a, lmax_b);
+                match (a, b) {
+                    (Ok(ra), Ok(rb)) => {
+                        assert_eq!(ra.e_star(), rb.e_star(), "{} @ {lmax_a}", model.name());
+                        assert_eq!(ra.l_star(), rb.l_star(), "{} @ {lmax_a}", model.name());
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("{}: feasibility flipped at {lmax_a}", model.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig_sweeps_run_on_disk_and_hotspot_scenarios() {
+        // Off-ring scenarios must run the same bargaining end-to-end:
+        // every feasible bound yields an agreement inside requirements.
+        let period = Seconds::new(600.0);
+        for scenario in [
+            Scenario::uniform_disk(60, 2.5, period),
+            Scenario::hotspot_disk(60, 2.5, period),
+        ] {
+            let sweep = fig2_sweep_scenario(&Xmac::default(), &scenario, 11).unwrap();
+            let feasible: Vec<_> = sweep.iter().filter_map(|(_, r)| r.as_ref().ok()).collect();
+            assert!(
+                !feasible.is_empty(),
+                "{}: no feasible budget in the fig2 sweep",
+                scenario.name
+            );
+            for r in feasible {
+                assert!(r.nbs.latency.value() <= FIG2_LATENCY_BOUND.value() + 1e-9);
+            }
+        }
     }
 }

@@ -33,7 +33,8 @@
 //!
 //! let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
 //! let xmac = Xmac::default();
-//! let analysis = TradeoffAnalysis::new(&xmac, Deployment::reference(), reqs);
+//! let env = Deployment::reference();
+//! let analysis = TradeoffAnalysis::new(&xmac, &env, reqs);
 //! let report = analysis.bargain().unwrap();
 //! // The agreement respects both requirements ...
 //! assert!(report.nbs.energy <= reqs.energy_budget());
@@ -54,6 +55,7 @@ mod frontier;
 mod ranking;
 mod report;
 mod requirements;
+mod scenario;
 
 pub use analysis::{OperatingPoint, TradeoffAnalysis};
 pub use error::CoreError;
@@ -63,3 +65,4 @@ pub use frontier::{
 pub use ranking::{lifetime, rank_protocols, RankedOutcome, RankingPolicy};
 pub use report::TradeoffReport;
 pub use requirements::AppRequirements;
+pub use scenario::{Scenario, TopologySpec, TrafficSpec};

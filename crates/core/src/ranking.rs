@@ -83,7 +83,7 @@ pub fn rank_protocols(
         .iter()
         .map(|m| RankedOutcome {
             protocol: m.name(),
-            report: TradeoffAnalysis::new(m.as_ref(), *env, reqs).bargain(),
+            report: TradeoffAnalysis::new(m.as_ref(), env, reqs).bargain(),
         })
         .collect();
     outcomes.sort_by(|a, b| {

@@ -1,0 +1,433 @@
+//! Scenarios: topology source × traffic pattern, realizable on both
+//! sides of the evidence chain.
+//!
+//! The paper's evaluation lives on ring deployments; the interesting
+//! game-theoretic behavior (Khodaian et al.; Yang & Smith, see
+//! PAPERS.md) appears exactly off that regular-ring assumption. A
+//! [`Scenario`] names a workload once and realizes it twice:
+//!
+//! * [`Scenario::deployment`] — the analytic side: a
+//!   [`Deployment`] whose per-depth flow table comes from the ring
+//!   closed forms (ring scenarios, bit-identical to the legacy
+//!   hard-wired `Deployment`) or empirically from a realized topology
+//!   (everything else), ready for [`TradeoffAnalysis`] and the
+//!   `fig1`/`fig2` sweeps;
+//! * [`Scenario::simulation`] — the packet-level side: a built
+//!   [`Simulation`] over the same topology with the matching per-node
+//!   [`TrafficProfile`].
+//!
+//! [`TradeoffAnalysis`]: crate::TradeoffAnalysis
+
+use crate::error::CoreError;
+use edmac_mac::{Deployment, TrafficEnv};
+use edmac_net::{NetError, RingModel, Topology};
+use edmac_radio::{FrameSizes, Radio};
+use edmac_sim::{BurstWindows, ProtocolConfig, SimConfig, Simulation, TrafficProfile};
+use edmac_units::{Hertz, Seconds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Where the nodes are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's concentric-ring deployment: `depth` rings of
+    /// density `density` (plus the sink).
+    Ring {
+        /// Number of rings `D`.
+        depth: usize,
+        /// Unit-disk density `C`.
+        density: usize,
+    },
+    /// `nodes` nodes scattered uniformly in a disk of `field_radius`
+    /// radio-range units around the sink.
+    UniformDisk {
+        /// Total node count, sink included.
+        nodes: usize,
+        /// Field radius in range units.
+        field_radius: f64,
+    },
+    /// A 1-D chain, sink at one end.
+    Line {
+        /// Total node count.
+        nodes: usize,
+        /// Spacing in range units, in `(0, 1]`.
+        spacing: f64,
+    },
+    /// A lattice with the sink at a corner.
+    Grid {
+        /// Columns.
+        cols: usize,
+        /// Rows.
+        rows: usize,
+        /// Spacing in range units, in `(0, 1]`.
+        spacing: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Realizes the geometry (seeded: random topologies are
+    /// reproducible per seed; deterministic ones ignore it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`Topology`] constructor errors
+    /// (invalid parameters, disconnected draws).
+    pub fn realize(&self, seed: u64) -> Result<Topology, NetError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            TopologySpec::Ring { depth, density } => Topology::ring_model(depth, density, &mut rng),
+            TopologySpec::UniformDisk {
+                nodes,
+                field_radius,
+            } => Topology::uniform_disk(nodes, field_radius, &mut rng),
+            TopologySpec::Line { nodes, spacing } => Topology::line(nodes, spacing),
+            TopologySpec::Grid {
+                cols,
+                rows,
+                spacing,
+            } => Topology::grid(cols, rows, spacing),
+        }
+    }
+}
+
+/// Who talks, and how fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficSpec {
+    /// Every non-sink node samples at the same mean period.
+    Uniform {
+        /// Mean sampling period.
+        sample_period: Seconds,
+    },
+    /// A spatial hotspot: the `fraction` of nodes nearest the hotspot
+    /// center (half the field extent out on the +x axis) sample
+    /// `factor`× faster than the rest.
+    Hotspot {
+        /// Baseline sampling period.
+        sample_period: Seconds,
+        /// Rate multiplier inside the hotspot (`> 1`).
+        factor: f64,
+        /// Fraction of non-sink nodes in the hotspot, in `(0, 1)`.
+        fraction: f64,
+    },
+    /// Event-driven sensing: everyone samples at the baseline, and
+    /// synchronized burst windows multiply the rate `factor`× for
+    /// `duration` out of every `every` seconds.
+    EventBurst {
+        /// Baseline sampling period.
+        sample_period: Seconds,
+        /// Rate multiplier inside a burst window.
+        factor: f64,
+        /// Interval between burst onsets.
+        every: Seconds,
+        /// Burst window length.
+        duration: Seconds,
+    },
+}
+
+impl TrafficSpec {
+    /// The baseline sampling period.
+    pub fn sample_period(&self) -> Seconds {
+        match *self {
+            TrafficSpec::Uniform { sample_period }
+            | TrafficSpec::Hotspot { sample_period, .. }
+            | TrafficSpec::EventBurst { sample_period, .. } => sample_period,
+        }
+    }
+
+    /// The time-averaged per-node sampling rates on `topology` (what
+    /// the analytic flow table sees; burst duty cycles fold into the
+    /// mean).
+    fn node_rates(&self, topology: &Topology) -> Vec<Hertz> {
+        let base = Hertz::per_interval(self.sample_period());
+        match *self {
+            TrafficSpec::Uniform { .. } => vec![base; topology.len()],
+            TrafficSpec::Hotspot {
+                factor, fraction, ..
+            } => {
+                let mut rates = vec![base; topology.len()];
+                for idx in hotspot_nodes(topology, fraction) {
+                    rates[idx] = base * factor;
+                }
+                rates
+            }
+            TrafficSpec::EventBurst {
+                factor,
+                every,
+                duration,
+                ..
+            } => {
+                let duty = (duration.value() / every.value()).clamp(0.0, 1.0);
+                vec![base * (1.0 + (factor - 1.0) * duty); topology.len()]
+            }
+        }
+    }
+
+    /// The packet-level profile on `topology`.
+    fn profile(&self, topology: &Topology) -> TrafficProfile {
+        let n = topology.len();
+        match *self {
+            TrafficSpec::Uniform { sample_period } => TrafficProfile::uniform(n, sample_period),
+            TrafficSpec::Hotspot {
+                sample_period,
+                factor,
+                fraction,
+            } => {
+                let mut profile = TrafficProfile::uniform(n, sample_period);
+                for idx in hotspot_nodes(topology, fraction) {
+                    profile.periods[idx] = Seconds::new(sample_period.value() / factor);
+                }
+                profile
+            }
+            TrafficSpec::EventBurst {
+                sample_period,
+                factor,
+                every,
+                duration,
+            } => TrafficProfile::uniform(n, sample_period).with_bursts(BurstWindows {
+                every,
+                duration,
+                factor,
+            }),
+        }
+    }
+}
+
+/// The non-sink nodes nearest the hotspot center, deterministically:
+/// the center sits half the field extent out on the +x axis, and the
+/// `fraction` closest nodes (at least one) form the hotspot.
+fn hotspot_nodes(topology: &Topology, fraction: f64) -> Vec<usize> {
+    let extent = topology
+        .positions()
+        .iter()
+        .map(|p| p.distance(edmac_net::Point2::ORIGIN))
+        .fold(0.0f64, f64::max);
+    let center = edmac_net::Point2::new(extent / 2.0, 0.0);
+    let sink = topology.sink().index();
+    let mut by_distance: Vec<usize> = (0..topology.len()).filter(|&i| i != sink).collect();
+    by_distance.sort_by(|&a, &b| {
+        let da = topology.positions()[a].distance_squared(center);
+        let db = topology.positions()[b].distance_squared(center);
+        da.partial_cmp(&db)
+            .expect("finite positions")
+            .then(a.cmp(&b))
+    });
+    let count =
+        ((by_distance.len() as f64 * fraction).floor() as usize).clamp(1, by_distance.len());
+    by_distance.truncate(count);
+    by_distance
+}
+
+/// A named workload: topology source × traffic pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Display name (CSV label in the `scenarios` binary and bench).
+    pub name: String,
+    /// Where the nodes are.
+    pub topology: TopologySpec,
+    /// Who talks, and how fast.
+    pub traffic: TrafficSpec,
+}
+
+impl Scenario {
+    /// A ring scenario (the paper's shape) with uniform traffic.
+    pub fn ring(depth: usize, density: usize, sample_period: Seconds) -> Scenario {
+        Scenario {
+            name: format!("ring_d{depth}_c{density}"),
+            topology: TopologySpec::Ring { depth, density },
+            traffic: TrafficSpec::Uniform { sample_period },
+        }
+    }
+
+    /// The reference ring the figures run on (`D = 10`, `C = 4`,
+    /// hourly sampling) — [`Scenario::deployment`] reproduces
+    /// [`Deployment::reference`]'s flow table exactly.
+    pub fn paper_reference() -> Scenario {
+        Scenario::ring(10, 4, Seconds::new(3_600.0))
+    }
+
+    /// The validation ring (`D = 4`, `C = 4`, 80 s sampling).
+    pub fn validation_ring() -> Scenario {
+        Scenario::ring(4, 4, Seconds::new(80.0))
+    }
+
+    /// A uniform-disk field with uniform traffic.
+    pub fn uniform_disk(nodes: usize, field_radius: f64, sample_period: Seconds) -> Scenario {
+        Scenario {
+            name: format!("disk_n{nodes}"),
+            topology: TopologySpec::UniformDisk {
+                nodes,
+                field_radius,
+            },
+            traffic: TrafficSpec::Uniform { sample_period },
+        }
+    }
+
+    /// A uniform-disk field with a 3×-rate hotspot covering a quarter
+    /// of the nodes.
+    pub fn hotspot_disk(nodes: usize, field_radius: f64, sample_period: Seconds) -> Scenario {
+        Scenario {
+            name: format!("hotspot_n{nodes}"),
+            topology: TopologySpec::UniformDisk {
+                nodes,
+                field_radius,
+            },
+            traffic: TrafficSpec::Hotspot {
+                sample_period,
+                factor: 3.0,
+                fraction: 0.25,
+            },
+        }
+    }
+
+    /// A uniform-disk field with event bursts: 4× the sampling rate
+    /// for 30 s out of every 300 s.
+    pub fn event_burst_disk(nodes: usize, field_radius: f64, sample_period: Seconds) -> Scenario {
+        Scenario {
+            name: format!("burst_n{nodes}"),
+            topology: TopologySpec::UniformDisk {
+                nodes,
+                field_radius,
+            },
+            traffic: TrafficSpec::EventBurst {
+                sample_period,
+                factor: 4.0,
+                every: Seconds::new(300.0),
+                duration: Seconds::new(30.0),
+            },
+        }
+    }
+
+    /// The analytic deployment for this scenario: ring topologies with
+    /// uniform traffic use the exact closed-form flow table (so the
+    /// paper's figure sweeps reproduce unchanged); everything else
+    /// realizes the topology at `seed` and tabulates worst-case
+    /// empirical flows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology realization failures as [`CoreError::Net`].
+    pub fn deployment(&self, seed: u64) -> Result<Deployment, CoreError> {
+        let fs = Hertz::per_interval(self.traffic.sample_period());
+        if let (TopologySpec::Ring { depth, density }, TrafficSpec::Uniform { .. }) =
+            (self.topology, self.traffic)
+        {
+            let model = RingModel::new(depth, density).map_err(CoreError::Net)?;
+            return Ok(Deployment::reference()
+                .with_network(model)
+                .with_sampling(fs));
+        }
+        let topology = self.topology.realize(seed).map_err(CoreError::Net)?;
+        let rates = self.traffic.node_rates(&topology);
+        let traffic = TrafficEnv::from_node_rates(&topology, fs, &rates).map_err(CoreError::Net)?;
+        Ok(Deployment::reference().with_traffic(traffic))
+    }
+
+    /// Builds the packet-level simulation: the topology realized from
+    /// `config.seed`, CC2420 radio, default frames, and this
+    /// scenario's traffic profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology and simulation build failures as
+    /// [`CoreError::Net`].
+    pub fn simulation(
+        &self,
+        protocol: ProtocolConfig,
+        config: SimConfig,
+    ) -> Result<Simulation, CoreError> {
+        let topology = self.topology.realize(config.seed).map_err(CoreError::Net)?;
+        let config = SimConfig {
+            sample_period: self.traffic.sample_period(),
+            ..config
+        };
+        let sim = Simulation::build(
+            &topology,
+            Radio::cc2420(),
+            FrameSizes::default(),
+            protocol,
+            config,
+        )
+        .map_err(CoreError::Net)?;
+        sim.with_traffic(self.traffic.profile(&topology))
+            .map_err(CoreError::Net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_matches_legacy_deployment() {
+        let scenario = Scenario::paper_reference().deployment(0).unwrap();
+        let legacy = Deployment::reference();
+        assert_eq!(scenario.traffic, legacy.traffic, "flow tables must agree");
+    }
+
+    #[test]
+    fn ring_scenarios_ignore_the_seed_analytically() {
+        let s = Scenario::validation_ring();
+        assert_eq!(
+            s.deployment(1).unwrap().traffic,
+            s.deployment(99).unwrap().traffic
+        );
+    }
+
+    #[test]
+    fn disk_deployment_tabulates_empirical_flows() {
+        let env = Scenario::uniform_disk(60, 2.5, Seconds::new(80.0))
+            .deployment(7)
+            .unwrap();
+        assert!(env.traffic.ring_model().is_none());
+        assert_eq!(env.traffic.sources(), 59);
+        assert!(env.traffic.depth() >= 2);
+    }
+
+    #[test]
+    fn hotspot_raises_the_bottleneck() {
+        let period = Seconds::new(80.0);
+        let flat = Scenario::uniform_disk(60, 2.5, period)
+            .deployment(7)
+            .unwrap();
+        let hot = Scenario::hotspot_disk(60, 2.5, period)
+            .deployment(7)
+            .unwrap();
+        assert!(
+            hot.traffic.f_out(1).unwrap() >= flat.traffic.f_out(1).unwrap(),
+            "a hotspot cannot lower the worst depth-1 load"
+        );
+        let hot_total: f64 = (1..=hot.traffic.depth())
+            .map(|d| hot.traffic.f_out(d).unwrap().value())
+            .sum();
+        let flat_total: f64 = (1..=flat.traffic.depth())
+            .map(|d| flat.traffic.f_out(d).unwrap().value())
+            .sum();
+        assert!(hot_total > flat_total, "hotspot adds traffic somewhere");
+    }
+
+    #[test]
+    fn burst_deployment_uses_the_time_averaged_rate() {
+        let period = Seconds::new(100.0);
+        let env = Scenario::event_burst_disk(60, 2.0, period)
+            .deployment(7)
+            .unwrap();
+        // duty 30/300 = 0.1, factor 4 => mean rate 1.3x the baseline.
+        let leaf_like = env.traffic.f_out(env.traffic.depth()).unwrap().value();
+        assert!(leaf_like >= 1.3 / period.value() - 1e-12);
+    }
+
+    #[test]
+    fn hotspot_selection_is_deterministic_and_sized() {
+        let topo = TopologySpec::UniformDisk {
+            nodes: 40,
+            field_radius: 2.0,
+        }
+        .realize(5)
+        .unwrap();
+        let a = hotspot_nodes(&topo, 0.25);
+        let b = hotspot_nodes(&topo, 0.25);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 9, "floor(39 * 0.25)");
+        assert!(!a.contains(&topo.sink().index()));
+    }
+}

@@ -21,7 +21,7 @@ proptest! {
     fn agreements_respect_requirements_and_dominate_disagreement(reqs in requirements()) {
         let env = Deployment::reference();
         for model in all_models() {
-            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs);
+            let analysis = TradeoffAnalysis::new(model.as_ref(), &env, reqs);
             let Ok(report) = analysis.bargain() else {
                 // Some random requirement sets are infeasible for some
                 // protocols (e.g. LMAC under a 1 s bound with a starved
@@ -46,7 +46,7 @@ proptest! {
     fn single_objective_optima_bracket_the_game(reqs in requirements()) {
         let env = Deployment::reference();
         for model in all_models() {
-            let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs);
+            let analysis = TradeoffAnalysis::new(model.as_ref(), &env, reqs);
             let (Ok(p1), Ok(p2)) = (analysis.energy_optimal(), analysis.latency_optimal())
             else {
                 continue;
@@ -77,8 +77,8 @@ proptest! {
         for model in all_models() {
             let tight = AppRequirements::new(budget, Seconds::new(lmax)).unwrap();
             let loose = AppRequirements::new(budget, Seconds::new(lmax + extra)).unwrap();
-            let a = TradeoffAnalysis::new(model.as_ref(), env, tight).energy_optimal();
-            let b = TradeoffAnalysis::new(model.as_ref(), env, loose).energy_optimal();
+            let a = TradeoffAnalysis::new(model.as_ref(), &env, tight).energy_optimal();
+            let b = TradeoffAnalysis::new(model.as_ref(), &env, loose).energy_optimal();
             let (Ok(a), Ok(b)) = (a, b) else { continue };
             prop_assert!(
                 b.energy.value() <= a.energy.value() * (1.0 + 1e-6),
@@ -98,8 +98,8 @@ proptest! {
         for model in all_models() {
             let poor = AppRequirements::new(Joules::new(budget), lmax).unwrap();
             let rich = AppRequirements::new(Joules::new(budget + extra), lmax).unwrap();
-            let a = TradeoffAnalysis::new(model.as_ref(), env, poor).latency_optimal();
-            let b = TradeoffAnalysis::new(model.as_ref(), env, rich).latency_optimal();
+            let a = TradeoffAnalysis::new(model.as_ref(), &env, poor).latency_optimal();
+            let b = TradeoffAnalysis::new(model.as_ref(), &env, rich).latency_optimal();
             let (Ok(a), Ok(b)) = (a, b) else { continue };
             prop_assert!(
                 b.latency.value() <= a.latency.value() * (1.0 + 1e-6),

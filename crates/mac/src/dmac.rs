@@ -40,7 +40,7 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -119,7 +119,7 @@ impl Dmac {
     /// The shortest cycle that fits the ladder: `D·μ` (each depth is
     /// staggered one slot; a sweep must finish before the next starts).
     pub fn min_cycle(&self, env: &Deployment) -> Seconds {
-        self.slot(env) * env.traffic.model().depth() as f64
+        self.slot(env) * env.traffic.depth() as f64
     }
 
     /// Evaluates the model with typed parameters.
@@ -155,9 +155,9 @@ impl Dmac {
         let cw = self.contention_window.value();
         let t_up = radio.timings.startup.value();
 
-        let depth = env.traffic.model().depth();
-        let mut rings = Vec::with_capacity(depth);
-        for d in env.traffic.model().rings() {
+        let depth = env.traffic.depth();
+        let mut rings = RingFold::new();
+        for d in env.traffic.rings() {
             let f_out = env.traffic.f_out(d)?.value();
             let f_in = env.traffic.f_in(d)?.value();
             let f_bg = env.traffic.f_bg(d)?.value();
@@ -189,7 +189,7 @@ impl Dmac {
             // per-node `F_out·T` underestimates this by a factor of
             // N_1 — the packet-level simulator exposes the difference
             // as unbounded queues.)
-            let total_rate = env.traffic.model().total_nodes() as f64 * env.traffic.fs().value();
+            let total_rate = env.traffic.total_rate().value();
             let utilization = total_rate * t_cycle;
 
             rings.push(RingRates {
@@ -200,7 +200,7 @@ impl Dmac {
         }
 
         let latency = Seconds::new(t_cycle / 2.0 + depth as f64 * mu);
-        Ok(assemble(env, &rings, latency))
+        Ok(rings.finish(env, latency))
     }
 }
 
@@ -302,7 +302,7 @@ mod tests {
         // 400 nodes sampling hourly: 1/9 pkt/s aggregate; at T = 4 s the
         // shared sink slot is 4/9 loaded.
         let env = Deployment::reference();
-        let total = env.traffic.model().total_nodes() as f64 * env.traffic.fs().value();
+        let total = env.traffic.total_rate().value();
         let perf = eval(4.0);
         assert!((perf.utilization - total * 4.0).abs() < 1e-12);
         // The default cycle bound keeps the reference deployment just

@@ -1,9 +1,220 @@
 //! The shared evaluation environment: radio, frames, network, traffic
 //! and reporting epoch.
 
-use edmac_net::{RingModel, RingTraffic};
+use edmac_net::{NetError, RingModel, RingTraffic, RoutingTree, Topology, TreeTraffic};
 use edmac_radio::{FrameSizes, Radio};
 use edmac_units::{Hertz, Seconds};
+
+/// Per-depth traffic flows, precomputed once per deployment.
+///
+/// This is both a generalization and a memoization. The paper's models
+/// query `F_out/F_I/F_B` per ring inside every candidate evaluation;
+/// with the closed forms recomputed on each query, NBS solve time grew
+/// linearly with depth (ROADMAP: 0.6 ms at D5 → 3.5 ms at D40). A
+/// `TrafficEnv` evaluates the flows once — from the analytic ring
+/// model ([`TrafficEnv::from_rings`], bit-identical to the old
+/// per-query values) or empirically from any realized topology
+/// ([`TrafficEnv::from_topology`], worst case per BFS depth) — and the
+/// per-candidate loop reads plain slices.
+///
+/// # Examples
+///
+/// ```
+/// use edmac_mac::TrafficEnv;
+/// use edmac_net::{RingModel, RingTraffic};
+/// use edmac_units::Hertz;
+///
+/// let rings = RingTraffic::new(RingModel::new(5, 4).unwrap(), Hertz::new(0.1));
+/// let env = TrafficEnv::from_rings(&rings);
+/// assert_eq!(env.depth(), 5);
+/// // Flow conservation survives the tabulation: F_out - F_I = Fs.
+/// let own = env.f_out(3).unwrap() - env.f_in(3).unwrap();
+/// assert!((own.value() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficEnv {
+    fs: Hertz,
+    sources: usize,
+    /// Aggregate generation rate (packets/s) — `Σ` of the actual
+    /// per-node rates, which exceeds `fs·sources` for non-uniform
+    /// tables.
+    total_rate: f64,
+    ring: Option<RingModel>,
+    f_out: Vec<f64>,
+    f_in: Vec<f64>,
+    f_bg: Vec<f64>,
+}
+
+impl TrafficEnv {
+    /// Tabulates the analytic ring flows (exactly the values
+    /// [`RingTraffic`] computes per query).
+    pub fn from_rings(traffic: &RingTraffic) -> TrafficEnv {
+        let model = traffic.model();
+        let depth = model.depth();
+        let mut f_out = Vec::with_capacity(depth);
+        let mut f_in = Vec::with_capacity(depth);
+        let mut f_bg = Vec::with_capacity(depth);
+        for d in model.rings() {
+            f_out.push(traffic.f_out(d).expect("ring in range").value());
+            f_in.push(traffic.f_in(d).expect("ring in range").value());
+            f_bg.push(traffic.f_bg(d).expect("ring in range").value());
+        }
+        TrafficEnv {
+            fs: traffic.fs(),
+            sources: model.total_nodes(),
+            total_rate: model.total_nodes() as f64 * traffic.fs().value(),
+            ring: Some(model),
+            f_out,
+            f_in,
+            f_bg,
+        }
+    }
+
+    /// Empirical flows from a realized topology with every non-sink
+    /// node sampling at `fs`: shortest-path routing, per-node
+    /// [`TreeTraffic`], folded to the worst case at each BFS depth
+    /// (the analytic models' `max_d` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some node cannot reach
+    /// the sink.
+    pub fn from_topology(topology: &Topology, fs: Hertz) -> Result<TrafficEnv, NetError> {
+        let rates = vec![fs; topology.len()];
+        TrafficEnv::from_node_rates(topology, fs, &rates)
+    }
+
+    /// Empirical flows with per-node sampling rates (`rates[u]` for
+    /// node `u`; the sink's entry is ignored) — hotspots, bursts, any
+    /// non-uniform pattern. `fs` is the nominal rate reported by
+    /// [`TrafficEnv::fs`] (used for epoch bookkeeping, not flows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some node cannot reach
+    /// the sink.
+    pub fn from_node_rates(
+        topology: &Topology,
+        fs: Hertz,
+        rates: &[Hertz],
+    ) -> Result<TrafficEnv, NetError> {
+        let graph = topology.graph();
+        let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
+        let traffic = TreeTraffic::with_rates(&graph, &tree, fs, rates);
+        let depth = tree.max_depth().max(1);
+        let mut f_out = vec![0.0f64; depth];
+        let mut f_in = vec![0.0f64; depth];
+        let mut f_bg = vec![0.0f64; depth];
+        for node in graph.nodes() {
+            let d = tree.depth(node);
+            if d == 0 {
+                continue;
+            }
+            f_out[d - 1] = f_out[d - 1].max(traffic.f_out(node).value());
+            f_in[d - 1] = f_in[d - 1].max(traffic.f_in(node).value());
+            f_bg[d - 1] = f_bg[d - 1].max(traffic.f_bg(node).value());
+        }
+        let total_rate = graph
+            .nodes()
+            .filter(|&u| u != topology.sink())
+            .map(|u| rates[u.index()].value())
+            .sum();
+        Ok(TrafficEnv {
+            fs,
+            sources: topology.len() - 1,
+            total_rate,
+            ring: None,
+            f_out,
+            f_in,
+            f_bg,
+        })
+    }
+
+    /// The nominal application sampling rate `Fs`.
+    pub fn fs(&self) -> Hertz {
+        self.fs
+    }
+
+    /// The number of depth classes `D` (maximum hop count).
+    pub fn depth(&self) -> usize {
+        self.f_out.len()
+    }
+
+    /// Iterates over all depth indices `1..=D`.
+    pub fn rings(&self) -> std::ops::RangeInclusive<usize> {
+        1..=self.depth()
+    }
+
+    /// Number of traffic sources (non-sink nodes).
+    pub fn sources(&self) -> usize {
+        self.sources
+    }
+
+    /// Aggregate generation rate of the whole network (the sum of the
+    /// actual per-node rates — not `fs·sources`, which would
+    /// understate hotspot tables).
+    pub fn total_rate(&self) -> Hertz {
+        Hertz::new(self.total_rate)
+    }
+
+    /// The analytic ring model this table was built from, if any.
+    pub fn ring_model(&self) -> Option<RingModel> {
+        self.ring
+    }
+
+    fn check(&self, d: usize) -> Result<usize, NetError> {
+        if d == 0 || d > self.depth() {
+            Err(NetError::RingOutOfRange {
+                ring: d,
+                depth: self.depth(),
+            })
+        } else {
+            Ok(d - 1)
+        }
+    }
+
+    /// Outbound packet rate `F_out(d)` of a depth-`d` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    pub fn f_out(&self, d: usize) -> Result<Hertz, NetError> {
+        Ok(Hertz::new(self.f_out[self.check(d)?]))
+    }
+
+    /// Inbound (forwarded) packet rate `F_I(d)` of a depth-`d` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    pub fn f_in(&self, d: usize) -> Result<Hertz, NetError> {
+        Ok(Hertz::new(self.f_in[self.check(d)?]))
+    }
+
+    /// Background rate `F_B(d)`: transmissions a depth-`d` node can
+    /// hear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    pub fn f_bg(&self, d: usize) -> Result<Hertz, NetError> {
+        Ok(Hertz::new(self.f_bg[self.check(d)?]))
+    }
+}
+
+impl std::fmt::Display for TrafficEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.ring {
+            Some(model) => write!(f, "{model}"),
+            None => write!(
+                f,
+                "empirical flows D={} ({} sources)",
+                self.depth(),
+                self.sources
+            ),
+        }
+    }
+}
 
 /// Everything a protocol model needs to be evaluated, bundled so all
 /// protocols are compared under identical conditions.
@@ -14,17 +225,17 @@ use edmac_units::{Hertz, Seconds};
 /// use edmac_mac::Deployment;
 ///
 /// let env = Deployment::reference();
-/// assert_eq!(env.traffic.model().depth(), 10);
+/// assert_eq!(env.traffic.depth(), 10);
 /// assert_eq!(env.radio.name, "CC2420");
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Deployment {
     /// Radio hardware description.
     pub radio: Radio,
     /// Frame formats.
     pub frames: FrameSizes,
-    /// Ring network + traffic model (the paper's §2).
-    pub traffic: RingTraffic,
+    /// Per-depth traffic flow table (the paper's §2, tabulated).
+    pub traffic: TrafficEnv,
     /// Energy reporting window: `E` is energy consumed per this many
     /// seconds at the bottleneck node. The paper's budgets
     /// (`0.01..0.06 J`) correspond to a 10 s epoch at CC2420-class
@@ -42,10 +253,11 @@ impl Deployment {
     /// EXPERIMENTS.md.
     pub fn reference() -> Deployment {
         let model = RingModel::new(10, 4).expect("reference parameters are valid");
+        let traffic = RingTraffic::new(model, Hertz::per_interval(Seconds::new(3_600.0)));
         Deployment {
             radio: Radio::cc2420(),
             frames: FrameSizes::default(),
-            traffic: RingTraffic::new(model, Hertz::per_interval(Seconds::new(3_600.0))),
+            traffic: TrafficEnv::from_rings(&traffic),
             epoch: Seconds::new(10.0),
         }
     }
@@ -60,17 +272,61 @@ impl Deployment {
             .with_sampling(Hertz::per_interval(Seconds::new(80.0)))
     }
 
-    /// Returns a copy with a different network shape.
+    /// A deployment whose flows come from a realized topology instead
+    /// of the analytic ring closed forms — the bridge that lets the
+    /// trade-off analysis run over uniform-disk (or any other)
+    /// scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some node cannot reach
+    /// the sink.
+    pub fn from_topology(topology: &Topology, fs: Hertz) -> Result<Deployment, NetError> {
+        Ok(Deployment {
+            traffic: TrafficEnv::from_topology(topology, fs)?,
+            ..Deployment::reference()
+        })
+    }
+
+    /// Returns a copy with a different (analytic ring) network shape.
     #[must_use]
     pub fn with_network(mut self, model: RingModel) -> Deployment {
-        self.traffic = RingTraffic::new(model, self.traffic.fs());
+        self.traffic = TrafficEnv::from_rings(&RingTraffic::new(model, self.traffic.fs()));
         self
     }
 
-    /// Returns a copy with a different sampling rate.
+    /// Returns a copy with a different traffic flow table.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficEnv) -> Deployment {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns a copy with a different (uniform) sampling rate.
+    ///
+    /// Ring-derived tables are rebuilt exactly; empirical tables are
+    /// rescaled (all flows are linear in a uniform rate).
     #[must_use]
     pub fn with_sampling(mut self, fs: Hertz) -> Deployment {
-        self.traffic = RingTraffic::new(self.traffic.model(), fs);
+        match self.traffic.ring_model() {
+            Some(model) => {
+                self.traffic = TrafficEnv::from_rings(&RingTraffic::new(model, fs));
+            }
+            None => {
+                let scale = fs.value() / self.traffic.fs.value();
+                self.traffic.fs = fs;
+                self.traffic.total_rate *= scale;
+                for row in [
+                    &mut self.traffic.f_out,
+                    &mut self.traffic.f_in,
+                    &mut self.traffic.f_bg,
+                ] {
+                    for v in row.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+            }
+        }
         self
     }
 
@@ -101,6 +357,8 @@ impl Deployment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use edmac_net::Point2;
+    use rand::SeedableRng;
 
     #[test]
     fn reference_is_valid() {
@@ -112,22 +370,22 @@ mod tests {
         let v = Deployment::validation();
         assert!(v.is_valid());
         let r = Deployment::reference();
-        assert!(v.traffic.model().total_nodes() < r.traffic.model().total_nodes());
+        assert!(v.traffic.sources() < r.traffic.sources());
         assert!(v.traffic.fs() > r.traffic.fs());
     }
 
     #[test]
     fn builders_replace_one_field() {
         let base = Deployment::reference();
-        let deeper = base.with_network(RingModel::new(20, 4).unwrap());
-        assert_eq!(deeper.traffic.model().depth(), 20);
+        let deeper = base.clone().with_network(RingModel::new(20, 4).unwrap());
+        assert_eq!(deeper.traffic.depth(), 20);
         assert_eq!(deeper.radio.name, base.radio.name);
 
-        let faster = base.with_sampling(Hertz::new(0.1));
+        let faster = base.clone().with_sampling(Hertz::new(0.1));
         assert_eq!(faster.traffic.fs().value(), 0.1);
-        assert_eq!(faster.traffic.model().depth(), 10);
+        assert_eq!(faster.traffic.depth(), 10);
 
-        let cc1000 = base.with_radio(edmac_radio::Radio::cc1000());
+        let cc1000 = base.clone().with_radio(edmac_radio::Radio::cc1000());
         assert_eq!(cc1000.radio.name, "CC1000");
 
         let longer = base.with_epoch(Seconds::new(60.0));
@@ -141,5 +399,78 @@ mod tests {
         assert!(!env.is_valid());
         env.epoch = Seconds::new(f64::INFINITY);
         assert!(!env.is_valid());
+    }
+
+    #[test]
+    fn ring_table_matches_per_query_closed_forms() {
+        let rings = RingTraffic::new(RingModel::new(7, 3).unwrap(), Hertz::new(0.02));
+        let table = TrafficEnv::from_rings(&rings);
+        assert_eq!(table.depth(), 7);
+        assert_eq!(table.sources(), 3 * 49);
+        for d in table.rings() {
+            // Bit-identical to the closed forms (the figure sweeps
+            // depend on this).
+            assert_eq!(table.f_out(d).unwrap(), rings.f_out(d).unwrap(), "d={d}");
+            assert_eq!(table.f_in(d).unwrap(), rings.f_in(d).unwrap(), "d={d}");
+            assert_eq!(table.f_bg(d).unwrap(), rings.f_bg(d).unwrap(), "d={d}");
+        }
+        assert!(table.f_out(0).is_err());
+        assert!(table.f_out(8).is_err());
+    }
+
+    #[test]
+    fn topology_table_conserves_flow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let topo = Topology::uniform_disk(80, 2.5, &mut rng).unwrap();
+        let fs = Hertz::new(0.05);
+        let table = TrafficEnv::from_topology(&topo, fs).unwrap();
+        assert!(table.depth() >= 2, "an 80-node disk spans several hops");
+        assert_eq!(table.sources(), 79);
+        for d in table.rings() {
+            let out = table.f_out(d).unwrap().value();
+            let fin = table.f_in(d).unwrap().value();
+            assert!(out >= fin, "forwarding cannot exceed outbound at {d}");
+            assert!(out > 0.0, "every depth class has sources at {d}");
+        }
+        // Depth 1 carries the heaviest worst case.
+        assert!(table.f_out(1).unwrap() >= table.f_out(table.depth()).unwrap());
+    }
+
+    #[test]
+    fn per_node_rates_shift_the_bottleneck() {
+        // A 4-node chain with a hot leaf: flows triple along the path.
+        let topo = Topology::from_positions(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.9, 0.0),
+            Point2::new(1.8, 0.0),
+            Point2::new(2.7, 0.0),
+        ])
+        .unwrap();
+        let fs = Hertz::new(1.0);
+        let hot = vec![fs, fs, fs, fs * 3.0];
+        let table = TrafficEnv::from_node_rates(&topo, fs, &hot).unwrap();
+        assert_eq!(table.depth(), 3);
+        assert!((table.f_out(3).unwrap().value() - 3.0).abs() < 1e-12);
+        assert!((table.f_out(1).unwrap().value() - 5.0).abs() < 1e-12);
+        assert!((table.f_in(1).unwrap().value() - 4.0).abs() < 1e-12);
+        // The aggregate rate is the sum of the actual per-node rates
+        // (1 + 1 + 3), not fs·sources — DMAC's capacity check depends
+        // on this.
+        assert!((table.total_rate().value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_rescaling_matches_rebuild() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let topo = Topology::uniform_disk(40, 2.0, &mut rng).unwrap();
+        let slow = Deployment::reference()
+            .with_traffic(TrafficEnv::from_topology(&topo, Hertz::new(0.01)).unwrap());
+        let fast = slow.clone().with_sampling(Hertz::new(0.04));
+        let rebuilt = TrafficEnv::from_topology(&topo, Hertz::new(0.04)).unwrap();
+        for d in rebuilt.rings() {
+            let a = fast.traffic.f_out(d).unwrap().value();
+            let b = rebuilt.f_out(d).unwrap().value();
+            assert!((a - b).abs() < 1e-12 * b.max(1.0), "depth {d}: {a} vs {b}");
+        }
     }
 }

@@ -69,7 +69,7 @@ mod scp;
 mod xmac;
 
 pub use dmac::{Dmac, DmacParams};
-pub use env::Deployment;
+pub use env::{Deployment, TrafficEnv};
 pub use error::MacError;
 pub use lmac::{Lmac, LmacParams};
 pub use model::{all_models, MacModel, MacPerformance};

@@ -34,7 +34,7 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -137,9 +137,9 @@ impl Lmac {
         let t_up = radio.timings.startup.value();
         let tf = self.frame(params.slot).value();
 
-        let depth = env.traffic.model().depth();
-        let mut rings = Vec::with_capacity(depth);
-        for d in env.traffic.model().rings() {
+        let depth = env.traffic.depth();
+        let mut rings = RingFold::new();
+        for d in env.traffic.rings() {
             let f_out = env.traffic.f_out(d)?.value();
             let f_in = env.traffic.f_in(d)?.value();
 
@@ -166,7 +166,7 @@ impl Lmac {
 
         let per_hop = tf / 2.0 + t_ctl + t_data;
         let latency = Seconds::new(depth as f64 * per_hop);
-        Ok(assemble(env, &rings, latency))
+        Ok(rings.finish(env, latency))
     }
 }
 

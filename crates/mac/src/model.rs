@@ -94,36 +94,63 @@ pub(crate) struct RingRates {
     pub utilization: f64,
 }
 
+/// Streaming fold over per-ring rates: tracks the bottleneck ring (max
+/// energy rate, ties to the outermost like `Iterator::max_by`) and the
+/// utilization maximum without materializing a per-candidate `Vec` —
+/// the models' evaluation loop runs once per optimizer probe, so the
+/// allocation it used to make was pure solve-time overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RingFold {
+    best: Option<(usize, RingRates, f64)>,
+    utilization: f64,
+    count: usize,
+}
+
+impl RingFold {
+    pub fn new() -> RingFold {
+        RingFold::default()
+    }
+
+    /// Accumulates the next ring's rates (rings pushed in order `1..=D`).
+    pub fn push(&mut self, rates: RingRates) {
+        self.count += 1;
+        let total = rates.energy.total().value();
+        debug_assert!(total.is_finite(), "model energies are finite");
+        match self.best {
+            Some((_, _, best)) if best > total => {}
+            _ => self.best = Some((self.count, rates, total)),
+        }
+        self.utilization = self.utilization.max(rates.utilization);
+    }
+
+    /// Finishes the fold: scales the bottleneck to the epoch and
+    /// charges the remaining time at the sleep draw.
+    pub fn finish(self, env: &Deployment, latency: Seconds) -> MacPerformance {
+        let (bottleneck_ring, rates, _) = self.best.expect("ring models have depth >= 1");
+        let mut breakdown = rates.energy.scaled(env.epoch.value());
+        let sleep_fraction = (1.0 - rates.busy).clamp(0.0, 1.0);
+        breakdown.sleep = env.radio.power.sleep * (env.epoch * sleep_fraction);
+        MacPerformance {
+            energy: breakdown.total(),
+            breakdown,
+            latency,
+            utilization: self.utilization,
+            bottleneck_ring,
+        }
+    }
+}
+
 /// Folds per-ring rates into a [`MacPerformance`]: finds the bottleneck
 /// ring (max energy rate), scales to the epoch, and charges the
-/// remaining time at the sleep draw.
+/// remaining time at the sleep draw. (The models stream through
+/// [`RingFold`] directly; this slice form backs the fold's unit tests.)
+#[cfg(test)]
 pub(crate) fn assemble(env: &Deployment, rings: &[RingRates], latency: Seconds) -> MacPerformance {
-    debug_assert!(!rings.is_empty(), "ring models have depth >= 1");
-    let (bottleneck_idx, rates) = rings
-        .iter()
-        .enumerate()
-        .max_by(|a, b| {
-            a.1.energy
-                .total()
-                .value()
-                .partial_cmp(&b.1.energy.total().value())
-                .expect("model energies are finite")
-        })
-        .expect("non-empty ring set");
-
-    let mut breakdown = rates.energy.scaled(env.epoch.value());
-    let sleep_fraction = (1.0 - rates.busy).clamp(0.0, 1.0);
-    breakdown.sleep = env.radio.power.sleep * (env.epoch * sleep_fraction);
-
-    let utilization = rings.iter().map(|r| r.utilization).fold(0.0f64, f64::max);
-
-    MacPerformance {
-        energy: breakdown.total(),
-        breakdown,
-        latency,
-        utilization,
-        bottleneck_ring: bottleneck_idx + 1,
+    let mut fold = RingFold::new();
+    for &rates in rings {
+        fold.push(rates);
     }
+    fold.finish(env, latency)
 }
 
 /// Validates a strictly positive, finite duration parameter.

@@ -39,7 +39,7 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -133,9 +133,9 @@ impl Scp {
         let poll_energy = (p.startup * t.startup) + (p.listen * self.poll_listen);
         let poll_time = t_up + self.poll_listen.value();
 
-        let depth = env.traffic.model().depth();
-        let mut rings = Vec::with_capacity(depth);
-        for d in env.traffic.model().rings() {
+        let depth = env.traffic.depth();
+        let mut rings = RingFold::new();
+        for d in env.traffic.rings() {
             let f_out = env.traffic.f_out(d)?.value();
             let f_in = env.traffic.f_in(d)?.value();
             let f_bg = env.traffic.f_bg(d)?.value();
@@ -170,7 +170,7 @@ impl Scp {
         // source, a full period per relay hop, plus each hop's airtime.
         let latency =
             Seconds::new(tp / 2.0 + (depth as f64 - 1.0) * tp + depth as f64 * (tone + t_data));
-        Ok(assemble(env, &rings, latency))
+        Ok(rings.finish(env, latency))
     }
 }
 

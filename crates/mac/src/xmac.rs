@@ -41,7 +41,7 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    assemble, require_arity, require_positive, MacModel, MacPerformance, RingRates,
+    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -130,9 +130,9 @@ impl Xmac {
         let poll_energy = (p.startup * t.startup) + (p.listen * self.poll_listen);
         let poll_time = t.startup.value() + self.poll_listen.value();
 
-        let depth = env.traffic.model().depth();
-        let mut rings = Vec::with_capacity(depth);
-        for d in env.traffic.model().rings() {
+        let depth = env.traffic.depth();
+        let mut rings = RingFold::new();
+        for d in env.traffic.rings() {
             let f_out = env.traffic.f_out(d)?.value();
             let f_in = env.traffic.f_in(d)?.value();
             let f_bg = env.traffic.f_bg(d)?.value();
@@ -169,7 +169,7 @@ impl Xmac {
 
         let per_hop = tw / 2.0 + t_cyc + t_data;
         let latency = Seconds::new(depth as f64 * per_hop);
-        Ok(assemble(env, &rings, latency))
+        Ok(rings.finish(env, latency))
     }
 }
 

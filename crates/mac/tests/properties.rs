@@ -39,7 +39,7 @@ proptest! {
             prop_assert!(perf.latency.value() > 0.0);
             prop_assert!(perf.utilization >= 0.0);
             prop_assert!(perf.bottleneck_ring >= 1);
-            prop_assert!(perf.bottleneck_ring <= env.traffic.model().depth());
+            prop_assert!(perf.bottleneck_ring <= env.traffic.depth());
             prop_assert_eq!(perf.energy.value(), perf.breakdown.total().value());
         }
     }
@@ -75,7 +75,7 @@ proptest! {
         // assumes; beyond the capacity cap the models are out of their
         // validity domain (queues build up), so saturated draws are
         // skipped.
-        let busier = env.with_sampling(env.traffic.fs() * 4.0);
+        let busier = env.clone().with_sampling(env.traffic.fs() * 4.0);
         for model in all_models() {
             let x = param_at(model.as_ref(), &env, frac);
             let base = model.performance(&[x], &env).unwrap();
@@ -129,7 +129,7 @@ proptest! {
 
     #[test]
     fn epoch_scaling_is_linear(env in deployments(), frac in fraction()) {
-        let double = env.with_epoch(env.epoch * 2.0);
+        let double = env.clone().with_epoch(env.epoch * 2.0);
         for model in all_models() {
             let x = param_at(model.as_ref(), &env, frac);
             let e1 = model.performance(&[x], &env).unwrap().energy;

@@ -137,20 +137,44 @@ impl TreeTraffic {
     /// Computes flows for every node of `tree` when all non-sink nodes
     /// sample at `fs`.
     pub fn from_tree(graph: &Graph, tree: &RoutingTree, fs: Hertz) -> TreeTraffic {
+        TreeTraffic::with_rates(graph, tree, fs, &vec![fs; graph.len()])
+    }
+
+    /// Computes flows when node `u` samples at `rates[u]` (the sink's
+    /// entry is ignored) — the non-uniform generalization behind
+    /// hotspot and event-burst traffic patterns. `fs` is kept as the
+    /// nominal rate reported by [`TreeTraffic::fs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` does not cover every node.
+    pub fn with_rates(
+        graph: &Graph,
+        tree: &RoutingTree,
+        fs: Hertz,
+        rates: &[Hertz],
+    ) -> TreeTraffic {
         let n = graph.len();
+        assert_eq!(rates.len(), n, "one sampling rate per node");
         let sink = tree.sink();
         let mut f_out = vec![Hertz::ZERO; n];
         let mut f_in = vec![Hertz::ZERO; n];
         let mut children = vec![0usize; n];
-        for node in graph.nodes() {
+        // Subtree generation sums, leaves inward: nodes sorted by
+        // decreasing depth see all their children before themselves.
+        let mut order: Vec<NodeId> = graph.nodes().collect();
+        order.sort_by_key(|&u| std::cmp::Reverse(tree.depth(u)));
+        for &node in &order {
             if node == sink {
                 continue;
             }
-            // Each node transmits its own samples plus everything its
-            // subtree generates.
-            let descendants = tree.subtree_size(node) - 1;
-            f_out[node.index()] = fs * (1.0 + descendants as f64);
-            f_in[node.index()] = fs * descendants as f64;
+            let forwarded: f64 = tree
+                .children(node)
+                .iter()
+                .map(|&c| f_out[c.index()].value())
+                .sum();
+            f_in[node.index()] = Hertz::new(forwarded);
+            f_out[node.index()] = Hertz::new(forwarded + rates[node.index()].value());
         }
         for node in graph.nodes() {
             children[node.index()] = tree.children(node).len();

@@ -125,3 +125,128 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn uniform_disk_draws_are_connected_and_routable(
+        n in 30usize..120,
+        radius in 1.2..2.6f64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Sparse draws may legitimately be rejected as disconnected;
+        // accepted draws must be *fully* consistent: connected graph,
+        // a routing tree for every node, and strictly positive depths.
+        let Ok(topo) = Topology::uniform_disk(n, radius, &mut rng) else {
+            return Ok(());
+        };
+        let graph = topo.graph();
+        graph.check_connected(topo.sink()).unwrap();
+        let tree = RoutingTree::shortest_path(&graph, topo.sink()).unwrap();
+        prop_assert_eq!(tree.len(), n);
+        for node in graph.nodes() {
+            if node != topo.sink() {
+                prop_assert!(tree.depth(node) >= 1);
+                prop_assert!(tree.parent(node).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn disk_tree_traffic_conserves_flow_into_the_sink(
+        n in 30usize..100,
+        seed in any::<u64>(),
+        fs in 1e-3..0.5f64,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let Ok(topo) = Topology::uniform_disk(n, 2.0, &mut rng) else {
+            return Ok(());
+        };
+        let graph = topo.graph();
+        let tree = RoutingTree::shortest_path(&graph, topo.sink()).unwrap();
+        let t = TreeTraffic::from_tree(&graph, &tree, Hertz::new(fs));
+        // Everything the sink's children send out is everything the
+        // network generates.
+        let into_sink: f64 = tree
+            .children(topo.sink())
+            .iter()
+            .map(|&c| t.f_out(c).value())
+            .sum();
+        let generated = fs * (n - 1) as f64;
+        prop_assert!(
+            (into_sink - generated).abs() < 1e-9 * generated.max(1.0),
+            "sink inflow {} vs generated {}", into_sink, generated
+        );
+        // And per node: outbound = forwarded + own rate.
+        for node in graph.nodes() {
+            if node == topo.sink() { continue; }
+            let own = t.f_out(node).value() - t.f_in(node).value();
+            prop_assert!((own - fs).abs() < 1e-9, "node {} own rate {}", node, own);
+        }
+    }
+
+    #[test]
+    fn non_uniform_rates_keep_flow_conservation(
+        n in 20usize..60,
+        seed in any::<u64>(),
+        hot in 1.5..8.0f64,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let Ok(topo) = Topology::uniform_disk(n, 1.8, &mut rng) else {
+            return Ok(());
+        };
+        let graph = topo.graph();
+        let tree = RoutingTree::shortest_path(&graph, topo.sink()).unwrap();
+        let base = Hertz::new(0.02);
+        // Every third node runs hot.
+        let rates: Vec<Hertz> = (0..n)
+            .map(|i| if i % 3 == 0 { base * hot } else { base })
+            .collect();
+        let t = TreeTraffic::with_rates(&graph, &tree, base, &rates);
+        for node in graph.nodes() {
+            if node == topo.sink() { continue; }
+            let own = t.f_out(node).value() - t.f_in(node).value();
+            prop_assert!(
+                (own - rates[node.index()].value()).abs() < 1e-9,
+                "node {} own rate {} vs assigned {}",
+                node, own, rates[node.index()].value()
+            );
+        }
+        let into_sink: f64 = tree
+            .children(topo.sink())
+            .iter()
+            .map(|&c| t.f_out(c).value())
+            .sum();
+        let generated: f64 = (0..n)
+            .filter(|&i| NodeId::new(i) != topo.sink())
+            .map(|i| rates[i].value())
+            .sum();
+        prop_assert!((into_sink - generated).abs() < 1e-9 * generated.max(1.0));
+    }
+
+    #[test]
+    fn disk_colorings_stay_feasible_for_lmac_frames(
+        n in 30usize..90,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let Ok(topo) = Topology::uniform_disk(n, 2.5, &mut rng) else {
+            return Ok(());
+        };
+        let graph = topo.graph();
+        let coloring = distance_two_coloring(&graph);
+        // Validity: no two distance-<=2 nodes share a slot.
+        for u in graph.nodes() {
+            for &v in graph.neighbors(u) {
+                prop_assert_ne!(coloring.color(u), coloring.color(v));
+                for &w in graph.neighbors(v) {
+                    if w != u {
+                        prop_assert_ne!(coloring.color(u), coloring.color(w));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@
 use crate::events::{Event, EventQueue};
 use crate::frame::{Frame, FrameKind, Packet, PacketId};
 use crate::protocols;
+pub use crate::protocols::MacNode;
 use crate::report::{NodeStats, PacketRecord, SimReport};
 use crate::time::SimTime;
 use edmac_net::{
@@ -13,7 +14,27 @@ use edmac_radio::{Cause, EnergyLedger, FrameSizes, Mode, Radio};
 use edmac_units::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::HashSet;
+
+/// How the engine schedules protocol clock ticks.
+///
+/// Both modes produce byte-identical [`SimReport`]s (asserted by the
+/// `wake_equivalence` golden tests); `Dense` exists as the executable
+/// reference for that contract and for debugging schedule coarsening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WakeMode {
+    /// Event-coarse scheduling: nodes wake only for slots where they
+    /// transmit, may receive from a schedule-known neighbor, or must
+    /// sample the channel; elided idle ticks are replayed into the
+    /// energy ledger arithmetically ([`Ctx::replay_idle_wake`]).
+    #[default]
+    Coarse,
+    /// The reference schedule: every protocol tick becomes a wake-up,
+    /// exactly like the pre-coarsening engine.
+    Dense,
+}
 
 /// Run-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +48,8 @@ pub struct SimConfig {
     pub warmup: Seconds,
     /// RNG seed; equal seeds reproduce runs exactly.
     pub seed: u64,
+    /// Wake scheduling mode (default [`WakeMode::Coarse`]).
+    pub scheduling: WakeMode,
 }
 
 impl Default for SimConfig {
@@ -37,7 +60,64 @@ impl Default for SimConfig {
             sample_period: Seconds::new(60.0),
             warmup: Seconds::new(30.0),
             seed: 0,
+            scheduling: WakeMode::Coarse,
         }
+    }
+}
+
+/// Synchronized high-rate windows layered over the base sampling
+/// periods (event-driven sensing: a detected event makes a region
+/// report faster for a while).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstWindows {
+    /// Interval between burst onsets (the first starts at `t = every`).
+    pub every: Seconds,
+    /// Length of each burst window.
+    pub duration: Seconds,
+    /// Sampling-rate multiplier inside a window (periods divide by it).
+    pub factor: f64,
+}
+
+impl BurstWindows {
+    /// Returns `true` if `now` falls inside a burst window.
+    fn active(&self, now: SimTime) -> bool {
+        let every = self.every.value();
+        if every <= 0.0 {
+            return false;
+        }
+        let t = now.as_seconds().value() % every;
+        // Bursts start at each multiple of `every` (skipping t = 0 so
+        // cold-start traffic stays nominal).
+        now.as_seconds().value() >= every && t < self.duration.value()
+    }
+}
+
+/// Per-node application traffic: mean sampling periods (the sink's
+/// entry is ignored) plus optional burst windows. The engine's default
+/// — every node at [`SimConfig::sample_period`], no bursts — is
+/// `TrafficProfile::uniform`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficProfile {
+    /// Mean sampling period per node, indexed by node id.
+    pub periods: Vec<Seconds>,
+    /// Optional synchronized burst windows.
+    pub burst: Option<BurstWindows>,
+}
+
+impl TrafficProfile {
+    /// Every node samples at `period`, no bursts.
+    pub fn uniform(n: usize, period: Seconds) -> TrafficProfile {
+        TrafficProfile {
+            periods: vec![period; n],
+            burst: None,
+        }
+    }
+
+    /// Layers burst windows over the profile.
+    #[must_use]
+    pub fn with_bursts(mut self, burst: BurstWindows) -> TrafficProfile {
+        self.burst = Some(burst);
+        self
     }
 }
 
@@ -135,28 +215,6 @@ impl ProtocolConfig {
     }
 }
 
-/// A protocol's per-node behavior: a state machine driven by the
-/// engine's callbacks.
-///
-/// Implementations own their packet queues and timers; the engine owns
-/// the radio, the channel and the clock. All radio work goes through
-/// [`Ctx`].
-pub trait MacNode: std::fmt::Debug {
-    /// Called once at simulation start.
-    fn start(&mut self, ctx: &mut Ctx<'_>);
-    /// A timer set through [`Ctx::set_timer`] fired.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64);
-    /// A frame was received intact (the radio is back in listen mode).
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame);
-    /// The frame passed to [`Ctx::send`] has left the antenna (the
-    /// radio is back in listen mode).
-    fn on_tx_done(&mut self, ctx: &mut Ctx<'_>);
-    /// The application sampled a new packet at this node.
-    fn on_generate(&mut self, ctx: &mut Ctx<'_>, packet: Packet);
-    /// The radio finished starting up after [`Ctx::wake`].
-    fn on_radio_ready(&mut self, ctx: &mut Ctx<'_>);
-}
-
 /// Placeholder swapped in while a real node is being called (the engine
 /// cannot hold two mutable borrows).
 #[derive(Debug)]
@@ -194,6 +252,14 @@ pub(crate) struct Core {
     now: SimTime,
     end: SimTime,
     queue: EventQueue,
+    /// Pending per-node wakes: `(time, node index, token)`, earliest
+    /// first; simultaneous wakes fire in node order, matching the
+    /// dense scheduler's stable boundary-timer order.
+    wake_heap: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
+    /// The currently registered wake per node; heap entries that no
+    /// longer match are stale and skipped on pop.
+    wake_current: Vec<Option<(SimTime, u64)>>,
+    wake_token: u64,
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     next_tx_seq: u64,
@@ -213,6 +279,12 @@ pub(crate) struct Core {
     records: Vec<PacketRecord>,
     rng: StdRng,
     config: SimConfig,
+    /// `true` when every node runs a protocol that never samples the
+    /// channel (no CCA), letting the engine elide air events to
+    /// sleeping receivers.
+    cca_free: bool,
+    /// Per-node traffic overriding [`SimConfig::sample_period`].
+    traffic: Option<TrafficProfile>,
 }
 
 impl Core {
@@ -237,6 +309,45 @@ impl Core {
 
     fn mode(&self, node: NodeId) -> Mode {
         self.radios[node.index()].mode
+    }
+
+    /// The mean sampling period of `node` at time `self.now`.
+    fn sample_period(&self, node: NodeId) -> Seconds {
+        let base = match &self.traffic {
+            Some(profile) => profile.periods[node.index()],
+            None => self.config.sample_period,
+        };
+        match self.traffic.as_ref().and_then(|p| p.burst) {
+            Some(burst) if burst.active(self.now) => Seconds::new(base.value() / burst.factor),
+            _ => base,
+        }
+    }
+
+    /// Registers (or supersedes) the single pending wake of `node`.
+    fn register_wake(&mut self, node: NodeId, want: Option<SimTime>) {
+        let slot = &mut self.wake_current[node.index()];
+        match (want, *slot) {
+            (Some(t), Some((current, _))) if current == t => {}
+            (Some(t), _) => {
+                self.wake_token += 1;
+                *slot = Some((t, self.wake_token));
+                self.wake_heap
+                    .push(Reverse((t, node.index(), self.wake_token)));
+            }
+            (None, Some(_)) => *slot = None,
+            (None, None) => {}
+        }
+    }
+
+    /// The earliest valid pending wake, dropping stale heap entries.
+    fn peek_wake(&mut self) -> Option<(SimTime, NodeId)> {
+        while let Some(&Reverse((t, idx, token))) = self.wake_heap.peek() {
+            if self.wake_current[idx] == Some((t, token)) {
+                return Some((t, NodeId::new(idx)));
+            }
+            self.wake_heap.pop();
+        }
+        None
     }
 }
 
@@ -418,6 +529,14 @@ impl Ctx<'_> {
         let end = start.after(duration);
         for i in 0..self.core.neighbors[self.node.index()].len() {
             let neighbor = self.core.neighbors[self.node.index()][i];
+            // A receiver asleep at the first bit can never lock onto
+            // the frame; the only residue of delivering its air events
+            // would be the `air_count` the CCA primitive reads. For a
+            // protocol that never samples the channel (LMAC), that
+            // residue is unobservable, so the pair is elided.
+            if self.core.cca_free && self.core.mode(neighbor) == Mode::Sleep {
+                continue;
+            }
             self.core.queue.schedule(
                 start,
                 Event::AirStart {
@@ -438,6 +557,79 @@ impl Ctx<'_> {
         self.core
             .queue
             .schedule(end, Event::TxDone { node: self.node });
+    }
+
+    /// Replays, straight into the energy ledger, one idle wake-up that
+    /// the event-coarse scheduler elided: sleep up to `wake_at`, a
+    /// radio startup charged to `cause`, then `listen` seconds of
+    /// silent listening, after which the node went back to sleep.
+    ///
+    /// The charge sequence (piece boundaries, rounding, order) is
+    /// exactly what the dense scheduler produces for a wake that hears
+    /// nothing, so coarse and dense runs stay bit-identical; pieces
+    /// crossing the horizon are clamped the way the dense end-of-run
+    /// flush clamps them. A replay is only valid for a slot in which no
+    /// in-range transmission can occur — the caller's schedule
+    /// knowledge, not the engine's.
+    ///
+    /// No-op if the node was not asleep across `wake_at` (the dense
+    /// scheduler skips busy boundaries without charging them).
+    pub fn replay_idle_wake(&mut self, wake_at: SimTime, cause: Cause, listen: Seconds) {
+        let idx = self.node.index();
+        let state = self.core.radios[idx];
+        if state.mode != Mode::Sleep || wake_at < state.since {
+            return;
+        }
+        let end = self.core.end;
+        let startup = self.core.radio_hw.timings.startup;
+        let woke = wake_at.min(end);
+        let listening = wake_at.after(startup).min(end);
+        let slept = wake_at.after(startup).after(listen).min(end);
+        let ledger = &mut self.core.ledgers[idx];
+        ledger.charge(Mode::Sleep, Cause::Sleep, woke.since(state.since));
+        ledger.charge(Mode::Startup, cause, listening.since(woke));
+        ledger.charge(Mode::Listen, cause, slept.since(listening));
+        self.core.radios[idx].since = slept;
+    }
+
+    /// Replays a wake in which this node deterministically received one
+    /// control section from the single in-range owner of the slot,
+    /// then went back to sleep: sleep up to `wake_at`, startup, and one
+    /// control airtime of reception, all charged to the sync buckets;
+    /// the reception is counted iff its last bit lands inside the
+    /// horizon, exactly as the dense scheduler's `AirEnd` would.
+    ///
+    /// Only valid where the schedule proves the exchange: exactly one
+    /// in-range owner (distance-2 slot reuse), an unconditional control
+    /// transmission, and an addressee other than this node. LMAC's
+    /// non-child neighbor slots satisfy all three.
+    pub fn replay_heard_control(&mut self, wake_at: SimTime) {
+        let idx = self.node.index();
+        let state = self.core.radios[idx];
+        if state.mode != Mode::Sleep || wake_at < state.since {
+            return;
+        }
+        let end = self.core.end;
+        let startup = self.core.radio_hw.timings.startup;
+        let t_ctl = self
+            .core
+            .radio_hw
+            .airtime(FrameKind::Control.size(&self.core.frames));
+        // The owner's control starts the instant this node's radio is
+        // up (all nodes share the per-slot wake lead), so no listen
+        // time elapses before the lock.
+        let woke = wake_at.min(end);
+        let locked = wake_at.after(startup).min(end);
+        let heard = wake_at.after(startup).after(t_ctl);
+        let slept = heard.min(end);
+        let ledger = &mut self.core.ledgers[idx];
+        ledger.charge(Mode::Sleep, Cause::Sleep, woke.since(state.since));
+        ledger.charge(Mode::Startup, Cause::SyncRx, locked.since(woke));
+        ledger.charge(Mode::Rx, Cause::SyncRx, slept.since(locked));
+        if heard <= end {
+            self.core.counters[idx].record_rx(FrameKind::Control);
+        }
+        self.core.radios[idx].since = slept;
     }
 
     /// Records the final delivery of `packet` at the sink.
@@ -530,7 +722,16 @@ impl Simulation {
         let graph = topology.graph();
         let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
         let nodes: Vec<Box<dyn MacNode>> = graph.nodes().map(|u| make(u, &tree)).collect();
-        Simulation::assemble(&graph, &tree, radio, frames, nodes, protocol_name, config)
+        Simulation::assemble(
+            &graph,
+            &tree,
+            radio,
+            frames,
+            nodes,
+            protocol_name,
+            config,
+            false,
+        )
     }
 
     fn from_graph(
@@ -553,6 +754,7 @@ impl Simulation {
                         wakeup_interval,
                         poll_listen,
                         max_retries,
+                        config.scheduling,
                     )) as Box<dyn MacNode>
                 })
                 .collect(),
@@ -618,19 +820,55 @@ impl Simulation {
                 graph
                     .nodes()
                     .map(|u| {
+                        // Classify this node's slot indices. Simulated
+                        // wakes are needed only where the outcome is
+                        // data-dependent: the own slot and the slots of
+                        // tree children (their control may name us as
+                        // data addressee). A non-child neighbor's slot
+                        // is deterministic — distance-2 reuse leaves
+                        // exactly one in-range owner, the owner always
+                        // transmits its control, and its addressee can
+                        // only be the owner's parent — so it replays as
+                        // a heard control. Slots with no in-range owner
+                        // replay as provable silence.
+                        let mut child_slots = vec![false; frame_slots];
+                        for &v in tree.children(u) {
+                            child_slots[coloring.color(v)] = true;
+                        }
+                        let mut heard_slots = vec![false; frame_slots];
+                        for &v in graph.neighbors(u) {
+                            let c = coloring.color(v);
+                            if !child_slots[c] {
+                                heard_slots[c] = true;
+                            }
+                        }
                         Box::new(protocols::lmac::LmacNode::new(
                             slot,
                             frame_slots,
                             coloring.color(u),
+                            child_slots,
+                            heard_slots,
+                            config.scheduling,
                         )) as Box<dyn MacNode>
                     })
                     .collect()
             }
         };
 
-        Simulation::assemble(graph, tree, radio, frames, nodes, protocol.name(), config)
+        let cca_free = matches!(protocol, ProtocolConfig::Lmac { .. });
+        Simulation::assemble(
+            graph,
+            tree,
+            radio,
+            frames,
+            nodes,
+            protocol.name(),
+            config,
+            cca_free,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         graph: &Graph,
         tree: &RoutingTree,
@@ -639,6 +877,7 @@ impl Simulation {
         nodes: Vec<Box<dyn MacNode>>,
         protocol: &'static str,
         config: SimConfig,
+        cca_free: bool,
     ) -> Result<Simulation, NetError> {
         let n = graph.len();
         let neighbors: Vec<Vec<NodeId>> =
@@ -651,6 +890,9 @@ impl Simulation {
             now: SimTime::ZERO,
             end: SimTime::from_seconds(config.duration),
             queue: EventQueue::new(),
+            wake_heap: BinaryHeap::new(),
+            wake_current: vec![None; n],
+            wake_token: 0,
             cancelled_timers: HashSet::new(),
             next_timer_id: 0,
             next_tx_seq: 0,
@@ -678,6 +920,8 @@ impl Simulation {
             records: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed ^ 0x5DEECE66D),
             config,
+            cca_free,
+            traffic: None,
         };
 
         Ok(Simulation {
@@ -692,16 +936,69 @@ impl Simulation {
         self.nodes.len()
     }
 
+    /// Installs a per-node traffic profile (hotspots, bursts) in place
+    /// of the uniform [`SimConfig::sample_period`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] if the profile does not
+    /// cover every node, contains a non-positive period (the sink's
+    /// entry is ignored, as documented on [`TrafficProfile`]), or
+    /// carries degenerate burst windows (a non-positive factor or
+    /// onset interval would run simulated time backwards).
+    pub fn with_traffic(mut self, traffic: TrafficProfile) -> Result<Simulation, NetError> {
+        if traffic.periods.len() != self.nodes.len() {
+            return Err(NetError::InvalidParameter {
+                name: "periods",
+                reason: format!(
+                    "profile covers {} nodes but the simulation has {}",
+                    traffic.periods.len(),
+                    self.nodes.len()
+                ),
+            });
+        }
+        if let Some(bad) = traffic
+            .periods
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| NodeId::new(i) != self.core.sink)
+            .map(|(_, p)| p)
+            .find(|p| !(p.is_finite() && p.value() > 0.0))
+        {
+            return Err(NetError::InvalidParameter {
+                name: "periods",
+                reason: format!("sampling periods must be positive and finite, got {bad}"),
+            });
+        }
+        if let Some(burst) = traffic.burst {
+            let factor_ok = burst.factor.is_finite() && burst.factor > 0.0;
+            let every_ok = burst.every.is_finite() && burst.every.value() > 0.0;
+            let duration_ok = burst.duration.is_finite() && burst.duration.value() >= 0.0;
+            if !(factor_ok && every_ok && duration_ok) {
+                return Err(NetError::InvalidParameter {
+                    name: "burst",
+                    reason: format!(
+                        "burst windows need a positive finite factor and onset interval \
+                         and a non-negative duration, got factor {}, every {}, duration {}",
+                        burst.factor, burst.every, burst.duration
+                    ),
+                });
+            }
+        }
+        self.core.traffic = Some(traffic);
+        Ok(self)
+    }
+
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimReport {
         // Seed traffic: every non-sink node samples periodically with a
         // random initial phase.
-        let period = self.core.config.sample_period;
         for i in 0..self.nodes.len() {
             let node = NodeId::new(i);
             if node == self.core.sink {
                 continue;
             }
+            let period = self.core.sample_period(node);
             let phase = self.core.rng.gen_range(0.0..period.value());
             self.core.queue.schedule(
                 SimTime::from_seconds(Seconds::new(phase)),
@@ -714,17 +1011,44 @@ impl Simulation {
             self.with_node(NodeId::new(i), |node, ctx| node.start(ctx));
         }
 
-        // Main loop.
-        while let Some((at, event)) = self.core.queue.pop() {
-            if at > self.core.end {
-                break;
+        // Main loop: interleave queued events with the per-node wake
+        // schedule. Ties go to wakes — the dense scheduler's boundary
+        // timers always carried the earliest sequence numbers, and the
+        // coarse schedule must preserve that order.
+        loop {
+            let wake = self.core.peek_wake();
+            let event_at = self.core.queue.peek_time();
+            let fire_wake = match (wake, event_at) {
+                (Some((tw, _)), Some(te)) => tw <= te,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if fire_wake {
+                let (at, node) = wake.expect("chosen branch has a wake");
+                if at > self.core.end {
+                    break;
+                }
+                self.core.wake_heap.pop();
+                self.core.wake_current[node.index()] = None;
+                self.core.now = at;
+                self.with_node(node, |n, ctx| n.on_wake(ctx));
+            } else {
+                let (at, event) = self.core.queue.pop().expect("peeked event exists");
+                if at > self.core.end {
+                    break;
+                }
+                self.core.now = at;
+                self.dispatch(event);
             }
-            self.core.now = at;
-            self.dispatch(event);
         }
 
-        // Flush residual mode time up to the horizon.
+        // Horizon: let schedule-coarsening nodes replay idle wakes that
+        // were still pending, then flush residual mode time.
         self.core.now = self.core.end;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId::new(i), |node, ctx| node.on_horizon(ctx));
+        }
         for i in 0..self.nodes.len() {
             self.core.charge_current(NodeId::new(i));
             self.core.radios[i].since = self.core.now;
@@ -775,7 +1099,7 @@ impl Simulation {
                 // medians in ways the analytical models' uniform-arrival
                 // assumption excludes.
                 let jitter = self.core.rng.gen_range(0.5..1.5);
-                let next = self.core.now.after(self.core.config.sample_period * jitter);
+                let next = self.core.now.after(self.core.sample_period(node) * jitter);
                 self.core.queue.schedule(next, Event::Generate { node });
                 self.with_node(node, |n, ctx| n.on_generate(ctx, packet));
             }
@@ -857,14 +1181,16 @@ impl Simulation {
     fn with_node<F: FnOnce(&mut Box<dyn MacNode>, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
         let mut taken: Box<dyn MacNode> =
             std::mem::replace(&mut self.nodes[node.index()], Box::new(NullNode));
-        {
+        let want = {
             let mut ctx = Ctx {
                 core: &mut self.core,
                 node,
             };
             f(&mut taken, &mut ctx);
-        }
+            taken.next_activity(&mut ctx)
+        };
         self.nodes[node.index()] = taken;
+        self.core.register_wake(node, want);
     }
 }
 
@@ -878,6 +1204,7 @@ mod tests {
             sample_period: Seconds::new(10.0),
             warmup: Seconds::ZERO,
             seed: 1,
+            scheduling: WakeMode::Coarse,
         }
     }
 
@@ -891,6 +1218,47 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sim.node_count(), 1 + 4 * 4);
+    }
+
+    #[test]
+    fn with_traffic_validates_profiles() {
+        let build = || {
+            Simulation::ring(
+                2,
+                4,
+                ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+                tiny_config(),
+            )
+            .unwrap()
+        };
+        let n = build().node_count();
+        // Wrong length.
+        assert!(build()
+            .with_traffic(TrafficProfile::uniform(n - 1, Seconds::new(10.0)))
+            .is_err());
+        // Non-positive period at a non-sink node.
+        let mut bad = TrafficProfile::uniform(n, Seconds::new(10.0));
+        bad.periods[1] = Seconds::ZERO;
+        assert!(build().with_traffic(bad).is_err());
+        // The sink's entry is ignored, as documented.
+        let mut sink_zero = TrafficProfile::uniform(n, Seconds::new(10.0));
+        sink_zero.periods[0] = Seconds::ZERO;
+        assert!(build().with_traffic(sink_zero).is_ok());
+        // Degenerate burst windows must be rejected, valid ones kept.
+        for factor in [0.0, -2.0, f64::NAN] {
+            let burst = TrafficProfile::uniform(n, Seconds::new(10.0)).with_bursts(BurstWindows {
+                every: Seconds::new(30.0),
+                duration: Seconds::new(5.0),
+                factor,
+            });
+            assert!(build().with_traffic(burst).is_err(), "factor {factor}");
+        }
+        let ok = TrafficProfile::uniform(n, Seconds::new(10.0)).with_bursts(BurstWindows {
+            every: Seconds::new(30.0),
+            duration: Seconds::new(5.0),
+            factor: 4.0,
+        });
+        assert!(build().with_traffic(ok).is_ok());
     }
 
     #[test]
@@ -911,6 +1279,7 @@ mod tests {
         let run = |seed: u64| {
             let cfg = SimConfig {
                 seed,
+                scheduling: WakeMode::Coarse,
                 ..tiny_config()
             };
             Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
@@ -939,6 +1308,7 @@ mod tests {
         let run = |seed: u64| {
             let cfg = SimConfig {
                 seed,
+                scheduling: WakeMode::Coarse,
                 ..tiny_config()
             };
             Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)

@@ -100,6 +100,11 @@ impl EventQueue {
         self.heap.pop().map(|Reverse(s)| (s.at, s.event))
     }
 
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
     /// Number of pending events.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {

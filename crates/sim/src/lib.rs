@@ -50,7 +50,9 @@ mod protocols;
 mod report;
 mod time;
 
-pub use engine::{Ctx, MacNode, ProtocolConfig, SimConfig, Simulation};
+pub use engine::{
+    BurstWindows, Ctx, MacNode, ProtocolConfig, SimConfig, Simulation, TrafficProfile, WakeMode,
+};
 pub use frame::{Frame, FrameCounters, FrameKind, Packet, PacketId};
 pub use report::{NodeStats, PacketRecord, SimReport};
 pub use time::SimTime;

@@ -11,14 +11,25 @@
 //! Contention: siblings share their parent's listen slot, so each
 //! transmitter backs off a random fraction of the contention window and
 //! checks the channel before sending; losers retry next cycle.
+//!
+//! # Event-coarse scheduling
+//!
+//! The ladder is already event-coarse by construction: a node touches
+//! at most two slots per cycle (its children's and its own), so its
+//! wake schedule is one instant per cycle — reported through
+//! [`MacNode::next_activity`] — regardless of the cycle's slot count.
+//! There is nothing further to skip without changing behavior: an
+//! interior node must open its receive slot whether or not children
+//! transmit, and a leaf's empty-queue wake still lingers (and can
+//! overhear siblings), which is protocol cost, not scheduler cost.
 
 use crate::engine::{Ctx, MacNode};
 use crate::frame::{Frame, FrameKind, Packet};
+use crate::time::SimTime;
 use edmac_radio::Cause;
 use edmac_units::Seconds;
 use std::collections::VecDeque;
 
-const TAG_RX_SLOT: u32 = 1;
 const TAG_TX_SLOT: u32 = 2;
 const TAG_BACKOFF_DONE: u32 = 3;
 const TAG_SLEEP: u32 = 4;
@@ -120,61 +131,61 @@ impl DmacNode {
         Some(self.slot * (lag as f64 - 1.0))
     }
 
-    /// Schedules this node's wake-ups for cycle `k`, waking one radio
-    /// startup early so listening starts on the slot boundary.
-    fn schedule_cycle(&mut self, ctx: &mut Ctx<'_>, k: u64) {
-        let cycle_start = self.cycle * k as f64;
-        let lead = ctx.startup_delay();
-        if let Some(rx) = self.rx_offset(ctx) {
-            let at = cycle_start + rx - lead;
-            let delay = Seconds::new((at.value() - ctx.now().as_seconds().value()).max(0.0));
-            ctx.set_timer(delay, TAG_RX_SLOT);
-        } else if let Some(tx) = self.tx_offset(ctx) {
-            // Leaves skip the (empty) receive slot.
-            let at = cycle_start + tx - lead;
-            let delay = Seconds::new((at.value() - ctx.now().as_seconds().value()).max(0.0));
-            ctx.set_timer(delay, TAG_TX_SLOT);
-        }
-        self.next_cycle = k + 1;
+    /// The wake instant for cycle `k`: the receive slot for nodes with
+    /// children, else the transmit slot, one radio startup early so
+    /// listening starts on the slot boundary. `None` for a node with
+    /// neither (unreachable in a connected tree).
+    fn lead(&self, ctx: &Ctx<'_>, k: u64) -> Option<SimTime> {
+        let offset = self.rx_offset(ctx).or_else(|| self.tx_offset(ctx))?;
+        let at = self.cycle.value() * k as f64 + offset.value() - ctx.startup_delay().value();
+        Some(SimTime::from_seconds(Seconds::new(at.max(0.0))))
     }
 }
 
 impl MacNode for DmacNode {
-    fn start(&mut self, ctx: &mut Ctx<'_>) {
-        self.schedule_cycle(ctx, 0);
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {
+        self.next_cycle = 0;
+    }
+
+    fn next_activity(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
+        self.lead(ctx, self.next_cycle)
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        self.next_cycle += 1;
+        if self.rx_offset(ctx).is_some() {
+            // Wake for the children's slot; the own tx slot follows
+            // immediately after, so stay up through both.
+            self.phase = Phase::Receiving;
+            ctx.wake(Cause::CarrierSense);
+            // This wake led the boundary by one startup (so listening
+            // starts on it); the transmit slot therefore begins one
+            // slot plus that lead from now — contending earlier would
+            // trample the tail of the children's exchanges.
+            if self.tx_offset(ctx).is_some() {
+                ctx.set_timer(self.slot + ctx.startup_delay(), TAG_TX_SLOT);
+            } else {
+                // The sink lingers one slot then sleeps.
+                ctx.set_timer(self.slot * 2.0, TAG_SLEEP);
+            }
+        } else if self.phase == Phase::Sleeping {
+            // Leaf path: wake directly into the tx slot.
+            self.phase = Phase::PreparingTx;
+            ctx.wake(Cause::CarrierSense);
+        } else {
+            // Leaf still awake from the previous cycle (long linger or
+            // pending ack): contend right away, the radio is already up.
+            self.phase = Phase::PreparingTx;
+            self.begin_contention(ctx);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64) {
         match tag {
-            TAG_RX_SLOT => {
-                // Wake for the children's slot; the own tx slot follows
-                // immediately after, so stay up through both.
-                self.phase = Phase::Receiving;
-                ctx.wake(Cause::CarrierSense);
-                // This timer fired one startup-lead early (so listening
-                // starts on the boundary); the transmit slot therefore
-                // begins one slot plus that lead from now — contending
-                // earlier would trample the tail of the children's
-                // exchanges.
-                if self.tx_offset(ctx).is_some() {
-                    ctx.set_timer(self.slot + ctx.startup_delay(), TAG_TX_SLOT);
-                } else {
-                    // The sink lingers one slot then sleeps.
-                    ctx.set_timer(self.slot * 2.0, TAG_SLEEP);
-                }
-                self.schedule_cycle(ctx, self.next_cycle);
-            }
             TAG_TX_SLOT => {
-                if self.phase == Phase::Sleeping {
-                    // Leaf path: wake directly into the tx slot.
-                    self.phase = Phase::PreparingTx;
-                    ctx.wake(Cause::CarrierSense);
-                    self.schedule_cycle(ctx, self.next_cycle);
-                } else {
-                    // Interior path: already awake from the rx slot.
-                    self.phase = Phase::PreparingTx;
-                    self.begin_contention(ctx);
-                }
+                // Interior path: already awake from the rx slot.
+                self.phase = Phase::PreparingTx;
+                self.begin_contention(ctx);
             }
             TAG_BACKOFF_DONE => {
                 if self.phase != Phase::ContentionBackoff {

@@ -11,16 +11,43 @@
 //! sleep until the next slot. Owners always transmit their control
 //! section (the schedule heartbeat) and append at most one queued data
 //! frame per slot.
+//!
+//! # Event-coarse scheduling
+//!
+//! The distance-2 slot assignment is static, so a node can classify
+//! every slot index up front:
+//!
+//! * **own / child slots** — the outcome is data-dependent (we
+//!   transmit, or a child's control may name us as data addressee):
+//!   these are the only slots that need simulated wakes;
+//! * **heard slots** — a non-child neighbor owns the slot. Exactly one
+//!   in-range owner exists (distance-2 reuse), it always transmits its
+//!   control, and the addressee can only be its parent — so the whole
+//!   wake (startup, one control reception, sleep) is deterministic and
+//!   replays through [`Ctx::replay_heard_control`];
+//! * **silent slots** — no in-range owner: a startup, 300 µs of
+//!   provable silence and sleep, replayed through
+//!   [`Ctx::replay_idle_wake`].
+//!
+//! Under [`WakeMode::Coarse`] the node schedules wakes only for the
+//! first class and replays the rest; under [`WakeMode::Dense`] it
+//! wakes at every boundary like the original engine. Both produce
+//! bit-identical reports (the `wake_equivalence` golden tests).
 
-use crate::engine::{Ctx, MacNode};
+use crate::engine::{Ctx, MacNode, WakeMode};
 use crate::frame::{Frame, FrameKind, Packet};
+use crate::time::SimTime;
 use edmac_radio::Cause;
 use edmac_units::Seconds;
 use std::collections::VecDeque;
 
-const TAG_SLOT_START: u32 = 1;
 const TAG_CONTROL_MISSING: u32 = 2;
 const TAG_DATA_TIMEOUT: u32 = 3;
+
+/// How long a listener samples a slot head before declaring it silent.
+fn control_timeout() -> Seconds {
+    Seconds::from_micros(300.0)
+}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
@@ -45,24 +72,49 @@ pub(crate) struct LmacNode {
     slot: Seconds,
     frame_slots: usize,
     my_slot: usize,
+    /// Slot indices owned by tree children (data may be addressed to
+    /// this node there): simulated wakes.
+    child_slots: Vec<bool>,
+    /// Slot indices owned by non-child in-range neighbors: replayed as
+    /// deterministic heard controls.
+    heard_slots: Vec<bool>,
+    coarse: bool,
     phase: Phase,
     queue: VecDeque<Packet>,
-    /// Index of the next slot (global, monotonically increasing).
+    /// Global index of the next boundary this node will wake for.
     next_slot: u64,
+    /// Global index of the boundary currently being handled.
+    current_slot: u64,
+    /// First global slot index not yet simulated or replayed.
+    replay_from: u64,
     control_timer: u64,
     data_timer: u64,
 }
 
 impl LmacNode {
-    pub fn new(slot: Seconds, frame_slots: usize, my_slot: usize) -> LmacNode {
+    pub fn new(
+        slot: Seconds,
+        frame_slots: usize,
+        my_slot: usize,
+        child_slots: Vec<bool>,
+        heard_slots: Vec<bool>,
+        scheduling: WakeMode,
+    ) -> LmacNode {
         assert!(my_slot < frame_slots, "slot assignment exceeds frame");
+        assert_eq!(child_slots.len(), frame_slots, "mask must cover the frame");
+        assert_eq!(heard_slots.len(), frame_slots, "mask must cover the frame");
         LmacNode {
             slot,
             frame_slots,
             my_slot,
+            child_slots,
+            heard_slots,
+            coarse: scheduling == WakeMode::Coarse,
             phase: Phase::Sleeping,
             queue: VecDeque::new(),
             next_slot: 0,
+            current_slot: 0,
+            replay_from: 0,
             control_timer: u64::MAX,
             data_timer: u64::MAX,
         }
@@ -73,40 +125,94 @@ impl LmacNode {
         (k % self.frame_slots as u64) as usize == self.my_slot
     }
 
-    /// Schedules the wake-up for global slot `k` (one startup early).
-    fn schedule_slot(&mut self, ctx: &mut Ctx<'_>, k: u64) {
+    /// Whether slot `k` has a data-dependent outcome for this node
+    /// (own transmission, or possible reception from a child).
+    fn relevant(&self, k: u64) -> bool {
+        self.owns(k) || self.child_slots[(k % self.frame_slots as u64) as usize]
+    }
+
+    /// Replays one elided slot: a deterministic heard control if an
+    /// in-range non-child owns it, provable silence otherwise.
+    fn replay_slot(&self, ctx: &mut Ctx<'_>, k: u64) {
+        let at = self.lead(ctx, k);
+        if self.heard_slots[(k % self.frame_slots as u64) as usize] {
+            ctx.replay_heard_control(at);
+        } else {
+            ctx.replay_idle_wake(at, Cause::SyncRx, control_timeout());
+        }
+    }
+
+    /// The smallest relevant slot index `>= from` (any slot in dense
+    /// mode; the own slot bounds the scan in coarse mode).
+    fn next_relevant(&self, from: u64) -> u64 {
+        if !self.coarse {
+            return from;
+        }
+        let mut k = from;
+        while !self.relevant(k) {
+            k += 1;
+        }
+        k
+    }
+
+    /// The wake instant for global slot `k` (one startup early).
+    fn lead(&self, ctx: &Ctx<'_>, k: u64) -> SimTime {
         let at = self.slot.value() * k as f64 - ctx.startup_delay().value();
-        let delay = Seconds::new((at - ctx.now().as_seconds().value()).max(0.0));
-        ctx.set_timer(delay, TAG_SLOT_START);
-        self.next_slot = k;
+        SimTime::from_seconds(Seconds::new(at.max(0.0)))
     }
 }
 
 impl MacNode for LmacNode {
-    fn start(&mut self, ctx: &mut Ctx<'_>) {
-        self.schedule_slot(ctx, 0);
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {
+        // Every node attends slot 0 (silent or not, the dense schedule
+        // starts there); `next_activity` takes it from here.
+        self.next_slot = 0;
+    }
+
+    fn next_activity(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
+        Some(self.lead(ctx, self.next_slot))
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        let k = self.next_slot;
+        // Replay the heard and silent slots the coarse schedule jumped
+        // over (empty range in dense mode).
+        for j in self.replay_from..k {
+            self.replay_slot(ctx, j);
+        }
+        self.replay_from = k + 1;
+        self.current_slot = k;
+        // Commit the next boundary first, so a crash in this slot's
+        // logic cannot stall the schedule.
+        self.next_slot = self.next_relevant(k + 1);
+        if self.phase != Phase::Sleeping {
+            // Still busy from the previous slot (e.g. long data
+            // reception): skip this boundary.
+            return;
+        }
+        self.phase = Phase::WakingForSlot;
+        let cause = if self.owns(k) {
+            Cause::SyncTx
+        } else {
+            Cause::SyncRx
+        };
+        ctx.wake(cause);
+    }
+
+    fn on_horizon(&mut self, ctx: &mut Ctx<'_>) {
+        // Heard/silent slots still pending when the run ended: replay
+        // the ones whose wake instant lies inside the horizon (the
+        // dense scheduler woke for exactly those).
+        let mut j = self.replay_from;
+        while j < self.next_slot && self.lead(ctx, j) <= ctx.now() {
+            self.replay_slot(ctx, j);
+            j += 1;
+        }
+        self.replay_from = j;
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64) {
         match tag {
-            TAG_SLOT_START => {
-                let slot = self.next_slot;
-                // Schedule the next boundary first, so a crash in this
-                // slot's logic cannot stall the schedule.
-                self.schedule_slot(ctx, slot + 1);
-                if self.phase != Phase::Sleeping {
-                    // Still busy from the previous slot (e.g. long data
-                    // reception): skip this boundary.
-                    return;
-                }
-                self.phase = Phase::WakingForSlot;
-                let cause = if self.owns(slot) {
-                    Cause::SyncTx
-                } else {
-                    Cause::SyncRx
-                };
-                ctx.wake(cause);
-            }
             TAG_CONTROL_MISSING if id == self.control_timer => {
                 if self.phase != Phase::AwaitingControl {
                     return;
@@ -116,8 +222,7 @@ impl MacNode for LmacNode {
                     // instead of abandoning the timer — a corrupted
                     // reception produces no callback, and without a
                     // pending timer the node would listen forever.
-                    self.control_timer =
-                        ctx.set_timer(Seconds::from_micros(300.0), TAG_CONTROL_MISSING);
+                    self.control_timer = ctx.set_timer(control_timeout(), TAG_CONTROL_MISSING);
                 } else {
                     // Empty or corrupted control section: sleep until
                     // the next slot.
@@ -146,7 +251,7 @@ impl MacNode for LmacNode {
         }
         // We are at the slot boundary now (the wake-up led by exactly
         // the startup delay).
-        let current = self.next_slot.saturating_sub(1);
+        let current = self.current_slot;
         if self.owns(current) {
             let data_follows = !self.queue.is_empty() && !ctx.is_sink();
             let dst = if data_follows { ctx.parent() } else { None };
@@ -158,8 +263,7 @@ impl MacNode for LmacNode {
             // within a CCA-scale window the slot is silent (no owner in
             // range this frame) and the radio goes straight back down.
             // An in-progress reception makes the timer a no-op.
-            let timeout = Seconds::from_micros(300.0);
-            self.control_timer = ctx.set_timer(timeout, TAG_CONTROL_MISSING);
+            self.control_timer = ctx.set_timer(control_timeout(), TAG_CONTROL_MISSING);
         }
     }
 
@@ -170,7 +274,9 @@ impl MacNode for LmacNode {
                 if self.phase != Phase::AwaitingControl {
                     return;
                 }
-                ctx.cancel_timer(self.control_timer);
+                // The pending control timer dies by id mismatch once a
+                // new one is set, and by the phase guard otherwise; no
+                // cancellation bookkeeping needed on this hot path.
                 if frame.dst == Some(me) {
                     // The owner's data is for us: stay up.
                     self.phase = Phase::AwaitingData;
@@ -183,7 +289,6 @@ impl MacNode for LmacNode {
                 }
             }
             FrameKind::Data if frame.addressed_to(me) && self.phase == Phase::AwaitingData => {
-                ctx.cancel_timer(self.data_timer);
                 let mut packet = frame.packet.expect("data frames carry packets");
                 packet.hops += 1;
                 if ctx.is_sink() {

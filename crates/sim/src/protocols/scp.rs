@@ -14,14 +14,25 @@
 //!
 //! Forwarding is store-and-forward: a packet received at boundary `k`
 //! leaves at boundary `k + 1`, so each relay hop costs a full `Tp`.
+//!
+//! # Event-coarse scheduling
+//!
+//! SCP's whole point is that *every* node polls at *every* common
+//! boundary — a poll both samples the channel for incoming tones and
+//! backs the schedule's contention structure, so no boundary is
+//! provably idle and none can be skipped without changing the
+//! protocol. The boundary clock still runs through
+//! [`MacNode::next_activity`] (one pending wake per node instead of a
+//! self-rescheduling timer), which is the whole of the coarsening
+//! available here.
 
 use crate::engine::{Ctx, MacNode};
 use crate::frame::{Frame, FrameKind, Packet};
+use crate::time::SimTime;
 use edmac_radio::Cause;
 use edmac_units::Seconds;
 use std::collections::VecDeque;
 
-const TAG_BOUNDARY: u32 = 1;
 const TAG_POLL_END: u32 = 2;
 const TAG_BACKOFF_DONE: u32 = 3;
 const TAG_DATA_TIMEOUT: u32 = 4;
@@ -92,11 +103,10 @@ impl ScpNode {
         }
     }
 
-    fn schedule_boundary(&mut self, ctx: &mut Ctx<'_>, k: u64) {
+    /// The wake instant for boundary `k` (one startup early).
+    fn lead(&self, ctx: &Ctx<'_>, k: u64) -> SimTime {
         let at = self.poll_interval.value() * k as f64 - ctx.startup_delay().value();
-        let delay = Seconds::new((at - ctx.now().as_seconds().value()).max(0.0));
-        ctx.set_timer(delay, TAG_BOUNDARY);
-        self.next_boundary = k;
+        SimTime::from_seconds(Seconds::new(at.max(0.0)))
     }
 
     /// Polls per sync period (at least one).
@@ -125,37 +135,42 @@ impl MacNode for ScpNode {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
         // Spread the periodic sync broadcasts across nodes.
         self.last_sync_boundary = ctx.random_range(0.0, self.sync_every() as f64) as u64;
-        self.schedule_boundary(ctx, 0);
+        self.next_boundary = 0;
+    }
+
+    fn next_activity(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
+        Some(self.lead(ctx, self.next_boundary))
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        let boundary = self.next_boundary;
+        self.next_boundary = boundary + 1;
+        if self.phase != Phase::Sleeping {
+            return; // still busy from the previous boundary
+        }
+        self.phase = Phase::WakingForBoundary;
+        let wants_tx = (self.in_flight.is_some() || !self.queue.is_empty())
+            && !ctx.is_sink()
+            && self.skip_polls == 0;
+        if self.skip_polls > 0 {
+            self.skip_polls -= 1;
+        }
+        let due_sync = boundary.wrapping_sub(self.last_sync_boundary) >= self.sync_every();
+        let cause = if wants_tx {
+            Cause::DataTx
+        } else if due_sync {
+            Cause::SyncTx
+        } else {
+            Cause::CarrierSense
+        };
+        ctx.wake(cause);
+        if due_sync {
+            self.last_sync_boundary = boundary;
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64) {
         match tag {
-            TAG_BOUNDARY => {
-                let boundary = self.next_boundary;
-                self.schedule_boundary(ctx, boundary + 1);
-                if self.phase != Phase::Sleeping {
-                    return; // still busy from the previous boundary
-                }
-                self.phase = Phase::WakingForBoundary;
-                let wants_tx = (self.in_flight.is_some() || !self.queue.is_empty())
-                    && !ctx.is_sink()
-                    && self.skip_polls == 0;
-                if self.skip_polls > 0 {
-                    self.skip_polls -= 1;
-                }
-                let due_sync = boundary.wrapping_sub(self.last_sync_boundary) >= self.sync_every();
-                let cause = if wants_tx {
-                    Cause::DataTx
-                } else if due_sync {
-                    Cause::SyncTx
-                } else {
-                    Cause::CarrierSense
-                };
-                ctx.wake(cause);
-                if due_sync {
-                    self.last_sync_boundary = boundary;
-                }
-            }
             TAG_POLL_END if id == self.poll_end_timer => {
                 if self.phase != Phase::Polling {
                     return;

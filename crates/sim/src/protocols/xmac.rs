@@ -10,14 +10,25 @@
 //! `Tw` plus slack), then ship the data frame and wait for the final
 //! ack. Collisions and misses are retried with a random backoff, up to
 //! `max_retries` per packet.
+//!
+//! # Event-coarse scheduling
+//!
+//! A poll with an empty queue still has to listen — any neighbor could
+//! be strobing — so idle polls are protocol cost and cannot be
+//! skipped. What *can* be skipped are the clock ticks that land while
+//! the node is mid-exchange (strobing, backing off, receiving): the
+//! dense scheduler fired those and did provably nothing. Under
+//! [`WakeMode::Coarse`] the node reports no activity while busy and
+//! rejoins its absolute poll grid (`phase + k·Tw`) on the first tick
+//! after it returns to sleep.
 
-use crate::engine::{Ctx, MacNode};
+use crate::engine::{Ctx, MacNode, WakeMode};
 use crate::frame::{Frame, FrameKind, Packet};
+use crate::time::SimTime;
 use edmac_radio::Cause;
 use edmac_units::Seconds;
 use std::collections::VecDeque;
 
-const TAG_POLL: u32 = 1;
 const TAG_POLL_END: u32 = 2;
 const TAG_STROBE_GAP: u32 = 3;
 const TAG_ACK_TIMEOUT: u32 = 4;
@@ -58,6 +69,11 @@ pub(crate) struct XmacNode {
     wakeup: Seconds,
     poll_listen: Seconds,
     max_retries: u32,
+    coarse: bool,
+    /// Random phase of this node's poll grid, drawn at start.
+    poll_phase: f64,
+    /// Index of the next poll tick on the grid `phase + k·Tw`.
+    next_tick: u64,
     phase: Phase,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
@@ -69,11 +85,19 @@ pub(crate) struct XmacNode {
 }
 
 impl XmacNode {
-    pub fn new(wakeup: Seconds, poll_listen: Seconds, max_retries: u32) -> XmacNode {
+    pub fn new(
+        wakeup: Seconds,
+        poll_listen: Seconds,
+        max_retries: u32,
+        scheduling: WakeMode,
+    ) -> XmacNode {
         XmacNode {
             wakeup,
             poll_listen,
             max_retries,
+            coarse: scheduling == WakeMode::Coarse,
+            poll_phase: 0.0,
+            next_tick: 0,
             phase: Phase::Sleeping,
             queue: VecDeque::new(),
             in_flight: None,
@@ -83,6 +107,13 @@ impl XmacNode {
             ack_timer: u64::MAX,
             data_timer: u64::MAX,
         }
+    }
+
+    /// Absolute time of poll tick `k`.
+    fn tick_time(&self, k: u64) -> SimTime {
+        SimTime::from_seconds(Seconds::new(
+            self.poll_phase + self.wakeup.value() * k as f64,
+        ))
     }
 
     /// The ack-listen gap after each strobe: turnaround, the ack
@@ -167,27 +198,46 @@ impl XmacNode {
 impl MacNode for XmacNode {
     fn start(&mut self, ctx: &mut Ctx<'_>) {
         // Desynchronize poll phases across nodes.
-        let phase = Seconds::new(ctx.random_range(0.0, self.wakeup.value()));
-        ctx.set_timer(phase, TAG_POLL);
+        self.poll_phase = ctx.random_range(0.0, self.wakeup.value());
+        self.next_tick = 0;
+    }
+
+    fn next_activity(&mut self, ctx: &mut Ctx<'_>) -> Option<SimTime> {
+        if self.coarse {
+            if self.phase != Phase::Sleeping {
+                // Mid-exchange: the dense tick would be a no-op; rejoin
+                // the grid when the node next sleeps.
+                return None;
+            }
+            // Ticks that passed while busy were no-ops — including one
+            // at exactly `now`: wakes fire before same-time events, so
+            // the dense scheduler consumed that tick (still busy)
+            // before the callback that just put us to sleep.
+            while self.tick_time(self.next_tick) <= ctx.now() {
+                self.next_tick += 1;
+            }
+        }
+        Some(self.tick_time(self.next_tick))
+    }
+
+    fn on_wake(&mut self, ctx: &mut Ctx<'_>) {
+        // The poll clock ticks regardless of activity.
+        self.next_tick += 1;
+        if self.phase == Phase::Sleeping {
+            if self.has_pending() && !ctx.is_sink() {
+                // A queued packet or an interrupted retry (in_flight
+                // survives a failed exchange) takes priority over the
+                // idle poll.
+                self.try_begin_tx(ctx);
+            } else {
+                self.phase = Phase::Polling;
+                ctx.wake(Cause::CarrierSense);
+            }
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, id: u64) {
         match tag {
-            TAG_POLL => {
-                // The poll clock ticks regardless of activity.
-                ctx.set_timer(self.wakeup, TAG_POLL);
-                if self.phase == Phase::Sleeping {
-                    if self.has_pending() && !ctx.is_sink() {
-                        // A queued packet or an interrupted retry
-                        // (in_flight survives a failed exchange) takes
-                        // priority over the idle poll.
-                        self.try_begin_tx(ctx);
-                    } else {
-                        self.phase = Phase::Polling;
-                        ctx.wake(Cause::CarrierSense);
-                    }
-                }
-            }
             TAG_POLL_END if id == self.poll_end_timer => {
                 if self.phase != Phase::Polling {
                     return;

@@ -246,6 +246,7 @@ impl std::fmt::Display for SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::WakeMode;
 
     fn record(created_s: f64, delivered_s: Option<f64>, depth: usize) -> PacketRecord {
         PacketRecord {
@@ -266,6 +267,7 @@ mod tests {
                 sample_period: Seconds::new(10.0),
                 warmup: Seconds::new(10.0),
                 seed: 0,
+                scheduling: WakeMode::Coarse,
             },
             NodeId::new(0),
             vec![],
@@ -319,6 +321,7 @@ mod tests {
                 sample_period: Seconds::new(1.0),
                 warmup: Seconds::ZERO,
                 seed: 0,
+                scheduling: WakeMode::Coarse,
             },
             NodeId::new(0),
             vec![

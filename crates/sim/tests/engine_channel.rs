@@ -3,7 +3,7 @@
 
 use edmac_net::{NodeId, Point2, Topology};
 use edmac_radio::{Cause, FrameSizes, Radio};
-use edmac_sim::{Ctx, Frame, FrameKind, MacNode, Packet, SimConfig, Simulation};
+use edmac_sim::{Ctx, Frame, FrameKind, MacNode, Packet, SimConfig, Simulation, WakeMode};
 use edmac_units::Seconds;
 
 /// A node that wakes shortly before `tx_at` and transmits one data
@@ -92,6 +92,7 @@ fn quiet_config() -> SimConfig {
         sample_period: Seconds::new(1_000.0), // no generated traffic
         warmup: Seconds::ZERO,
         seed: 0,
+        scheduling: WakeMode::Coarse,
     }
 }
 

@@ -1,7 +1,12 @@
 //! Property-based tests of the simulation engine: invariants that must
 //! hold for any protocol, parameter point and seed.
+//!
+//! The default tier runs a reduced case count (long simulated horizons
+//! make each case expensive); `exhaustive_invariant_sweep` re-checks
+//! the same invariants over a much wider seed × protocol grid in the
+//! `#[ignore]`d slow tier (`cargo test -- --ignored`).
 
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation};
+use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
 use edmac_units::Seconds;
 use proptest::prelude::*;
 
@@ -21,6 +26,7 @@ fn run(protocol: ProtocolConfig, seed: u64) -> SimReport {
         sample_period: Seconds::new(30.0),
         warmup: Seconds::new(20.0),
         seed,
+        scheduling: WakeMode::Coarse,
     };
     Simulation::ring(2, 4, protocol, cfg)
         .expect("small rings always build")
@@ -28,7 +34,7 @@ fn run(protocol: ProtocolConfig, seed: u64) -> SimReport {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
     fn runs_are_deterministic(protocol in protocols(), seed in any::<u64>()) {
@@ -122,5 +128,55 @@ proptest! {
             "{}: {tx_data} data tx cannot carry {min_tx} delivered hops",
             report.protocol()
         );
+    }
+}
+
+/// The slow tier: the same invariants, exhaustively, over a fixed
+/// protocol × parameter × seed grid (no proptest shrinking needed —
+/// every case is named by its inputs).
+#[test]
+#[ignore = "slow tier: wide invariant sweep (cargo test -- --ignored)"]
+fn exhaustive_invariant_sweep() {
+    let sleep_draw = edmac_radio::Radio::cc2420().power.sleep.value();
+    let listen = edmac_radio::Radio::cc2420().power.listen.value();
+    let cases = [
+        ProtocolConfig::xmac(Seconds::new(0.06)),
+        ProtocolConfig::xmac(Seconds::new(0.25)),
+        ProtocolConfig::dmac(Seconds::new(0.4)),
+        ProtocolConfig::dmac(Seconds::new(1.5)),
+        ProtocolConfig::lmac(Seconds::new(0.005)),
+        ProtocolConfig::lmac(Seconds::new(0.02)),
+        ProtocolConfig::scp(Seconds::new(0.15)),
+        ProtocolConfig::scp(Seconds::new(0.4)),
+    ];
+    for protocol in cases {
+        for seed in 0..12u64 {
+            let report = run(protocol, seed);
+            let label = format!("{} seed {seed}", report.protocol());
+            // Determinism.
+            let again = run(protocol, seed);
+            assert_eq!(report.delivered_count(), again.delivered_count(), "{label}");
+            // Time accounting and energy bounds, every node.
+            for stats in report.per_node() {
+                let sleep_time = stats.breakdown.sleep.value() / sleep_draw;
+                let total = stats.busy.value() + sleep_time;
+                assert!(
+                    (total - 120.0).abs() < 1e-6,
+                    "{label}: node {} accounted {total:.9} s",
+                    stats.node
+                );
+                let e = stats.breakdown.total().value();
+                assert!(e > 0.0 && e < listen * 120.0 * 1.05, "{label}: {e} J");
+                assert!(stats.breakdown.is_valid(), "{label}");
+            }
+            // Record sanity and delivery floor.
+            for r in report.records() {
+                if let Some(delivered) = r.delivered {
+                    assert!(delivered >= r.created, "{label}");
+                    assert!(r.hops as usize >= r.origin_depth, "{label}");
+                }
+            }
+            assert!(report.delivery_ratio() > 0.7, "{label}");
+        }
     }
 }

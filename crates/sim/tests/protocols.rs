@@ -1,6 +1,6 @@
 //! End-to-end behavioral tests of the three simulated protocols.
 
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation};
+use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
 use edmac_units::Seconds;
 
 fn run(protocol: ProtocolConfig, depth: usize, density: usize, seed: u64) -> SimReport {
@@ -9,6 +9,7 @@ fn run(protocol: ProtocolConfig, depth: usize, density: usize, seed: u64) -> Sim
         sample_period: Seconds::new(40.0),
         warmup: Seconds::new(40.0),
         seed,
+        scheduling: WakeMode::Coarse,
     };
     Simulation::ring(depth, density, protocol, cfg)
         .expect("buildable topology")
@@ -41,6 +42,7 @@ fn dmac_delivers_over_the_ladder() {
         sample_period: Seconds::new(80.0),
         warmup: Seconds::new(80.0),
         seed: 4,
+        scheduling: WakeMode::Coarse,
     };
     let report = Simulation::ring(3, 4, ProtocolConfig::dmac(Seconds::new(0.5)), cfg)
         .unwrap()
@@ -264,6 +266,7 @@ fn line_topology_works_for_all_protocols() {
             sample_period: Seconds::new(40.0),
             warmup: Seconds::new(40.0),
             seed: 13,
+            scheduling: WakeMode::Coarse,
         };
         let report = Simulation::build(
             &topo,

@@ -1,0 +1,179 @@
+//! The golden contract of event-coarse wake scheduling: for every
+//! protocol, topology and seed, [`WakeMode::Coarse`] must produce a
+//! [`SimReport`] that is *bit-identical* to [`WakeMode::Dense`] (the
+//! reference schedule that wakes every node at every protocol tick,
+//! like the pre-coarsening engine did).
+//!
+//! "Bit-identical" is meant literally: every f64 in every per-node
+//! energy breakdown, every busy time, every frame counter and every
+//! packet record timestamp. The coarse scheduler is an optimization of
+//! the event loop, not of the simulated physics — any drift here is a
+//! bug in the skip/replay logic, not a tolerance question.
+
+use edmac_net::Topology;
+use edmac_radio::{Cause, FrameSizes, Radio};
+use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
+use edmac_units::Seconds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(seed: u64, scheduling: WakeMode) -> SimConfig {
+    SimConfig {
+        duration: Seconds::new(120.0),
+        sample_period: Seconds::new(25.0),
+        warmup: Seconds::new(20.0),
+        seed,
+        scheduling,
+    }
+}
+
+fn protocols() -> [ProtocolConfig; 4] {
+    [
+        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+        ProtocolConfig::dmac(Seconds::new(0.5)),
+        ProtocolConfig::lmac(Seconds::from_millis(10.0)),
+        ProtocolConfig::scp(Seconds::from_millis(250.0)),
+    ]
+}
+
+/// Asserts bitwise equality of two reports, field by field.
+fn assert_identical(a: &SimReport, b: &SimReport, label: &str) {
+    assert_eq!(a.protocol(), b.protocol(), "{label}: protocol");
+    assert_eq!(
+        a.per_node().len(),
+        b.per_node().len(),
+        "{label}: node count"
+    );
+    for (sa, sb) in a.per_node().iter().zip(b.per_node()) {
+        assert_eq!(sa.node, sb.node, "{label}");
+        assert_eq!(sa.depth, sb.depth, "{label}: node {}", sa.node);
+        assert_eq!(sa.counters, sb.counters, "{label}: node {}", sa.node);
+        assert_eq!(
+            sa.busy.value().to_bits(),
+            sb.busy.value().to_bits(),
+            "{label}: node {} busy {} vs {}",
+            sa.node,
+            sa.busy,
+            sb.busy
+        );
+        for cause in Cause::ALL {
+            assert_eq!(
+                sa.breakdown.get(cause).value().to_bits(),
+                sb.breakdown.get(cause).value().to_bits(),
+                "{label}: node {} {cause} energy {} vs {}",
+                sa.node,
+                sa.breakdown.get(cause),
+                sb.breakdown.get(cause)
+            );
+        }
+    }
+    assert_eq!(a.records().len(), b.records().len(), "{label}: records");
+    for (ra, rb) in a.records().iter().zip(b.records()) {
+        assert_eq!(ra, rb, "{label}: packet record");
+    }
+}
+
+#[test]
+fn coarse_equals_dense_on_rings() {
+    for protocol in protocols() {
+        for seed in [7, 42] {
+            let run = |mode| {
+                Simulation::ring(4, 4, protocol, config(seed, mode))
+                    .expect("buildable ring")
+                    .run()
+            };
+            assert_identical(
+                &run(WakeMode::Coarse),
+                &run(WakeMode::Dense),
+                &format!("{} ring seed {seed}", protocol.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn coarse_equals_dense_on_uniform_disks() {
+    let mut rng = StdRng::seed_from_u64(191);
+    let topo = Topology::uniform_disk(60, 2.5, &mut rng).expect("connected disk");
+    for protocol in protocols() {
+        let run = |mode| {
+            Simulation::build(
+                &topo,
+                Radio::cc2420(),
+                FrameSizes::default(),
+                protocol,
+                config(11, mode),
+            )
+            .expect("buildable disk")
+            .run()
+        };
+        assert_identical(
+            &run(WakeMode::Coarse),
+            &run(WakeMode::Dense),
+            &format!("{} disk", protocol.name()),
+        );
+    }
+}
+
+#[test]
+fn coarse_equals_dense_on_lines() {
+    // Chains maximize depth (worst case for ladder and frame schedules)
+    // and give every interior node exactly two neighbors, so LMAC's
+    // silent-slot skipping is at its most aggressive here.
+    let topo = Topology::line(7, 0.9).expect("chain");
+    for protocol in protocols() {
+        let run = |mode| {
+            Simulation::build(
+                &topo,
+                Radio::cc2420(),
+                FrameSizes::default(),
+                protocol,
+                config(5, mode),
+            )
+            .expect("buildable line")
+            .run()
+        };
+        assert_identical(
+            &run(WakeMode::Coarse),
+            &run(WakeMode::Dense),
+            &format!("{} line", protocol.name()),
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_byte_identical_reports() {
+    // Determinism regression (distinct from coarse-vs-dense): two runs
+    // of the same configuration must agree bit-for-bit, per protocol,
+    // on both ring and disk topologies.
+    let mut rng = StdRng::seed_from_u64(33);
+    let disk = Topology::uniform_disk(40, 2.0, &mut rng).expect("connected disk");
+    for protocol in protocols() {
+        let ring_run = || {
+            Simulation::ring(3, 4, protocol, config(17, WakeMode::Coarse))
+                .expect("buildable ring")
+                .run()
+        };
+        assert_identical(
+            &ring_run(),
+            &ring_run(),
+            &format!("{} ring determinism", protocol.name()),
+        );
+        let disk_run = || {
+            Simulation::build(
+                &disk,
+                Radio::cc2420(),
+                FrameSizes::default(),
+                protocol,
+                config(23, WakeMode::Coarse),
+            )
+            .expect("buildable disk")
+            .run()
+        };
+        assert_identical(
+            &disk_run(),
+            &disk_run(),
+            &format!("{} disk determinism", protocol.name()),
+        );
+    }
+}

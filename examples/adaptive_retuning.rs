@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, period_s) in phases {
         let env =
             Deployment::reference().with_sampling(Hertz::per_interval(Seconds::new(period_s)));
-        match TradeoffAnalysis::new(&xmac, env, reqs).bargain() {
+        match TradeoffAnalysis::new(&xmac, &env, reqs).bargain() {
             Ok(report) => {
                 let tw_ms = report.nbs.params[0] * 1e3;
                 let trend = match last_tw {

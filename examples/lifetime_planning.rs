@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Battery {:.0} kJ, epoch {:.0} s | {}",
         BATTERY_J / 1e3,
         epoch.value(),
-        env.traffic.model()
+        env.traffic
     );
     println!();
     println!(
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // budget axis is explored by `fig2`.
         let reqs = AppRequirements::new(Joules::new(0.2), Seconds::new(lmax_s))?;
         for model in all_models() {
-            match TradeoffAnalysis::new(model.as_ref(), env, reqs).bargain() {
+            match TradeoffAnalysis::new(model.as_ref(), &env, reqs).bargain() {
                 Ok(report) => {
                     let lifetime_days = edmac::core::lifetime(
                         Joules::new(BATTERY_J),

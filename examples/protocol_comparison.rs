@@ -16,7 +16,7 @@ use edmac::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = Deployment::reference();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(4.0))?;
-    println!("Deployment: {} | {}", env.traffic.model(), reqs);
+    println!("Deployment: {} | {}", env.traffic, reqs);
     println!();
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12}  parameters",

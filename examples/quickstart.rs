@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Player Energy and player Latency bargain over X-MAC's wake-up
     // interval.
     let xmac = Xmac::default();
-    let report = TradeoffAnalysis::new(&xmac, env, reqs).bargain()?;
+    let report = TradeoffAnalysis::new(&xmac, &env, reqs).bargain()?;
 
     println!("{report}");
     println!();

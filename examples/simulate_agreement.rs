@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reqs = AppRequirements::new(Joules::new(0.05), Seconds::new(0.5))?;
 
     let xmac = Xmac::default();
-    let report = TradeoffAnalysis::new(&xmac, env, reqs).bargain()?;
+    let report = TradeoffAnalysis::new(&xmac, &env, reqs).bargain()?;
     let tw = Seconds::new(report.nbs.params[0]);
     println!(
         "Analytic agreement for X-MAC: Tw = {:.0} ms",
@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sample_period: Seconds::new(80.0),
         warmup: Seconds::new(200.0),
         seed: 7,
+        scheduling: WakeMode::Coarse,
     };
     let sim = Simulation::ring(4, 4, ProtocolConfig::xmac(tw), cfg)?;
     println!(

@@ -27,7 +27,7 @@
 //!
 //! // Bargain over X-MAC's wake-up interval at the reference deployment.
 //! let xmac = Xmac::default();
-//! let report = TradeoffAnalysis::new(&xmac, Deployment::reference(), reqs).bargain()?;
+//! let report = TradeoffAnalysis::new(&xmac, &Deployment::reference(), reqs).bargain()?;
 //!
 //! println!("{report}");
 //! assert!(report.e_star() <= 0.06 && report.l_star() <= 3.0);
@@ -60,6 +60,6 @@ pub mod prelude {
     };
     pub use edmac_net::{RingModel, RingTraffic};
     pub use edmac_radio::{EnergyBreakdown, FrameSizes, Radio};
-    pub use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation};
+    pub use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
     pub use edmac_units::{Hertz, Joules, Seconds, Watts};
 }

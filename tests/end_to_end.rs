@@ -10,7 +10,7 @@ fn full_pipeline_for_every_protocol() {
     let env = Deployment::reference();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(4.0)).unwrap();
     for model in all_models() {
-        let analysis = TradeoffAnalysis::new(model.as_ref(), env, reqs);
+        let analysis = TradeoffAnalysis::new(model.as_ref(), &env, reqs);
         let report = analysis
             .bargain()
             .unwrap_or_else(|e| panic!("{} failed the reference contract: {e}", model.name()));
@@ -36,7 +36,7 @@ fn nash_point_is_proportionally_fair_on_its_own_frontier() {
     let env = Deployment::reference();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
     for model in all_models() {
-        let report = TradeoffAnalysis::new(model.as_ref(), env, reqs)
+        let report = TradeoffAnalysis::new(model.as_ref(), &env, reqs)
             .bargain()
             .unwrap();
         let (re, rl) = proportional_ratios(
@@ -62,7 +62,7 @@ fn nash_beats_the_alternatives_on_its_own_criterion() {
     let env = Deployment::reference();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
     for model in all_models() {
-        let report = TradeoffAnalysis::new(model.as_ref(), env, reqs)
+        let report = TradeoffAnalysis::new(model.as_ref(), &env, reqs)
             .bargain()
             .unwrap();
         let v = CostPoint::new(report.e_worst(), report.l_worst());
@@ -113,7 +113,7 @@ fn scalability_claim_solve_output_is_node_count_independent() {
         let env =
             Deployment::reference().with_network(edmac::net::RingModel::new(depth, 4).unwrap());
         let xmac = Xmac::default();
-        let report = TradeoffAnalysis::new(&xmac, env, reqs)
+        let report = TradeoffAnalysis::new(&xmac, &env, reqs)
             .bargain()
             .unwrap_or_else(|e| panic!("D={depth}: {e}"));
         assert!(report.nbs.params[0] > 0.0);
@@ -128,7 +128,7 @@ fn requirements_validation_propagates_through_facade() {
     assert!(AppRequirements::new(Joules::new(0.05), Seconds::new(0.0)).is_err());
     let reqs = AppRequirements::new(Joules::new(1e-9), Seconds::new(6.0)).unwrap();
     let xmac = Xmac::default();
-    let r = TradeoffAnalysis::new(&xmac, Deployment::reference(), reqs).bargain();
+    let r = TradeoffAnalysis::new(&xmac, &Deployment::reference(), reqs).bargain();
     assert!(matches!(r, Err(CoreError::Infeasible { .. })));
 }
 
@@ -140,7 +140,7 @@ fn two_parameter_bargaining_works_end_to_end() {
     let env = Deployment::reference();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
     let model = ScpDual::default();
-    let report = TradeoffAnalysis::new(&model, env, reqs).bargain().unwrap();
+    let report = TradeoffAnalysis::new(&model, &env, reqs).bargain().unwrap();
     assert_eq!(report.nbs.params.len(), 2);
     assert!(report.e_star() <= 0.06 + 1e-9);
     assert!(report.l_star() <= 6.0 + 1e-9);
@@ -152,7 +152,9 @@ fn two_parameter_bargaining_works_end_to_end() {
     // Freeing the second knob can only help the energy player compared
     // to the fixed-sync single-parameter model.
     let single = Scp::default();
-    let fixed = TradeoffAnalysis::new(&single, env, reqs).bargain().unwrap();
+    let fixed = TradeoffAnalysis::new(&single, &env, reqs)
+        .bargain()
+        .unwrap();
     assert!(
         report.e_best() <= fixed.e_best() * 1.02,
         "2-D Ebest {} worse than fixed-sync {}",
@@ -169,9 +171,9 @@ fn scp_extension_plays_the_same_game() {
     let env = Deployment::reference();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(4.0)).unwrap();
     let scp = Scp::default();
-    let scp_report = TradeoffAnalysis::new(&scp, env, reqs).bargain().unwrap();
+    let scp_report = TradeoffAnalysis::new(&scp, &env, reqs).bargain().unwrap();
     let xmac = Xmac::default();
-    let xmac_report = TradeoffAnalysis::new(&xmac, env, reqs).bargain().unwrap();
+    let xmac_report = TradeoffAnalysis::new(&xmac, &env, reqs).bargain().unwrap();
     assert!(
         scp_report.e_best() < xmac_report.e_best(),
         "scheduled polling must beat async LPL on pure energy ({} vs {})",
@@ -188,7 +190,7 @@ fn weighted_bargaining_spans_the_frontier() {
     let env = Deployment::reference();
     let model = Xmac::default();
     let reqs = AppRequirements::new(Joules::new(0.06), Seconds::new(6.0)).unwrap();
-    let report = TradeoffAnalysis::new(&model, env, reqs).bargain().unwrap();
+    let report = TradeoffAnalysis::new(&model, &env, reqs).bargain().unwrap();
     let v = CostPoint::new(report.e_worst(), report.l_worst());
     let feasible: Vec<CostPoint> = edmac::core::sample_frontier(&model, &env, 400)
         .into_iter()

@@ -6,6 +6,12 @@
 //! in EXPERIMENTS.md: LMAC/DMAC are schedule-driven and agree tightly;
 //! X-MAC's strobed contention adds real costs the first-order model
 //! omits, so its band is wider.
+//!
+//! Two tiers: the default tests cover the schedule-driven protocols at
+//! the full horizon (their simulations are cheap) and X-MAC at a
+//! halved horizon; the `#[ignore]`d slow tier is the original
+//! full-horizon, all-protocol validation — run it with
+//! `cargo test -- --ignored` (CI runs it in a separate job).
 
 use edmac::prelude::*;
 
@@ -13,21 +19,31 @@ fn validation_env() -> Deployment {
     Deployment::validation()
 }
 
-fn sim_at(model: &dyn MacModel, x: f64, seed: u64) -> SimReport {
-    let protocol = match model.name() {
+fn sim_protocol(model: &dyn MacModel, x: f64) -> ProtocolConfig {
+    match model.name() {
         "X-MAC" => ProtocolConfig::xmac(Seconds::new(x)),
         "DMAC" => ProtocolConfig::dmac(Seconds::new(x)),
         "LMAC" => ProtocolConfig::lmac(Seconds::new(x)),
         "SCP-MAC" => ProtocolConfig::scp(Seconds::new(x)),
         other => panic!("no simulator for {other}"),
-    };
+    }
+}
+
+fn sim_at_horizon(model: &dyn MacModel, x: f64, seed: u64, duration_s: f64) -> SimReport {
     let cfg = SimConfig {
-        duration: Seconds::new(2_400.0),
+        duration: Seconds::new(duration_s),
         sample_period: Seconds::new(80.0),
         warmup: Seconds::new(200.0),
         seed,
+        scheduling: WakeMode::Coarse,
     };
-    Simulation::ring(4, 4, protocol, cfg).unwrap().run()
+    Simulation::ring(4, 4, sim_protocol(model, x), cfg)
+        .unwrap()
+        .run()
+}
+
+fn sim_at(model: &dyn MacModel, x: f64, seed: u64) -> SimReport {
+    sim_at_horizon(model, x, seed, 2_400.0)
 }
 
 /// A mid-range, clearly unsaturated operating point for each protocol
@@ -47,6 +63,7 @@ fn probe_point(model: &dyn MacModel, env: &Deployment) -> f64 {
 }
 
 #[test]
+#[ignore = "slow tier: full-horizon all-protocol validation (cargo test -- --ignored)"]
 fn energy_agrees_within_protocol_bands() {
     let env = validation_env();
     // (model, relative band): sim/model must land in [1/band, band].
@@ -69,9 +86,10 @@ fn energy_agrees_within_protocol_bands() {
 }
 
 #[test]
+#[ignore = "slow tier: full-horizon all-protocol validation (cargo test -- --ignored)"]
 fn typical_latency_agrees_within_protocol_bands() {
     let env = validation_env();
-    let depth = env.traffic.model().depth();
+    let depth = env.traffic.depth();
     let bands: [(&dyn MacModel, f64); 3] = [
         (&Xmac::default(), 1.5),
         (&Dmac::default(), 1.35),
@@ -95,6 +113,7 @@ fn typical_latency_agrees_within_protocol_bands() {
 }
 
 #[test]
+#[ignore = "slow tier: full-horizon all-protocol validation (cargo test -- --ignored)"]
 fn unsaturated_runs_deliver_nearly_everything() {
     let env = validation_env();
     for model in all_models() {
@@ -110,6 +129,7 @@ fn unsaturated_runs_deliver_nearly_everything() {
 }
 
 #[test]
+#[ignore = "slow tier: full-horizon all-protocol validation (cargo test -- --ignored)"]
 fn simulated_breakdown_structure_matches_the_models() {
     let env = validation_env();
 
@@ -188,7 +208,7 @@ fn scp_extension_validates_against_its_model() {
         "SCP energy ratio {e_ratio:.2} (model {:.5} J, sim {sim_e:.5} J)",
         perf.energy.value()
     );
-    let depth = env.traffic.model().depth();
+    let depth = env.traffic.depth();
     let sim_l = report
         .median_delay_at_depth(depth)
         .expect("outer-ring deliveries")
@@ -199,4 +219,67 @@ fn scp_extension_validates_against_its_model() {
         "SCP latency ratio {l_ratio:.2} (model {:.3} s, sim {sim_l:.3} s)",
         perf.latency.value()
     );
+}
+
+#[test]
+fn quick_schedule_driven_protocols_agree_at_full_horizon() {
+    // DMAC and LMAC are schedule-driven: their simulations are cheap
+    // even at the full horizon, so the default tier keeps the original
+    // bands for them.
+    let env = validation_env();
+    let bands: [(&dyn MacModel, f64, f64); 2] = [
+        (&Dmac::default(), 1.25, 1.35),
+        (&Lmac::default(), 1.25, 1.2),
+    ];
+    let depth = env.traffic.depth();
+    for (model, e_band, l_band) in bands {
+        let x = probe_point(model, &env);
+        let perf = model.performance(&[x], &env).unwrap();
+        let report = sim_at(model, x, 42);
+        let e_ratio = report.bottleneck_energy(env.epoch).value() / perf.energy.value();
+        assert!(
+            (1.0 / e_band..=e_band).contains(&e_ratio),
+            "{}: energy ratio {e_ratio:.2} outside ±{e_band}",
+            model.name()
+        );
+        let l_ratio = report
+            .median_delay_at_depth(depth)
+            .expect("outer-ring deliveries")
+            .value()
+            / perf.latency.value();
+        assert!(
+            (1.0 / l_band..=l_band).contains(&l_ratio),
+            "{}: latency ratio {l_ratio:.2} outside ±{l_band}",
+            model.name()
+        );
+        assert!(report.delivery_ratio() > 0.97, "{}", model.name());
+    }
+}
+
+#[test]
+fn quick_xmac_agrees_at_half_horizon() {
+    // X-MAC's strobed contention makes its packet-level runs the
+    // expensive ones; the default tier halves the horizon and widens
+    // the band slightly (fewer counted packets); the slow tier keeps
+    // the original full-horizon check.
+    let env = validation_env();
+    let model = Xmac::default();
+    let x = probe_point(&model, &env);
+    let perf = model.performance(&[x], &env).unwrap();
+    let report = sim_at_horizon(&model, x, 42, 1_200.0);
+    let e_ratio = report.bottleneck_energy(env.epoch).value() / perf.energy.value();
+    assert!(
+        (1.0 / 1.8..=1.8).contains(&e_ratio),
+        "energy ratio {e_ratio:.2} outside ±1.8"
+    );
+    let l_ratio = report
+        .median_delay_at_depth(env.traffic.depth())
+        .expect("outer-ring deliveries")
+        .value()
+        / perf.latency.value();
+    assert!(
+        (1.0 / 1.6..=1.6).contains(&l_ratio),
+        "latency ratio {l_ratio:.2} outside ±1.6"
+    );
+    assert!(report.delivery_ratio() > 0.95);
 }
