@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare a criterion JSONL run against the checked-in baseline.
+
+Usage:
+    bench_guard.py RUN_JSONL BASELINE_JSON            # guard mode
+    bench_guard.py RUN_JSONL BASELINE_JSON --write-baseline
+
+Guard mode prints a markdown regression table (also appended to
+$GITHUB_STEP_SUMMARY when set) and exits non-zero if any benchmark's
+mean exceeds its baseline by more than the baseline's tolerance. The
+job that runs it stays non-blocking via `continue-on-error`; the exit
+code just paints the row red so a human looks.
+
+`--write-baseline` rewrites BASELINE_JSON from the run instead —
+the maintainer path for deliberate re-baselining (new hardware, new
+toolchain, accepted perf change).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "edmac-bench-baseline/v1"
+DEFAULT_TOLERANCE = 0.30
+
+
+def read_run(path: Path) -> dict:
+    """Latest mean per benchmark id from a JSON-lines run file."""
+    means = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        means[record["id"]] = int(record["mean_ns"])
+    return means
+
+
+def fmt_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f} {unit}"
+    return f"{ns:.0f} ns"
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    run_path, baseline_path = Path(args[0]), Path(args[1])
+    run = read_run(run_path)
+
+    if "--write-baseline" in sys.argv:
+        baseline = {
+            "schema": SCHEMA,
+            "tolerance": DEFAULT_TOLERANCE,
+            "benches": {k: run[k] for k in sorted(run)},
+        }
+        baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {baseline_path} with {len(run)} benches")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text())
+    assert baseline.get("schema") == SCHEMA, f"unexpected baseline schema: {baseline.get('schema')}"
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    benches = baseline["benches"]
+
+    rows = []
+    regressions = []
+    for bench_id in sorted(set(run) | set(benches)):
+        if bench_id not in benches:
+            rows.append((bench_id, "-", fmt_ns(run[bench_id]), "new", "🆕"))
+            continue
+        if bench_id not in run:
+            rows.append((bench_id, fmt_ns(benches[bench_id]), "-", "missing", "⚠️"))
+            continue
+        base, now = benches[bench_id], run[bench_id]
+        delta = (now - base) / base
+        status = "ok"
+        icon = "✅"
+        if delta > tolerance:
+            status, icon = "REGRESSION", "❌"
+            regressions.append(bench_id)
+        elif delta < -tolerance:
+            status, icon = "improved", "🚀"
+        rows.append((bench_id, fmt_ns(base), fmt_ns(now), f"{delta:+.1%}", icon + " " + status))
+
+    lines = [
+        f"### bench-guard (tolerance ±{tolerance:.0%})",
+        "",
+        "| benchmark | baseline | now | delta | status |",
+        "|---|---|---|---|---|",
+    ]
+    lines += [f"| {r[0]} | {r[1]} | {r[2]} | {r[3]} | {r[4]} |" for r in rows]
+    if regressions:
+        lines += ["", f"**{len(regressions)} regression(s):** " + ", ".join(regressions)]
+    else:
+        lines += ["", "No regressions beyond tolerance."]
+    report = "\n".join(lines)
+    print(report)
+
+    import os
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

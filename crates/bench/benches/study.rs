@@ -1,0 +1,41 @@
+//! Study-harness throughput: one cell end-to-end, and the smoke grid
+//! (12 cells, no validation) through the worker pool — the number that
+//! bounds how fast the full ≥200-cell sweep can go.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_core::{AppRequirements, StudyGrid};
+use edmac_study::{models_for, run_cells, solve_cell, StudyConfig};
+use edmac_units::{Joules, Seconds};
+use std::hint::black_box;
+
+fn reqs() -> AppRequirements {
+    AppRequirements::new(Joules::new(0.5), Seconds::new(30.0)).expect("static requirements")
+}
+
+fn single_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study_cell");
+    group.sample_size(10);
+    let cells = StudyGrid::smoke().cells();
+    for cell in &cells {
+        let models = models_for(cell.preset);
+        let model = models[0].as_ref(); // X-MAC
+        group.bench_function(cell.scenario.name.as_str(), |b| {
+            b.iter(|| black_box(solve_cell(black_box(cell), model, reqs())))
+        });
+    }
+    group.finish();
+}
+
+fn smoke_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study_grid");
+    group.sample_size(5);
+    let mut config = StudyConfig::smoke();
+    config.validate_every = 0; // solves only: the validation cost is the simulator bench's story
+    group.bench_function("smoke_12_cells", |b| {
+        b.iter(|| black_box(run_cells(black_box(&config))))
+    });
+    group.finish();
+}
+
+criterion_group!(study, single_cell, smoke_grid);
+criterion_main!(study);

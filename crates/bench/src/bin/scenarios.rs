@@ -2,13 +2,21 @@
 //! level, printed as CSV.
 //!
 //! ```text
-//! cargo run --release --bin scenarios
+//! cargo run --release --bin scenarios [-- --preset ring|disk|hotspot|burst]
 //! ```
 //!
 //! Columns: `scenario,protocol,nodes,delivery,median_delay_ms,
 //! bottleneck_mj_per_epoch,collisions`.
+//!
+//! The workloads are the shared [`preset_scenario`] definitions (also
+//! used by the `study` binary): a uniform 60 s sampling period and
+//! constant-density disk fields. They supersede the earlier ad-hoc
+//! list, which mixed an 80 s ring with a 2.2-radius burst disk — the
+//! qualitative contrast (SCP-MAC collapsing on the hotspot disk while
+//! LMAC stays collision-free) is unchanged.
 
-use edmac_core::Scenario;
+use edmac_bench::{preset_filter, preset_scenario};
+use edmac_core::PresetKind;
 use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
 use edmac_units::Seconds;
 
@@ -25,13 +33,20 @@ fn protocols() -> [ProtocolConfig; 4] {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = match preset_filter(&args) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let period = Seconds::new(60.0);
-    let scenarios = [
-        Scenario::validation_ring(),
-        Scenario::uniform_disk(65, 2.5, period),
-        Scenario::hotspot_disk(65, 2.5, period),
-        Scenario::event_burst_disk(65, 2.2, period),
-    ];
+    let scenarios: Vec<_> = PresetKind::ALL
+        .into_iter()
+        .filter(|k| filter.is_none_or(|f| f == *k))
+        .map(|k| preset_scenario(k, 65, period))
+        .collect();
     let config = SimConfig {
         duration: Seconds::new(600.0),
         sample_period: period, // overridden per scenario

@@ -1,0 +1,124 @@
+//! The bargaining-vs-aggregate study over the scenario grid.
+//!
+//! Sweeps (topology preset × node count × hotspot intensity × burst
+//! duty × ring depth) × the paper's three protocols, solves every
+//! solution concept per cell, cross-validates a subset packet-by-
+//! packet, and writes schema-versioned artifacts (see `edmac-study`).
+//!
+//! ```text
+//! cargo run --release --bin study -- --smoke          # pinned CI grid
+//! cargo run --release --bin study                     # full ≥200-cell sweep
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — the pinned 12-cell grid CI diffs against goldens;
+//! * `--out DIR` — artifact directory (default `artifacts/`);
+//! * `--jobs N` — worker threads (default: all cores);
+//! * `--validate-every K` — packet-level validation stride (0 = off);
+//! * `--preset NAME` — restrict the grid to one preset family
+//!   (`ring`, `disk`, `hotspot`, `burst`).
+
+use edmac_bench::preset_filter;
+use edmac_study::{run_cells, summarize, write_artifacts, StudyConfig};
+use std::path::PathBuf;
+
+/// `Ok(None)` when the flag is absent; an error when it is present
+/// without a value (a silently-dropped flag is worse than a refusal).
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+fn parse_usize(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    match flag_value(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a non-negative integer, got '{v}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        StudyConfig::smoke()
+    } else {
+        StudyConfig::full()
+    };
+    if let Some(jobs) = parse_usize(&args, "--jobs")? {
+        config.threads = jobs;
+    }
+    if let Some(stride) = parse_usize(&args, "--validate-every")? {
+        config.validate_every = stride;
+    }
+    config.preset = preset_filter(&args)?;
+    let out_dir = PathBuf::from(flag_value(&args, "--out")?.unwrap_or_else(|| "artifacts".into()));
+
+    let started = std::time::Instant::now();
+    let outcomes = run_cells(&config);
+    let summary = summarize(&outcomes);
+    write_artifacts(&out_dir, &outcomes, &summary)
+        .map_err(|e| format!("writing artifacts under {}: {e}", out_dir.display()))?;
+
+    println!(
+        "study: {} scenarios x {} protocols = {} cells ({} solved, {} concepts each) in {:.2?}",
+        summary.scenarios,
+        edmac_study::PROTOCOLS,
+        summary.protocol_cells,
+        summary.solved_cells,
+        summary.concepts_per_cell,
+        started.elapsed(),
+    );
+    println!("\npreset,cells,mean_irregularity,mean_drift,max_drift");
+    for b in &summary.drift {
+        println!(
+            "{},{},{:.4},{:.4},{:.4}",
+            b.preset, b.cells, b.mean_irregularity, b.mean_drift, b.max_drift
+        );
+    }
+    let g = &summary.aggregate_gap;
+    println!(
+        "\nbargaining-vs-aggregate: {} cells, profile distance mean {:.4} max {:.4}, \
+         NP efficiency {:.4}, fairness ratio {:.4}, aggregate outside gain region on {} cells",
+        g.cells,
+        g.mean_profile_distance,
+        g.max_profile_distance,
+        g.mean_np_efficiency,
+        g.mean_fairness_ratio,
+        g.outside_gain_region,
+    );
+    let v = &summary.validation;
+    if v.cells > 0 {
+        println!(
+            "model-vs-sim: {} cells validated, energy error mean {:.1}% max {:.1}%, \
+             latency error mean {:.1}% max {:.1}%, min delivery {:.3}",
+            v.cells,
+            v.mean_err_e * 100.0,
+            v.max_err_e * 100.0,
+            v.mean_err_l * 100.0,
+            v.max_err_l * 100.0,
+            v.min_delivery,
+        );
+    }
+    println!(
+        "artifacts: {}/study_cells.csv, study_validation.csv, study_summary.json",
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

@@ -17,10 +17,44 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
-use edmac_core::{sample_pareto_frontier, OperatingPoint};
+use edmac_core::{disk_radius, sample_pareto_frontier, OperatingPoint, PresetKind, Scenario};
 use edmac_mac::{Deployment, MacModel};
 use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
 use edmac_units::Seconds;
+
+/// Parses an optional `--preset <name>` filter from CLI arguments —
+/// the one scenario-preset parser shared by the `scenarios` and
+/// `study` binaries.
+///
+/// # Errors
+///
+/// Returns a usage message naming the valid presets when the flag has
+/// no value or an unknown name.
+pub fn preset_filter(args: &[String]) -> Result<Option<PresetKind>, String> {
+    let Some(i) = args.iter().position(|a| a == "--preset") else {
+        return Ok(None);
+    };
+    let names: Vec<&str> = PresetKind::ALL.iter().map(|k| k.label()).collect();
+    let value = args
+        .get(i + 1)
+        .ok_or_else(|| format!("--preset needs a value (one of: {})", names.join(", ")))?;
+    PresetKind::parse(value)
+        .map(Some)
+        .ok_or_else(|| format!("unknown preset '{value}' (one of: {})", names.join(", ")))
+}
+
+/// The preset family's standard scenario at a node budget and sampling
+/// period: the validation ring for [`PresetKind::Ring`], a constant-
+/// density disk field for the others (3× quarter-field hotspot, 4× /
+/// 10 % event bursts — the PR 2 presets).
+pub fn preset_scenario(kind: PresetKind, nodes: usize, period: Seconds) -> Scenario {
+    match kind {
+        PresetKind::Ring => Scenario::ring(4, 4, period),
+        PresetKind::UniformDisk => Scenario::uniform_disk(nodes, disk_radius(nodes), period),
+        PresetKind::HotspotDisk => Scenario::hotspot_disk(nodes, disk_radius(nodes), period),
+        PresetKind::BurstDisk => Scenario::event_burst_disk(nodes, disk_radius(nodes), period),
+    }
+}
 
 /// The deployment every figure uses (the calibrated reference).
 pub fn reference_env() -> Deployment {
@@ -151,6 +185,32 @@ mod tests {
         let scp = edmac_mac::Scp::default();
         let cfg = sim_protocol_at(&scp, &[0.1]);
         assert_eq!(cfg.name(), "SCP-MAC");
+    }
+
+    #[test]
+    fn preset_filter_parses_and_rejects() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(preset_filter(&args(&["scenarios"])), Ok(None));
+        assert_eq!(
+            preset_filter(&args(&["scenarios", "--preset", "hotspot"])),
+            Ok(Some(edmac_core::PresetKind::HotspotDisk))
+        );
+        assert!(preset_filter(&args(&["scenarios", "--preset"])).is_err());
+        assert!(preset_filter(&args(&["scenarios", "--preset", "mesh"]))
+            .unwrap_err()
+            .contains("ring"));
+    }
+
+    #[test]
+    fn preset_scenarios_cover_every_family() {
+        let period = Seconds::new(60.0);
+        for kind in edmac_core::PresetKind::ALL {
+            let s = preset_scenario(kind, 40, period);
+            assert!(
+                s.deployment(7).is_ok(),
+                "{kind}: preset scenario must realize"
+            );
+        }
     }
 
     #[test]

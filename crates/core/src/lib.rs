@@ -52,6 +52,7 @@ mod analysis;
 mod error;
 pub mod experiments;
 mod frontier;
+mod grid;
 mod ranking;
 mod report;
 mod requirements;
@@ -62,6 +63,7 @@ pub use error::CoreError;
 pub use frontier::{
     energy_span, frontier_csv, latency_span, sample_frontier, sample_pareto_frontier,
 };
+pub use grid::{disk_radius, GridCell, PresetKind, StudyGrid};
 pub use ranking::{lifetime, rank_protocols, RankedOutcome, RankingPolicy};
 pub use report::TradeoffReport;
 pub use requirements::AppRequirements;

@@ -307,19 +307,48 @@ impl Scenario {
     ///
     /// Propagates topology realization failures as [`CoreError::Net`].
     pub fn deployment(&self, seed: u64) -> Result<Deployment, CoreError> {
-        let fs = Hertz::per_interval(self.traffic.sample_period());
-        if let (TopologySpec::Ring { depth, density }, TrafficSpec::Uniform { .. }) =
-            (self.topology, self.traffic)
-        {
-            let model = RingModel::new(depth, density).map_err(CoreError::Net)?;
-            return Ok(Deployment::reference()
-                .with_network(model)
-                .with_sampling(fs));
+        if let Some(ring) = self.ring_closed_form()? {
+            return Ok(ring);
         }
         let topology = self.topology.realize(seed).map_err(CoreError::Net)?;
-        let rates = self.traffic.node_rates(&topology);
-        let traffic = TrafficEnv::from_node_rates(&topology, fs, &rates).map_err(CoreError::Net)?;
+        self.deployment_from(&topology)
+    }
+
+    /// Like [`Scenario::deployment`], but reusing an already-realized
+    /// topology — callers that need the geometry anyway (the study
+    /// harness computes irregularity metrics from it) avoid a second
+    /// realization. Ring scenarios with uniform traffic still use the
+    /// exact closed-form flow table, ignoring `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flow-table construction failures as
+    /// [`CoreError::Net`].
+    pub fn deployment_from(&self, topology: &Topology) -> Result<Deployment, CoreError> {
+        if let Some(ring) = self.ring_closed_form()? {
+            return Ok(ring);
+        }
+        let fs = Hertz::per_interval(self.traffic.sample_period());
+        let rates = self.traffic.node_rates(topology);
+        let traffic = TrafficEnv::from_node_rates(topology, fs, &rates).map_err(CoreError::Net)?;
         Ok(Deployment::reference().with_traffic(traffic))
+    }
+
+    /// The analytic closed-form deployment, for ring topologies with
+    /// uniform traffic (`None` for every other combination).
+    fn ring_closed_form(&self) -> Result<Option<Deployment>, CoreError> {
+        let (TopologySpec::Ring { depth, density }, TrafficSpec::Uniform { .. }) =
+            (self.topology, self.traffic)
+        else {
+            return Ok(None);
+        };
+        let fs = Hertz::per_interval(self.traffic.sample_period());
+        let model = RingModel::new(depth, density).map_err(CoreError::Net)?;
+        Ok(Some(
+            Deployment::reference()
+                .with_network(model)
+                .with_sampling(fs),
+        ))
     }
 
     /// Builds the packet-level simulation: the topology realized from
@@ -381,6 +410,27 @@ mod tests {
         assert!(env.traffic.ring_model().is_none());
         assert_eq!(env.traffic.sources(), 59);
         assert!(env.traffic.depth() >= 2);
+    }
+
+    #[test]
+    fn deployment_from_matches_seeded_realization() {
+        let scenario = Scenario::hotspot_disk(50, 2.2, Seconds::new(80.0));
+        let topology = scenario.topology.realize(11).unwrap();
+        assert_eq!(
+            scenario.deployment_from(&topology).unwrap().traffic,
+            scenario.deployment(11).unwrap().traffic,
+        );
+        // Ring scenarios stay on the closed form whatever topology is
+        // handed in.
+        let ring = Scenario::validation_ring();
+        let decoy = Scenario::uniform_disk(30, 1.8, Seconds::new(80.0))
+            .topology
+            .realize(3)
+            .unwrap();
+        assert_eq!(
+            ring.deployment_from(&decoy).unwrap().traffic,
+            ring.deployment(0).unwrap().traffic,
+        );
     }
 
     #[test]

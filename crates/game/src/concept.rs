@@ -1,0 +1,240 @@
+//! A common interface over the crate's solution concepts.
+//!
+//! The bargaining-vs-aggregate study (Kannan & Wei's strategic-vs-
+//! aggregate energy minimization; Khodaian et al.'s utility-energy
+//! trade-off) runs *every* solution concept over the same sampled
+//! frontier of every scenario cell. [`SolutionConcept`] gives the study
+//! one object-safe handle per concept — the four bargaining solutions
+//! ([`Nash`], [`WeightedNash`], [`KalaiSmorodinsky`], [`Egalitarian`])
+//! and the non-strategic [`WeightedSum`] aggregate — so the harness
+//! can iterate a `Vec<Box<dyn SolutionConcept>>` without a per-concept
+//! match.
+//!
+//! # Examples
+//!
+//! ```
+//! use edmac_game::{standard_concepts, BargainingProblem, CostPoint};
+//!
+//! let game = BargainingProblem::new(
+//!     vec![CostPoint::new(1.0, 7.0), CostPoint::new(3.5, 3.5), CostPoint::new(7.0, 1.0)],
+//!     CostPoint::new(8.0, 8.0),
+//! ).unwrap();
+//! for concept in standard_concepts() {
+//!     let agreement = concept.solve(&game).unwrap();
+//!     assert!(agreement.point.is_finite(), "{} failed", concept.key());
+//! }
+//! ```
+
+use crate::error::GameError;
+use crate::problem::{Bargain, BargainingProblem};
+use crate::weighted::BargainingPower;
+
+/// An object-safe solution concept: anything that maps a
+/// [`BargainingProblem`] to one selected agreement.
+pub trait SolutionConcept {
+    /// Stable machine-readable identifier (CSV column value), e.g.
+    /// `"nash"`, `"wnash_0.75"`, `"wsum_0.50"`.
+    fn key(&self) -> String;
+
+    /// Whether the concept is strategic (uses the disagreement point)
+    /// or an aggregate scalarization that ignores it.
+    fn is_strategic(&self) -> bool {
+        true
+    }
+
+    /// Selects the agreement on `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying solver's error (typically
+    /// [`GameError::NoGainRegion`] for strategic concepts on games
+    /// without a gain region).
+    fn solve(&self, problem: &BargainingProblem) -> Result<Bargain, GameError>;
+}
+
+impl std::fmt::Debug for dyn SolutionConcept + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SolutionConcept({})", self.key())
+    }
+}
+
+/// The symmetric Nash Bargaining Solution ([`BargainingProblem::nash`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nash;
+
+impl SolutionConcept for Nash {
+    fn key(&self) -> String {
+        "nash".into()
+    }
+
+    fn solve(&self, problem: &BargainingProblem) -> Result<Bargain, GameError> {
+        problem.nash()
+    }
+}
+
+/// The asymmetric Nash solution at a fixed bargaining power
+/// ([`BargainingProblem::nash_weighted`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedNash(pub BargainingPower);
+
+impl SolutionConcept for WeightedNash {
+    fn key(&self) -> String {
+        format!("wnash_{:.2}", self.0.first())
+    }
+
+    fn solve(&self, problem: &BargainingProblem) -> Result<Bargain, GameError> {
+        problem.nash_weighted(self.0)
+    }
+}
+
+/// The Kalai–Smorodinsky solution
+/// ([`BargainingProblem::kalai_smorodinsky`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KalaiSmorodinsky;
+
+impl SolutionConcept for KalaiSmorodinsky {
+    fn key(&self) -> String {
+        "ks".into()
+    }
+
+    fn solve(&self, problem: &BargainingProblem) -> Result<Bargain, GameError> {
+        problem.kalai_smorodinsky()
+    }
+}
+
+/// The egalitarian solution ([`BargainingProblem::egalitarian`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Egalitarian;
+
+impl SolutionConcept for Egalitarian {
+    fn key(&self) -> String {
+        "egal".into()
+    }
+
+    fn solve(&self, problem: &BargainingProblem) -> Result<Bargain, GameError> {
+        problem.egalitarian()
+    }
+}
+
+/// The weighted-sum aggregate scalarization
+/// ([`BargainingProblem::weighted_sum`]) — the non-strategic baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedSum {
+    /// Weight on the first (energy) cost, in `[0, 1]`.
+    pub energy_weight: f64,
+}
+
+impl SolutionConcept for WeightedSum {
+    fn key(&self) -> String {
+        format!("wsum_{:.2}", self.energy_weight)
+    }
+
+    fn is_strategic(&self) -> bool {
+        false
+    }
+
+    fn solve(&self, problem: &BargainingProblem) -> Result<Bargain, GameError> {
+        problem.weighted_sum(self.energy_weight)
+    }
+}
+
+/// The study's standard panel, in fixed order: symmetric Nash, the two
+/// skewed weighted-Nash variants, Kalai–Smorodinsky, egalitarian, and
+/// the balanced weighted-sum aggregate.
+pub fn standard_concepts() -> Vec<Box<dyn SolutionConcept>> {
+    vec![
+        Box::new(Nash),
+        Box::new(WeightedNash(
+            BargainingPower::new(0.25).expect("static power is valid"),
+        )),
+        Box::new(WeightedNash(
+            BargainingPower::new(0.75).expect("static power is valid"),
+        )),
+        Box::new(KalaiSmorodinsky),
+        Box::new(Egalitarian),
+        Box::new(WeightedSum { energy_weight: 0.5 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::CostPoint;
+
+    fn game() -> BargainingProblem {
+        BargainingProblem::new(
+            vec![
+                CostPoint::new(1.0, 7.0),
+                CostPoint::new(2.0, 5.0),
+                CostPoint::new(3.5, 3.5),
+                CostPoint::new(5.0, 2.0),
+                CostPoint::new(7.0, 1.0),
+            ],
+            CostPoint::new(8.0, 8.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn panel_has_at_least_four_concepts_with_unique_keys() {
+        let panel = standard_concepts();
+        assert!(panel.len() >= 4);
+        let mut keys: Vec<String> = panel.iter().map(|c| c.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), panel.len(), "concept keys must be unique");
+    }
+
+    #[test]
+    fn trait_solutions_match_the_inherent_methods() {
+        let g = game();
+        assert_eq!(Nash.solve(&g).unwrap().point, g.nash().unwrap().point);
+        assert_eq!(
+            KalaiSmorodinsky.solve(&g).unwrap().point,
+            g.kalai_smorodinsky().unwrap().point
+        );
+        assert_eq!(
+            Egalitarian.solve(&g).unwrap().point,
+            g.egalitarian().unwrap().point
+        );
+        let p = BargainingPower::new(0.75).unwrap();
+        assert_eq!(
+            WeightedNash(p).solve(&g).unwrap().point,
+            g.nash_weighted(p).unwrap().point
+        );
+        assert_eq!(
+            WeightedSum { energy_weight: 0.5 }.solve(&g).unwrap().point,
+            g.weighted_sum(0.5).unwrap().point
+        );
+    }
+
+    #[test]
+    fn only_the_aggregate_is_non_strategic() {
+        for c in standard_concepts() {
+            assert_eq!(
+                c.is_strategic(),
+                !c.key().starts_with("wsum"),
+                "{}",
+                c.key()
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_survives_games_without_a_gain_region() {
+        // Every strategic concept fails on a gain-free game; the
+        // aggregate, which never consults v, still picks a point.
+        let g = BargainingProblem::new(
+            vec![CostPoint::new(5.0, 1.0), CostPoint::new(1.0, 5.0)],
+            CostPoint::new(2.0, 2.0),
+        )
+        .unwrap();
+        for c in standard_concepts() {
+            if c.is_strategic() {
+                assert_eq!(c.solve(&g).unwrap_err(), GameError::NoGainRegion);
+            } else {
+                assert!(c.solve(&g).is_ok());
+            }
+        }
+    }
+}

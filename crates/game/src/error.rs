@@ -12,6 +12,11 @@ pub enum GameError {
     NoGainRegion,
     /// The disagreement point must be finite.
     NonFiniteDisagreement,
+    /// A scalarization weight was outside `[0, 1]` (or non-finite).
+    InvalidWeight {
+        /// The rejected weight.
+        weight: f64,
+    },
     /// The continuous solver failed; carries the underlying cause.
     Solver(edmac_optim::OptimError),
 }
@@ -26,6 +31,9 @@ impl std::fmt::Display for GameError {
             ),
             GameError::NonFiniteDisagreement => {
                 write!(f, "disagreement point must be finite")
+            }
+            GameError::InvalidWeight { weight } => {
+                write!(f, "scalarization weight must be in [0, 1], got {weight}")
             }
             GameError::Solver(e) => write!(f, "continuous bargaining solver failed: {e}"),
         }

@@ -15,9 +15,13 @@
 //! * [`CostPoint`] — a two-cost outcome (both players minimize);
 //! * [`pareto_filter`] — the Pareto frontier of a sampled outcome set;
 //! * [`BargainingProblem`] — a sampled feasible set plus disagreement
-//!   point, with three solution concepts: [`BargainingProblem::nash`],
+//!   point, with five solution concepts: [`BargainingProblem::nash`],
+//!   [`BargainingProblem::nash_weighted`],
 //!   [`BargainingProblem::kalai_smorodinsky`],
-//!   [`BargainingProblem::egalitarian`];
+//!   [`BargainingProblem::egalitarian`], and the non-strategic
+//!   [`BargainingProblem::weighted_sum`] aggregate;
+//! * [`SolutionConcept`] — the object-safe interface over all of them
+//!   ([`standard_concepts`] is the study's fixed panel);
 //! * [`nash_continuous`] — the continuous (P4) solver: maximize
 //!   `log(v₁ − c₁(x)) + log(v₂ − c₂(x))` over a parameter box via the
 //!   interior-point method of `edmac-optim`;
@@ -46,6 +50,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod axioms;
+mod concept;
 mod continuous;
 mod error;
 mod fairness;
@@ -54,6 +59,10 @@ mod point;
 mod problem;
 mod weighted;
 
+pub use concept::{
+    standard_concepts, Egalitarian, KalaiSmorodinsky, Nash, SolutionConcept, WeightedNash,
+    WeightedSum,
+};
 pub use continuous::{nash_continuous, ContinuousBargain};
 pub use error::GameError;
 pub use fairness::proportional_ratios;

@@ -160,6 +160,67 @@ impl BargainingProblem {
         })
     }
 
+    /// The **weighted-sum aggregate scalarization** — the non-strategic
+    /// baseline of Kannan & Wei's strategic-vs-aggregate comparison:
+    /// minimize `w·x̂ + (1−w)·ŷ` over the whole feasible set, where
+    /// `x̂`/`ŷ` are each cost normalized to `[0, 1]` across the set's
+    /// own extent (so the weight is scale-free).
+    ///
+    /// Unlike the bargaining concepts this *ignores the disagreement
+    /// point entirely* — it may select an outcome outside the gain
+    /// region, which is precisely the efficiency/fairness gap the
+    /// bargaining-vs-aggregate study measures. The reported
+    /// `nash_product` is still computed against `v` for comparability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::InvalidWeight`] unless `0 ≤ w ≤ 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edmac_game::{BargainingProblem, CostPoint};
+    ///
+    /// let game = BargainingProblem::new(
+    ///     vec![CostPoint::new(1.0, 7.0), CostPoint::new(3.0, 3.0), CostPoint::new(7.0, 1.0)],
+    ///     CostPoint::new(8.0, 8.0),
+    /// ).unwrap();
+    /// // An x-heavy aggregate picks the cheapest-x corner outright.
+    /// assert_eq!(game.weighted_sum(0.9).unwrap().point, CostPoint::new(1.0, 7.0));
+    /// // The balanced aggregate lands on the knee.
+    /// assert_eq!(game.weighted_sum(0.5).unwrap().point, CostPoint::new(3.0, 3.0));
+    /// ```
+    pub fn weighted_sum(&self, w: f64) -> Result<Bargain, GameError> {
+        if !(w.is_finite() && (0.0..=1.0).contains(&w)) {
+            return Err(GameError::InvalidWeight { weight: w });
+        }
+        let min_x = self
+            .feasible
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::INFINITY, f64::min);
+        let max_x = self
+            .feasible
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_y = self
+            .feasible
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::INFINITY, f64::min);
+        let max_y = self
+            .feasible
+            .iter()
+            .map(|p| p.y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+        let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+        // argmax of the negated scalarization keeps the earliest-index
+        // tie-break shared with the bargaining concepts.
+        self.argmax(|p| -(w * (p.x - min_x) / span_x + (1.0 - w) * (p.y - min_y) / span_y))
+    }
+
     fn argmax<F: Fn(&CostPoint) -> f64>(&self, score: F) -> Result<Bargain, GameError> {
         let mut best: Option<(usize, f64)> = None;
         for (i, p) in self.feasible.iter().enumerate() {

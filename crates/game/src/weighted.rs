@@ -211,6 +211,76 @@ mod tests {
     }
 
     #[test]
+    fn near_extreme_powers_stay_finite_and_dictatorial() {
+        // Powers arbitrarily close to the 0/1 endpoints must neither
+        // overflow (log-domain scoring) nor deviate from the
+        // corresponding dictatorship's pick.
+        let g = game();
+        for alpha in [1e-9, 1e-6, 1.0 - 1e-6, 1.0 - 1e-9] {
+            let b = g
+                .nash_weighted(BargainingPower::new(alpha).unwrap())
+                .unwrap();
+            assert!(b.point.is_finite(), "alpha {alpha}");
+            let expect = if alpha > 0.5 {
+                CostPoint::new(1.0, 7.0) // x player dictates
+            } else {
+                CostPoint::new(7.0, 1.0) // y player dictates
+            };
+            assert_eq!(b.point, expect, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn degenerate_frontier_collapses_to_the_disagreement_point() {
+        // A feasible set that *is* the disagreement point offers no
+        // strict gain: every power must report NoGainRegion, matching
+        // the symmetric solver (the weighted NBS "coincides with" v
+        // only in the sense that there is nothing better than v).
+        let v = CostPoint::new(3.0, 3.0);
+        let g = BargainingProblem::new(vec![v], v).unwrap();
+        for alpha in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                g.nash_weighted(BargainingPower::new(alpha).unwrap())
+                    .unwrap_err(),
+                GameError::NoGainRegion,
+                "alpha {alpha}"
+            );
+        }
+        // An epsilon-improving point, however, is selected by every
+        // power — the gain region is open but non-empty.
+        let eps = CostPoint::new(3.0 - 1e-12, 3.0 - 1e-12);
+        let g = BargainingProblem::new(vec![v, eps], v).unwrap();
+        for alpha in [0.1, 0.5, 0.9] {
+            let b = g
+                .nash_weighted(BargainingPower::new(alpha).unwrap())
+                .unwrap();
+            assert_eq!(b.point, eps, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn half_power_is_consistent_with_the_symmetric_solver_everywhere() {
+        // Sweep a family of skewed frontiers: at power 0.5 the weighted
+        // argmax must agree with `nash()` on point, index, and product.
+        for k in 1..=20 {
+            let scale = k as f64;
+            let feasible = vec![
+                CostPoint::new(0.5 * scale, 9.0),
+                CostPoint::new(1.0 * scale, 6.0),
+                CostPoint::new(2.0 * scale, 4.0),
+                CostPoint::new(4.0 * scale, 2.5),
+                CostPoint::new(8.0 * scale, 1.5),
+            ];
+            let g = BargainingProblem::new(feasible, CostPoint::new(10.0 * scale, 10.0)).unwrap();
+            let plain = g.nash().unwrap();
+            let weighted = g.nash_weighted(BargainingPower::symmetric()).unwrap();
+            assert_eq!(plain.index, weighted.index, "scale {scale}");
+            assert_eq!(plain.point, weighted.point, "scale {scale}");
+            assert_eq!(plain.nash_product, weighted.nash_product, "scale {scale}");
+        }
+    }
+
+    #[test]
     fn no_gain_region_is_reported() {
         let g = BargainingProblem::new(vec![CostPoint::new(9.0, 1.0)], CostPoint::new(5.0, 5.0))
             .unwrap();

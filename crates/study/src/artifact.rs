@@ -1,0 +1,307 @@
+//! Schema-versioned, bit-deterministic artifacts.
+//!
+//! Three files per run, written under the output directory:
+//!
+//! * `study_cells.csv` — one row per (cell × protocol × concept),
+//!   schema [`CELLS_SCHEMA`];
+//! * `study_validation.csv` — one row per validated cell, schema
+//!   [`VALIDATION_SCHEMA`];
+//! * `study_summary.json` — the aggregates, schema [`SUMMARY_SCHEMA`].
+//!
+//! Every float is formatted with a fixed precision; non-finite values
+//! become `NA` in the CSVs and `null` in the JSON (which must stay
+//! parseable). Two runs at the same seeds produce byte-identical
+//! files — exactly what CI's `study-smoke` golden diff enforces.
+
+use crate::cell::CellOutcome;
+use crate::summary::StudySummary;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Schema tag of `study_cells.csv`.
+pub const CELLS_SCHEMA: &str = "edmac-study/cells/v1";
+/// Schema tag of `study_validation.csv`.
+pub const VALIDATION_SCHEMA: &str = "edmac-study/validation/v1";
+/// Schema tag of `study_summary.json`.
+pub const SUMMARY_SCHEMA: &str = "edmac-study/summary/v1";
+
+/// `NA`-aware fixed-precision float formatting (6 decimals) for the
+/// CSV artifacts.
+fn f6(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "NA".into()
+    }
+}
+
+/// JSON-safe variant: non-finite values become `null` (a bare `NA`
+/// token would make the summary unparseable).
+fn j6(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Parameter vectors as a colon-joined field (CSV-safe).
+fn params_field(params: &[f64]) -> String {
+    if params.is_empty() {
+        return "NA".into();
+    }
+    params
+        .iter()
+        .map(|p| format!("{p:.6}"))
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+/// Renders the per-cell CSV (header comment, header, one row per
+/// concept; infeasible cells contribute one `status=infeasible` row).
+pub fn cells_csv(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# schema: {CELLS_SCHEMA}");
+    let _ = writeln!(
+        out,
+        "cell,scenario,preset,nodes,depth_axis,depth_realized,hotspot_factor,burst_duty,\
+         irregularity,protocol,status,e_best_j,l_worst_s,e_worst_j,l_best_s,nbs_e_j,nbs_l_s,\
+         nbs_params,fairness_gap,drift_nash,concept,strategic,ok,e_j,l_s,gain_e_j,gain_l_s,\
+         nash_product,min_gain_norm"
+    );
+    for o in outcomes {
+        let (e_best, l_worst, e_worst, l_best) =
+            o.anchors
+                .unwrap_or((f64::NAN, f64::NAN, f64::NAN, f64::NAN));
+        let (nbs_e, nbs_l, nbs_params) = o.nbs.clone().unwrap_or((f64::NAN, f64::NAN, Vec::new()));
+        let prefix = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            o.cell.index,
+            o.cell.scenario.name,
+            o.cell.preset,
+            o.realized_nodes,
+            o.cell.depth,
+            o.realized_depth,
+            format_args!("{:.2}", o.cell.hotspot_factor),
+            format_args!("{:.2}", o.cell.burst_duty),
+            f6(o.irregularity),
+            o.protocol,
+            if o.solved() { "ok" } else { "infeasible" },
+            f6(e_best),
+            f6(l_worst),
+            f6(e_worst),
+            f6(l_best),
+            f6(nbs_e),
+            f6(nbs_l),
+            params_field(&nbs_params),
+            f6(o.fairness_gap),
+            f6(o.drift_nash),
+        );
+        if o.concepts.is_empty() {
+            let _ = writeln!(out, "{prefix},-,-,false,NA,NA,NA,NA,NA,NA");
+            continue;
+        }
+        for c in &o.concepts {
+            let _ = writeln!(
+                out,
+                "{prefix},{},{},{},{},{},{},{},{},{}",
+                c.key,
+                c.strategic,
+                c.solved,
+                f6(c.energy_j),
+                f6(c.latency_s),
+                f6(c.gain_e),
+                f6(c.gain_l),
+                f6(c.nash_product),
+                f6(c.min_gain_norm),
+            );
+        }
+    }
+    out
+}
+
+/// Renders the validation CSV (one row per validated cell).
+pub fn validation_csv(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# schema: {VALIDATION_SCHEMA}");
+    let _ = writeln!(
+        out,
+        "cell,scenario,protocol,seed,params,model_e_j,sim_e_j,err_e,model_l_s,sim_l_s,err_l,\
+         delivery"
+    );
+    for o in outcomes {
+        let Some(v) = &o.validation else { continue };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            o.cell.index,
+            o.cell.scenario.name,
+            o.protocol,
+            v.seed,
+            params_field(&v.params),
+            f6(v.model_e),
+            f6(v.sim_e),
+            f6(v.err_e),
+            f6(v.model_l),
+            f6(v.sim_l),
+            f6(v.err_l),
+            f6(v.delivery),
+        );
+    }
+    out
+}
+
+/// Renders the summary JSON (hand-rolled: fixed key order, fixed float
+/// precision, no external dependency).
+pub fn summary_json(summary: &StudySummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SUMMARY_SCHEMA}\",");
+    let _ = writeln!(out, "  \"scenarios\": {},", summary.scenarios);
+    let _ = writeln!(out, "  \"protocol_cells\": {},", summary.protocol_cells);
+    let _ = writeln!(out, "  \"solved_cells\": {},", summary.solved_cells);
+    let _ = writeln!(
+        out,
+        "  \"concepts_per_cell\": {},",
+        summary.concepts_per_cell
+    );
+    let _ = writeln!(out, "  \"drift\": [");
+    for (i, b) in summary.drift.iter().enumerate() {
+        let comma = if i + 1 < summary.drift.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"preset\": \"{}\", \"cells\": {}, \"mean_irregularity\": {}, \
+             \"mean_drift\": {}, \"max_drift\": {}}}{comma}",
+            b.preset,
+            b.cells,
+            j6(b.mean_irregularity),
+            j6(b.mean_drift),
+            j6(b.max_drift),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let g = &summary.aggregate_gap;
+    let _ = writeln!(out, "  \"aggregate_gap\": {{");
+    let _ = writeln!(out, "    \"cells\": {},", g.cells);
+    let _ = writeln!(
+        out,
+        "    \"mean_profile_distance\": {},",
+        j6(g.mean_profile_distance)
+    );
+    let _ = writeln!(
+        out,
+        "    \"max_profile_distance\": {},",
+        j6(g.max_profile_distance)
+    );
+    let _ = writeln!(
+        out,
+        "    \"mean_np_efficiency\": {},",
+        j6(g.mean_np_efficiency)
+    );
+    let _ = writeln!(
+        out,
+        "    \"mean_fairness_ratio\": {},",
+        j6(g.mean_fairness_ratio)
+    );
+    let _ = writeln!(
+        out,
+        "    \"outside_gain_region\": {}",
+        g.outside_gain_region
+    );
+    let _ = writeln!(out, "  }},");
+    let v = &summary.validation;
+    let _ = writeln!(out, "  \"validation\": {{");
+    let _ = writeln!(out, "    \"cells\": {},", v.cells);
+    let _ = writeln!(out, "    \"mean_err_e\": {},", j6(v.mean_err_e));
+    let _ = writeln!(out, "    \"max_err_e\": {},", j6(v.max_err_e));
+    let _ = writeln!(out, "    \"mean_err_l\": {},", j6(v.mean_err_l));
+    let _ = writeln!(out, "    \"max_err_l\": {},", j6(v.max_err_l));
+    let _ = writeln!(out, "    \"min_delivery\": {}", j6(v.min_delivery));
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes the three artifacts under `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_artifacts(
+    dir: &Path,
+    outcomes: &[CellOutcome],
+    summary: &StudySummary,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("study_cells.csv"), cells_csv(outcomes))?;
+    std::fs::write(dir.join("study_validation.csv"), validation_csv(outcomes))?;
+    std::fs::write(dir.join("study_summary.json"), summary_json(summary))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StudyConfig;
+
+    #[test]
+    fn artifacts_are_deterministic_and_schema_tagged() {
+        let mut config = StudyConfig::smoke();
+        config.validate_every = 0;
+        let a = crate::run_cells(&config);
+        let b = crate::run_cells(&config);
+        assert_eq!(cells_csv(&a), cells_csv(&b));
+        let csv = cells_csv(&a);
+        assert!(csv.starts_with(&format!("# schema: {CELLS_SCHEMA}\n")));
+        let header_cols = csv.lines().nth(1).unwrap().split(',').count();
+        for line in csv.lines().skip(2) {
+            assert_eq!(line.split(',').count(), header_cols, "ragged row: {line}");
+        }
+        let summary = crate::summarize(&a);
+        let json = summary_json(&summary);
+        assert!(json.contains(SUMMARY_SCHEMA));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn summary_json_keeps_non_finite_values_parseable() {
+        use crate::summary::{AggregateGap, StudySummary, ValidationBands};
+        // A degenerate summary (empty run, NaN/inf aggregates) must
+        // still serialize to valid JSON: `null`, never a bare `NA`.
+        let summary = StudySummary {
+            scenarios: 0,
+            protocol_cells: 0,
+            solved_cells: 0,
+            concepts_per_cell: 0,
+            drift: Vec::new(),
+            aggregate_gap: AggregateGap {
+                cells: 0,
+                mean_profile_distance: f64::NAN,
+                max_profile_distance: f64::INFINITY,
+                mean_np_efficiency: f64::NAN,
+                mean_fairness_ratio: f64::NAN,
+                outside_gain_region: 0,
+            },
+            validation: ValidationBands {
+                cells: 0,
+                mean_err_e: f64::NAN,
+                max_err_e: f64::NAN,
+                mean_err_l: f64::NAN,
+                max_err_l: f64::NAN,
+                min_delivery: f64::NAN,
+            },
+        };
+        let json = summary_json(&summary);
+        assert!(json.contains("\"mean_profile_distance\": null"));
+        assert!(!json.contains("NA"), "bare NA would break JSON parsers");
+    }
+
+    #[test]
+    fn validation_csv_is_empty_but_valid_without_sims() {
+        let mut config = StudyConfig::smoke();
+        config.validate_every = 0;
+        let outcomes = crate::run_cells(&config);
+        let csv = validation_csv(&outcomes);
+        assert_eq!(csv.lines().count(), 2, "schema line + header only");
+    }
+}

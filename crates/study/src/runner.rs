@@ -1,0 +1,192 @@
+//! The parallel grid runner: fan the (cell × protocol) work list over
+//! a `std::thread` worker pool, then reassemble results in
+//! deterministic grid order.
+
+use crate::cell::{models_for, solve_cell, validate_cell, CellOutcome, PROTOCOLS};
+use crate::StudyConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs every (cell, protocol) work item of `config`'s grid and
+/// returns the outcomes sorted by (cell index, protocol index) —
+/// identical output regardless of worker count, because each item is
+/// fully determined by its grid coordinates and per-cell seed.
+pub fn run_cells(config: &StudyConfig) -> Vec<CellOutcome> {
+    let mut cells = config.grid.cells();
+    if let Some(preset) = config.preset {
+        // Filter *after* enumeration: each kept cell retains its
+        // full-grid index and seed, so a restricted run reproduces
+        // the full run's rows exactly.
+        cells.retain(|c| c.preset == preset);
+    }
+    let total = cells.len() * PROTOCOLS;
+    let workers = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(total.max(1))
+    } else {
+        config.threads.min(total.max(1))
+    };
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, CellOutcome)>> = Mutex::new(Vec::with_capacity(total));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| {
+                // Each worker owns its model panel: `dyn MacModel` is
+                // neither `Send` nor shared, and construction is free.
+                loop {
+                    let work = next.fetch_add(1, Ordering::Relaxed);
+                    if work >= total {
+                        break;
+                    }
+                    let cell = &cells[work / PROTOCOLS];
+                    let model_idx = work % PROTOCOLS;
+                    let models = models_for(cell.preset);
+                    let model = models[model_idx].as_ref();
+                    let mut outcome = solve_cell(cell, model, config.requirements);
+                    // Stride on the cell's *full-grid* work coordinate
+                    // (not the filtered counter), so a preset-filtered
+                    // run validates exactly the cells the full run
+                    // would. Unfiltered runs: both coordinates agree.
+                    let grid_work = cell.index * PROTOCOLS + model_idx;
+                    if config.validate_every > 0
+                        && grid_work.is_multiple_of(config.validate_every)
+                        && outcome.solved()
+                    {
+                        outcome.validation = validate_cell(cell, &outcome, config.sim_horizon);
+                    }
+                    results
+                        .lock()
+                        .expect("worker panicked while holding the result lock")
+                        .push((work, outcome));
+                }
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("workers joined");
+    results.sort_by_key(|(work, _)| *work);
+    let mut outcomes: Vec<CellOutcome> = results.into_iter().map(|(_, o)| o).collect();
+    fill_drift(&mut outcomes);
+    outcomes
+}
+
+/// Fills each outcome's `drift_nash`: the Euclidean distance between
+/// its Nash concession profile and the mean profile of the *ring*
+/// cells of the same protocol — how far the agreement's position
+/// drifts from the paper's regular-ring regime as the topology gets
+/// irregular.
+fn fill_drift(outcomes: &mut [CellOutcome]) {
+    use edmac_core::PresetKind;
+    // Per-protocol ring baseline profile.
+    let mut baselines: Vec<(&'static str, (f64, f64), usize)> = Vec::new();
+    for o in outcomes.iter() {
+        if o.cell.preset != PresetKind::Ring || !o.solved() {
+            continue;
+        }
+        if let Some(nash) = o.concept("nash") {
+            let p = nash.profile(o.spans());
+            match baselines
+                .iter_mut()
+                .find(|(name, _, _)| *name == o.protocol)
+            {
+                Some((_, sum, n)) => {
+                    sum.0 += p.0;
+                    sum.1 += p.1;
+                    *n += 1;
+                }
+                None => baselines.push((o.protocol, p, 1)),
+            }
+        }
+    }
+    for (_, sum, n) in baselines.iter_mut() {
+        sum.0 /= *n as f64;
+        sum.1 /= *n as f64;
+    }
+    for o in outcomes.iter_mut() {
+        let Some(&(_, base, _)) = baselines.iter().find(|(name, _, _)| *name == o.protocol) else {
+            continue;
+        };
+        if let Some(nash) = o.concept("nash") {
+            let p = nash.profile(o.spans());
+            o.drift_nash = ((p.0 - base.0).powi(2) + (p.1 - base.1).powi(2)).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::StudyConfig;
+
+    #[test]
+    fn smoke_run_is_thread_count_invariant() {
+        let mut one = StudyConfig::smoke();
+        one.threads = 1;
+        one.validate_every = 0; // keep the test fast: no simulations
+        let mut many = one.clone();
+        many.threads = 4;
+        let a = super::run_cells(&one);
+        let b = super::run_cells(&many);
+        // Debug strings: NaN placeholders compare equal, unlike the
+        // IEEE `PartialEq` they would fail under.
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "results must not depend on the worker count"
+        );
+        assert_eq!(a.len(), one.grid.scenario_count() * super::PROTOCOLS);
+    }
+
+    #[test]
+    fn preset_filter_preserves_full_grid_cells_and_agreements() {
+        let mut full = StudyConfig::smoke();
+        full.validate_every = 0;
+        let mut hotspot_only = full.clone();
+        hotspot_only.preset = Some(edmac_core::PresetKind::HotspotDisk);
+        let all = super::run_cells(&full);
+        let filtered = super::run_cells(&hotspot_only);
+        let expected: Vec<_> = all
+            .iter()
+            .filter(|o| o.cell.preset == edmac_core::PresetKind::HotspotDisk)
+            .collect();
+        assert_eq!(filtered.len(), expected.len());
+        for (f, e) in filtered.iter().zip(expected) {
+            // Same full-grid index, seed, and solve outputs; only the
+            // run-composition drift column may differ (no ring
+            // baseline in the filtered run). Debug strings: failed
+            // concepts carry NaN fields, which IEEE PartialEq would
+            // spuriously reject.
+            assert_eq!(f.cell, e.cell);
+            assert_eq!(f.nbs, e.nbs);
+            assert_eq!(format!("{:?}", f.concepts), format!("{:?}", e.concepts));
+        }
+    }
+
+    #[test]
+    fn ring_cells_anchor_zero_ish_drift() {
+        let mut config = StudyConfig::smoke();
+        config.validate_every = 0;
+        let outcomes = super::run_cells(&config);
+        for o in outcomes
+            .iter()
+            .filter(|o| o.cell.preset == edmac_core::PresetKind::Ring && o.solved())
+        {
+            // One ring scenario in the smoke grid: its drift from its
+            // own baseline is exactly zero.
+            assert!(
+                o.drift_nash.abs() < 1e-12,
+                "{}: drift {}",
+                o.protocol,
+                o.drift_nash
+            );
+        }
+        // Non-ring cells got *some* finite drift value.
+        assert!(outcomes
+            .iter()
+            .filter(|o| o.solved() && o.cell.preset != edmac_core::PresetKind::Ring)
+            .all(|o| o.drift_nash.is_finite()));
+    }
+}

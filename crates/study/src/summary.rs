@@ -1,0 +1,226 @@
+//! Aggregating cell outcomes into the study's headline numbers:
+//! agreement drift per preset family, the bargaining-vs-aggregate gap,
+//! and the model-vs-simulation error bands.
+
+use crate::cell::CellOutcome;
+use edmac_core::PresetKind;
+
+/// Drift and irregularity aggregated over one preset family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftBucket {
+    /// The preset family.
+    pub preset: PresetKind,
+    /// Solved cells in the bucket.
+    pub cells: usize,
+    /// Mean degree-CV irregularity of the bucket's topologies.
+    pub mean_irregularity: f64,
+    /// Mean Nash-agreement drift from the ring baseline.
+    pub mean_drift: f64,
+    /// Worst drift in the bucket.
+    pub max_drift: f64,
+}
+
+/// The strategic-vs-aggregate comparison (Kannan & Wei's question,
+/// answered on this codebase's frontier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateGap {
+    /// Cells where both the Nash and the weighted-sum agreement
+    /// solved.
+    pub cells: usize,
+    /// Mean normalized distance between the two agreements'
+    /// concession profiles.
+    pub mean_profile_distance: f64,
+    /// Worst such distance.
+    pub max_profile_distance: f64,
+    /// Mean Nash-product efficiency of the aggregate,
+    /// `NP(wsum) / NP(nash)` — 1 when the aggregate happens to land on
+    /// the bargaining agreement, < 1 (or negative) when it gives one
+    /// player away.
+    pub mean_np_efficiency: f64,
+    /// Mean fairness ratio `min_gain(wsum) / min_gain(nash)`.
+    pub mean_fairness_ratio: f64,
+    /// Cells where the aggregate's pick falls *outside* the gain
+    /// region (a player is left worse than the disagreement point —
+    /// impossible for any bargaining concept).
+    pub outside_gain_region: usize,
+}
+
+/// The model-vs-simulation error bands over the validated subset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationBands {
+    /// Validated cells.
+    pub cells: usize,
+    /// Mean relative energy error.
+    pub mean_err_e: f64,
+    /// Worst relative energy error.
+    pub max_err_e: f64,
+    /// Mean relative latency error.
+    pub mean_err_l: f64,
+    /// Worst relative latency error.
+    pub max_err_l: f64,
+    /// Lowest delivery ratio seen.
+    pub min_delivery: f64,
+}
+
+/// Everything the summary artifact carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudySummary {
+    /// Scenario cells in the grid.
+    pub scenarios: usize,
+    /// (scenario × protocol) cells.
+    pub protocol_cells: usize,
+    /// Cells whose analytic solve succeeded.
+    pub solved_cells: usize,
+    /// Concepts evaluated per solved cell.
+    pub concepts_per_cell: usize,
+    /// Drift per preset family, in [`PresetKind::ALL`] order.
+    pub drift: Vec<DriftBucket>,
+    /// The bargaining-vs-aggregate gap.
+    pub aggregate_gap: AggregateGap,
+    /// Validation error bands (zeroed when nothing was validated).
+    pub validation: ValidationBands,
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Builds the summary from the full outcome list.
+pub fn summarize(outcomes: &[CellOutcome]) -> StudySummary {
+    let solved: Vec<&CellOutcome> = outcomes.iter().filter(|o| o.solved()).collect();
+
+    let drift = PresetKind::ALL
+        .into_iter()
+        .map(|preset| {
+            let bucket: Vec<&&CellOutcome> = solved
+                .iter()
+                .filter(|o| o.cell.preset == preset && o.drift_nash.is_finite())
+                .collect();
+            let drifts: Vec<f64> = bucket.iter().map(|o| o.drift_nash).collect();
+            let irregularities: Vec<f64> = bucket
+                .iter()
+                .filter(|o| o.irregularity.is_finite())
+                .map(|o| o.irregularity)
+                .collect();
+            DriftBucket {
+                preset,
+                cells: bucket.len(),
+                mean_irregularity: mean(&irregularities),
+                mean_drift: mean(&drifts),
+                max_drift: max(&drifts),
+            }
+        })
+        .collect();
+
+    let mut distances = Vec::new();
+    let mut efficiencies = Vec::new();
+    let mut fairness_ratios = Vec::new();
+    let mut outside = 0usize;
+    for o in &solved {
+        let (Some(nash), Some(wsum)) = (o.concept("nash"), o.concept("wsum_0.50")) else {
+            continue;
+        };
+        let spans = o.spans();
+        let (nx, ny) = nash.profile(spans);
+        let (wx, wy) = wsum.profile(spans);
+        distances.push(((nx - wx).powi(2) + (ny - wy).powi(2)).sqrt());
+        if nash.nash_product > 0.0 && wsum.nash_product.is_finite() {
+            efficiencies.push(wsum.nash_product / nash.nash_product);
+        }
+        if nash.min_gain_norm > 0.0 && wsum.min_gain_norm.is_finite() {
+            fairness_ratios.push(wsum.min_gain_norm / nash.min_gain_norm);
+        }
+        if wsum.gain_e <= 0.0 || wsum.gain_l <= 0.0 {
+            outside += 1;
+        }
+    }
+    let aggregate_gap = AggregateGap {
+        cells: distances.len(),
+        mean_profile_distance: mean(&distances),
+        max_profile_distance: max(&distances),
+        mean_np_efficiency: mean(&efficiencies),
+        mean_fairness_ratio: mean(&fairness_ratios),
+        outside_gain_region: outside,
+    };
+
+    let validated: Vec<&CellOutcome> = solved
+        .iter()
+        .copied()
+        .filter(|o| o.validation.is_some())
+        .collect();
+    let err_e: Vec<f64> = validated
+        .iter()
+        .filter_map(|o| o.validation.as_ref())
+        .map(|v| v.err_e)
+        .filter(|e| e.is_finite())
+        .collect();
+    let err_l: Vec<f64> = validated
+        .iter()
+        .filter_map(|o| o.validation.as_ref())
+        .map(|v| v.err_l)
+        .filter(|e| e.is_finite())
+        .collect();
+    let validation = ValidationBands {
+        cells: validated.len(),
+        mean_err_e: mean(&err_e),
+        max_err_e: max(&err_e),
+        mean_err_l: mean(&err_l),
+        max_err_l: max(&err_l),
+        min_delivery: validated
+            .iter()
+            .filter_map(|o| o.validation.as_ref())
+            .map(|v| v.delivery)
+            .fold(1.0, f64::min),
+    };
+
+    let concepts_per_cell = solved.first().map(|o| o.concepts.len()).unwrap_or(0);
+    // Distinct cell indices, not max+1: preset-filtered runs keep
+    // their full-grid indices, which are then non-contiguous.
+    let mut scenario_indices: Vec<usize> = outcomes.iter().map(|o| o.cell.index).collect();
+    scenario_indices.sort_unstable();
+    scenario_indices.dedup();
+    StudySummary {
+        scenarios: scenario_indices.len(),
+        protocol_cells: outcomes.len(),
+        solved_cells: solved.len(),
+        concepts_per_cell,
+        drift,
+        aggregate_gap,
+        validation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::StudyConfig;
+
+    #[test]
+    fn smoke_summary_covers_every_family() {
+        let mut config = StudyConfig::smoke();
+        config.validate_every = 0;
+        let outcomes = crate::run_cells(&config);
+        let s = super::summarize(&outcomes);
+        assert_eq!(s.scenarios, 4);
+        assert_eq!(s.protocol_cells, 12);
+        assert!(
+            s.solved_cells >= 9,
+            "most cells must solve: {}",
+            s.solved_cells
+        );
+        assert!(s.concepts_per_cell >= 4);
+        assert_eq!(s.drift.len(), 4);
+        assert!(s.aggregate_gap.cells > 0);
+        // The aggregate is a different animal: on at least some cells
+        // it must not coincide with the Nash agreement.
+        assert!(s.aggregate_gap.max_profile_distance >= 0.0);
+        assert_eq!(s.validation.cells, 0);
+    }
+}

@@ -151,6 +151,16 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, iters: usize, mut f: F) {
+    // CI's quick profile: `CRITERION_SAMPLE_SIZE` caps every
+    // benchmark's iteration count so a guard run costs seconds, not
+    // minutes.
+    let iters = match std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(cap) => iters.min(cap.max(1)),
+        None => iters,
+    };
     let mut bencher = Bencher {
         iters,
         elapsed: None,
@@ -164,8 +174,34 @@ fn run_one<F: FnMut(&mut Bencher)>(group: Option<&str>, name: &str, iters: usize
         Some(total) => {
             let mean = total / iters as u32;
             println!("{label:<48} mean {mean:>12.3?} (n={iters})");
+            append_json_record(&label, mean, iters);
         }
         None => println!("{label:<48} (no Bencher::iter call)"),
+    }
+}
+
+/// When `CRITERION_JSON` names a file, appends one JSON-lines record
+/// per benchmark (`{"id": ..., "mean_ns": ..., "iters": ...}`) — the
+/// machine-readable feed CI's `bench-guard` compares against its
+/// checked-in baseline.
+fn append_json_record(label: &str, mean: Duration, iters: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let record = format!(
+        "{{\"id\": \"{label}\", \"mean_ns\": {}, \"iters\": {iters}}}\n",
+        mean.as_nanos()
+    );
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(record.as_bytes());
     }
 }
 
@@ -203,8 +239,13 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Env vars are process-global: every test that sets or depends on
+    /// them holds this lock so the iteration counts stay predictable.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn group_runs_and_reports() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut ran = 0usize;
         {
@@ -218,6 +259,36 @@ mod tests {
         }
         // 1 warmup + 3 timed iterations.
         assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn json_records_are_emitted_when_requested() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Env vars are process-global: restore them before asserting
+        // so parallel tests in this binary never see the overrides.
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default();
+        c.bench_function("json_probe", |b| b.iter(|| black_box(1 + 1)));
+        std::env::remove_var("CRITERION_JSON");
+        let content = std::fs::read_to_string(&path).expect("record file written");
+        let _ = std::fs::remove_file(&path);
+        assert!(content.contains("\"id\": \"json_probe\""));
+        assert!(content.contains("\"mean_ns\": "));
+    }
+
+    #[test]
+    fn sample_size_env_caps_iterations() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "2");
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        c.bench_function("capped", |b| b.iter(|| ran += 1));
+        std::env::remove_var("CRITERION_SAMPLE_SIZE");
+        // 1 warmup + 2 capped iterations (default would be 20).
+        assert_eq!(ran, 3);
     }
 
     #[test]
