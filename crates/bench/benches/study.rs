@@ -17,7 +17,7 @@ fn single_cell(c: &mut Criterion) {
     group.sample_size(10);
     let cells = StudyGrid::smoke().cells();
     for cell in &cells {
-        let models = models_for(cell.preset);
+        let models = models_for();
         let model = models[0].as_ref(); // X-MAC
         group.bench_function(cell.scenario.name.as_str(), |b| {
             b.iter(|| black_box(solve_cell(black_box(cell), model, reqs())))

@@ -17,19 +17,35 @@
 
 use edmac_bench::{preset_filter, preset_scenario};
 use edmac_core::PresetKind;
+use edmac_mac::{all_models, Deployment, MacModel, Scp};
 use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
 use edmac_units::Seconds;
 
-fn protocols() -> [ProtocolConfig; 4] {
-    [
-        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
-        ProtocolConfig::dmac(Seconds::new(0.5)),
-        ProtocolConfig::Lmac {
-            slot: Seconds::from_millis(10.0),
-            frame_slots: 64, // disk neighborhoods out-color the ring default
-        },
-        ProtocolConfig::scp(Seconds::from_millis(250.0)),
-    ]
+/// The per-scenario protocol panel: fixed tuned parameters looked up
+/// by protocol *name* (a panel reorder cannot silently shuffle them),
+/// structural parameters derived through `MacModel::configure` on the
+/// scenario's analytic deployment — LMAC's frame now follows each
+/// topology's distance-2 chromatic need instead of a pinned 64-slot
+/// constant.
+fn protocols(env: &Deployment) -> Vec<ProtocolConfig> {
+    let tuned: &[(&str, f64)] = &[
+        ("X-MAC", 0.100),   // wake-up interval Tw
+        ("DMAC", 0.500),    // cycle period T
+        ("LMAC", 0.010),    // slot length Ts
+        ("SCP-MAC", 0.250), // poll period Tp
+    ];
+    let mut models: Vec<Box<dyn MacModel>> = all_models();
+    models.push(Box::new(Scp::default()));
+    tuned
+        .iter()
+        .map(|&(name, x)| {
+            let model = models
+                .iter()
+                .find(|m| m.name() == name)
+                .unwrap_or_else(|| panic!("no analytic model named {name}"));
+            edmac_study::sim_protocol(&model.configure(env), &[x])
+        })
+        .collect()
 }
 
 fn main() {
@@ -57,7 +73,19 @@ fn main() {
 
     println!("scenario,protocol,nodes,delivery,median_delay_ms,bottleneck_mj_per_epoch,collisions");
     for scenario in &scenarios {
-        for protocol in protocols() {
+        let env = scenario
+            .deployment(config.seed)
+            .expect("preset scenarios realize deployments");
+        let panel = protocols(&env);
+        let frame = panel
+            .iter()
+            .find_map(|p| match p {
+                ProtocolConfig::Lmac { frame_slots, .. } => Some(*frame_slots),
+                _ => None,
+            })
+            .expect("the panel carries LMAC");
+        eprintln!("# {}: LMAC frame = {frame} slots (derived)", scenario.name);
+        for protocol in panel {
             let report = match scenario.simulation(protocol, config) {
                 Ok(sim) => sim.run(),
                 Err(e) => {

@@ -96,6 +96,18 @@ fn run() -> Result<(), String> {
         g.mean_fairness_ratio,
         g.outside_gain_region,
     );
+    let w = &summary.weight_sweep;
+    println!(
+        "weight sweep: {} cells, best-distance mean {:.4} max {:.4}; some weight reproduces \
+         Nash on {} cells, best static w = {:.2} reproduces {} — one weight fits all: {}",
+        w.cells,
+        w.mean_best_distance,
+        w.max_best_distance,
+        w.cells_matched_by_some_weight,
+        w.best_static_w,
+        w.cells_matched_by_best_static,
+        w.any_static_weight_reproduces_all(),
+    );
     let v = &summary.validation;
     if v.cells > 0 {
         println!(

@@ -104,15 +104,12 @@ pub fn validation_points(model: &dyn MacModel, env: &Deployment, count: usize) -
 }
 
 /// Builds the simulator protocol configuration matching an analytical
-/// model at parameter vector `x`.
-pub fn sim_protocol_at(model: &dyn MacModel, x: &[f64]) -> ProtocolConfig {
-    match model.name() {
-        "X-MAC" => ProtocolConfig::xmac(Seconds::new(x[0])),
-        "DMAC" => ProtocolConfig::dmac(Seconds::new(x[0])),
-        "LMAC" => ProtocolConfig::lmac(Seconds::new(x[0])),
-        "SCP-MAC" => ProtocolConfig::scp(Seconds::new(x[0])),
-        other => panic!("no simulator counterpart for {other}"),
-    }
+/// model at parameter vector `x` under `env`, via the model's derived
+/// [`edmac_mac::ProtocolConfig`] (so e.g. LMAC's simulated frame always
+/// equals the analytic one — ring deployments keep the calibrated
+/// default, realized topologies get the chromatic-need-derived size).
+pub fn sim_protocol_at(model: &dyn MacModel, x: &[f64], env: &Deployment) -> ProtocolConfig {
+    edmac_study::sim_protocol(&model.configure(env), x)
 }
 
 /// Runs the packet-level simulation for `model` at `x` on the
@@ -124,9 +121,14 @@ pub fn simulate_at(model: &dyn MacModel, x: &[f64], seed: u64) -> SimReport {
         .traffic
         .ring_model()
         .expect("the validation deployment is ring-based");
-    Simulation::ring(ring.depth(), ring.density(), sim_protocol_at(model, x), cfg)
-        .expect("validation topology is constructible")
-        .run()
+    Simulation::ring(
+        ring.depth(),
+        ring.density(),
+        sim_protocol_at(model, x, &env),
+        cfg,
+    )
+    .expect("validation topology is constructible")
+    .run()
 }
 
 /// Prints an operating-point series as CSV rows prefixed by `label`.
@@ -173,9 +175,10 @@ mod tests {
 
     #[test]
     fn sim_protocol_mapping_covers_the_paper_trio() {
+        let env = validation_env();
         for model in edmac_mac::all_models() {
-            let b = model.bounds(&validation_env());
-            let cfg = sim_protocol_at(model.as_ref(), &[b.lower(0)]);
+            let b = model.bounds(&env);
+            let cfg = sim_protocol_at(model.as_ref(), &[b.lower(0)], &env);
             assert_eq!(cfg.name(), model.name());
         }
     }
@@ -183,7 +186,7 @@ mod tests {
     #[test]
     fn scp_extension_maps_to_its_simulator_node() {
         let scp = edmac_mac::Scp::default();
-        let cfg = sim_protocol_at(&scp, &[0.1]);
+        let cfg = sim_protocol_at(&scp, &[0.1], &validation_env());
         assert_eq!(cfg.name(), "SCP-MAC");
     }
 

@@ -19,7 +19,7 @@
 //! [`TradeoffAnalysis`]: crate::TradeoffAnalysis
 
 use crate::error::CoreError;
-use edmac_mac::{Deployment, TrafficEnv};
+use edmac_mac::{BurstRegime, Deployment, Workload};
 use edmac_net::{NetError, RingModel, Topology};
 use edmac_radio::{FrameSizes, Radio};
 use edmac_sim::{BurstWindows, ProtocolConfig, SimConfig, Simulation, TrafficProfile};
@@ -134,9 +134,26 @@ impl TrafficSpec {
         }
     }
 
+    /// The window-conditional rate structure of this traffic pattern
+    /// (`None` for patterns without synchronized bursts; degenerate
+    /// windows normalize to `None` too).
+    pub fn burst_regime(&self) -> Option<BurstRegime> {
+        match *self {
+            TrafficSpec::EventBurst {
+                factor,
+                every,
+                duration,
+                ..
+            } => BurstRegime::new(factor, every, duration),
+            _ => None,
+        }
+    }
+
     /// The time-averaged per-node sampling rates on `topology` (what
-    /// the analytic flow table sees; burst duty cycles fold into the
-    /// mean).
+    /// the analytic flow table sees; the energy terms are linear in
+    /// the rates, so burst duty cycles fold into the mean exactly —
+    /// the latency side reads the regime via
+    /// [`TrafficSpec::burst_regime`] instead).
     fn node_rates(&self, topology: &Topology) -> Vec<Hertz> {
         let base = Hertz::per_interval(self.sample_period());
         match *self {
@@ -330,8 +347,10 @@ impl Scenario {
         }
         let fs = Hertz::per_interval(self.traffic.sample_period());
         let rates = self.traffic.node_rates(topology);
-        let traffic = TrafficEnv::from_node_rates(topology, fs, &rates).map_err(CoreError::Net)?;
-        Ok(Deployment::reference().with_traffic(traffic))
+        let workload = Workload::from_node_rates(topology, fs, &rates)
+            .map_err(CoreError::Net)?
+            .with_burst(self.traffic.burst_regime());
+        Ok(Deployment::reference().with_traffic(workload))
     }
 
     /// The analytic closed-form deployment, for ring topologies with
@@ -464,6 +483,32 @@ mod tests {
         // duty 30/300 = 0.1, factor 4 => mean rate 1.3x the baseline.
         let leaf_like = env.traffic.f_out(env.traffic.depth()).unwrap().value();
         assert!(leaf_like >= 1.3 / period.value() - 1e-12);
+        // ... and the window-conditional structure rides along for the
+        // latency side.
+        let regime = env.traffic.burst().expect("burst scenarios carry a regime");
+        assert!((regime.duty() - 0.1).abs() < 1e-12);
+        assert_eq!(regime.factor(), 4.0);
+    }
+
+    #[test]
+    fn workload_extras_follow_the_scenario_family() {
+        // Ring + uniform: closed forms, no regime, no realized slot
+        // demand (the calibrated LMAC default frame stays in force).
+        let ring = Scenario::paper_reference().deployment(0).unwrap();
+        assert!(ring.traffic.burst().is_none());
+        assert!(ring.traffic.slot_demand().is_none());
+        // Realized disks know their distance-2 chromatic need.
+        let disk = Scenario::uniform_disk(60, 2.5, Seconds::new(80.0))
+            .deployment(7)
+            .unwrap();
+        let need = disk.traffic.slot_demand().expect("realized topology");
+        assert!(need >= 3, "a multi-hop disk needs several slots: {need}");
+        // Hotspots skew rates but have no synchronized windows.
+        let hot = Scenario::hotspot_disk(60, 2.5, Seconds::new(80.0))
+            .deployment(7)
+            .unwrap();
+        assert!(hot.traffic.burst().is_none());
+        assert!(hot.traffic.slot_demand().is_some());
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The shared evaluation environment: radio, frames, network, traffic
+//! The shared evaluation environment: radio, frames, network, workload
 //! and reporting epoch.
 
-use edmac_net::{NetError, RingModel, RingTraffic, RoutingTree, Topology, TreeTraffic};
+use edmac_net::{
+    distance_two_coloring, NetError, RingModel, RingTraffic, RoutingTree, Topology, TreeTraffic,
+};
 use edmac_radio::{FrameSizes, Radio};
 use edmac_units::{Hertz, Seconds};
 
@@ -131,21 +133,25 @@ impl TrafficEnv {
     }
 
     /// The nominal application sampling rate `Fs`.
+    #[inline]
     pub fn fs(&self) -> Hertz {
         self.fs
     }
 
     /// The number of depth classes `D` (maximum hop count).
+    #[inline]
     pub fn depth(&self) -> usize {
         self.f_out.len()
     }
 
     /// Iterates over all depth indices `1..=D`.
+    #[inline]
     pub fn rings(&self) -> std::ops::RangeInclusive<usize> {
         1..=self.depth()
     }
 
     /// Number of traffic sources (non-sink nodes).
+    #[inline]
     pub fn sources(&self) -> usize {
         self.sources
     }
@@ -153,15 +159,18 @@ impl TrafficEnv {
     /// Aggregate generation rate of the whole network (the sum of the
     /// actual per-node rates — not `fs·sources`, which would
     /// understate hotspot tables).
+    #[inline]
     pub fn total_rate(&self) -> Hertz {
         Hertz::new(self.total_rate)
     }
 
     /// The analytic ring model this table was built from, if any.
+    #[inline]
     pub fn ring_model(&self) -> Option<RingModel> {
         self.ring
     }
 
+    #[inline]
     fn check(&self, d: usize) -> Result<usize, NetError> {
         if d == 0 || d > self.depth() {
             Err(NetError::RingOutOfRange {
@@ -178,6 +187,7 @@ impl TrafficEnv {
     /// # Errors
     ///
     /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    #[inline]
     pub fn f_out(&self, d: usize) -> Result<Hertz, NetError> {
         Ok(Hertz::new(self.f_out[self.check(d)?]))
     }
@@ -187,6 +197,7 @@ impl TrafficEnv {
     /// # Errors
     ///
     /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    #[inline]
     pub fn f_in(&self, d: usize) -> Result<Hertz, NetError> {
         Ok(Hertz::new(self.f_in[self.check(d)?]))
     }
@@ -197,6 +208,7 @@ impl TrafficEnv {
     /// # Errors
     ///
     /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    #[inline]
     pub fn f_bg(&self, d: usize) -> Result<Hertz, NetError> {
         Ok(Hertz::new(self.f_bg[self.check(d)?]))
     }
@@ -213,6 +225,340 @@ impl std::fmt::Display for TrafficEnv {
                 self.sources
             ),
         }
+    }
+}
+
+/// The two-regime rate structure of synchronized burst windows: for
+/// `duration` out of every `every` seconds, every node's sampling rate
+/// is multiplied by `factor` (the analytic mirror of the simulator's
+/// `BurstWindows`).
+///
+/// The regime is expressed *relative to the time-averaged flows* a
+/// [`Workload`] carries, so energy terms — linear in the rates, hence
+/// exact under time averaging — keep reading the mean flow table, while
+/// latency terms can be evaluated per regime and mixed by window
+/// occupancy. With mean scale `m = 1 + (factor − 1)·duty`:
+///
+/// * in-burst flows are `factor / m` times the mean flows;
+/// * off-burst flows are `1 / m` times the mean flows;
+/// * a fraction `factor·duty / m` of all packets is generated in-burst
+///   ([`BurstRegime::packet_occupancy`] — packets, not wall-clock,
+///   weight the latency mix).
+///
+/// Degenerate windows (duty 0 or 1, unit factor) carry no regime
+/// structure: [`BurstRegime::new`] returns `None` and the workload's
+/// latency provably reduces to the single-rate closed forms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstRegime {
+    duty: f64,
+    factor: f64,
+    window: Seconds,
+}
+
+impl BurstRegime {
+    /// Creates the regime of bursts multiplying rates by `factor` for
+    /// `duration` out of every `every` seconds.
+    ///
+    /// Returns `None` when the windows are degenerate — duty
+    /// `duration / every` outside `(0, 1)`, `factor ≤ 1`, or non-finite
+    /// inputs — since the workload is then a single-rate process and
+    /// the plain closed forms already describe it exactly.
+    pub fn new(factor: f64, every: Seconds, duration: Seconds) -> Option<BurstRegime> {
+        if !(every.is_finite() && duration.is_finite() && factor.is_finite()) {
+            return None;
+        }
+        if every.value() <= 0.0 || factor <= 1.0 {
+            return None;
+        }
+        let duty = duration.value() / every.value();
+        (duty > 0.0 && duty < 1.0).then_some(BurstRegime {
+            duty,
+            factor,
+            window: duration,
+        })
+    }
+
+    /// Fraction of wall-clock time spent inside a burst window.
+    pub fn duty(&self) -> f64 {
+        self.duty
+    }
+
+    /// Sampling-rate multiplier inside a window (relative to the
+    /// off-burst base rate).
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Length of one burst window.
+    pub fn window(&self) -> Seconds {
+        self.window
+    }
+
+    /// Mean rate relative to the off-burst base rate:
+    /// `1 + (factor − 1)·duty`.
+    fn mean_scale(&self) -> f64 {
+        1.0 + (self.factor - 1.0) * self.duty
+    }
+
+    /// `(in_burst, off_burst)` flow multipliers relative to the
+    /// time-averaged flows. Their time-weighted mean is exactly 1.
+    pub fn rate_scales(&self) -> (f64, f64) {
+        let m = self.mean_scale();
+        (self.factor / m, 1.0 / m)
+    }
+
+    /// Fraction of *packets* generated inside a burst window,
+    /// `factor·duty / (1 + (factor − 1)·duty)` — the weight of the
+    /// in-burst regime in any per-packet (latency) mix.
+    pub fn packet_occupancy(&self) -> f64 {
+        self.factor * self.duty / self.mean_scale()
+    }
+}
+
+/// What the models evaluate against: the time-averaged flow table
+/// ([`TrafficEnv`]) plus the window-conditional rate structure and the
+/// realized topology's slot demand.
+///
+/// This is the PR 4 extension of the bare flow table. `TrafficEnv`
+/// folds any burst windows into one time-averaged rate — exact for
+/// energy (linear in the rates) but blind to in-window queueing, which
+/// is where the study's latency error peaked (~52% on high-duty burst
+/// disks). A `Workload` keeps the mean table *and*:
+///
+/// * an optional [`BurstRegime`] so latency terms can be computed per
+///   traffic regime and mixed by window occupancy
+///   ([`Workload::burst_excess`]);
+/// * the realized distance-2 chromatic need of the topology
+///   ([`Workload::slot_demand`]), so frame-based protocols can derive
+///   their frame size per deployment instead of pinning a constant
+///   (see `MacModel::configure`).
+///
+/// # Migration
+///
+/// `Deployment.traffic` is now a `Workload`. All `TrafficEnv` accessors
+/// (`f_out`, `f_in`, `f_bg`, `depth`, `rings`, `fs`, `sources`,
+/// `total_rate`, `ring_model`) are forwarded, so read paths compile
+/// unchanged; construction sites move from `TrafficEnv::from_*` to
+/// [`Workload::from_rings`] / [`Workload::from_topology`] /
+/// [`Workload::from_node_rates`] (a bare `TrafficEnv` still converts
+/// via `From`, carrying no burst regime and no slot demand).
+///
+/// # Examples
+///
+/// ```
+/// use edmac_mac::{BurstRegime, Workload};
+/// use edmac_net::{RingModel, RingTraffic};
+/// use edmac_units::{Hertz, Seconds};
+///
+/// let rings = RingTraffic::new(RingModel::new(5, 4).unwrap(), Hertz::new(0.1));
+/// let steady = Workload::from_rings(&rings);
+/// assert!(steady.burst().is_none());
+/// // 4x-rate bursts, 30 s out of every 300 s:
+/// let bursty = steady.with_burst(BurstRegime::new(
+///     4.0,
+///     Seconds::new(300.0),
+///     Seconds::new(30.0),
+/// ));
+/// let b = bursty.burst().unwrap();
+/// assert!((b.duty() - 0.1).abs() < 1e-12);
+/// // 4x the rate for 10% of the time: ~31% of packets are in-burst.
+/// assert!((b.packet_occupancy() - 0.4 / 1.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    flows: TrafficEnv,
+    burst: Option<BurstRegime>,
+    slot_demand: Option<usize>,
+}
+
+impl Workload {
+    /// A steady workload over the analytic ring flow table (no burst
+    /// regime; slot demand unknown — ring deployments keep their
+    /// calibrated frame constants).
+    pub fn from_rings(traffic: &RingTraffic) -> Workload {
+        TrafficEnv::from_rings(traffic).into()
+    }
+
+    /// A steady workload with empirical flows from a realized topology
+    /// (uniform sampling at `fs`), carrying the topology's distance-2
+    /// chromatic need.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some node cannot reach
+    /// the sink.
+    pub fn from_topology(topology: &Topology, fs: Hertz) -> Result<Workload, NetError> {
+        let rates = vec![fs; topology.len()];
+        Workload::from_node_rates(topology, fs, &rates)
+    }
+
+    /// Like [`Workload::from_topology`] with per-node sampling rates
+    /// (hotspots, bursts folded to their means, any non-uniform
+    /// pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if some node cannot reach
+    /// the sink.
+    pub fn from_node_rates(
+        topology: &Topology,
+        fs: Hertz,
+        rates: &[Hertz],
+    ) -> Result<Workload, NetError> {
+        let flows = TrafficEnv::from_node_rates(topology, fs, rates)?;
+        Ok(Workload {
+            flows,
+            burst: None,
+            slot_demand: Some(distance_two_coloring(&topology.graph()).count()),
+        })
+    }
+
+    /// Returns a copy carrying `burst` as the window-conditional rate
+    /// structure (`None` clears it; the mean flow table is unchanged —
+    /// it already folds the windows).
+    #[must_use]
+    pub fn with_burst(mut self, burst: Option<BurstRegime>) -> Workload {
+        self.burst = burst;
+        self
+    }
+
+    /// The time-averaged per-depth flow table.
+    #[inline]
+    pub fn flows(&self) -> &TrafficEnv {
+        &self.flows
+    }
+
+    /// The window-conditional rate structure, if any.
+    #[inline]
+    pub fn burst(&self) -> Option<&BurstRegime> {
+        self.burst.as_ref()
+    }
+
+    /// The realized distance-2 chromatic need of the deployment's
+    /// topology — the minimum TDMA frame able to carry a collision-free
+    /// slot assignment — when the topology was realized (`None` for
+    /// analytic ring tables and bare flow-table conversions).
+    #[inline]
+    pub fn slot_demand(&self) -> Option<usize> {
+        self.slot_demand
+    }
+
+    /// The burst-conditional *excess* of a rate-dependent queueing
+    /// term: `wait` maps a flow multiplier (relative to the mean flows)
+    /// and the burst-window length to a delay, and the excess is the
+    /// occupancy-weighted regime mix minus the same term at the folded
+    /// mean rate,
+    ///
+    /// ```text
+    /// (1 − p)·wait(off, w) + p·wait(on, w) − wait(1, w),   p = packet occupancy.
+    /// ```
+    ///
+    /// Models add this on top of their closed-form latency: with no
+    /// burst regime the excess is identically zero (the closed forms
+    /// are untouched, bit for bit), at duty 0 or 1 the two regimes
+    /// collapse onto the mean rate and the mix cancels exactly, and for
+    /// waits convex in the rate (every queueing term is) Jensen makes
+    /// the excess non-negative — bursts can only add latency. The final
+    /// `max(0)` guards the convexity edge cases of window-capped waits.
+    #[inline]
+    pub fn burst_excess(&self, wait: impl Fn(f64, Seconds) -> f64) -> f64 {
+        let Some(b) = self.burst else {
+            return 0.0;
+        };
+        let (on, off) = b.rate_scales();
+        let p = b.packet_occupancy();
+        let w = b.window();
+        ((1.0 - p) * wait(off, w) + p * wait(on, w) - wait(1.0, w)).max(0.0)
+    }
+
+    /// The nominal application sampling rate `Fs`.
+    #[inline]
+    pub fn fs(&self) -> Hertz {
+        self.flows.fs()
+    }
+
+    /// The number of depth classes `D` (maximum hop count).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.flows.depth()
+    }
+
+    /// Iterates over all depth indices `1..=D`.
+    #[inline]
+    pub fn rings(&self) -> std::ops::RangeInclusive<usize> {
+        self.flows.rings()
+    }
+
+    /// Number of traffic sources (non-sink nodes).
+    #[inline]
+    pub fn sources(&self) -> usize {
+        self.flows.sources()
+    }
+
+    /// Aggregate generation rate of the whole network.
+    #[inline]
+    pub fn total_rate(&self) -> Hertz {
+        self.flows.total_rate()
+    }
+
+    /// The analytic ring model the flow table was built from, if any.
+    #[inline]
+    pub fn ring_model(&self) -> Option<RingModel> {
+        self.flows.ring_model()
+    }
+
+    /// Outbound packet rate `F_out(d)` of a depth-`d` node
+    /// (time-averaged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    #[inline]
+    pub fn f_out(&self, d: usize) -> Result<Hertz, NetError> {
+        self.flows.f_out(d)
+    }
+
+    /// Inbound (forwarded) packet rate `F_I(d)` of a depth-`d` node
+    /// (time-averaged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    #[inline]
+    pub fn f_in(&self, d: usize) -> Result<Hertz, NetError> {
+        self.flows.f_in(d)
+    }
+
+    /// Background rate `F_B(d)` a depth-`d` node can hear
+    /// (time-averaged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::RingOutOfRange`] for an invalid depth.
+    #[inline]
+    pub fn f_bg(&self, d: usize) -> Result<Hertz, NetError> {
+        self.flows.f_bg(d)
+    }
+}
+
+impl From<TrafficEnv> for Workload {
+    /// A bare flow table: no burst regime, slot demand unknown.
+    fn from(flows: TrafficEnv) -> Workload {
+        Workload {
+            flows,
+            burst: None,
+            slot_demand: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.flows)?;
+        if let Some(b) = &self.burst {
+            write!(f, " with {}x bursts (duty {:.2})", b.factor(), b.duty())?;
+        }
+        Ok(())
     }
 }
 
@@ -234,8 +580,9 @@ pub struct Deployment {
     pub radio: Radio,
     /// Frame formats.
     pub frames: FrameSizes,
-    /// Per-depth traffic flow table (the paper's §2, tabulated).
-    pub traffic: TrafficEnv,
+    /// The workload: per-depth flow table (the paper's §2, tabulated)
+    /// plus window-conditional rate structure and realized slot demand.
+    pub traffic: Workload,
     /// Energy reporting window: `E` is energy consumed per this many
     /// seconds at the bottleneck node. The paper's budgets
     /// (`0.01..0.06 J`) correspond to a 10 s epoch at CC2420-class
@@ -257,7 +604,7 @@ impl Deployment {
         Deployment {
             radio: Radio::cc2420(),
             frames: FrameSizes::default(),
-            traffic: TrafficEnv::from_rings(&traffic),
+            traffic: Workload::from_rings(&traffic),
             epoch: Seconds::new(10.0),
         }
     }
@@ -283,7 +630,7 @@ impl Deployment {
     /// the sink.
     pub fn from_topology(topology: &Topology, fs: Hertz) -> Result<Deployment, NetError> {
         Ok(Deployment {
-            traffic: TrafficEnv::from_topology(topology, fs)?,
+            traffic: Workload::from_topology(topology, fs)?,
             ..Deployment::reference()
         })
     }
@@ -291,36 +638,35 @@ impl Deployment {
     /// Returns a copy with a different (analytic ring) network shape.
     #[must_use]
     pub fn with_network(mut self, model: RingModel) -> Deployment {
-        self.traffic = TrafficEnv::from_rings(&RingTraffic::new(model, self.traffic.fs()));
+        self.traffic = Workload::from_rings(&RingTraffic::new(model, self.traffic.fs()));
         self
     }
 
-    /// Returns a copy with a different traffic flow table.
+    /// Returns a copy with a different workload (a bare [`TrafficEnv`]
+    /// converts, carrying no burst regime and no slot demand).
     #[must_use]
-    pub fn with_traffic(mut self, traffic: TrafficEnv) -> Deployment {
-        self.traffic = traffic;
+    pub fn with_traffic(mut self, traffic: impl Into<Workload>) -> Deployment {
+        self.traffic = traffic.into();
         self
     }
 
     /// Returns a copy with a different (uniform) sampling rate.
     ///
     /// Ring-derived tables are rebuilt exactly; empirical tables are
-    /// rescaled (all flows are linear in a uniform rate).
+    /// rescaled (all flows are linear in a uniform rate). The burst
+    /// regime and slot demand — rate-independent — are preserved.
     #[must_use]
     pub fn with_sampling(mut self, fs: Hertz) -> Deployment {
-        match self.traffic.ring_model() {
+        match self.traffic.flows.ring_model() {
             Some(model) => {
-                self.traffic = TrafficEnv::from_rings(&RingTraffic::new(model, fs));
+                self.traffic.flows = TrafficEnv::from_rings(&RingTraffic::new(model, fs));
             }
             None => {
-                let scale = fs.value() / self.traffic.fs.value();
-                self.traffic.fs = fs;
-                self.traffic.total_rate *= scale;
-                for row in [
-                    &mut self.traffic.f_out,
-                    &mut self.traffic.f_in,
-                    &mut self.traffic.f_bg,
-                ] {
+                let flows = &mut self.traffic.flows;
+                let scale = fs.value() / flows.fs.value();
+                flows.fs = fs;
+                flows.total_rate *= scale;
+                for row in [&mut flows.f_out, &mut flows.f_in, &mut flows.f_bg] {
                     for v in row.iter_mut() {
                         *v *= scale;
                     }
@@ -457,6 +803,95 @@ mod tests {
         // (1 + 1 + 3), not fs·sources — DMAC's capacity check depends
         // on this.
         assert!((table.total_rate().value() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_burst_windows_normalize_away() {
+        let every = Seconds::new(300.0);
+        // Duty 0 and 1, unit factor, nonsense inputs: no regime.
+        assert!(BurstRegime::new(4.0, every, Seconds::ZERO).is_none());
+        assert!(BurstRegime::new(4.0, every, every).is_none());
+        assert!(BurstRegime::new(4.0, every, Seconds::new(400.0)).is_none());
+        assert!(BurstRegime::new(1.0, every, Seconds::new(30.0)).is_none());
+        assert!(BurstRegime::new(0.5, every, Seconds::new(30.0)).is_none());
+        assert!(BurstRegime::new(f64::NAN, every, Seconds::new(30.0)).is_none());
+        assert!(BurstRegime::new(4.0, Seconds::ZERO, Seconds::ZERO).is_none());
+        // A proper window is kept.
+        let b = BurstRegime::new(4.0, every, Seconds::new(30.0)).unwrap();
+        assert!((b.duty() - 0.1).abs() < 1e-12);
+        assert_eq!(b.window(), Seconds::new(30.0));
+    }
+
+    #[test]
+    fn burst_regime_scales_are_consistent() {
+        let b = BurstRegime::new(4.0, Seconds::new(300.0), Seconds::new(150.0)).unwrap();
+        let (on, off) = b.rate_scales();
+        assert!(on > 1.0 && off < 1.0, "in-burst above mean, off below");
+        // Time-weighted mean of the scales is exactly the mean rate.
+        let mixed = b.duty() * on + (1.0 - b.duty()) * off;
+        assert!((mixed - 1.0).abs() < 1e-12);
+        // Packet occupancy: in-burst packets = on-scale x duty of time.
+        assert!((b.packet_occupancy() - on * b.duty()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_excess_vanishes_without_a_regime_and_mixes_with_one() {
+        let rings = RingTraffic::new(RingModel::new(4, 4).unwrap(), Hertz::new(0.0125));
+        let steady = Workload::from_rings(&rings);
+        // No regime: the closure must not even run.
+        assert_eq!(
+            steady.burst_excess(|_, _| panic!("steady workloads mix nothing")),
+            0.0
+        );
+        // A convex wait gains a strictly positive excess (Jensen).
+        let bursty = steady.clone().with_burst(BurstRegime::new(
+            4.0,
+            Seconds::new(300.0),
+            Seconds::new(30.0),
+        ));
+        let convex = |scale: f64, _w: Seconds| scale * scale;
+        assert!(bursty.burst_excess(convex) > 0.0);
+        // Even a linear wait gains: the mix is *packet*-weighted, and
+        // more packets are generated where the rate (and the wait) is
+        // high.
+        let linear = |scale: f64, _w: Seconds| 3.0 * scale;
+        assert!(bursty.burst_excess(linear) > 0.0);
+        // A rate-independent wait mixes back to itself: zero excess.
+        let constant = |_scale: f64, _w: Seconds| 0.7;
+        assert!(bursty.burst_excess(constant).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_from_topology_knows_its_slot_demand() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let topo = Topology::uniform_disk(60, 2.5, &mut rng).unwrap();
+        let w = Workload::from_topology(&topo, Hertz::new(0.0125)).unwrap();
+        let need = w.slot_demand().expect("realized topology");
+        let coloring = edmac_net::distance_two_coloring(&topo.graph());
+        assert_eq!(need, coloring.count());
+        // Ring closed forms carry none (calibrated defaults stay).
+        assert!(Deployment::reference().traffic.slot_demand().is_none());
+        // Bare flow tables convert without one.
+        let flows = TrafficEnv::from_topology(&topo, Hertz::new(0.0125)).unwrap();
+        let converted: Workload = flows.into();
+        assert!(converted.slot_demand().is_none());
+        assert!(converted.burst().is_none());
+    }
+
+    #[test]
+    fn with_sampling_preserves_burst_and_slot_demand() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let topo = Topology::uniform_disk(40, 2.0, &mut rng).unwrap();
+        let regime = BurstRegime::new(3.0, Seconds::new(100.0), Seconds::new(20.0));
+        let env = Deployment::reference().with_traffic(
+            Workload::from_topology(&topo, Hertz::new(0.01))
+                .unwrap()
+                .with_burst(regime),
+        );
+        let fast = env.clone().with_sampling(Hertz::new(0.04));
+        assert_eq!(fast.traffic.burst(), env.traffic.burst());
+        assert_eq!(fast.traffic.slot_demand(), env.traffic.slot_demand());
+        assert_eq!(fast.traffic.fs(), Hertz::new(0.04));
     }
 
     #[test]

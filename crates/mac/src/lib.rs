@@ -29,6 +29,15 @@
 //! `edmac-core` optimizer consumes, and also expose typed entry points
 //! (e.g. [`Xmac::evaluate`]) for direct use.
 //!
+//! The contract is **workload-aware**: a [`Deployment`] carries a
+//! [`Workload`] (time-averaged flow table + optional [`BurstRegime`] +
+//! realized slot demand), latency terms are evaluated per traffic
+//! regime and mixed by window occupancy, and
+//! [`MacModel::configure`] resolves each protocol's structural
+//! parameters (LMAC frame size, DMAC stagger depth, X-MAC strobe
+//! budget) from the deployment before evaluation — see [`MacModel`]'s
+//! migration notes.
+//!
 //! # Example
 //!
 //! ```
@@ -69,9 +78,9 @@ mod scp;
 mod xmac;
 
 pub use dmac::{Dmac, DmacParams};
-pub use env::{Deployment, TrafficEnv};
+pub use env::{BurstRegime, Deployment, TrafficEnv, Workload};
 pub use error::MacError;
 pub use lmac::{Lmac, LmacParams};
-pub use model::{all_models, MacModel, MacPerformance};
+pub use model::{all_models, MacModel, MacPerformance, ProtocolConfig};
 pub use scp::{Scp, ScpDual, ScpParams};
 pub use xmac::{Xmac, XmacParams};

@@ -34,7 +34,8 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
+    per_hop_burst_excess, require_arity, require_positive, MacModel, MacPerformance,
+    ProtocolConfig, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -101,9 +102,29 @@ impl Lmac {
             + self.guard
     }
 
-    /// The frame duration `Tf = N·Ts` for a given slot length.
+    /// The frame duration `Tf = N·Ts` for a given slot length at the
+    /// structural default frame (ring deployments; see
+    /// [`Lmac::frame_slots_for`] for the deployment-derived size).
     pub fn frame(&self, slot: Seconds) -> Seconds {
         slot * self.frame_slots as f64
+    }
+
+    /// The effective slots-per-frame under `env`: when the workload
+    /// carries the realized distance-2 chromatic need, the frame is
+    /// sized to it plus ~25% claim headroom (LMAC's distributed
+    /// slot-claiming needs slack to converge; at least two spare
+    /// slots). Analytic ring tables keep the calibrated structural
+    /// default, so the paper's ring figures are untouched.
+    ///
+    /// This replaces the former practice of pinning 64 slots on every
+    /// non-ring deployment: a 40-node disk typically needs ~20 slots,
+    /// so the derived frame roughly halves LMAC's off-ring per-hop wait
+    /// and stops charging control listening for empty slots.
+    pub fn frame_slots_for(&self, env: &Deployment) -> usize {
+        match env.traffic.slot_demand() {
+            Some(need) => need + (need.div_ceil(4)).max(2),
+            None => self.frame_slots,
+        }
     }
 
     /// Evaluates the model with typed parameters.
@@ -135,7 +156,7 @@ impl Lmac {
         let t_ctl = radio.airtime(env.frames.control).value();
         let t_data = radio.airtime(env.frames.data).value();
         let t_up = radio.timings.startup.value();
-        let tf = self.frame(params.slot).value();
+        let tf = (params.slot * self.frame_slots_for(env) as f64).value();
 
         let depth = env.traffic.depth();
         let mut rings = RingFold::new();
@@ -164,8 +185,19 @@ impl Lmac {
             });
         }
 
+        // Window-conditional queueing: each node serves one owned slot
+        // per frame, so its service time is Tf per packet and its
+        // per-regime load is `F_out·Tf` scaled to that regime's rates.
+        let excess = if env.traffic.burst().is_some() {
+            per_hop_burst_excess(env, tf, |d| {
+                env.traffic.f_out(d).expect("ring in range").value() * tf
+            })
+        } else {
+            0.0
+        };
+
         let per_hop = tf / 2.0 + t_ctl + t_data;
-        let latency = Seconds::new(depth as f64 * per_hop);
+        let latency = Seconds::new(depth as f64 * per_hop + excess);
         Ok(rings.finish(env, latency))
     }
 }
@@ -183,6 +215,13 @@ impl MacModel for Lmac {
         let lo = self.min_slot(env).value();
         Bounds::new(vec![(lo, self.max_slot.value().max(lo * 2.0))])
             .expect("structural bounds are validated by construction")
+    }
+
+    fn configure(&self, env: &Deployment) -> ProtocolConfig {
+        ProtocolConfig::Lmac {
+            frame_slots: self.frame_slots_for(env),
+            slot_demand: env.traffic.slot_demand(),
+        }
     }
 
     fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {

@@ -7,6 +7,91 @@ use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
 use edmac_units::{Joules, Seconds};
 
+/// Derived structural protocol parameters under one deployment — the
+/// output of [`MacModel::configure`], resolved *before* evaluation.
+///
+/// The PR 3 study hard-wired what belongs here (a 64-slot LMAC frame on
+/// every non-ring cell, duplicated across two binaries); `configure`
+/// makes the derivation part of the model contract instead, so the
+/// analytic evaluation, the packet-level simulator and the artifacts
+/// all read the same inspectable values. This is the *analytic* side's
+/// configuration record; `edmac_sim::ProtocolConfig` remains the
+/// simulator's input and is built from this one plus the tuned
+/// parameter vector (see `edmac_study::sim_protocol`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolConfig {
+    /// X-MAC structural parameters.
+    Xmac {
+        /// Worst-case strobes per preamble train: a full wake-up
+        /// interval of strobe cycles at the largest admissible `Tw`.
+        strobe_budget: usize,
+    },
+    /// DMAC structural parameters.
+    Dmac {
+        /// Ladder (stagger) depth: slots the schedule staggers per
+        /// sweep — the deployment's routing depth `D`.
+        stagger_depth: usize,
+    },
+    /// LMAC structural parameters.
+    Lmac {
+        /// Slots per frame `N`, derived from the realized distance-2
+        /// chromatic need when the deployment knows it.
+        frame_slots: usize,
+        /// The realized chromatic need itself (`None` on analytic ring
+        /// tables, where the calibrated default frame is kept).
+        slot_demand: Option<usize>,
+    },
+    /// SCP-MAC structural parameters.
+    Scp {
+        /// Schedule-synchronization period, in whole milliseconds (the
+        /// tone length every transmission pays scales with it).
+        sync_period_ms: u64,
+    },
+}
+
+impl ProtocolConfig {
+    /// The protocol this configuration belongs to.
+    pub fn protocol(&self) -> &'static str {
+        match self {
+            ProtocolConfig::Xmac { .. } => "X-MAC",
+            ProtocolConfig::Dmac { .. } => "DMAC",
+            ProtocolConfig::Lmac { .. } => "LMAC",
+            ProtocolConfig::Scp { .. } => "SCP-MAC",
+        }
+    }
+
+    /// The TDMA frame length, for frame-based configurations.
+    pub fn frame_slots(&self) -> Option<usize> {
+        match self {
+            ProtocolConfig::Lmac { frame_slots, .. } => Some(*frame_slots),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolConfig {
+    /// Compact comma-free rendering (safe as a CSV field), e.g.
+    /// `LMAC[N=29;need=23]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolConfig::Xmac { strobe_budget } => {
+                write!(f, "X-MAC[strobes={strobe_budget}]")
+            }
+            ProtocolConfig::Dmac { stagger_depth } => write!(f, "DMAC[ladder={stagger_depth}]"),
+            ProtocolConfig::Lmac {
+                frame_slots,
+                slot_demand,
+            } => match slot_demand {
+                Some(need) => write!(f, "LMAC[N={frame_slots};need={need}]"),
+                None => write!(f, "LMAC[N={frame_slots}]"),
+            },
+            ProtocolConfig::Scp { sync_period_ms } => {
+                write!(f, "SCP-MAC[sync={sync_period_ms}ms]")
+            }
+        }
+    }
+}
+
 /// What a protocol model reports for one parameter vector: the inputs to
 /// the paper's problems (P1), (P2), (P4).
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +122,22 @@ pub struct MacPerformance {
 /// protocols — and any future one — uniformly; the concrete types also
 /// expose typed `evaluate` methods with validated parameter structs.
 ///
+/// # Migration (workload-aware contract)
+///
+/// Two things changed relative to the original `MacModel`:
+///
+/// 1. `Deployment.traffic` is a [`Workload`](crate::Workload) (flow
+///    table + burst regime + slot demand) instead of a bare
+///    `TrafficEnv`; [`MacModel::performance`] is expected to evaluate
+///    latency per traffic regime and mix by window occupancy
+///    (`Workload::burst_excess`). Steady workloads reduce to the old
+///    closed forms bit for bit.
+/// 2. [`MacModel::configure`] resolves the protocol's *structural*
+///    parameters from the deployment before evaluation (LMAC's frame
+///    from the realized chromatic need, DMAC's stagger depth, X-MAC's
+///    strobe budget); `performance` must be consistent with what
+///    `configure` reports for the same deployment.
+///
 /// [C-OBJECT]: https://rust-lang.github.io/api-guidelines/flexibility.html
 pub trait MacModel {
     /// Protocol name (e.g. `"X-MAC"`).
@@ -47,6 +148,11 @@ pub trait MacModel {
 
     /// The valid parameter box under `env`.
     fn bounds(&self, env: &Deployment) -> Bounds;
+
+    /// Resolves the protocol's structural parameters under `env` —
+    /// everything [`MacModel::performance`] will hold fixed while the
+    /// optimizer tunes the parameter vector. Deterministic in `env`.
+    fn configure(&self, env: &Deployment) -> ProtocolConfig;
 
     /// Evaluates the model at parameter vector `x`.
     ///
@@ -151,6 +257,57 @@ pub(crate) fn assemble(env: &Deployment, rings: &[RingRates], latency: Seconds) 
         fold.push(rates);
     }
     fold.finish(env, latency)
+}
+
+/// Expected in-window queueing delay of one hop, M/D/1-style: a server
+/// that takes `service` seconds per packet, offered utilization `rho`,
+/// inside a burst window of `window` seconds.
+///
+/// * Stable regime (`rho < 1`): the M/D/1 mean wait
+///   `rho·service / (2·(1 − rho))`, capped by the transient bound —
+///   a finite window cannot build the steady-state queue as
+///   `rho → 1`.
+/// * Overloaded regime (`rho ≥ 1`): the queue grows for the whole
+///   window; the coarse transient bound `rho·window / 2` (what the
+///   window's own arrivals can stack up, on average) is used directly.
+///
+/// The two branches meet continuously at `rho = 1` (the steady-state
+/// wait diverges there, so the `min` hands over to the transient
+/// bound). This is deliberately a first-order model: it restores the
+/// right order of magnitude for in-window queueing that the folded
+/// mean rate misses entirely, not an exact transient analysis.
+pub(crate) fn window_wait(rho: f64, service: f64, window: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let transient = rho * window / 2.0;
+    if rho < 1.0 {
+        (rho * service / (2.0 * (1.0 - rho))).min(transient)
+    } else {
+        transient
+    }
+}
+
+/// The per-hop window-conditional queueing excess shared by the
+/// hop-server protocols (X-MAC, LMAC, SCP-MAC): sums [`window_wait`]
+/// over the depth classes at each regime's scaled load and mixes by
+/// packet occupancy via `Workload::burst_excess`. `load_at(d)` is the
+/// protocol's offered load (`rho`) at depth `d`; `service` its
+/// per-packet service time. Kept out of line so the steady-workload
+/// solve loop — the optimizer's hot path — stays compact; callers
+/// guard on `env.traffic.burst().is_some()`.
+#[inline(never)]
+pub(crate) fn per_hop_burst_excess(
+    env: &crate::env::Deployment,
+    service: f64,
+    load_at: impl Fn(usize) -> f64,
+) -> f64 {
+    env.traffic.burst_excess(|scale, window| {
+        env.traffic
+            .rings()
+            .map(|d| window_wait(load_at(d) * scale, service, window.value()))
+            .sum()
+    })
 }
 
 /// Validates a strictly positive, finite duration parameter.

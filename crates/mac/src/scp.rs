@@ -39,7 +39,8 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
+    per_hop_burst_excess, require_arity, require_positive, MacModel, MacPerformance,
+    ProtocolConfig, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -166,10 +167,24 @@ impl Scp {
             });
         }
 
+        // Window-conditional queueing: each poll boundary serves about
+        // one exchange per collision domain, so the per-hop server has
+        // service time Tp at the boundary load of that ring.
+        let excess = if env.traffic.burst().is_some() {
+            per_hop_burst_excess(env, tp, |d| {
+                let f_out = env.traffic.f_out(d).expect("ring in range").value();
+                let f_bg = env.traffic.f_bg(d).expect("ring in range").value();
+                (f_bg + f_out) * tp
+            })
+        } else {
+            0.0
+        };
+
         // Common schedule => store-and-forward: half a period at the
         // source, a full period per relay hop, plus each hop's airtime.
-        let latency =
-            Seconds::new(tp / 2.0 + (depth as f64 - 1.0) * tp + depth as f64 * (tone + t_data));
+        let latency = Seconds::new(
+            tp / 2.0 + (depth as f64 - 1.0) * tp + depth as f64 * (tone + t_data) + excess,
+        );
         Ok(rings.finish(env, latency))
     }
 }
@@ -190,6 +205,12 @@ impl MacModel for Scp {
             self.max_poll.value(),
         )])
         .expect("structural bounds are validated by construction")
+    }
+
+    fn configure(&self, _env: &Deployment) -> ProtocolConfig {
+        ProtocolConfig::Scp {
+            sync_period_ms: (self.sync_period.value() * 1_000.0).round() as u64,
+        }
     }
 
     fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
@@ -262,6 +283,12 @@ impl MacModel for ScpDual {
             (self.min_sync.value(), self.max_sync.value()),
         ])
         .expect("structural bounds are validated by construction")
+    }
+
+    fn configure(&self, env: &Deployment) -> ProtocolConfig {
+        // The sync period is a *tunable* here; the reported structural
+        // configuration is the base model's default.
+        self.base.configure(env)
     }
 
     fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {

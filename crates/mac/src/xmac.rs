@@ -41,7 +41,8 @@
 use crate::env::Deployment;
 use crate::error::MacError;
 use crate::model::{
-    require_arity, require_positive, MacModel, MacPerformance, RingFold, RingRates,
+    per_hop_burst_excess, require_arity, require_positive, MacModel, MacPerformance,
+    ProtocolConfig, RingFold, RingRates,
 };
 use edmac_optim::Bounds;
 use edmac_radio::EnergyBreakdown;
@@ -167,8 +168,23 @@ impl Xmac {
             });
         }
 
+        // Window-conditional queueing: each hop is a server holding
+        // the channel for one strobe train plus data per packet, so
+        // its per-regime load is the channel utilization scaled to
+        // that regime's rates.
+        let service = tw / 2.0 + t_data + t_ack;
+        let excess = if env.traffic.burst().is_some() {
+            per_hop_burst_excess(env, service, |d| {
+                let f_out = env.traffic.f_out(d).expect("ring in range").value();
+                let f_bg = env.traffic.f_bg(d).expect("ring in range").value();
+                (f_bg + f_out) * service
+            })
+        } else {
+            0.0
+        };
+
         let per_hop = tw / 2.0 + t_cyc + t_data;
-        let latency = Seconds::new(depth as f64 * per_hop);
+        let latency = Seconds::new(depth as f64 * per_hop + excess);
         Ok(rings.finish(env, latency))
     }
 }
@@ -189,6 +205,19 @@ impl MacModel for Xmac {
         let lo = self.min_wakeup.value().max(floor);
         Bounds::new(vec![(lo, self.max_wakeup.value())])
             .expect("structural bounds are validated by construction")
+    }
+
+    fn configure(&self, env: &Deployment) -> ProtocolConfig {
+        // The strobe budget a sender must provision: a full wake-up
+        // interval of strobe cycles at the largest admissible Tw.
+        let radio = &env.radio;
+        let t_cyc = (radio.airtime(env.frames.strobe)
+            + radio.airtime(env.frames.ack)
+            + radio.timings.turnaround * 2.0)
+            .value();
+        ProtocolConfig::Xmac {
+            strobe_budget: (self.max_wakeup.value() / t_cyc).ceil() as usize,
+        }
     }
 
     fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {

@@ -19,11 +19,11 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Schema tag of `study_cells.csv`.
-pub const CELLS_SCHEMA: &str = "edmac-study/cells/v1";
+pub const CELLS_SCHEMA: &str = "edmac-study/cells/v2";
 /// Schema tag of `study_validation.csv`.
 pub const VALIDATION_SCHEMA: &str = "edmac-study/validation/v1";
 /// Schema tag of `study_summary.json`.
-pub const SUMMARY_SCHEMA: &str = "edmac-study/summary/v1";
+pub const SUMMARY_SCHEMA: &str = "edmac-study/summary/v2";
 
 /// `NA`-aware fixed-precision float formatting (6 decimals) for the
 /// CSV artifacts.
@@ -65,17 +65,22 @@ pub fn cells_csv(outcomes: &[CellOutcome]) -> String {
     let _ = writeln!(
         out,
         "cell,scenario,preset,nodes,depth_axis,depth_realized,hotspot_factor,burst_duty,\
-         irregularity,protocol,status,e_best_j,l_worst_s,e_worst_j,l_best_s,nbs_e_j,nbs_l_s,\
-         nbs_params,fairness_gap,drift_nash,concept,strategic,ok,e_j,l_s,gain_e_j,gain_l_s,\
-         nash_product,min_gain_norm"
+         irregularity,protocol,protocol_config,status,e_best_j,l_worst_s,e_worst_j,l_best_s,\
+         nbs_e_j,nbs_l_s,nbs_params,fairness_gap,drift_nash,wsweep_best_w,wsweep_best_dist,\
+         concept,strategic,ok,e_j,l_s,gain_e_j,gain_l_s,nash_product,min_gain_norm"
     );
     for o in outcomes {
         let (e_best, l_worst, e_worst, l_best) =
             o.anchors
                 .unwrap_or((f64::NAN, f64::NAN, f64::NAN, f64::NAN));
         let (nbs_e, nbs_l, nbs_params) = o.nbs.clone().unwrap_or((f64::NAN, f64::NAN, Vec::new()));
+        let (sweep_w, sweep_dist) = o
+            .weight_sweep
+            .as_ref()
+            .map(|s| (s.best_w, s.best_distance))
+            .unwrap_or((f64::NAN, f64::NAN));
         let prefix = format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             o.cell.index,
             o.cell.scenario.name,
             o.cell.preset,
@@ -86,6 +91,9 @@ pub fn cells_csv(outcomes: &[CellOutcome]) -> String {
             format_args!("{:.2}", o.cell.burst_duty),
             f6(o.irregularity),
             o.protocol,
+            o.config
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "NA".into()),
             if o.solved() { "ok" } else { "infeasible" },
             f6(e_best),
             f6(l_worst),
@@ -96,6 +104,8 @@ pub fn cells_csv(outcomes: &[CellOutcome]) -> String {
             params_field(&nbs_params),
             f6(o.fairness_gap),
             f6(o.drift_nash),
+            f6(sweep_w),
+            f6(sweep_dist),
         );
         if o.concepts.is_empty() {
             let _ = writeln!(out, "{prefix},-,-,false,NA,NA,NA,NA,NA,NA");
@@ -209,6 +219,37 @@ pub fn summary_json(summary: &StudySummary) -> String {
         g.outside_gain_region
     );
     let _ = writeln!(out, "  }},");
+    let w = &summary.weight_sweep;
+    let _ = writeln!(out, "  \"weight_sweep\": {{");
+    let _ = writeln!(out, "    \"cells\": {},", w.cells);
+    let _ = writeln!(out, "    \"tolerance\": {},", j6(w.tolerance));
+    let _ = writeln!(
+        out,
+        "    \"mean_best_distance\": {},",
+        j6(w.mean_best_distance)
+    );
+    let _ = writeln!(
+        out,
+        "    \"max_best_distance\": {},",
+        j6(w.max_best_distance)
+    );
+    let _ = writeln!(
+        out,
+        "    \"cells_matched_by_some_weight\": {},",
+        w.cells_matched_by_some_weight
+    );
+    let _ = writeln!(out, "    \"best_static_w\": {},", j6(w.best_static_w));
+    let _ = writeln!(
+        out,
+        "    \"cells_matched_by_best_static\": {},",
+        w.cells_matched_by_best_static
+    );
+    let _ = writeln!(
+        out,
+        "    \"any_static_weight_reproduces_all\": {}",
+        w.any_static_weight_reproduces_all()
+    );
+    let _ = writeln!(out, "  }},");
     let v = &summary.validation;
     let _ = writeln!(out, "  \"validation\": {{");
     let _ = writeln!(out, "    \"cells\": {},", v.cells);
@@ -265,7 +306,7 @@ mod tests {
 
     #[test]
     fn summary_json_keeps_non_finite_values_parseable() {
-        use crate::summary::{AggregateGap, StudySummary, ValidationBands};
+        use crate::summary::{AggregateGap, StudySummary, ValidationBands, WeightSweepSummary};
         // A degenerate summary (empty run, NaN/inf aggregates) must
         // still serialize to valid JSON: `null`, never a bare `NA`.
         let summary = StudySummary {
@@ -281,6 +322,15 @@ mod tests {
                 mean_np_efficiency: f64::NAN,
                 mean_fairness_ratio: f64::NAN,
                 outside_gain_region: 0,
+            },
+            weight_sweep: WeightSweepSummary {
+                cells: 0,
+                tolerance: f64::NAN,
+                mean_best_distance: f64::NAN,
+                max_best_distance: f64::NAN,
+                cells_matched_by_some_weight: 0,
+                best_static_w: f64::NAN,
+                cells_matched_by_best_static: 0,
             },
             validation: ValidationBands {
                 cells: 0,

@@ -1,11 +1,9 @@
 //! Solving one study cell: a (scenario, protocol) pair taken through
 //! the full concept panel and, optionally, packet-level validation.
 
-use edmac_core::{
-    sample_frontier, AppRequirements, GridCell, PresetKind, TradeoffAnalysis, TradeoffReport,
-};
-use edmac_game::{standard_concepts, BargainingProblem, CostPoint};
-use edmac_mac::{Deployment, Dmac, Lmac, MacModel, Xmac};
+use edmac_core::{sample_frontier, AppRequirements, GridCell, TradeoffAnalysis, TradeoffReport};
+use edmac_game::{standard_concepts, BargainingProblem, CostPoint, SolutionConcept, WeightedSum};
+use edmac_mac::{all_models, Deployment, MacModel};
 use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
 use edmac_units::Seconds;
 
@@ -13,42 +11,39 @@ use edmac_units::Seconds;
 /// many candidate operating points feed the discrete concept panel).
 const FRONTIER_SAMPLES: usize = 96;
 
-/// The protocol panel for one cell. Off-ring neighborhoods out-color
-/// LMAC's ring-calibrated 24-slot frame, so non-ring cells get the
-/// 64-slot variant on *both* the analytic and the simulated side — the
-/// validation then measures model error, not a frame-size mismatch.
-pub fn models_for(preset: PresetKind) -> Vec<Box<dyn MacModel>> {
-    let lmac = match preset {
-        PresetKind::Ring => Lmac::default(),
-        _ => Lmac {
-            frame_slots: 64,
-            ..Lmac::default()
-        },
-    };
-    vec![
-        Box::new(Xmac::default()),
-        Box::new(Dmac::default()),
-        Box::new(lmac),
-    ]
+/// The protocol panel for one cell: the paper's trio at their default
+/// structural constants. Per-deployment structure (LMAC's frame from
+/// the realized distance-2 chromatic need, DMAC's stagger depth) is no
+/// longer pinned here — [`MacModel::configure`] derives it per cell,
+/// and the simulated side reads the same derivation via
+/// [`sim_protocol`].
+pub fn models_for() -> Vec<Box<dyn MacModel>> {
+    all_models()
 }
 
 /// Number of protocols in every cell's panel.
 pub const PROTOCOLS: usize = 3;
 
-/// The simulator configuration matching a model at parameter vector
-/// `x` on a `preset` cell (the LMAC frame follows [`models_for`]).
-pub fn sim_protocol(preset: PresetKind, protocol: &str, x: &[f64]) -> ProtocolConfig {
-    match protocol {
-        "X-MAC" => ProtocolConfig::xmac(Seconds::new(x[0])),
-        "DMAC" => ProtocolConfig::dmac(Seconds::new(x[0])),
-        "LMAC" => ProtocolConfig::Lmac {
+/// The simulator configuration matching an analytic model at parameter
+/// vector `x`, given the model's per-deployment
+/// [`edmac_mac::ProtocolConfig`] — the one bridge between the analytic
+/// configuration record and the simulator's input, so the two sides
+/// can never disagree on derived structure.
+pub fn sim_protocol(config: &edmac_mac::ProtocolConfig, x: &[f64]) -> ProtocolConfig {
+    match *config {
+        edmac_mac::ProtocolConfig::Xmac { .. } => ProtocolConfig::xmac(Seconds::new(x[0])),
+        edmac_mac::ProtocolConfig::Dmac { .. } => ProtocolConfig::dmac(Seconds::new(x[0])),
+        edmac_mac::ProtocolConfig::Lmac { frame_slots, .. } => ProtocolConfig::Lmac {
             slot: Seconds::new(x[0]),
-            frame_slots: match preset {
-                PresetKind::Ring => 24,
-                _ => 64,
-            },
+            frame_slots,
         },
-        other => panic!("no simulator counterpart for {other}"),
+        edmac_mac::ProtocolConfig::Scp { sync_period_ms } => ProtocolConfig::Scp {
+            poll_interval: Seconds::new(x[0]),
+            poll_listen: Seconds::from_millis(2.5),
+            // The analytic config's period, not the simulator's default:
+            // a non-default sync period must reach both sides.
+            sync_period: Seconds::from_millis(sync_period_ms as f64),
+        },
     }
 }
 
@@ -100,6 +95,39 @@ impl ConceptOutcome {
     }
 }
 
+/// Tolerance (normalized profile distance) under which a weighted-sum
+/// agreement counts as *reproducing* the Nash agreement.
+pub const WEIGHT_MATCH_TOL: f64 = 0.02;
+
+/// The weight grid the per-cell scalarization sweep samples:
+/// `w ∈ {0.05, 0.10, …, 0.95}`.
+pub fn weight_grid() -> impl Iterator<Item = f64> {
+    (1..20).map(|k| k as f64 * 0.05)
+}
+
+/// The per-cell weighted-sum weight sweep: for every `w` on
+/// [`weight_grid`], the normalized profile distance between the
+/// `w`-scalarization's pick and the Nash agreement — the full
+/// scalarization frontier the ROADMAP's "weight sweep" item asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSweep {
+    /// `(w, distance)` samples in grid order; `NaN` distance when the
+    /// scalarization failed at that weight.
+    pub samples: Vec<(f64, f64)>,
+    /// The weight with the smallest distance.
+    pub best_w: f64,
+    /// That smallest distance.
+    pub best_distance: f64,
+}
+
+impl WeightSweep {
+    /// Whether some static weight reproduces the Nash agreement on this
+    /// cell (within [`WEIGHT_MATCH_TOL`]).
+    pub fn matched(&self) -> bool {
+        self.best_distance <= WEIGHT_MATCH_TOL
+    }
+}
+
 /// The model-vs-simulation cross-check at the cell's NBS parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ValidationOutcome {
@@ -116,7 +144,8 @@ pub struct ValidationOutcome {
     pub err_e: f64,
     /// Analytic worst end-to-end latency (s).
     pub model_l: f64,
-    /// Simulated median delay at the deepest ring (s).
+    /// Simulated worst per-depth median delay (s) — the packet-level
+    /// counterpart of the model's `max_d L_d`.
     pub sim_l: f64,
     /// Relative latency error `|sim − model| / model`.
     pub err_l: f64,
@@ -142,6 +171,9 @@ pub struct CellOutcome {
     /// Topology irregularity: coefficient of variation of node degree
     /// (0 ≈ perfectly regular).
     pub irregularity: f64,
+    /// The model's derived per-deployment structural configuration
+    /// (`None` only when the deployment itself failed to build).
+    pub config: Option<edmac_mac::ProtocolConfig>,
     /// `(Ebest, Lworst, Eworst, Lbest)` anchors from (P1)/(P2).
     pub anchors: Option<(f64, f64, f64, f64)>,
     /// The continuous NBS agreement `(E*, L*, params)`.
@@ -150,6 +182,9 @@ pub struct CellOutcome {
     pub fairness_gap: f64,
     /// The discrete concept panel.
     pub concepts: Vec<ConceptOutcome>,
+    /// The weighted-sum weight sweep against the Nash agreement
+    /// (`None` when the cell or its Nash concept failed).
+    pub weight_sweep: Option<WeightSweep>,
     /// Nash-concept drift from the same-protocol ring baseline
     /// (filled by the runner once ring baselines exist; NaN before).
     pub drift_nash: f64,
@@ -212,10 +247,12 @@ pub fn solve_cell(cell: &GridCell, model: &dyn MacModel, reqs: AppRequirements) 
         realized_nodes: 0,
         realized_depth: 0,
         irregularity: f64::NAN,
+        config: None,
         anchors: None,
         nbs: None,
         fairness_gap: f64::NAN,
         concepts: Vec::new(),
+        weight_sweep: None,
         drift_nash: f64::NAN,
         validation: None,
     };
@@ -238,6 +275,7 @@ pub fn solve_cell(cell: &GridCell, model: &dyn MacModel, reqs: AppRequirements) 
         }
     };
     outcome.realized_depth = env.traffic.depth();
+    outcome.config = Some(model.configure(&env));
 
     let analysis = TradeoffAnalysis::new(model, &env, reqs);
     let report = match analysis.bargain() {
@@ -255,17 +293,20 @@ pub fn solve_cell(cell: &GridCell, model: &dyn MacModel, reqs: AppRequirements) 
     ));
     outcome.nbs = Some((report.e_star(), report.l_star(), report.nbs.params.clone()));
     outcome.fairness_gap = report.fairness_gap();
-    outcome.concepts = concept_panel(model, &env, &report, reqs);
+    let (concepts, weight_sweep) = concept_panel(model, &env, &report, reqs);
+    outcome.concepts = concepts;
+    outcome.weight_sweep = weight_sweep;
     outcome
 }
 
-/// Runs the full concept panel on the cell's sampled frontier.
+/// Runs the full concept panel on the cell's sampled frontier, plus
+/// the weighted-sum weight sweep against the panel's Nash agreement.
 fn concept_panel(
     model: &dyn MacModel,
     env: &Deployment,
     report: &TradeoffReport,
     reqs: AppRequirements,
-) -> Vec<ConceptOutcome> {
+) -> (Vec<ConceptOutcome>, Option<WeightSweep>) {
     let v = CostPoint::new(report.e_worst(), report.l_worst());
     let feasible: Vec<CostPoint> = sample_frontier(model, env, FRONTIER_SAMPLES)
         .into_iter()
@@ -279,13 +320,14 @@ fn concept_panel(
     let problem = match BargainingProblem::new(feasible, v) {
         Ok(p) => p,
         Err(_) => {
-            return standard_concepts()
+            let failed = standard_concepts()
                 .iter()
                 .map(|c| ConceptOutcome::failed(c.key(), c.is_strategic()))
-                .collect()
+                .collect();
+            return (failed, None);
         }
     };
-    standard_concepts()
+    let concepts: Vec<ConceptOutcome> = standard_concepts()
         .iter()
         .map(|concept| match concept.solve(&problem) {
             Ok(bargain) => {
@@ -304,7 +346,44 @@ fn concept_panel(
             }
             Err(_) => ConceptOutcome::failed(concept.key(), concept.is_strategic()),
         })
-        .collect()
+        .collect();
+    let sweep = weight_sweep(&problem, &concepts, (span_e, span_l));
+    (concepts, sweep)
+}
+
+/// Sweeps the weighted-sum aggregate's weight over [`weight_grid`] and
+/// measures, per weight, how far the scalarization's pick lands from
+/// the Nash agreement in normalized concession-profile space.
+fn weight_sweep(
+    problem: &BargainingProblem,
+    concepts: &[ConceptOutcome],
+    spans: (f64, f64),
+) -> Option<WeightSweep> {
+    let nash = concepts.iter().find(|c| c.key == "nash" && c.solved)?;
+    let (nx, ny) = nash.profile(spans);
+    let v = problem.disagreement();
+    let mut samples = Vec::with_capacity(19);
+    let mut best: Option<(f64, f64)> = None;
+    for w in weight_grid() {
+        let distance = match (WeightedSum { energy_weight: w }).solve(problem) {
+            Ok(bargain) => {
+                let (gain_e, gain_l) = bargain.point.gains_from(v);
+                let (px, py) = (gain_e / spans.0, gain_l / spans.1);
+                ((px - nx).powi(2) + (py - ny).powi(2)).sqrt()
+            }
+            Err(_) => f64::NAN,
+        };
+        samples.push((w, distance));
+        if distance.is_finite() && best.is_none_or(|(_, d)| distance < d) {
+            best = Some((w, distance));
+        }
+    }
+    let (best_w, best_distance) = best?;
+    Some(WeightSweep {
+        samples,
+        best_w,
+        best_distance,
+    })
 }
 
 /// Cross-validates a solved cell packet-by-packet: simulate the
@@ -317,7 +396,7 @@ pub fn validate_cell(
     sim_horizon: Seconds,
 ) -> Option<ValidationOutcome> {
     let (model_e, model_l, params) = outcome.nbs.clone()?;
-    let protocol = sim_protocol(cell.preset, outcome.protocol, &params);
+    let protocol = sim_protocol(outcome.config.as_ref()?, &params);
     let config = SimConfig {
         duration: sim_horizon,
         sample_period: cell.scenario.traffic.sample_period(),
@@ -329,10 +408,23 @@ pub fn validate_cell(
     let report = sim.run();
     let deepest = report.per_node().iter().map(|s| s.depth).max().unwrap_or(0);
     let sim_e = report.bottleneck_energy(Seconds::new(10.0)).value();
-    let sim_l = report
-        .median_delay_at_depth(deepest)
-        .map(|d| d.value())
-        .unwrap_or(f64::NAN);
+    // The model predicts `L = max_d L_d`. On rings every depth class is
+    // densely populated and the deepest median is the stable worst
+    // case (the PR 3 comparator). On irregular disks the deepest class
+    // can hold one or two nodes, whose median is small-sample noise
+    // rather than hop cost — there the worst per-depth median is the
+    // faithful packet-level counterpart of the model's max.
+    let sim_l = if cell.preset == edmac_core::PresetKind::Ring {
+        report
+            .median_delay_at_depth(deepest)
+            .map(|d| d.value())
+            .unwrap_or(f64::NAN)
+    } else {
+        (1..=deepest)
+            .filter_map(|d| report.median_delay_at_depth(d))
+            .map(|d| d.value())
+            .fold(f64::NAN, f64::max)
+    };
     Some(ValidationOutcome {
         seed: cell.seed,
         params,
@@ -360,7 +452,7 @@ mod tests {
     fn smoke_ring_cell_solves_all_concepts() {
         let cells = StudyGrid::smoke().cells();
         let ring = &cells[0];
-        for model in models_for(ring.preset) {
+        for model in models_for() {
             let out = solve_cell(ring, model.as_ref(), reqs());
             assert!(out.solved(), "{}: {:?}", model.name(), out.infeasible);
             assert_eq!(out.concepts.len(), standard_concepts().len());
@@ -378,7 +470,7 @@ mod tests {
     fn solving_is_deterministic() {
         let cells = StudyGrid::smoke().cells();
         let cell = &cells[2]; // the hotspot cell: random topology
-        let model = models_for(cell.preset).remove(0);
+        let model = models_for().remove(0);
         let a = solve_cell(cell, model.as_ref(), reqs());
         let b = solve_cell(cell, model.as_ref(), reqs());
         // Debug strings: NaN placeholders compare equal, unlike the
@@ -390,7 +482,7 @@ mod tests {
     fn validation_reports_finite_error_bands() {
         let cells = StudyGrid::smoke().cells();
         let ring = &cells[0];
-        let model = models_for(ring.preset).remove(0);
+        let model = models_for().remove(0);
         let out = solve_cell(ring, model.as_ref(), reqs());
         let v = validate_cell(ring, &out, Seconds::new(600.0)).expect("solved cell validates");
         assert!(
@@ -405,7 +497,7 @@ mod tests {
     fn infeasible_requirements_are_recorded_not_fatal() {
         let cells = StudyGrid::smoke().cells();
         let tight = AppRequirements::new(Joules::new(1e-9), Seconds::new(30.0)).unwrap();
-        let model = models_for(cells[0].preset).remove(0);
+        let model = models_for().remove(0);
         let out = solve_cell(&cells[0], model.as_ref(), tight);
         assert!(!out.solved());
         assert!(out.concepts.is_empty());

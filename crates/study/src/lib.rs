@@ -55,11 +55,13 @@ pub use artifact::{
     VALIDATION_SCHEMA,
 };
 pub use cell::{
-    models_for, sim_protocol, solve_cell, validate_cell, CellOutcome, ConceptOutcome,
-    ValidationOutcome, PROTOCOLS,
+    models_for, sim_protocol, solve_cell, validate_cell, weight_grid, CellOutcome, ConceptOutcome,
+    ValidationOutcome, WeightSweep, PROTOCOLS, WEIGHT_MATCH_TOL,
 };
 pub use runner::run_cells;
-pub use summary::{summarize, AggregateGap, DriftBucket, StudySummary, ValidationBands};
+pub use summary::{
+    summarize, AggregateGap, DriftBucket, StudySummary, ValidationBands, WeightSweepSummary,
+};
 
 use edmac_core::{AppRequirements, PresetKind, StudyGrid};
 use edmac_units::{Joules, Seconds};

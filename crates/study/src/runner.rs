@@ -44,7 +44,7 @@ pub fn run_cells(config: &StudyConfig) -> Vec<CellOutcome> {
                     }
                     let cell = &cells[work / PROTOCOLS];
                     let model_idx = work % PROTOCOLS;
-                    let models = models_for(cell.preset);
+                    let models = models_for();
                     let model = models[model_idx].as_ref();
                     let mut outcome = solve_cell(cell, model, config.requirements);
                     // Stride on the cell's *full-grid* work coordinate

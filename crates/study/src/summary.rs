@@ -1,8 +1,9 @@
 //! Aggregating cell outcomes into the study's headline numbers:
 //! agreement drift per preset family, the bargaining-vs-aggregate gap,
-//! and the model-vs-simulation error bands.
+//! the weighted-sum weight sweep, and the model-vs-simulation error
+//! bands.
 
-use crate::cell::CellOutcome;
+use crate::cell::{weight_grid, CellOutcome, WEIGHT_MATCH_TOL};
 use edmac_core::PresetKind;
 
 /// Drift and irregularity aggregated over one preset family.
@@ -45,6 +46,36 @@ pub struct AggregateGap {
     pub outside_gain_region: usize,
 }
 
+/// The weighted-sum weight sweep aggregated across cells: does *any*
+/// static scalarization weight reproduce the Nash agreement, per cell
+/// and — the sharper question — with one weight across all scenarios?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightSweepSummary {
+    /// Cells where both the Nash agreement and the sweep solved.
+    pub cells: usize,
+    /// Normalized-profile-distance tolerance for "reproduces".
+    pub tolerance: f64,
+    /// Mean over cells of the best (smallest) distance any weight
+    /// achieves.
+    pub mean_best_distance: f64,
+    /// Worst such best distance — a cell no static weight approximates.
+    pub max_best_distance: f64,
+    /// Cells where *some* weight (its own, per cell) reproduces Nash.
+    pub cells_matched_by_some_weight: usize,
+    /// The single grid weight matching the most cells.
+    pub best_static_w: f64,
+    /// How many cells that one static weight reproduces.
+    pub cells_matched_by_best_static: usize,
+}
+
+impl WeightSweepSummary {
+    /// Whether one static weight reproduces the Nash agreement on
+    /// every swept cell — the ROADMAP question, answered.
+    pub fn any_static_weight_reproduces_all(&self) -> bool {
+        self.cells > 0 && self.cells_matched_by_best_static == self.cells
+    }
+}
+
 /// The model-vs-simulation error bands over the validated subset.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValidationBands {
@@ -77,6 +108,8 @@ pub struct StudySummary {
     pub drift: Vec<DriftBucket>,
     /// The bargaining-vs-aggregate gap.
     pub aggregate_gap: AggregateGap,
+    /// The weighted-sum weight sweep (zeroed when nothing was swept).
+    pub weight_sweep: WeightSweepSummary,
     /// Validation error bands (zeroed when nothing was validated).
     pub validation: ValidationBands,
 }
@@ -151,6 +184,57 @@ pub fn summarize(outcomes: &[CellOutcome]) -> StudySummary {
         outside_gain_region: outside,
     };
 
+    // The weight sweep: per-cell best distances, plus the per-grid-
+    // weight match counts that answer whether one static weight works
+    // everywhere.
+    let weights: Vec<f64> = weight_grid().collect();
+    let mut per_weight_matches = vec![0usize; weights.len()];
+    let mut best_distances = Vec::new();
+    let mut matched_by_some = 0usize;
+    for o in &solved {
+        let Some(sweep) = &o.weight_sweep else {
+            continue;
+        };
+        best_distances.push(sweep.best_distance);
+        if sweep.matched() {
+            matched_by_some += 1;
+        }
+        for &(w, distance) in &sweep.samples {
+            // Attribute by the sample's *stored* weight, not its
+            // position: a sweep that subsamples or reorders its grid
+            // must not shift match counts onto the wrong weight.
+            let Some(i) = weights.iter().position(|&gw| (gw - w).abs() < 1e-9) else {
+                continue;
+            };
+            if distance.is_finite() && distance <= WEIGHT_MATCH_TOL {
+                per_weight_matches[i] += 1;
+            }
+        }
+    }
+    let (best_idx, best_count) = per_weight_matches
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by_key(|&(_, n)| n)
+        .unwrap_or((0, 0));
+    let weight_sweep = WeightSweepSummary {
+        cells: best_distances.len(),
+        tolerance: WEIGHT_MATCH_TOL,
+        mean_best_distance: mean(&best_distances),
+        max_best_distance: max(&best_distances),
+        cells_matched_by_some_weight: matched_by_some,
+        // NaN unless some weight actually matched somewhere: with zero
+        // matches `max_by_key` ties arbitrarily, and reporting a
+        // concrete weight that reproduces nothing would read as a
+        // sweep result.
+        best_static_w: if best_distances.is_empty() || best_count == 0 {
+            f64::NAN
+        } else {
+            weights[best_idx]
+        },
+        cells_matched_by_best_static: best_count,
+    };
+
     let validated: Vec<&CellOutcome> = solved
         .iter()
         .copied()
@@ -194,6 +278,7 @@ pub fn summarize(outcomes: &[CellOutcome]) -> StudySummary {
         concepts_per_cell,
         drift,
         aggregate_gap,
+        weight_sweep,
         validation,
     }
 }

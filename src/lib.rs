@@ -55,8 +55,8 @@ pub mod prelude {
     };
     pub use edmac_game::{BargainingPower, BargainingProblem, CostPoint};
     pub use edmac_mac::{
-        all_models, Deployment, Dmac, DmacParams, Lmac, LmacParams, MacModel, MacPerformance, Scp,
-        ScpDual, ScpParams, Xmac, XmacParams,
+        all_models, BurstRegime, Deployment, Dmac, DmacParams, Lmac, LmacParams, MacModel,
+        MacPerformance, Scp, ScpDual, ScpParams, Workload, Xmac, XmacParams,
     };
     pub use edmac_net::{RingModel, RingTraffic};
     pub use edmac_radio::{EnergyBreakdown, FrameSizes, Radio};
