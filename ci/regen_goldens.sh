@@ -20,6 +20,11 @@ cargo build --release -p edmac-bench --bins
 echo "== study smoke grid -> ci/golden/"
 cargo run --release --bin study -- --smoke --out ci/golden
 
+echo "== artifact schema tags"
+head -1 ci/golden/study_cells.csv | grep -F "edmac-study/cells/v2"
+head -1 ci/golden/study_validation.csv | grep -F "edmac-study/validation/v2"
+grep -F '"schema": "edmac-study/summary/v2"' ci/golden/study_summary.json
+
 echo "== figure binaries -> ci/golden/"
 for fig in fig1 fig2 fairness sim_validation; do
   cargo run --release --bin "$fig" > "ci/golden/$fig.csv"

@@ -1,0 +1,58 @@
+//! Registry-dispatch overhead: resolving a suite by name, deriving its
+//! structural config and building the simulator protocol through trait
+//! objects, against doing the same through the concrete types.
+//!
+//! The `ProtocolSuite` redesign put one dynamic dispatch layer in
+//! front of every protocol resolution; this bench (guarded by CI's
+//! `bench-guard` at the usual ±30%) pins that layer's cost at
+//! irrelevance next to the solve and simulation times the
+//! `scalability` and `simulator` benches track.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_mac::{Deployment, MacModel, Xmac};
+use edmac_proto::{ProtocolRegistry, ProtocolSuite, XmacSuite};
+use edmac_sim::XmacSim;
+use edmac_units::Seconds;
+use std::hint::black_box;
+
+fn dispatch(c: &mut Criterion) {
+    let env = Deployment::reference();
+    let mut group = c.benchmark_group("registry");
+
+    // The full registry-mediated resolution the binaries perform.
+    group.bench_function("resolve_configure_build", |b| {
+        let registry = ProtocolRegistry::builtin();
+        b.iter(|| {
+            let suite = registry.get(black_box("xmac")).expect("registered");
+            let model = suite.model();
+            let config = model.configure(&env);
+            suite.simulator(&config, &[0.1])
+        })
+    });
+
+    // The same work through concrete types — the pre-registry path.
+    group.bench_function("direct_configure_build", |b| {
+        b.iter(|| {
+            let model = Xmac::default();
+            let _config = model.configure(&env);
+            XmacSim::new(Seconds::new(black_box(0.1)))
+        })
+    });
+
+    // One model evaluation through a suite-minted trait object, the
+    // unit of work the optimizer repeats thousands of times per solve:
+    // dispatch must vanish next to it.
+    group.bench_function("evaluate_via_suite", |b| {
+        let model = XmacSuite.model();
+        b.iter(|| {
+            model
+                .performance(black_box(&[0.1]), &env)
+                .expect("in bounds")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(registry, dispatch);
+criterion_main!(registry);

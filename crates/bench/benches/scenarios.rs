@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use edmac_core::{Scenario, TopologySpec, TrafficSpec};
-use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
+use edmac_sim::{DmacSim, LmacSim, SimConfig, SimProtocol, WakeMode, XmacSim};
 use edmac_units::Seconds;
 
 fn config(seed: u64) -> SimConfig {
@@ -17,14 +17,14 @@ fn config(seed: u64) -> SimConfig {
     }
 }
 
-fn protocols() -> [ProtocolConfig; 3] {
+fn protocols() -> [Box<dyn SimProtocol>; 3] {
     [
-        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
-        ProtocolConfig::dmac(Seconds::new(0.5)),
-        ProtocolConfig::Lmac {
+        Box::new(XmacSim::new(Seconds::from_millis(100.0))),
+        Box::new(DmacSim::new(Seconds::new(0.5))),
+        Box::new(LmacSim {
             slot: Seconds::from_millis(10.0),
             frame_slots: 64,
-        },
+        }),
     ]
 }
 
@@ -60,12 +60,12 @@ fn scenario_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenarios_60s");
     group.sample_size(10);
     for scenario in &scenarios {
-        for protocol in protocols() {
+        for protocol in &protocols() {
             let label = format!("{}/{}", scenario.name, protocol.name());
             group.bench_function(label.as_str(), |b| {
                 b.iter(|| {
                     let report = scenario
-                        .simulation(protocol, config(7))
+                        .simulation(protocol.as_ref(), config(7))
                         .expect("preset scenarios build")
                         .run();
                     assert!(report.delivery_ratio() > 0.4, "{label}");

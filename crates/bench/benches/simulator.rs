@@ -2,7 +2,7 @@
 //! validation-scale ring (65 nodes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use edmac_sim::{ProtocolConfig, SimConfig, Simulation, WakeMode};
+use edmac_sim::{DmacSim, LmacSim, SimConfig, SimProtocol, Simulation, WakeMode, XmacSim};
 use edmac_units::Seconds;
 use std::hint::black_box;
 
@@ -19,15 +19,15 @@ fn short_config(seed: u64) -> SimConfig {
 fn protocols(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_60s_65nodes");
     group.sample_size(10);
-    let cases = [
-        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
-        ProtocolConfig::dmac(Seconds::new(0.5)),
-        ProtocolConfig::lmac(Seconds::from_millis(10.0)),
+    let cases: [Box<dyn SimProtocol>; 3] = [
+        Box::new(XmacSim::new(Seconds::from_millis(100.0))),
+        Box::new(DmacSim::new(Seconds::new(0.5))),
+        Box::new(LmacSim::new(Seconds::from_millis(10.0))),
     ];
-    for protocol in cases {
+    for protocol in &cases {
         group.bench_function(protocol.name(), |b| {
             b.iter(|| {
-                let sim = Simulation::ring(4, 4, black_box(protocol), short_config(7))
+                let sim = Simulation::ring(4, 4, black_box(protocol.as_ref()), short_config(7))
                     .expect("constructible ring");
                 let report = sim.run();
                 assert!(report.delivery_ratio() > 0.5);
@@ -47,7 +47,7 @@ fn build_only(c: &mut Criterion) {
             Simulation::ring(
                 4,
                 4,
-                ProtocolConfig::lmac(Seconds::from_millis(10.0)),
+                &LmacSim::new(Seconds::from_millis(10.0)),
                 short_config(9),
             )
             .expect("constructible ring")

@@ -11,11 +11,11 @@
 //! cargo run --release -p edmac-bench --bin fairness
 //! ```
 
-use edmac_bench::reference_env;
+use edmac_bench::{paper_trio_models, reference_env};
 use edmac_core::experiments::{fig1_sweep, fig2_sweep};
 use edmac_core::{sample_pareto_frontier, TradeoffReport};
 use edmac_game::{BargainingProblem, CostPoint};
-use edmac_mac::{all_models, MacModel};
+use edmac_mac::MacModel;
 
 fn ablation(model: &dyn MacModel, report: &TradeoffReport) -> Option<(CostPoint, CostPoint)> {
     let env = reference_env();
@@ -64,7 +64,7 @@ fn main() {
          ks_e_j,ks_l_ms,egal_e_j,egal_l_ms"
     );
     let env = reference_env();
-    for model in all_models() {
+    for model in paper_trio_models() {
         for (lmax, result) in fig1_sweep(model.as_ref(), &env) {
             if let Ok(report) = result {
                 row(

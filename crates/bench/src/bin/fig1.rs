@@ -9,9 +9,8 @@
 //! cargo run --release -p edmac-bench --bin fig1
 //! ```
 
-use edmac_bench::{print_frontier, reference_env};
+use edmac_bench::{paper_trio_models, print_frontier, reference_env};
 use edmac_core::experiments::{fig1_sweep, FIG1_ENERGY_BUDGET};
-use edmac_mac::all_models;
 
 /// Parses an optional `--protocol <name>` filter (case-insensitive
 /// prefix match: `xmac`, `dmac`, `lmac`).
@@ -28,7 +27,7 @@ fn main() {
     let env = reference_env();
     println!("series,protocol_or_energy,energy_j_or_latency_ms,latency_or_params,more");
     println!("# fig1: Ebudget fixed at {} J", FIG1_ENERGY_BUDGET.value());
-    for model in all_models() {
+    for model in paper_trio_models() {
         if let Some(f) = &filter {
             if !model
                 .name()

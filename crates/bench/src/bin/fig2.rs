@@ -8,9 +8,8 @@
 //! cargo run --release -p edmac-bench --bin fig2
 //! ```
 
-use edmac_bench::{print_frontier, reference_env};
+use edmac_bench::{paper_trio_models, print_frontier, reference_env};
 use edmac_core::experiments::{fig2_sweep, FIG2_LATENCY_BOUND};
-use edmac_mac::all_models;
 
 /// Parses an optional `--protocol <name>` filter (case-insensitive
 /// prefix match: `xmac`, `dmac`, `lmac`).
@@ -27,7 +26,7 @@ fn main() {
     let env = reference_env();
     println!("series,protocol_or_energy,energy_j_or_latency_ms,latency_or_params,more");
     println!("# fig2: Lmax fixed at {} s", FIG2_LATENCY_BOUND.value());
-    for model in all_models() {
+    for model in paper_trio_models() {
         if let Some(f) = &filter {
             if !model
                 .name()

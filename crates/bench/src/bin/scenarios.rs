@@ -1,8 +1,9 @@
-//! Scenario sweep: every preset workload × every protocol, packet
-//! level, printed as CSV.
+//! Scenario sweep: every preset workload × every selected protocol,
+//! packet level, printed as CSV.
 //!
 //! ```text
-//! cargo run --release --bin scenarios [-- --preset ring|disk|hotspot|burst]
+//! cargo run --release --bin scenarios \
+//!     [-- --preset ring|disk|hotspot|burst] [--protocols xmac,lmac,csma]
 //! ```
 //!
 //! Columns: `scenario,protocol,nodes,delivery,median_delay_ms,
@@ -10,48 +11,31 @@
 //!
 //! The workloads are the shared [`preset_scenario`] definitions (also
 //! used by the `study` binary): a uniform 60 s sampling period and
-//! constant-density disk fields. They supersede the earlier ad-hoc
-//! list, which mixed an 80 s ring with a 2.2-radius burst disk — the
-//! qualitative contrast (SCP-MAC collapsing on the hotspot disk while
-//! LMAC stays collision-free) is unchanged.
+//! constant-density disk fields. The protocol panel resolves through
+//! [`ProtocolRegistry::builtin`]: each suite runs at its
+//! `reference_params` operating point with structural parameters
+//! derived through its model's `configure` on the scenario's analytic
+//! deployment — LMAC's frame follows each topology's distance-2
+//! chromatic need. The default panel is the paper trio plus SCP-MAC;
+//! `--protocols` selects any registered suite, including the
+//! always-on CSMA baseline.
 
-use edmac_bench::{preset_filter, preset_scenario};
+use edmac_bench::{preset_filter, preset_scenario, protocols_filter};
 use edmac_core::PresetKind;
-use edmac_mac::{all_models, Deployment, MacModel, Scp};
-use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
+use edmac_proto::{ProtocolRegistry, STANDARD_PANEL};
+use edmac_sim::{SimConfig, WakeMode};
 use edmac_units::Seconds;
-
-/// The per-scenario protocol panel: fixed tuned parameters looked up
-/// by protocol *name* (a panel reorder cannot silently shuffle them),
-/// structural parameters derived through `MacModel::configure` on the
-/// scenario's analytic deployment — LMAC's frame now follows each
-/// topology's distance-2 chromatic need instead of a pinned 64-slot
-/// constant.
-fn protocols(env: &Deployment) -> Vec<ProtocolConfig> {
-    let tuned: &[(&str, f64)] = &[
-        ("X-MAC", 0.100),   // wake-up interval Tw
-        ("DMAC", 0.500),    // cycle period T
-        ("LMAC", 0.010),    // slot length Ts
-        ("SCP-MAC", 0.250), // poll period Tp
-    ];
-    let mut models: Vec<Box<dyn MacModel>> = all_models();
-    models.push(Box::new(Scp::default()));
-    tuned
-        .iter()
-        .map(|&(name, x)| {
-            let model = models
-                .iter()
-                .find(|m| m.name() == name)
-                .unwrap_or_else(|| panic!("no analytic model named {name}"));
-            edmac_study::sim_protocol(&model.configure(env), &[x])
-        })
-        .collect()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let filter = match preset_filter(&args) {
-        Ok(f) => f,
+    let registry = ProtocolRegistry::builtin();
+    let (filter, panel) = match (|| {
+        Ok::<_, String>((
+            preset_filter(&args)?,
+            protocols_filter(&args, &registry, &STANDARD_PANEL)?,
+        ))
+    })() {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
@@ -76,17 +60,15 @@ fn main() {
         let env = scenario
             .deployment(config.seed)
             .expect("preset scenarios realize deployments");
-        let panel = protocols(&env);
-        let frame = panel
-            .iter()
-            .find_map(|p| match p {
-                ProtocolConfig::Lmac { frame_slots, .. } => Some(*frame_slots),
-                _ => None,
-            })
-            .expect("the panel carries LMAC");
-        eprintln!("# {}: LMAC frame = {frame} slots (derived)", scenario.name);
-        for protocol in panel {
-            let report = match scenario.simulation(protocol, config) {
+        for suite in &panel {
+            let derived = suite.model().configure(&env);
+            eprintln!(
+                "# {}: {} configured as {derived}",
+                scenario.name,
+                suite.name()
+            );
+            let protocol = suite.simulator(&derived, &suite.reference_params());
+            let report = match scenario.simulation(protocol.as_ref(), config) {
                 Ok(sim) => sim.run(),
                 Err(e) => {
                     eprintln!("skip {} / {}: {e}", scenario.name, protocol.name());

@@ -17,9 +17,13 @@
 //! * `--jobs N` — worker threads (default: all cores);
 //! * `--validate-every K` — packet-level validation stride (0 = off);
 //! * `--preset NAME` — restrict the grid to one preset family
-//!   (`ring`, `disk`, `hotspot`, `burst`).
+//!   (`ring`, `disk`, `hotspot`, `burst`);
+//! * `--protocols a,b,c` — the protocol panel, resolved against the
+//!   built-in `ProtocolRegistry` (default: the paper trio; any
+//!   registered suite works, e.g. `--protocols xmac,csma`).
 
-use edmac_bench::preset_filter;
+use edmac_bench::{preset_filter, protocols_filter};
+use edmac_proto::{ProtocolRegistry, PAPER_TRIO};
 use edmac_study::{run_cells, summarize, write_artifacts, StudyConfig};
 use std::path::PathBuf;
 
@@ -61,6 +65,11 @@ fn run() -> Result<(), String> {
         config.validate_every = stride;
     }
     config.preset = preset_filter(&args)?;
+    let registry = ProtocolRegistry::builtin();
+    config.protocols = protocols_filter(&args, &registry, &PAPER_TRIO)?
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
     let out_dir = PathBuf::from(flag_value(&args, "--out")?.unwrap_or_else(|| "artifacts".into()));
 
     let started = std::time::Instant::now();
@@ -72,7 +81,7 @@ fn run() -> Result<(), String> {
     println!(
         "study: {} scenarios x {} protocols = {} cells ({} solved, {} concepts each) in {:.2?}",
         summary.scenarios,
-        edmac_study::PROTOCOLS,
+        config.protocols.len(),
         summary.protocol_cells,
         summary.solved_cells,
         summary.concepts_per_cell,

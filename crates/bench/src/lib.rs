@@ -19,8 +19,10 @@
 
 use edmac_core::{disk_radius, sample_pareto_frontier, OperatingPoint, PresetKind, Scenario};
 use edmac_mac::{Deployment, MacModel};
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
+use edmac_proto::{ProtocolRegistry, ProtocolSuite};
+use edmac_sim::{SimConfig, SimProtocol, SimReport, Simulation, WakeMode};
 use edmac_units::Seconds;
+use std::sync::Arc;
 
 /// Parses an optional `--preset <name>` filter from CLI arguments —
 /// the one scenario-preset parser shared by the `scenarios` and
@@ -43,6 +45,57 @@ pub fn preset_filter(args: &[String]) -> Result<Option<PresetKind>, String> {
         .ok_or_else(|| format!("unknown preset '{value}' (one of: {})", names.join(", ")))
 }
 
+/// Parses an optional `--protocols <a,b,c>` panel selection against
+/// `registry` — the one protocol parser shared by the `scenarios` and
+/// `study` binaries. Absent flag: the suites named by `default` (every
+/// default name must be registered). Present: the named suites, in
+/// request order, resolved with the registry's normalized lookup
+/// (`xmac` = `X-MAC`).
+///
+/// # Errors
+///
+/// Returns a usage message listing every registered name when the
+/// flag has no value or a name does not resolve.
+pub fn protocols_filter(
+    args: &[String],
+    registry: &ProtocolRegistry,
+    default: &[&str],
+) -> Result<Vec<Arc<dyn ProtocolSuite>>, String> {
+    let names: Vec<String> = match args.iter().position(|a| a == "--protocols") {
+        None => default.iter().map(|s| s.to_string()).collect(),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| {
+                format!(
+                    "--protocols needs a comma-separated list (registered: {})",
+                    registry.names().join(", ")
+                )
+            })?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+    };
+    if names.is_empty() {
+        return Err(format!(
+            "--protocols selected nothing (registered: {})",
+            registry.names().join(", ")
+        ));
+    }
+    let panel = registry.select(&names).map_err(|e| e.to_string())?;
+    // A repeated name would silently double every artifact row under
+    // one label (and inflate the study's cell counts).
+    for (i, suite) in panel.iter().enumerate() {
+        if panel[..i].iter().any(|s| s.name() == suite.name()) {
+            return Err(format!(
+                "--protocols names '{}' more than once",
+                suite.name()
+            ));
+        }
+    }
+    Ok(panel)
+}
+
 /// The preset family's standard scenario at a node budget and sampling
 /// period: the validation ring for [`PresetKind::Ring`], a constant-
 /// density disk field for the others (3× quarter-field hotspot, 4× /
@@ -55,6 +108,8 @@ pub fn preset_scenario(kind: PresetKind, nodes: usize, period: Seconds) -> Scena
         PresetKind::BurstDisk => Scenario::event_burst_disk(nodes, disk_radius(nodes), period),
     }
 }
+
+pub use edmac_proto::paper_trio_models;
 
 /// The deployment every figure uses (the calibrated reference).
 pub fn reference_env() -> Deployment {
@@ -103,13 +158,22 @@ pub fn validation_points(model: &dyn MacModel, env: &Deployment, count: usize) -
         .collect()
 }
 
-/// Builds the simulator protocol configuration matching an analytical
-/// model at parameter vector `x` under `env`, via the model's derived
+/// Builds the simulator protocol matching an analytical model at
+/// parameter vector `x` under `env`, by resolving the model's suite in
+/// [`ProtocolRegistry::builtin`] and feeding it the model's derived
 /// [`edmac_mac::ProtocolConfig`] (so e.g. LMAC's simulated frame always
 /// equals the analytic one — ring deployments keep the calibrated
 /// default, realized topologies get the chromatic-need-derived size).
-pub fn sim_protocol_at(model: &dyn MacModel, x: &[f64], env: &Deployment) -> ProtocolConfig {
-    edmac_study::sim_protocol(&model.configure(env), x)
+///
+/// # Panics
+///
+/// Panics when no registered suite carries the model's name.
+pub fn sim_protocol_at(model: &dyn MacModel, x: &[f64], env: &Deployment) -> Box<dyn SimProtocol> {
+    let registry = ProtocolRegistry::builtin();
+    let suite = registry
+        .get(model.name())
+        .unwrap_or_else(|| panic!("no registered suite named {}", model.name()));
+    suite.simulator(&model.configure(env), x)
 }
 
 /// Runs the packet-level simulation for `model` at `x` on the
@@ -124,7 +188,7 @@ pub fn simulate_at(model: &dyn MacModel, x: &[f64], seed: u64) -> SimReport {
     Simulation::ring(
         ring.depth(),
         ring.density(),
-        sim_protocol_at(model, x, &env),
+        sim_protocol_at(model, x, &env).as_ref(),
         cfg,
     )
     .expect("validation topology is constructible")
@@ -188,6 +252,45 @@ mod tests {
         let scp = edmac_mac::Scp::default();
         let cfg = sim_protocol_at(&scp, &[0.1], &validation_env());
         assert_eq!(cfg.name(), "SCP-MAC");
+    }
+
+    #[test]
+    fn protocols_filter_defaults_selects_and_rejects() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        let registry = ProtocolRegistry::builtin();
+        // Absent flag: the caller's default panel.
+        let panel = protocols_filter(&args(&["study"]), &registry, &edmac_proto::PAPER_TRIO)
+            .expect("default panel resolves");
+        let names: Vec<&str> = panel.iter().map(|s| s.name()).collect();
+        assert_eq!(names, edmac_proto::PAPER_TRIO);
+        // Present: normalized names in request order, CSMA reachable.
+        let panel = protocols_filter(
+            &args(&["study", "--protocols", "csma, xmac"]),
+            &registry,
+            &edmac_proto::PAPER_TRIO,
+        )
+        .unwrap();
+        let names: Vec<&str> = panel.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["CSMA", "X-MAC"]);
+        // Typos list the registered names.
+        let err = protocols_filter(
+            &args(&["study", "--protocols", "bmac"]),
+            &registry,
+            &edmac_proto::PAPER_TRIO,
+        )
+        .unwrap_err();
+        assert!(err.contains("bmac") && err.contains("X-MAC") && err.contains("CSMA"));
+        // A bare flag is a refusal, not a silent default.
+        assert!(protocols_filter(&args(&["study", "--protocols"]), &registry, &["X-MAC"]).is_err());
+        // Repeated names (even under different spellings) are
+        // rejected: they would double every artifact row.
+        let err = protocols_filter(
+            &args(&["study", "--protocols", "xmac,X-MAC"]),
+            &registry,
+            &edmac_proto::PAPER_TRIO,
+        )
+        .unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
     }
 
     #[test]

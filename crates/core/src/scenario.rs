@@ -22,7 +22,7 @@ use crate::error::CoreError;
 use edmac_mac::{BurstRegime, Deployment, Workload};
 use edmac_net::{NetError, RingModel, Topology};
 use edmac_radio::{FrameSizes, Radio};
-use edmac_sim::{BurstWindows, ProtocolConfig, SimConfig, Simulation, TrafficProfile};
+use edmac_sim::{BurstWindows, SimConfig, SimProtocol, Simulation, TrafficProfile};
 use edmac_units::{Hertz, Seconds};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -380,7 +380,7 @@ impl Scenario {
     /// [`CoreError::Net`].
     pub fn simulation(
         &self,
-        protocol: ProtocolConfig,
+        protocol: &dyn SimProtocol,
         config: SimConfig,
     ) -> Result<Simulation, CoreError> {
         let topology = self.topology.realize(config.seed).map_err(CoreError::Net)?;

@@ -4,7 +4,7 @@
 //! protocol.
 
 use edmac_core::Scenario;
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, WakeMode};
+use edmac_sim::{DmacSim, LmacSim, ScpSim, SimConfig, SimProtocol, SimReport, WakeMode, XmacSim};
 use edmac_units::Seconds;
 
 fn sim_config(seed: u64) -> SimConfig {
@@ -17,26 +17,26 @@ fn sim_config(seed: u64) -> SimConfig {
     }
 }
 
-fn protocols() -> [ProtocolConfig; 4] {
+fn protocols() -> [Box<dyn SimProtocol>; 4] {
     [
-        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
-        ProtocolConfig::dmac(Seconds::new(0.5)),
+        Box::new(XmacSim::new(Seconds::from_millis(100.0))),
+        Box::new(DmacSim::new(Seconds::new(0.5))),
         // A disk neighborhood needs more distance-2 slots than the
         // ring default of 24.
-        ProtocolConfig::Lmac {
+        Box::new(LmacSim {
             slot: Seconds::from_millis(10.0),
             frame_slots: 64,
-        },
-        ProtocolConfig::scp(Seconds::from_millis(250.0)),
+        }),
+        Box::new(ScpSim::new(Seconds::from_millis(250.0))),
     ]
 }
 
 #[test]
 fn every_protocol_delivers_on_a_uniform_disk() {
     let scenario = Scenario::uniform_disk(60, 2.5, Seconds::new(60.0));
-    for protocol in protocols() {
+    for protocol in &protocols() {
         let report = scenario
-            .simulation(protocol, sim_config(11))
+            .simulation(protocol.as_ref(), sim_config(11))
             .expect("disk scenario builds")
             .run();
         // SCP's single common schedule makes every boundary one
@@ -71,9 +71,9 @@ fn hotspot_nodes_generate_proportionally_more_traffic() {
     let period = Seconds::new(40.0);
     let flat = Scenario::uniform_disk(60, 2.5, period);
     let hot = Scenario::hotspot_disk(60, 2.5, period);
-    let protocol = ProtocolConfig::xmac(Seconds::from_millis(100.0));
-    let flat_counts = per_origin_counts(&flat.simulation(protocol, sim_config(11)).unwrap().run());
-    let hot_counts = per_origin_counts(&hot.simulation(protocol, sim_config(11)).unwrap().run());
+    let protocol = XmacSim::new(Seconds::from_millis(100.0));
+    let flat_counts = per_origin_counts(&flat.simulation(&protocol, sim_config(11)).unwrap().run());
+    let hot_counts = per_origin_counts(&hot.simulation(&protocol, sim_config(11)).unwrap().run());
     let flat_total: usize = flat_counts.iter().sum();
     let hot_total: usize = hot_counts.iter().sum();
     // A quarter of the sources at 3x the rate => ~1.5x total traffic.
@@ -103,7 +103,7 @@ fn event_bursts_cluster_packet_creation_in_windows() {
     let scenario = Scenario::event_burst_disk(60, 2.0, period);
     let report = scenario
         .simulation(
-            ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+            &XmacSim::new(Seconds::from_millis(100.0)),
             SimConfig {
                 duration: Seconds::new(900.0),
                 warmup: Seconds::ZERO,
@@ -137,9 +137,9 @@ fn event_bursts_cluster_packet_creation_in_windows() {
 #[test]
 fn scenario_runs_are_seed_deterministic() {
     let scenario = Scenario::hotspot_disk(60, 2.5, Seconds::new(40.0));
-    let protocol = ProtocolConfig::scp(Seconds::from_millis(250.0));
-    let a = scenario.simulation(protocol, sim_config(3)).unwrap().run();
-    let b = scenario.simulation(protocol, sim_config(3)).unwrap().run();
+    let protocol = ScpSim::new(Seconds::from_millis(250.0));
+    let a = scenario.simulation(&protocol, sim_config(3)).unwrap().run();
+    let b = scenario.simulation(&protocol, sim_config(3)).unwrap().run();
     assert_eq!(a.records().len(), b.records().len());
     assert_eq!(a.delivered_count(), b.delivered_count());
     for (sa, sb) in a.per_node().iter().zip(b.per_node()) {

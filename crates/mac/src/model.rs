@@ -14,10 +14,11 @@ use edmac_units::{Joules, Seconds};
 /// every non-ring cell, duplicated across two binaries); `configure`
 /// makes the derivation part of the model contract instead, so the
 /// analytic evaluation, the packet-level simulator and the artifacts
-/// all read the same inspectable values. This is the *analytic* side's
-/// configuration record; `edmac_sim::ProtocolConfig` remains the
-/// simulator's input and is built from this one plus the tuned
-/// parameter vector (see `edmac_study::sim_protocol`).
+/// all read the same inspectable values. This record is the **one**
+/// protocol-config vocabulary: a protocol's `ProtocolSuite` (in
+/// `edmac-proto`) feeds the exact record its model derived, plus the
+/// tuned parameter vector, to its simulator factory — so analytic and
+/// simulated structure cannot diverge by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolConfig {
     /// X-MAC structural parameters.
@@ -47,6 +48,15 @@ pub enum ProtocolConfig {
         /// tone length every transmission pays scales with it).
         sync_period_ms: u64,
     },
+    /// Always-on CSMA/CA structural parameters (the non-paper
+    /// extension suite registered by `edmac-proto`): no duty cycle, so
+    /// the only structure is the contention resolution itself.
+    Csma {
+        /// Mean number of contenders sharing the bottleneck collision
+        /// domain (`F_B/F_out` rounded up), recorded so artifacts show
+        /// what the backoff is resolving against.
+        contenders: usize,
+    },
 }
 
 impl ProtocolConfig {
@@ -57,6 +67,7 @@ impl ProtocolConfig {
             ProtocolConfig::Dmac { .. } => "DMAC",
             ProtocolConfig::Lmac { .. } => "LMAC",
             ProtocolConfig::Scp { .. } => "SCP-MAC",
+            ProtocolConfig::Csma { .. } => "CSMA",
         }
     }
 
@@ -87,6 +98,9 @@ impl std::fmt::Display for ProtocolConfig {
             },
             ProtocolConfig::Scp { sync_period_ms } => {
                 write!(f, "SCP-MAC[sync={sync_period_ms}ms]")
+            }
+            ProtocolConfig::Csma { contenders } => {
+                write!(f, "CSMA[contenders={contenders}]")
             }
         }
     }

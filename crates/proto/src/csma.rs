@@ -1,0 +1,435 @@
+//! The always-on CSMA/CA suite — the registry's openness proof.
+//!
+//! This protocol is *not* in the paper: it never duty-cycles, so it
+//! has no energy–delay bargaining tension to speak of (energy is
+//! pinned near `P_listen` around the clock while latency is a thin
+//! slice of backoff) — which is exactly the baseline the duty-cycled
+//! families exist to beat. Its value here is architectural: the
+//! analytic model, the simulator node and the suite all live in this
+//! crate, built **only** on the public `edmac-mac`/`edmac-sim`
+//! surfaces ([`MacModel`], [`MacNode`] + [`Ctx`], [`SimProtocol`]),
+//! demonstrating that registering a new MAC requires no edits to the
+//! model crate, the engine, the study harness or any binary. Select it
+//! with `--protocols csma` in the `scenarios`/`study` binaries.
+//!
+//! # Model
+//!
+//! * **Energy** — the radio listens whenever it is not transmitting or
+//!   receiving: `Ecs = (1 − busy_airtime)·P_listen`,
+//!   `Etx = F_out·t_data·P_tx`, `Erx = F_I·t_data·P_rx`,
+//!   `Eovr = (F_B − F_I)⁺·t_data·P_rx`, no sync traffic, no sleep.
+//! * **Latency** — per hop, half the contention window plus the data
+//!   airtime: `L = D·(W/2 + t_data)`, plus the standard M/D/1-style
+//!   window-conditional queueing excess on burst workloads
+//!   (re-derived here from the public [`Workload::burst_excess`] hook
+//!   — external models can be fully workload-aware).
+//! * **Utilization** — bottleneck airtime `(F_B + F_out)·t_data`.
+//!
+//! # Simulator node
+//!
+//! Always listening; a queued packet draws a uniform backoff in
+//! `(0, W)`, re-drawing while the channel is busy, then ships the data
+//! frame to the parent. No acknowledgements and no retries: what
+//! contention loses stays lost (the delivery column of the `scenarios`
+//! binary shows the price next to the duty-cycled protocols).
+//!
+//! [`MacNode`]: edmac_sim::MacNode
+//! [`Ctx`]: edmac_sim::Ctx
+//! [`Workload::burst_excess`]: edmac_mac::Workload::burst_excess
+
+use crate::suite::ProtocolSuite;
+use edmac_mac::{Deployment, MacError, MacModel, MacPerformance, ProtocolConfig};
+use edmac_optim::Bounds;
+use edmac_radio::{Cause, EnergyBreakdown, Mode};
+use edmac_sim::{Ctx, Frame, FrameKind, MacNode, Packet, SimConfig, SimProtocol};
+use edmac_units::Seconds;
+use std::collections::VecDeque;
+
+/// The analytic always-on CSMA/CA model. Tunable: the contention
+/// window `W` (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsmaMac {
+    /// Smallest admissible contention window.
+    pub min_window: Seconds,
+    /// Largest admissible contention window.
+    pub max_window: Seconds,
+    /// Capacity cap on bottleneck utilization.
+    pub max_utilization: f64,
+}
+
+impl Default for CsmaMac {
+    /// `W ∈ [2 ms, 200 ms]`, utilization cap 0.75.
+    fn default() -> CsmaMac {
+        CsmaMac {
+            min_window: Seconds::from_millis(2.0),
+            max_window: Seconds::from_millis(200.0),
+            max_utilization: 0.75,
+        }
+    }
+}
+
+/// The M/D/1-style in-window mean wait (the same first-order form the
+/// built-in models use): stable-regime `ρ·s/(2(1−ρ))` capped by the
+/// transient bound `ρ·window/2`, which takes over at `ρ ≥ 1`.
+fn window_wait(rho: f64, service: f64, window: f64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let transient = rho * window / 2.0;
+    if rho < 1.0 {
+        (rho * service / (2.0 * (1.0 - rho))).min(transient)
+    } else {
+        transient
+    }
+}
+
+impl MacModel for CsmaMac {
+    fn name(&self) -> &'static str {
+        "CSMA"
+    }
+
+    fn parameter_names(&self) -> &'static [&'static str] {
+        &["contention_window"]
+    }
+
+    fn bounds(&self, _env: &Deployment) -> Bounds {
+        Bounds::new(vec![(self.min_window.value(), self.max_window.value())])
+            .expect("structural bounds are validated by construction")
+    }
+
+    fn configure(&self, env: &Deployment) -> ProtocolConfig {
+        // Mean contenders sharing the bottleneck collision domain:
+        // background flows per own flow at ring 1.
+        let contenders = match (env.traffic.f_bg(1), env.traffic.f_out(1)) {
+            (Ok(bg), Ok(out)) if out.value() > 0.0 => {
+                (bg.value() / out.value()).ceil().max(1.0) as usize
+            }
+            _ => 1,
+        };
+        ProtocolConfig::Csma { contenders }
+    }
+
+    fn performance(&self, x: &[f64], env: &Deployment) -> Result<MacPerformance, MacError> {
+        if x.len() != 1 {
+            return Err(MacError::Arity {
+                expected: 1,
+                got: x.len(),
+            });
+        }
+        let w = x[0];
+        if !(w.is_finite() && w > 0.0) {
+            return Err(MacError::InvalidParameter {
+                name: "contention_window",
+                value: w,
+                reason: "must be a positive, finite duration in seconds".into(),
+            });
+        }
+
+        let p = &env.radio.power;
+        let t_data = env.radio.airtime(env.frames.data).value();
+
+        // The bottleneck fold, re-derived on the public surface: max
+        // energy rate wins, outermost ring wins ties (the built-in
+        // models' `RingFold` semantics).
+        let mut best: Option<(usize, EnergyBreakdown, f64)> = None;
+        let mut utilization: f64 = 0.0;
+        for d in env.traffic.rings() {
+            let f_out = env.traffic.f_out(d)?.value();
+            let f_in = env.traffic.f_in(d)?.value();
+            let f_bg = env.traffic.f_bg(d)?.value();
+
+            let mut e = EnergyBreakdown::ZERO;
+            e.tx = p.tx * Seconds::new(t_data * f_out);
+            e.rx = p.rx * Seconds::new(t_data * f_in);
+            e.overhearing = p.rx * Seconds::new(t_data * (f_bg - f_in).max(0.0));
+            let airtime = (t_data * (f_out + f_bg)).clamp(0.0, 1.0);
+            e.carrier_sense = p.listen * Seconds::new(1.0 - airtime);
+
+            let total = e.total().value();
+            match best {
+                Some((_, _, b)) if b > total => {}
+                _ => best = Some((d, e, total)),
+            }
+            utilization = utilization.max((f_bg + f_out) * t_data);
+        }
+        let (bottleneck_ring, rates, _) = best.expect("deployments have depth >= 1");
+
+        // Always on: the whole epoch is charged at the operating
+        // rates; the sleep bucket stays empty.
+        let breakdown = rates.scaled(env.epoch.value());
+
+        let per_hop = w / 2.0 + t_data;
+        let excess = if env.traffic.burst().is_some() {
+            env.traffic.burst_excess(|scale, window| {
+                env.traffic
+                    .rings()
+                    .map(|d| {
+                        // The hop "server" holds a packet for one
+                        // backoff-plus-airtime; on a shared always-on
+                        // channel the background flows occupy it too,
+                        // so the offered load is F_out + F_B (the same
+                        // contention accounting the built-in X-MAC /
+                        // SCP models use).
+                        let load = (env.traffic.f_out(d).expect("ring in range").value()
+                            + env.traffic.f_bg(d).expect("ring in range").value())
+                            * scale;
+                        window_wait(load * per_hop, per_hop, window.value())
+                    })
+                    .sum()
+            })
+        } else {
+            0.0
+        };
+        let latency = Seconds::new(env.traffic.depth() as f64 * per_hop + excess);
+
+        Ok(MacPerformance {
+            energy: breakdown.total(),
+            breakdown,
+            latency,
+            utilization,
+            bottleneck_ring,
+        })
+    }
+
+    fn utilization_cap(&self) -> f64 {
+        self.max_utilization
+    }
+}
+
+/// Simulator configuration of the always-on CSMA node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsmaSim {
+    /// Contention window `W`: backoffs draw uniformly from `(0, W)`.
+    pub contention_window: Seconds,
+}
+
+impl SimProtocol for CsmaSim {
+    fn name(&self) -> &'static str {
+        "CSMA"
+    }
+
+    fn build_nodes(
+        &self,
+        graph: &edmac_net::Graph,
+        _tree: &edmac_net::RoutingTree,
+        _config: &SimConfig,
+    ) -> Result<Vec<Box<dyn MacNode>>, edmac_net::NetError> {
+        Ok(graph
+            .nodes()
+            .map(|_| Box::new(CsmaNode::new(self.contention_window)) as Box<dyn MacNode>)
+            .collect())
+    }
+}
+
+const TAG_BACKOFF: u32 = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Listening, nothing queued (or radio still starting up).
+    Idle,
+    /// A backoff timer is pending for the head-of-queue packet.
+    BackingOff,
+    /// Our data frame is on the air.
+    Sending,
+}
+
+/// The always-on CSMA/CA per-node state machine.
+#[derive(Debug)]
+struct CsmaNode {
+    contention_window: Seconds,
+    phase: Phase,
+    queue: VecDeque<Packet>,
+}
+
+impl CsmaNode {
+    fn new(contention_window: Seconds) -> CsmaNode {
+        CsmaNode {
+            contention_window,
+            phase: Phase::Idle,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn arm_backoff(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase != Phase::Idle || self.queue.is_empty() || ctx.is_sink() {
+            return;
+        }
+        self.phase = Phase::BackingOff;
+        let backoff = Seconds::new(ctx.random_range(0.0, 1.0) * self.contention_window.value());
+        ctx.set_timer(backoff, TAG_BACKOFF);
+    }
+}
+
+impl MacNode for CsmaNode {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        // Power up once; the radio never sleeps again.
+        ctx.wake(Cause::CarrierSense);
+    }
+
+    fn on_radio_ready(&mut self, ctx: &mut Ctx<'_>) {
+        // Anything sampled during the startup ramp can now contend.
+        self.arm_backoff(ctx);
+    }
+
+    fn on_generate(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        self.queue.push_back(packet);
+        self.arm_backoff(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u32, _id: u64) {
+        if tag != TAG_BACKOFF || self.phase != Phase::BackingOff {
+            return;
+        }
+        // CCA at the end of the backoff: a busy channel (or a frame we
+        // are mid-receiving, or a radio not yet up) re-draws.
+        if ctx.channel_busy() || ctx.is_receiving() || ctx.mode() != Mode::Listen {
+            self.phase = Phase::Idle;
+            self.arm_backoff(ctx);
+            return;
+        }
+        let packet = self.queue.pop_front().expect("backoff implies a packet");
+        let parent = ctx.parent().expect("non-sink nodes have parents");
+        self.phase = Phase::Sending;
+        ctx.send(FrameKind::Data, Some(parent), Some(packet));
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Idle;
+        self.arm_backoff(ctx);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        let me = ctx.me();
+        if frame.kind == FrameKind::Data && frame.addressed_to(me) {
+            let mut packet = frame.packet.expect("data frames carry packets");
+            packet.hops += 1;
+            if ctx.is_sink() {
+                ctx.deliver(packet);
+            } else {
+                self.queue.push_back(packet);
+                self.arm_backoff(ctx);
+            }
+        }
+    }
+}
+
+/// The always-on CSMA/CA suite (non-paper; registered by
+/// [`ProtocolRegistry::builtin`](crate::ProtocolRegistry::builtin) but
+/// in no default panel).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsmaSuite;
+
+impl ProtocolSuite for CsmaSuite {
+    fn name(&self) -> &'static str {
+        "CSMA"
+    }
+
+    fn model(&self) -> Box<dyn MacModel> {
+        Box::new(CsmaMac::default())
+    }
+
+    fn simulator(&self, _config: &ProtocolConfig, x: &[f64]) -> Box<dyn SimProtocol> {
+        Box::new(CsmaSim {
+            contention_window: Seconds::new(x[0]),
+        })
+    }
+
+    fn reference_params(&self) -> Vec<f64> {
+        vec![0.005]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edmac_sim::{SimConfig, Simulation, WakeMode};
+    use edmac_units::Joules;
+
+    #[test]
+    fn model_energy_is_listen_dominated_and_flat_in_the_window() {
+        let env = Deployment::validation();
+        let model = CsmaMac::default();
+        let a = model.performance(&[0.005], &env).unwrap();
+        let b = model.performance(&[0.050], &env).unwrap();
+        // Always-on: energy is pinned near P_listen · epoch either way.
+        let floor = (env.radio.power.listen * env.epoch).value();
+        assert!(a.energy.value() > 0.9 * floor, "{:?}", a.energy);
+        assert!((a.energy.value() - b.energy.value()).abs() < 0.02 * a.energy.value());
+        // ... while latency grows with the window.
+        assert!(b.latency > a.latency);
+        assert_eq!(a.breakdown.sleep, Joules::ZERO, "no sleep bucket");
+        assert_eq!(a.breakdown.sync_tx, Joules::ZERO, "no sync traffic");
+    }
+
+    #[test]
+    fn model_rejects_bad_parameters() {
+        let env = Deployment::validation();
+        let model = CsmaMac::default();
+        assert!(model.performance(&[], &env).is_err());
+        assert!(model.performance(&[0.0], &env).is_err());
+        assert!(model.performance(&[f64::NAN], &env).is_err());
+    }
+
+    #[test]
+    fn configure_counts_bottleneck_contenders() {
+        let model = CsmaMac::default();
+        let config = model.configure(&Deployment::validation());
+        let ProtocolConfig::Csma { contenders } = config else {
+            panic!("CSMA configures the Csma record, got {config}");
+        };
+        assert!(contenders >= 1);
+        assert_eq!(config.protocol(), "CSMA");
+    }
+
+    #[test]
+    fn simulated_ring_delivers_with_always_on_radios() {
+        let cfg = SimConfig {
+            duration: Seconds::new(300.0),
+            sample_period: Seconds::new(30.0),
+            warmup: Seconds::new(30.0),
+            seed: 11,
+            scheduling: WakeMode::Coarse,
+        };
+        let protocol = CsmaSim {
+            contention_window: Seconds::from_millis(5.0),
+        };
+        let report = Simulation::ring(3, 4, &protocol, cfg).unwrap().run();
+        assert_eq!(report.protocol(), "CSMA");
+        assert!(
+            report.delivery_ratio() > 0.9,
+            "always-on delivery {}",
+            report.delivery_ratio()
+        );
+        // Always-on: every node is busy essentially the whole run.
+        for stats in report.per_node() {
+            let duty = stats.busy.value() / cfg.duration.value();
+            assert!(duty > 0.95, "node {} duty {duty}", stats.node);
+        }
+    }
+
+    #[test]
+    fn simulated_energy_tracks_the_model_at_an_unsaturated_point() {
+        // The suite's own evidence chain: analytic vs packet-level on
+        // the validation ring, same comparator the paper trio uses.
+        let env = Deployment::validation();
+        let model = CsmaMac::default();
+        let x = 0.005;
+        let perf = model.performance(&[x], &env).unwrap();
+        let cfg = SimConfig {
+            duration: Seconds::new(1_200.0),
+            sample_period: Seconds::new(80.0),
+            warmup: Seconds::new(200.0),
+            seed: 42,
+            scheduling: WakeMode::Coarse,
+        };
+        let report = Simulation::ring(4, 4, &*CsmaSuite.simulator_for(&env, &[x]), cfg)
+            .unwrap()
+            .run();
+        let e_ratio = report.bottleneck_energy(env.epoch).value() / perf.energy.value();
+        assert!(
+            (0.8..=1.25).contains(&e_ratio),
+            "CSMA energy ratio {e_ratio:.3}"
+        );
+        assert!(report.delivery_ratio() > 0.95);
+    }
+}

@@ -1,0 +1,62 @@
+//! The protocol-suite registry: one API that owns *both* sides of a
+//! MAC protocol — its analytic [`MacModel`] and its simulator
+//! configuration — so the two can never diverge.
+//!
+//! Before this crate, the workspace kept two closed protocol
+//! vocabularies (the analytic `edmac_mac::ProtocolConfig` record and a
+//! simulator `ProtocolConfig` enum) glued together by a hand-written
+//! match bridge in `edmac-study` and per-binary protocol tables.
+//! Adding a protocol meant editing all of them. A [`ProtocolSuite`]
+//! bundles, per protocol:
+//!
+//! * a stable **name** (also the registry lookup key and the label in
+//!   every artifact),
+//! * a factory for the **analytic model** ([`ProtocolSuite::model`]),
+//!   whose `configure(&Deployment)` derives the structural
+//!   [`ProtocolConfig`] record,
+//! * a factory for the **simulator protocol**
+//!   ([`ProtocolSuite::simulator`]) consuming that same record plus
+//!   the tuned parameter vector — analytic and simulated structure
+//!   agree *by construction*,
+//! * a **reference operating point** for panel-style sweeps
+//!   ([`ProtocolSuite::reference_params`]).
+//!
+//! The [`ProtocolRegistry`] holds suites in deterministic registration
+//! order with total, normalization-insensitive name lookup; the
+//! `study`, `scenarios` and figure binaries all resolve their panels
+//! through it (`--protocols` selects by name). [`CsmaSuite`] — an
+//! always-on CSMA/CA baseline that is *not* in the paper — lives
+//! entirely in this crate on the public `edmac-mac`/`edmac-sim`
+//! surfaces, as the proof that downstream code can register a new MAC
+//! without touching the model, simulator, study or binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use edmac_mac::Deployment;
+//! use edmac_proto::ProtocolRegistry;
+//!
+//! let registry = ProtocolRegistry::builtin();
+//! let env = Deployment::reference();
+//! let suite = registry.get("xmac").expect("lookup is spelling-tolerant");
+//! let model = suite.model();
+//! let config = model.configure(&env);
+//! // The simulator protocol is built from the same structural record.
+//! let sim = suite.simulator(&config, &[0.1]);
+//! assert_eq!(sim.name(), model.name());
+//! ```
+//!
+//! [`MacModel`]: edmac_mac::MacModel
+//! [`ProtocolConfig`]: edmac_mac::ProtocolConfig
+
+#![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod csma;
+mod registry;
+mod suite;
+
+pub use csma::{CsmaMac, CsmaSim, CsmaSuite};
+pub use registry::{paper_trio_models, ProtoError, ProtocolRegistry, PAPER_TRIO, STANDARD_PANEL};
+pub use suite::{DmacSuite, LmacSuite, ProtocolSuite, ScpSuite, XmacSuite};

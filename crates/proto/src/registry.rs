@@ -1,0 +1,239 @@
+//! The [`ProtocolRegistry`]: deterministic, name-addressable storage
+//! of [`ProtocolSuite`]s.
+
+use crate::csma::CsmaSuite;
+use crate::suite::{DmacSuite, LmacSuite, ProtocolSuite, ScpSuite, XmacSuite};
+use edmac_mac::MacModel;
+use std::sync::Arc;
+
+/// The paper's protocol trio, in figure order — the default panel of
+/// the `study` and figure binaries.
+pub const PAPER_TRIO: [&str; 3] = ["X-MAC", "DMAC", "LMAC"];
+
+/// The trio plus the SCP-MAC extension — the default panel of the
+/// `scenarios` binary. The CSMA demo suite is registered but *not*
+/// part of any default panel; select it explicitly with
+/// `--protocols`.
+pub const STANDARD_PANEL: [&str; 4] = ["X-MAC", "DMAC", "LMAC", "SCP-MAC"];
+
+/// The paper trio's analytic models in figure order, resolved through
+/// [`ProtocolRegistry::builtin`] — the one panel constructor behind
+/// `edmac_study::models_for` and the figure binaries.
+pub fn paper_trio_models() -> Vec<Box<dyn MacModel>> {
+    ProtocolRegistry::builtin()
+        .select(&PAPER_TRIO)
+        .expect("the built-in registry carries the paper trio")
+        .iter()
+        .map(|suite| suite.model())
+        .collect()
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A name lookup failed; carries the registered names so CLI
+    /// surfaces can print them.
+    UnknownProtocol {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every registered name, in registration order.
+        registered: Vec<&'static str>,
+    },
+    /// A suite was registered under a name that (after normalization)
+    /// is already taken.
+    DuplicateName {
+        /// The colliding canonical name.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::UnknownProtocol { name, registered } => write!(
+                f,
+                "unknown protocol '{name}' (registered: {})",
+                registered.join(", ")
+            ),
+            ProtoError::DuplicateName { name } => {
+                write!(f, "a suite named '{name}' is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Lookup normalization: case-insensitive, separator-insensitive
+/// (`x-mac`, `XMAC` and `x_mac` all resolve to `X-MAC`).
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// An ordered, name-addressable set of protocol suites.
+///
+/// Ordering is **registration order** and is part of the contract:
+/// panels resolved through a registry iterate deterministically, which
+/// is what keeps study artifacts byte-identical across runs. Lookup is
+/// total over registered names and tolerant of spelling (see
+/// [`ProtocolRegistry::get`]).
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolRegistry {
+    suites: Vec<Arc<dyn ProtocolSuite>>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry (downstream crates populate it with
+    /// [`ProtocolRegistry::register`]).
+    pub fn new() -> ProtocolRegistry {
+        ProtocolRegistry::default()
+    }
+
+    /// Every built-in suite, in the canonical order: the paper trio
+    /// (X-MAC, DMAC, LMAC), the SCP-MAC extension, then the non-paper
+    /// CSMA demo suite.
+    pub fn builtin() -> ProtocolRegistry {
+        let mut registry = ProtocolRegistry::new();
+        for suite in [
+            Arc::new(XmacSuite) as Arc<dyn ProtocolSuite>,
+            Arc::new(DmacSuite),
+            Arc::new(LmacSuite),
+            Arc::new(ScpSuite),
+            Arc::new(CsmaSuite),
+        ] {
+            registry
+                .register(suite)
+                .expect("built-in suite names are distinct");
+        }
+        registry
+    }
+
+    /// Registers `suite` at the end of the iteration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::DuplicateName`] when a registered suite's
+    /// normalized name collides.
+    pub fn register(&mut self, suite: Arc<dyn ProtocolSuite>) -> Result<(), ProtoError> {
+        let name = suite.name();
+        if self.get(name).is_some() {
+            return Err(ProtoError::DuplicateName { name });
+        }
+        self.suites.push(suite);
+        Ok(())
+    }
+
+    /// Looks a suite up by name (normalized: `xmac`, `X-MAC` and
+    /// `x_mac` are the same suite).
+    pub fn get(&self, name: &str) -> Option<&dyn ProtocolSuite> {
+        let wanted = normalize(name);
+        self.suites
+            .iter()
+            .find(|s| normalize(s.name()) == wanted)
+            .map(|s| s.as_ref())
+    }
+
+    /// Like [`ProtocolRegistry::get`], returning a shared handle and a
+    /// listing error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::UnknownProtocol`] naming every registered
+    /// suite.
+    pub fn suite(&self, name: &str) -> Result<Arc<dyn ProtocolSuite>, ProtoError> {
+        let wanted = normalize(name);
+        self.suites
+            .iter()
+            .find(|s| normalize(s.name()) == wanted)
+            .cloned()
+            .ok_or_else(|| ProtoError::UnknownProtocol {
+                name: name.to_string(),
+                registered: self.names(),
+            })
+    }
+
+    /// Resolves a panel of names into suites, preserving the *request*
+    /// order (so `--protocols lmac,xmac` sweeps LMAC first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::UnknownProtocol`] on the first name that
+    /// does not resolve.
+    pub fn select<S: AsRef<str>>(
+        &self,
+        names: &[S],
+    ) -> Result<Vec<Arc<dyn ProtocolSuite>>, ProtoError> {
+        names.iter().map(|n| self.suite(n.as_ref())).collect()
+    }
+
+    /// The canonical names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.suites.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates the suites in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn ProtocolSuite> {
+        self.suites.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of registered suites.
+    pub fn len(&self) -> usize {
+        self.suites.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.suites.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_order_is_canonical() {
+        let names = ProtocolRegistry::builtin().names();
+        assert_eq!(names, ["X-MAC", "DMAC", "LMAC", "SCP-MAC", "CSMA"]);
+        assert_eq!(&names[..3], PAPER_TRIO);
+        assert_eq!(&names[..4], STANDARD_PANEL);
+    }
+
+    #[test]
+    fn lookup_normalizes_spelling() {
+        let registry = ProtocolRegistry::builtin();
+        for spelling in ["X-MAC", "xmac", "x_mac", "XMAC", "x-Mac"] {
+            assert_eq!(
+                registry.get(spelling).map(|s| s.name()),
+                Some("X-MAC"),
+                "{spelling}"
+            );
+        }
+        assert!(registry.get("b-mac").is_none());
+    }
+
+    #[test]
+    fn unknown_names_list_the_registry() {
+        let err = ProtocolRegistry::builtin().suite("mesh").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("mesh") && msg.contains("X-MAC") && msg.contains("CSMA"));
+    }
+
+    #[test]
+    fn select_preserves_request_order() {
+        let registry = ProtocolRegistry::builtin();
+        let picked = registry.select(&["lmac", "csma", "X-MAC"]).unwrap();
+        let names: Vec<&str> = picked.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["LMAC", "CSMA", "X-MAC"]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut registry = ProtocolRegistry::builtin();
+        let err = registry.register(Arc::new(XmacSuite)).unwrap_err();
+        assert_eq!(err, ProtoError::DuplicateName { name: "X-MAC" });
+    }
+}

@@ -1,0 +1,217 @@
+//! The [`ProtocolSuite`] trait and the built-in suites for the paper's
+//! protocols.
+
+use edmac_mac::{Deployment, Dmac, Lmac, MacModel, ProtocolConfig, Scp, Xmac};
+use edmac_sim::{DmacSim, LmacSim, ScpSim, SimProtocol, XmacSim};
+use edmac_units::Seconds;
+
+/// One MAC protocol, seen whole: the analytic model, the structural
+/// configuration it derives per deployment, and the simulator node
+/// factory that consumes the same record.
+///
+/// Object-safe and `Send + Sync`, so registries of
+/// `Arc<dyn ProtocolSuite>` can be shared across study worker threads.
+/// Implementations are stateless descriptors — both factories return
+/// fresh boxed instances.
+///
+/// # Contract
+///
+/// * [`ProtocolSuite::name`] equals the name of the model
+///   [`ProtocolSuite::model`] returns and the name of every simulator
+///   protocol [`ProtocolSuite::simulator`] builds — one protocol, one
+///   label, everywhere.
+/// * [`ProtocolSuite::simulator`] accepts any [`ProtocolConfig`] its
+///   own model's `configure` can produce, for any deployment. The
+///   round trip `suite.simulator(&suite.model().configure(env), x)`
+///   must always succeed (property-tested in `tests/registry.rs`).
+/// * The tuned parameter vector `x` has the model's arity and meaning
+///   (`model.parameter_names()`); suites map it onto the simulator's
+///   tunables.
+pub trait ProtocolSuite: std::fmt::Debug + Send + Sync {
+    /// The protocol's canonical display name (registry lookup key,
+    /// artifact label).
+    fn name(&self) -> &'static str;
+
+    /// A fresh instance of the analytic model.
+    fn model(&self) -> Box<dyn MacModel>;
+
+    /// Builds the simulator protocol from the structural record
+    /// `config` (as derived by this suite's model) at tuned parameter
+    /// vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations index `x` by the model's parameter order and
+    /// may panic on a wrong-arity vector; validate against
+    /// `self.model().dim()` when `x` is not produced by this suite's
+    /// own model (the analytic side rejects such vectors with
+    /// `MacError::Arity`).
+    fn simulator(&self, config: &ProtocolConfig, x: &[f64]) -> Box<dyn SimProtocol>;
+
+    /// Derives the structural record from `env` through this suite's
+    /// own model and builds the simulator protocol in one step — the
+    /// one-liner most callers want.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ProtocolSuite::simulator`], on a wrong-arity `x`.
+    fn simulator_for(&self, env: &Deployment, x: &[f64]) -> Box<dyn SimProtocol> {
+        self.simulator(&self.model().configure(env), x)
+    }
+
+    /// A representative tuned parameter vector: the fixed operating
+    /// point panel-style sweeps (the `scenarios` binary) run this
+    /// protocol at.
+    fn reference_params(&self) -> Vec<f64>;
+}
+
+/// The X-MAC suite (asynchronous preamble sampling; tunable: wake-up
+/// interval `Tw`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XmacSuite;
+
+impl ProtocolSuite for XmacSuite {
+    fn name(&self) -> &'static str {
+        "X-MAC"
+    }
+
+    fn model(&self) -> Box<dyn MacModel> {
+        Box::new(Xmac::default())
+    }
+
+    fn simulator(&self, _config: &ProtocolConfig, x: &[f64]) -> Box<dyn SimProtocol> {
+        Box::new(XmacSim::new(Seconds::new(x[0])))
+    }
+
+    fn reference_params(&self) -> Vec<f64> {
+        vec![0.100]
+    }
+}
+
+/// The DMAC suite (staggered slot ladder; tunable: cycle period `T`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DmacSuite;
+
+impl ProtocolSuite for DmacSuite {
+    fn name(&self) -> &'static str {
+        "DMAC"
+    }
+
+    fn model(&self) -> Box<dyn MacModel> {
+        Box::new(Dmac::default())
+    }
+
+    fn simulator(&self, _config: &ProtocolConfig, x: &[f64]) -> Box<dyn SimProtocol> {
+        Box::new(DmacSim::new(Seconds::new(x[0])))
+    }
+
+    fn reference_params(&self) -> Vec<f64> {
+        vec![0.500]
+    }
+}
+
+/// The LMAC suite (frame-based TDMA; tunable: slot length `Ts`). The
+/// simulated frame size always equals the analytic one: ring
+/// deployments keep the calibrated default, realized topologies get
+/// the chromatic-need-derived frame from the structural record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LmacSuite;
+
+impl ProtocolSuite for LmacSuite {
+    fn name(&self) -> &'static str {
+        "LMAC"
+    }
+
+    fn model(&self) -> Box<dyn MacModel> {
+        Box::new(Lmac::default())
+    }
+
+    fn simulator(&self, config: &ProtocolConfig, x: &[f64]) -> Box<dyn SimProtocol> {
+        let mut sim = LmacSim::new(Seconds::new(x[0]));
+        if let ProtocolConfig::Lmac { frame_slots, .. } = *config {
+            sim.frame_slots = frame_slots;
+        }
+        Box::new(sim)
+    }
+
+    fn reference_params(&self) -> Vec<f64> {
+        vec![0.010]
+    }
+}
+
+/// The SCP-MAC suite (scheduled channel polling, the paper's citation
+/// 10; tunable: poll period `Tp`). The structural sync period reaches
+/// both sides through the record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScpSuite;
+
+impl ProtocolSuite for ScpSuite {
+    fn name(&self) -> &'static str {
+        "SCP-MAC"
+    }
+
+    fn model(&self) -> Box<dyn MacModel> {
+        Box::new(Scp::default())
+    }
+
+    fn simulator(&self, config: &ProtocolConfig, x: &[f64]) -> Box<dyn SimProtocol> {
+        let mut sim = ScpSim::new(Seconds::new(x[0]));
+        if let ProtocolConfig::Scp { sync_period_ms } = *config {
+            // The analytic config's period, not the simulator's
+            // default: a non-default sync period must reach both sides.
+            sim.sync_period = Seconds::from_millis(sync_period_ms as f64);
+        }
+        Box::new(sim)
+    }
+
+    fn reference_params(&self) -> Vec<f64> {
+        vec![0.250]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_match_their_models() {
+        let suites: [&dyn ProtocolSuite; 4] = [&XmacSuite, &DmacSuite, &LmacSuite, &ScpSuite];
+        for suite in suites {
+            assert_eq!(suite.name(), suite.model().name());
+            assert_eq!(
+                suite.reference_params().len(),
+                suite.model().dim(),
+                "{}: reference point arity",
+                suite.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lmac_simulator_inherits_the_derived_frame() {
+        let config = ProtocolConfig::Lmac {
+            frame_slots: 31,
+            slot_demand: Some(25),
+        };
+        let sim = LmacSuite.simulator(&config, &[0.01]);
+        assert_eq!(
+            format!("{sim:?}"),
+            format!(
+                "{:?}",
+                LmacSim {
+                    slot: Seconds::new(0.01),
+                    frame_slots: 31,
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn scp_simulator_inherits_the_sync_period() {
+        let config = ProtocolConfig::Scp {
+            sync_period_ms: 45_000,
+        };
+        let sim = ScpSuite.simulator(&config, &[0.2]);
+        assert!(format!("{sim:?}").contains("45"));
+    }
+}

@@ -3,13 +3,11 @@
 
 use crate::events::{Event, EventQueue};
 use crate::frame::{Frame, FrameKind, Packet, PacketId};
-use crate::protocols;
+use crate::protocol::SimProtocol;
 pub use crate::protocols::MacNode;
 use crate::report::{NodeStats, PacketRecord, SimReport};
 use crate::time::SimTime;
-use edmac_net::{
-    distance_two_coloring, random_slot_assignment, Graph, NetError, NodeId, RoutingTree, Topology,
-};
+use edmac_net::{Graph, NetError, NodeId, RoutingTree, Topology};
 use edmac_radio::{Cause, EnergyLedger, FrameSizes, Mode, Radio};
 use edmac_units::Seconds;
 use rand::rngs::StdRng;
@@ -118,100 +116,6 @@ impl TrafficProfile {
     pub fn with_bursts(mut self, burst: BurstWindows) -> TrafficProfile {
         self.burst = Some(burst);
         self
-    }
-}
-
-/// Which protocol to simulate, with its parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ProtocolConfig {
-    /// X-MAC low-power listening.
-    Xmac {
-        /// Wake-up (channel check) interval `Tw`.
-        wakeup_interval: Seconds,
-        /// Listen duration of one poll.
-        poll_listen: Seconds,
-        /// Retransmission attempts per packet before dropping it.
-        max_retries: u32,
-    },
-    /// DMAC staggered slot ladder.
-    Dmac {
-        /// Cycle period `T` between ladder sweeps.
-        cycle: Seconds,
-        /// Slot length `μ`.
-        slot: Seconds,
-        /// Contention window at the head of the transmit slot.
-        contention_window: Seconds,
-    },
-    /// LMAC TDMA frame.
-    Lmac {
-        /// Slot length `Ts`.
-        slot: Seconds,
-        /// Slots per frame `N`; must cover the topology's distance-2
-        /// chromatic need.
-        frame_slots: usize,
-    },
-    /// SCP-MAC scheduled channel polling (the extension protocol).
-    Scp {
-        /// Poll period `Tp` (all nodes share the schedule).
-        poll_interval: Seconds,
-        /// Listen duration of one poll.
-        poll_listen: Seconds,
-        /// Interval between schedule-maintenance broadcasts.
-        sync_period: Seconds,
-    },
-}
-
-impl ProtocolConfig {
-    /// X-MAC with standard structural constants (2.5 ms polls, 5
-    /// retries).
-    pub fn xmac(wakeup_interval: Seconds) -> ProtocolConfig {
-        ProtocolConfig::Xmac {
-            wakeup_interval,
-            poll_listen: Seconds::from_millis(2.5),
-            max_retries: 5,
-        }
-    }
-
-    /// DMAC with standard structural constants (8 ms slots, 5 ms
-    /// contention window — wider than a data airtime, so contenders
-    /// that can hear each other resolve by CCA and hidden pairs at
-    /// least sometimes miss each other).
-    pub fn dmac(cycle: Seconds) -> ProtocolConfig {
-        ProtocolConfig::Dmac {
-            cycle,
-            slot: Seconds::from_millis(8.0),
-            contention_window: Seconds::from_millis(5.0),
-        }
-    }
-
-    /// LMAC with a 24-slot frame (double the distance-2 chromatic
-    /// need of reference-density deployments; matches the analytical
-    /// model's default).
-    pub fn lmac(slot: Seconds) -> ProtocolConfig {
-        ProtocolConfig::Lmac {
-            slot,
-            frame_slots: 24,
-        }
-    }
-
-    /// SCP-MAC with standard structural constants (2.5 ms polls, 60 s
-    /// sync period).
-    pub fn scp(poll_interval: Seconds) -> ProtocolConfig {
-        ProtocolConfig::Scp {
-            poll_interval,
-            poll_listen: Seconds::from_millis(2.5),
-            sync_period: Seconds::new(60.0),
-        }
-    }
-
-    /// The protocol's display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ProtocolConfig::Xmac { .. } => "X-MAC",
-            ProtocolConfig::Dmac { .. } => "DMAC",
-            ProtocolConfig::Lmac { .. } => "LMAC",
-            ProtocolConfig::Scp { .. } => "SCP-MAC",
-        }
     }
 }
 
@@ -653,21 +557,37 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation over an explicit topology.
     ///
+    /// The protocol is any [`SimProtocol`] configuration — the four
+    /// built-in ones ([`XmacSim`](crate::XmacSim),
+    /// [`DmacSim`](crate::DmacSim), [`LmacSim`](crate::LmacSim),
+    /// [`ScpSim`](crate::ScpSim)) or a downstream implementation.
+    ///
     /// # Errors
     ///
     /// * [`NetError::Disconnected`] if some node cannot reach the sink.
-    /// * [`NetError::InvalidParameter`] if an LMAC frame has fewer slots
-    ///   than the topology's distance-2 coloring needs.
+    /// * [`NetError::InvalidParameter`] if the configuration cannot
+    ///   cover the topology (e.g. an LMAC frame with fewer slots than
+    ///   the distance-2 coloring needs).
     pub fn build(
         topology: &Topology,
         radio: Radio,
         frames: FrameSizes,
-        protocol: ProtocolConfig,
+        protocol: &dyn SimProtocol,
         config: SimConfig,
     ) -> Result<Simulation, NetError> {
         let graph = topology.graph();
         let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
-        Simulation::from_graph(&graph, &tree, radio, frames, protocol, config)
+        let nodes = protocol.build_nodes(&graph, &tree, &config)?;
+        Simulation::assemble(
+            &graph,
+            &tree,
+            radio,
+            frames,
+            nodes,
+            protocol.name(),
+            config,
+            protocol.cca_free(),
+        )
     }
 
     /// Builds a simulation over the paper's ring topology (a geometric
@@ -680,7 +600,7 @@ impl Simulation {
     pub fn ring(
         depth: usize,
         density: usize,
-        protocol: ProtocolConfig,
+        protocol: &dyn SimProtocol,
         config: SimConfig,
     ) -> Result<Simulation, NetError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -731,140 +651,6 @@ impl Simulation {
             protocol_name,
             config,
             false,
-        )
-    }
-
-    fn from_graph(
-        graph: &Graph,
-        tree: &RoutingTree,
-        radio: Radio,
-        frames: FrameSizes,
-        protocol: ProtocolConfig,
-        config: SimConfig,
-    ) -> Result<Simulation, NetError> {
-        let nodes: Vec<Box<dyn MacNode>> = match protocol {
-            ProtocolConfig::Xmac {
-                wakeup_interval,
-                poll_listen,
-                max_retries,
-            } => graph
-                .nodes()
-                .map(|_| {
-                    Box::new(protocols::xmac::XmacNode::new(
-                        wakeup_interval,
-                        poll_listen,
-                        max_retries,
-                        config.scheduling,
-                    )) as Box<dyn MacNode>
-                })
-                .collect(),
-            ProtocolConfig::Dmac {
-                cycle,
-                slot,
-                contention_window,
-            } => graph
-                .nodes()
-                .map(|u| {
-                    let has_children = !tree.children(u).is_empty();
-                    Box::new(protocols::dmac::DmacNode::new(
-                        cycle,
-                        slot,
-                        contention_window,
-                        has_children,
-                    )) as Box<dyn MacNode>
-                })
-                .collect(),
-            ProtocolConfig::Scp {
-                poll_interval,
-                poll_listen,
-                sync_period,
-            } => graph
-                .nodes()
-                .map(|_| {
-                    Box::new(protocols::scp::ScpNode::new(
-                        poll_interval,
-                        poll_listen,
-                        sync_period,
-                    )) as Box<dyn MacNode>
-                })
-                .collect(),
-            ProtocolConfig::Lmac { slot, frame_slots } => {
-                // LMAC's slot-claiming phase picks random free slots; a
-                // dedicated stream (decoupled from the run's event RNG)
-                // keeps slot layouts and packet arrivals independent.
-                let mut slot_rng = StdRng::seed_from_u64(config.seed ^ 0x1b873593);
-                let coloring = match (0..16)
-                    .find_map(|_| random_slot_assignment(graph, frame_slots, &mut slot_rng))
-                {
-                    Some(coloring) => coloring,
-                    None => {
-                        // Random claiming can dead-end on frames close
-                        // to the chromatic need even when an assignment
-                        // exists; the deterministic Welsh–Powell pass
-                        // settles feasibility (at the cost of a slot
-                        // layout correlated with node order).
-                        let greedy = distance_two_coloring(graph);
-                        if greedy.count() > frame_slots {
-                            return Err(NetError::InvalidParameter {
-                                name: "frame_slots",
-                                reason: format!(
-                                    "topology needs {} distance-2 slots but the frame \
-                                     has {frame_slots}",
-                                    greedy.count()
-                                ),
-                            });
-                        }
-                        greedy
-                    }
-                };
-                graph
-                    .nodes()
-                    .map(|u| {
-                        // Classify this node's slot indices. Simulated
-                        // wakes are needed only where the outcome is
-                        // data-dependent: the own slot and the slots of
-                        // tree children (their control may name us as
-                        // data addressee). A non-child neighbor's slot
-                        // is deterministic — distance-2 reuse leaves
-                        // exactly one in-range owner, the owner always
-                        // transmits its control, and its addressee can
-                        // only be the owner's parent — so it replays as
-                        // a heard control. Slots with no in-range owner
-                        // replay as provable silence.
-                        let mut child_slots = vec![false; frame_slots];
-                        for &v in tree.children(u) {
-                            child_slots[coloring.color(v)] = true;
-                        }
-                        let mut heard_slots = vec![false; frame_slots];
-                        for &v in graph.neighbors(u) {
-                            let c = coloring.color(v);
-                            if !child_slots[c] {
-                                heard_slots[c] = true;
-                            }
-                        }
-                        Box::new(protocols::lmac::LmacNode::new(
-                            slot,
-                            frame_slots,
-                            coloring.color(u),
-                            child_slots,
-                            heard_slots,
-                            config.scheduling,
-                        )) as Box<dyn MacNode>
-                    })
-                    .collect()
-            }
-        };
-
-        let cca_free = matches!(protocol, ProtocolConfig::Lmac { .. });
-        Simulation::assemble(
-            graph,
-            tree,
-            radio,
-            frames,
-            nodes,
-            protocol.name(),
-            config,
-            cca_free,
         )
     }
 
@@ -1197,6 +983,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{LmacSim, XmacSim};
 
     fn tiny_config() -> SimConfig {
         SimConfig {
@@ -1213,7 +1000,7 @@ mod tests {
         let sim = Simulation::ring(
             2,
             4,
-            ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+            &XmacSim::new(Seconds::from_millis(100.0)),
             tiny_config(),
         )
         .unwrap();
@@ -1226,7 +1013,7 @@ mod tests {
             Simulation::ring(
                 2,
                 4,
-                ProtocolConfig::xmac(Seconds::from_millis(100.0)),
+                &XmacSim::new(Seconds::from_millis(100.0)),
                 tiny_config(),
             )
             .unwrap()
@@ -1264,12 +1051,12 @@ mod tests {
     #[test]
     fn lmac_rejects_undersized_frames() {
         let cfg = tiny_config();
-        let protocol = ProtocolConfig::Lmac {
+        let protocol = LmacSim {
             slot: Seconds::from_millis(10.0),
             frame_slots: 2, // far below any 2-hop neighborhood
         };
         assert!(matches!(
-            Simulation::ring(2, 4, protocol, cfg),
+            Simulation::ring(2, 4, &protocol, cfg),
             Err(NetError::InvalidParameter { .. })
         ));
     }
@@ -1282,7 +1069,7 @@ mod tests {
                 scheduling: WakeMode::Coarse,
                 ..tiny_config()
             };
-            Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
+            Simulation::ring(2, 4, &XmacSim::new(Seconds::from_millis(80.0)), cfg)
                 .unwrap()
                 .run()
         };
@@ -1311,7 +1098,7 @@ mod tests {
                 scheduling: WakeMode::Coarse,
                 ..tiny_config()
             };
-            Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(80.0)), cfg)
+            Simulation::ring(2, 4, &XmacSim::new(Seconds::from_millis(80.0)), cfg)
                 .unwrap()
                 .run()
         };
@@ -1336,7 +1123,7 @@ mod tests {
         // Every node's charged time (busy + sleep) must equal the run
         // duration exactly.
         let cfg = tiny_config();
-        let report = Simulation::ring(2, 4, ProtocolConfig::xmac(Seconds::from_millis(100.0)), cfg)
+        let report = Simulation::ring(2, 4, &XmacSim::new(Seconds::from_millis(100.0)), cfg)
             .unwrap()
             .run();
         for stats in report.per_node() {

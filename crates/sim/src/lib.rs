@@ -22,10 +22,17 @@
 //! Everything is seeded and single-threaded: the same
 //! [`SimConfig::seed`] reproduces the same run bit-for-bit.
 //!
+//! Protocols are configured through the object-safe [`SimProtocol`]
+//! trait — [`XmacSim`], [`DmacSim`], [`LmacSim`] and [`ScpSim`] are the
+//! built-in configurations, and downstream crates implement the trait
+//! on their own types to run new MAC protocols on the same substrate
+//! (the old closed `ProtocolConfig` enum is gone; see the README's
+//! migration notes).
+//!
 //! # Example
 //!
 //! ```
-//! use edmac_sim::{ProtocolConfig, SimConfig, Simulation};
+//! use edmac_sim::{SimConfig, Simulation, XmacSim};
 //! use edmac_units::Seconds;
 //!
 //! let cfg = SimConfig {
@@ -34,8 +41,8 @@
 //!     seed: 7,
 //!     ..SimConfig::default()
 //! };
-//! let protocol = ProtocolConfig::xmac(Seconds::from_millis(100.0));
-//! let report = Simulation::ring(3, 4, protocol, cfg).unwrap().run();
+//! let protocol = XmacSim::new(Seconds::from_millis(100.0));
+//! let report = Simulation::ring(3, 4, &protocol, cfg).unwrap().run();
 //! assert!(report.delivery_ratio() > 0.8);
 //! ```
 
@@ -46,13 +53,13 @@
 mod engine;
 mod events;
 mod frame;
+mod protocol;
 mod protocols;
 mod report;
 mod time;
 
-pub use engine::{
-    BurstWindows, Ctx, MacNode, ProtocolConfig, SimConfig, Simulation, TrafficProfile, WakeMode,
-};
+pub use engine::{BurstWindows, Ctx, MacNode, SimConfig, Simulation, TrafficProfile, WakeMode};
 pub use frame::{Frame, FrameCounters, FrameKind, Packet, PacketId};
-pub use report::{NodeStats, PacketRecord, SimReport};
+pub use protocol::{DmacSim, LmacSim, ScpSim, SimProtocol, XmacSim};
+pub use report::{DepthDelayStats, NodeStats, PacketRecord, SimReport};
 pub use time::SimTime;

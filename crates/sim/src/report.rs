@@ -46,6 +46,28 @@ impl PacketRecord {
     }
 }
 
+/// Delivery-delay statistics of the packets originating at one depth
+/// class: order statistics over the counted, delivered population.
+///
+/// The per-depth *sample count* is first-class because off-ring depth
+/// classes can be tiny (the deepest class of an irregular disk may
+/// hold one node): a comparator that reads a 3-sample median is
+/// measuring noise, and callers need the count to know.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthDelayStats {
+    /// The origin depth this class aggregates.
+    pub depth: usize,
+    /// Number of counted, delivered packets the statistics are over.
+    pub samples: usize,
+    /// Median end-to-end delay (same order statistic as
+    /// [`SimReport::median_delay_at_depth`]).
+    pub p50: Seconds,
+    /// 95th-percentile end-to-end delay (nearest-rank).
+    pub p95: Seconds,
+    /// Worst end-to-end delay in the class.
+    pub max: Seconds,
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -175,6 +197,47 @@ impl SimReport {
         Some(Seconds::new(delays[delays.len() / 2]))
     }
 
+    /// Full order-statistics of the delivered, counted packets
+    /// originating at `depth` hops: p50/p95/max plus the sample count
+    /// (`None` when the class delivered nothing).
+    ///
+    /// The p50 is the exact same order statistic as
+    /// [`SimReport::median_delay_at_depth`]; the p95 is nearest-rank
+    /// (`delays[ceil(0.95 · n) − 1]` on the sorted sample), so both
+    /// are well-defined down to a single sample and the ordering
+    /// `p50 ≤ p95 ≤ max` holds for every class size (a floor-rank p95
+    /// would drop *below* the upper median on a 2-sample class).
+    pub fn depth_delay_stats(&self, depth: usize) -> Option<DepthDelayStats> {
+        let mut delays: Vec<f64> = self
+            .counted()
+            .filter(|r| r.origin_depth == depth)
+            .filter_map(|r| r.delay())
+            .map(|d| d.value())
+            .collect();
+        if delays.is_empty() {
+            return None;
+        }
+        delays.sort_by(f64::total_cmp);
+        let n = delays.len();
+        Some(DepthDelayStats {
+            depth,
+            samples: n,
+            p50: Seconds::new(delays[n / 2]),
+            p95: Seconds::new(delays[(n * 95).div_ceil(100) - 1]),
+            max: Seconds::new(delays[n - 1]),
+        })
+    }
+
+    /// Per-depth delay statistics for every populated depth class,
+    /// shallowest first (depth 0 — sink-local origins — excluded, as
+    /// the sink does not sample).
+    pub fn delay_stats_by_depth(&self) -> Vec<DepthDelayStats> {
+        let deepest = self.per_node.iter().map(|s| s.depth).max().unwrap_or(0);
+        (1..=deepest)
+            .filter_map(|d| self.depth_delay_stats(d))
+            .collect()
+    }
+
     /// The worst observed end-to-end delay.
     pub fn max_delay(&self) -> Option<Seconds> {
         self.counted()
@@ -299,6 +362,88 @@ mod tests {
         assert!((r.mean_delay_at_depth(2).unwrap().value() - 2.0).abs() < 1e-9);
         assert!((r.mean_delay_at_depth(3).unwrap().value() - 2.0).abs() < 1e-9);
         assert!(r.mean_delay_at_depth(7).is_none());
+    }
+
+    #[test]
+    fn depth_stats_report_percentiles_and_counts() {
+        // 20 delivered packets at depth 2 with delays 1..=20 s.
+        let records: Vec<PacketRecord> = (1..=20)
+            .map(|i| record(20.0, Some(20.0 + i as f64), 2))
+            .collect();
+        let r = report(records);
+        let stats = r.depth_delay_stats(2).expect("populated class");
+        assert_eq!(stats.samples, 20);
+        // Same order statistic as the legacy median accessor.
+        assert_eq!(stats.p50, r.median_delay_at_depth(2).unwrap());
+        assert!((stats.p50.value() - 11.0).abs() < 1e-9);
+        // Nearest-rank p95 on n=20: index ceil(20 * 0.95) - 1 = 18.
+        assert!((stats.p95.value() - 19.0).abs() < 1e-9);
+        assert!((stats.max.value() - 20.0).abs() < 1e-9);
+        assert!(r.depth_delay_stats(3).is_none());
+        // Single-sample classes are well-defined (p50 = p95 = max).
+        let one = report(vec![record(30.0, Some(32.5), 1)]);
+        let s = one.depth_delay_stats(1).unwrap();
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.p50, s.p95);
+        assert_eq!(s.p95, s.max);
+        assert!((s.max.value() - 2.5).abs() < 1e-9);
+        // The percentile ordering p50 <= p95 <= max must hold on every
+        // class size — notably n = 2, where a floor-rank p95 would
+        // land on the minimum, below the upper-median p50.
+        for n in 1..=6usize {
+            let two = report(
+                (1..=n)
+                    .map(|i| record(20.0, Some(20.0 + i as f64), 1))
+                    .collect(),
+            );
+            let s = two.depth_delay_stats(1).unwrap();
+            assert!(
+                s.p50 <= s.p95 && s.p95 <= s.max,
+                "n={n}: p50 {} p95 {} max {}",
+                s.p50,
+                s.p95,
+                s.max
+            );
+        }
+    }
+
+    #[test]
+    fn stats_by_depth_cover_populated_classes_in_order() {
+        let r = SimReport::new(
+            "T",
+            SimConfig {
+                duration: Seconds::new(100.0),
+                sample_period: Seconds::new(10.0),
+                warmup: Seconds::new(10.0),
+                seed: 0,
+                scheduling: WakeMode::Coarse,
+            },
+            NodeId::new(0),
+            vec![
+                NodeStats {
+                    node: NodeId::new(1),
+                    depth: 3,
+                    breakdown: EnergyBreakdown::ZERO,
+                    busy: Seconds::ZERO,
+                    counters: FrameCounters::default(),
+                },
+                NodeStats {
+                    node: NodeId::new(0),
+                    depth: 0,
+                    breakdown: EnergyBreakdown::ZERO,
+                    busy: Seconds::ZERO,
+                    counters: FrameCounters::default(),
+                },
+            ],
+            vec![
+                record(20.0, Some(21.0), 1),
+                record(20.0, Some(26.0), 3),
+                record(25.0, None, 2), // lost: class 2 has no deliveries
+            ],
+        );
+        let stats = r.delay_stats_by_depth();
+        let depths: Vec<usize> = stats.iter().map(|s| s.depth).collect();
+        assert_eq!(depths, [1, 3], "empty classes are skipped");
     }
 
     #[test]

@@ -6,21 +6,26 @@
 //! the same invariants over a much wider seed × protocol grid in the
 //! `#[ignore]`d slow tier (`cargo test -- --ignored`).
 
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
+use edmac_sim::{
+    DmacSim, LmacSim, ScpSim, SimConfig, SimProtocol, SimReport, Simulation, WakeMode, XmacSim,
+};
 use edmac_units::Seconds;
 use proptest::prelude::*;
 
 /// A protocol at a random (but valid) operating point.
-fn protocols() -> impl Strategy<Value = ProtocolConfig> {
+fn protocols() -> impl Strategy<Value = Box<dyn SimProtocol>> {
     prop_oneof![
-        (0.05..0.4f64).prop_map(|tw| ProtocolConfig::xmac(Seconds::new(tw))),
-        (0.3..2.0f64).prop_map(|t| ProtocolConfig::dmac(Seconds::new(t))),
-        (0.004..0.03f64).prop_map(|ts| ProtocolConfig::lmac(Seconds::new(ts))),
-        (0.1..0.5f64).prop_map(|tp| ProtocolConfig::scp(Seconds::new(tp))),
+        (0.05..0.4f64)
+            .prop_map(|tw| Box::new(XmacSim::new(Seconds::new(tw))) as Box<dyn SimProtocol>),
+        (0.3..2.0f64).prop_map(|t| Box::new(DmacSim::new(Seconds::new(t))) as Box<dyn SimProtocol>),
+        (0.004..0.03f64)
+            .prop_map(|ts| Box::new(LmacSim::new(Seconds::new(ts))) as Box<dyn SimProtocol>),
+        (0.1..0.5f64)
+            .prop_map(|tp| Box::new(ScpSim::new(Seconds::new(tp))) as Box<dyn SimProtocol>),
     ]
 }
 
-fn run(protocol: ProtocolConfig, seed: u64) -> SimReport {
+fn run(protocol: &dyn SimProtocol, seed: u64) -> SimReport {
     let cfg = SimConfig {
         duration: Seconds::new(120.0),
         sample_period: Seconds::new(30.0),
@@ -38,8 +43,8 @@ proptest! {
 
     #[test]
     fn runs_are_deterministic(protocol in protocols(), seed in any::<u64>()) {
-        let a = run(protocol, seed);
-        let b = run(protocol, seed);
+        let a = run(protocol.as_ref(), seed);
+        let b = run(protocol.as_ref(), seed);
         prop_assert_eq!(a.delivered_count(), b.delivered_count());
         prop_assert_eq!(a.total_collisions(), b.total_collisions());
         for (sa, sb) in a.per_node().iter().zip(b.per_node()) {
@@ -56,7 +61,7 @@ proptest! {
     fn time_is_fully_accounted(protocol in protocols(), seed in any::<u64>()) {
         // busy + sleep time must equal the horizon exactly, for every
         // node: the ledger never loses or invents a nanosecond.
-        let report = run(protocol, seed);
+        let report = run(protocol.as_ref(), seed);
         let sleep_draw = edmac_radio::Radio::cc2420().power.sleep.value();
         for stats in report.per_node() {
             let sleep_time = stats.breakdown.sleep.value() / sleep_draw;
@@ -73,7 +78,7 @@ proptest! {
     fn energy_is_positive_and_bounded(protocol in protocols(), seed in any::<u64>()) {
         // Nobody consumes more than an always-on listen radio, and
         // everybody pays at least the sleep floor.
-        let report = run(protocol, seed);
+        let report = run(protocol.as_ref(), seed);
         let listen = edmac_radio::Radio::cc2420().power.listen.value();
         let always_on = listen * 120.0 * 1.05;
         for stats in report.per_node() {
@@ -90,7 +95,7 @@ proptest! {
 
     #[test]
     fn deliveries_have_sane_records(protocol in protocols(), seed in any::<u64>()) {
-        let report = run(protocol, seed);
+        let report = run(protocol.as_ref(), seed);
         for r in report.records() {
             if let Some(delivered) = r.delivered {
                 prop_assert!(delivered >= r.created, "delivery before creation");
@@ -114,7 +119,7 @@ proptest! {
     #[test]
     fn counters_are_consistent_with_records(protocol in protocols(), seed in any::<u64>()) {
         use edmac_sim::FrameKind;
-        let report = run(protocol, seed);
+        let report = run(protocol.as_ref(), seed);
         let tx_data: u64 = report.per_node().iter().map(|s| s.counters.tx(FrameKind::Data)).sum();
         // Every delivery implies at least origin_depth data transmissions.
         let min_tx: u64 = report
@@ -139,22 +144,22 @@ proptest! {
 fn exhaustive_invariant_sweep() {
     let sleep_draw = edmac_radio::Radio::cc2420().power.sleep.value();
     let listen = edmac_radio::Radio::cc2420().power.listen.value();
-    let cases = [
-        ProtocolConfig::xmac(Seconds::new(0.06)),
-        ProtocolConfig::xmac(Seconds::new(0.25)),
-        ProtocolConfig::dmac(Seconds::new(0.4)),
-        ProtocolConfig::dmac(Seconds::new(1.5)),
-        ProtocolConfig::lmac(Seconds::new(0.005)),
-        ProtocolConfig::lmac(Seconds::new(0.02)),
-        ProtocolConfig::scp(Seconds::new(0.15)),
-        ProtocolConfig::scp(Seconds::new(0.4)),
+    let cases: [Box<dyn SimProtocol>; 8] = [
+        Box::new(XmacSim::new(Seconds::new(0.06))),
+        Box::new(XmacSim::new(Seconds::new(0.25))),
+        Box::new(DmacSim::new(Seconds::new(0.4))),
+        Box::new(DmacSim::new(Seconds::new(1.5))),
+        Box::new(LmacSim::new(Seconds::new(0.005))),
+        Box::new(LmacSim::new(Seconds::new(0.02))),
+        Box::new(ScpSim::new(Seconds::new(0.15))),
+        Box::new(ScpSim::new(Seconds::new(0.4))),
     ];
-    for protocol in cases {
+    for protocol in &cases {
         for seed in 0..12u64 {
-            let report = run(protocol, seed);
+            let report = run(protocol.as_ref(), seed);
             let label = format!("{} seed {seed}", report.protocol());
             // Determinism.
-            let again = run(protocol, seed);
+            let again = run(protocol.as_ref(), seed);
             assert_eq!(report.delivered_count(), again.delivered_count(), "{label}");
             // Time accounting and energy bounds, every node.
             for stats in report.per_node() {

@@ -1,9 +1,11 @@
 //! End-to-end behavioral tests of the three simulated protocols.
 
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
+use edmac_sim::{
+    DmacSim, LmacSim, ScpSim, SimConfig, SimProtocol, SimReport, Simulation, WakeMode, XmacSim,
+};
 use edmac_units::Seconds;
 
-fn run(protocol: ProtocolConfig, depth: usize, density: usize, seed: u64) -> SimReport {
+fn run(protocol: &dyn SimProtocol, depth: usize, density: usize, seed: u64) -> SimReport {
     let cfg = SimConfig {
         duration: Seconds::new(400.0),
         sample_period: Seconds::new(40.0),
@@ -18,7 +20,7 @@ fn run(protocol: ProtocolConfig, depth: usize, density: usize, seed: u64) -> Sim
 
 #[test]
 fn xmac_delivers_and_sleeps() {
-    let report = run(ProtocolConfig::xmac(Seconds::from_millis(100.0)), 3, 4, 3);
+    let report = run(&XmacSim::new(Seconds::from_millis(100.0)), 3, 4, 3);
     assert!(
         report.delivery_ratio() > 0.9,
         "X-MAC delivery {} too low",
@@ -44,7 +46,7 @@ fn dmac_delivers_over_the_ladder() {
         seed: 4,
         scheduling: WakeMode::Coarse,
     };
-    let report = Simulation::ring(3, 4, ProtocolConfig::dmac(Seconds::new(0.5)), cfg)
+    let report = Simulation::ring(3, 4, &DmacSim::new(Seconds::new(0.5)), cfg)
         .unwrap()
         .run();
     assert!(
@@ -56,7 +58,7 @@ fn dmac_delivers_over_the_ladder() {
 
 #[test]
 fn lmac_delivers_collision_free() {
-    let report = run(ProtocolConfig::lmac(Seconds::from_millis(10.0)), 3, 4, 5);
+    let report = run(&LmacSim::new(Seconds::from_millis(10.0)), 3, 4, 5);
     assert!(
         report.delivery_ratio() > 0.95,
         "LMAC delivery {} too low (TDMA should not collide)",
@@ -68,8 +70,8 @@ fn lmac_delivers_collision_free() {
 fn xmac_latency_tracks_wakeup_interval() {
     // Mean per-hop delay ~ Tw/2: quadrupling Tw must visibly raise e2e
     // delay.
-    let fast = run(ProtocolConfig::xmac(Seconds::from_millis(50.0)), 3, 4, 6);
-    let slow = run(ProtocolConfig::xmac(Seconds::from_millis(200.0)), 3, 4, 6);
+    let fast = run(&XmacSim::new(Seconds::from_millis(50.0)), 3, 4, 6);
+    let slow = run(&XmacSim::new(Seconds::from_millis(200.0)), 3, 4, 6);
     let (f, s) = (
         fast.mean_delay().expect("deliveries"),
         slow.mean_delay().expect("deliveries"),
@@ -84,8 +86,8 @@ fn xmac_latency_tracks_wakeup_interval() {
 
 #[test]
 fn dmac_latency_tracks_cycle() {
-    let fast = run(ProtocolConfig::dmac(Seconds::new(0.5)), 3, 4, 7);
-    let slow = run(ProtocolConfig::dmac(Seconds::new(2.0)), 3, 4, 7);
+    let fast = run(&DmacSim::new(Seconds::new(0.5)), 3, 4, 7);
+    let slow = run(&DmacSim::new(Seconds::new(2.0)), 3, 4, 7);
     let (f, s) = (
         fast.mean_delay().expect("deliveries"),
         slow.mean_delay().expect("deliveries"),
@@ -95,8 +97,8 @@ fn dmac_latency_tracks_cycle() {
 
 #[test]
 fn lmac_latency_tracks_slot_length() {
-    let fast = run(ProtocolConfig::lmac(Seconds::from_millis(5.0)), 3, 4, 8);
-    let slow = run(ProtocolConfig::lmac(Seconds::from_millis(20.0)), 3, 4, 8);
+    let fast = run(&LmacSim::new(Seconds::from_millis(5.0)), 3, 4, 8);
+    let slow = run(&LmacSim::new(Seconds::from_millis(20.0)), 3, 4, 8);
     let (f, s) = (
         fast.mean_delay().expect("deliveries"),
         slow.mean_delay().expect("deliveries"),
@@ -107,8 +109,8 @@ fn lmac_latency_tracks_slot_length() {
 #[test]
 fn xmac_energy_rises_at_faster_polling() {
     let epoch = Seconds::new(10.0);
-    let fast = run(ProtocolConfig::xmac(Seconds::from_millis(30.0)), 2, 4, 9);
-    let slow = run(ProtocolConfig::xmac(Seconds::from_millis(300.0)), 2, 4, 9);
+    let fast = run(&XmacSim::new(Seconds::from_millis(30.0)), 2, 4, 9);
+    let slow = run(&XmacSim::new(Seconds::from_millis(300.0)), 2, 4, 9);
     assert!(
         fast.bottleneck_energy(epoch) > slow.bottleneck_energy(epoch),
         "poll cost must dominate at 30 ms vs 300 ms"
@@ -117,7 +119,7 @@ fn xmac_energy_rises_at_faster_polling() {
 
 #[test]
 fn lmac_control_listening_dominates_breakdown() {
-    let report = run(ProtocolConfig::lmac(Seconds::from_millis(10.0)), 2, 4, 10);
+    let report = run(&LmacSim::new(Seconds::from_millis(10.0)), 2, 4, 10);
     let b = report.bottleneck_breakdown(Seconds::new(10.0));
     assert!(
         b.sync_rx > b.tx && b.sync_rx > b.rx,
@@ -127,7 +129,7 @@ fn lmac_control_listening_dominates_breakdown() {
 
 #[test]
 fn deeper_sources_take_longer() {
-    let report = run(ProtocolConfig::xmac(Seconds::from_millis(100.0)), 4, 4, 11);
+    let report = run(&XmacSim::new(Seconds::from_millis(100.0)), 4, 4, 11);
     let near = report.mean_delay_at_depth(1).expect("ring-1 deliveries");
     let far = report.mean_delay_at_depth(4).expect("ring-4 deliveries");
     assert!(
@@ -140,7 +142,7 @@ fn deeper_sources_take_longer() {
 fn hop_counts_match_origin_depth() {
     // In LMAC no contention-driven rerouting exists: every delivered
     // packet's hop count equals its origin depth exactly.
-    let report = run(ProtocolConfig::lmac(Seconds::from_millis(10.0)), 3, 4, 12);
+    let report = run(&LmacSim::new(Seconds::from_millis(10.0)), 3, 4, 12);
     for r in report.records() {
         if r.delivered.is_some() {
             assert_eq!(
@@ -154,7 +156,7 @@ fn hop_counts_match_origin_depth() {
 
 #[test]
 fn scp_delivers_on_the_common_schedule() {
-    let report = run(ProtocolConfig::scp(Seconds::from_millis(250.0)), 3, 4, 21);
+    let report = run(&ScpSim::new(Seconds::from_millis(250.0)), 3, 4, 21);
     assert!(
         report.delivery_ratio() > 0.9,
         "SCP-MAC delivery {} too low",
@@ -178,8 +180,8 @@ fn scp_spends_less_than_xmac_at_equal_period() {
     // The SCP-MAC claim, measured packet-by-packet: synchronized polls
     // replace the Tw/2 strobe train with one tone.
     let epoch = Seconds::new(10.0);
-    let scp = run(ProtocolConfig::scp(Seconds::from_millis(250.0)), 3, 4, 22);
-    let xmac = run(ProtocolConfig::xmac(Seconds::from_millis(250.0)), 3, 4, 22);
+    let scp = run(&ScpSim::new(Seconds::from_millis(250.0)), 3, 4, 22);
+    let xmac = run(&XmacSim::new(Seconds::from_millis(250.0)), 3, 4, 22);
     assert!(
         scp.bottleneck_energy(epoch) < xmac.bottleneck_energy(epoch),
         "SCP {} should beat X-MAC {}",
@@ -192,7 +194,7 @@ fn scp_spends_less_than_xmac_at_equal_period() {
 fn lmac_schedule_is_collision_free() {
     // Distance-2 slot assignment: no receiver ever sees two overlapping
     // in-range transmissions.
-    let report = run(ProtocolConfig::lmac(Seconds::from_millis(10.0)), 3, 4, 23);
+    let report = run(&LmacSim::new(Seconds::from_millis(10.0)), 3, 4, 23);
     assert_eq!(
         report.total_collisions(),
         0,
@@ -203,7 +205,7 @@ fn lmac_schedule_is_collision_free() {
 #[test]
 fn frame_counters_balance_transmissions_and_receptions() {
     use edmac_sim::FrameKind;
-    let report = run(ProtocolConfig::xmac(Seconds::from_millis(100.0)), 2, 4, 24);
+    let report = run(&XmacSim::new(Seconds::from_millis(100.0)), 2, 4, 24);
     let tx_data: u64 = report
         .per_node()
         .iter()
@@ -237,7 +239,7 @@ fn frame_counters_balance_transmissions_and_receptions() {
 #[test]
 fn counters_attribute_control_traffic_to_lmac_owners() {
     use edmac_sim::FrameKind;
-    let report = run(ProtocolConfig::lmac(Seconds::from_millis(10.0)), 2, 4, 25);
+    let report = run(&LmacSim::new(Seconds::from_millis(10.0)), 2, 4, 25);
     for stats in report.per_node() {
         // Every node owns one slot per frame and transmits its control
         // section there.
@@ -255,12 +257,13 @@ fn counters_attribute_control_traffic_to_lmac_owners() {
 fn line_topology_works_for_all_protocols() {
     // A 6-hop chain is the worst case for the ladder and the frame.
     let topo = edmac_net::Topology::line(7, 0.9).unwrap();
-    for protocol in [
-        ProtocolConfig::xmac(Seconds::from_millis(80.0)),
-        ProtocolConfig::dmac(Seconds::new(1.0)),
-        ProtocolConfig::lmac(Seconds::from_millis(10.0)),
-        ProtocolConfig::scp(Seconds::from_millis(200.0)),
-    ] {
+    let protocols: [Box<dyn SimProtocol>; 4] = [
+        Box::new(XmacSim::new(Seconds::from_millis(80.0))),
+        Box::new(DmacSim::new(Seconds::new(1.0))),
+        Box::new(LmacSim::new(Seconds::from_millis(10.0))),
+        Box::new(ScpSim::new(Seconds::from_millis(200.0))),
+    ];
+    for protocol in &protocols {
         let cfg = SimConfig {
             duration: Seconds::new(400.0),
             sample_period: Seconds::new(40.0),
@@ -272,7 +275,7 @@ fn line_topology_works_for_all_protocols() {
             &topo,
             edmac_radio::Radio::cc2420(),
             edmac_radio::FrameSizes::default(),
-            protocol,
+            protocol.as_ref(),
             cfg,
         )
         .unwrap()

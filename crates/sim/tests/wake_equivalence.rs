@@ -12,7 +12,9 @@
 
 use edmac_net::Topology;
 use edmac_radio::{Cause, FrameSizes, Radio};
-use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
+use edmac_sim::{
+    DmacSim, LmacSim, ScpSim, SimConfig, SimProtocol, SimReport, Simulation, WakeMode, XmacSim,
+};
 use edmac_units::Seconds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,12 +29,12 @@ fn config(seed: u64, scheduling: WakeMode) -> SimConfig {
     }
 }
 
-fn protocols() -> [ProtocolConfig; 4] {
+fn protocols() -> [Box<dyn SimProtocol>; 4] {
     [
-        ProtocolConfig::xmac(Seconds::from_millis(100.0)),
-        ProtocolConfig::dmac(Seconds::new(0.5)),
-        ProtocolConfig::lmac(Seconds::from_millis(10.0)),
-        ProtocolConfig::scp(Seconds::from_millis(250.0)),
+        Box::new(XmacSim::new(Seconds::from_millis(100.0))),
+        Box::new(DmacSim::new(Seconds::new(0.5))),
+        Box::new(LmacSim::new(Seconds::from_millis(10.0))),
+        Box::new(ScpSim::new(Seconds::from_millis(250.0))),
     ]
 }
 
@@ -75,10 +77,10 @@ fn assert_identical(a: &SimReport, b: &SimReport, label: &str) {
 
 #[test]
 fn coarse_equals_dense_on_rings() {
-    for protocol in protocols() {
+    for protocol in &protocols() {
         for seed in [7, 42] {
             let run = |mode| {
-                Simulation::ring(4, 4, protocol, config(seed, mode))
+                Simulation::ring(4, 4, protocol.as_ref(), config(seed, mode))
                     .expect("buildable ring")
                     .run()
             };
@@ -95,13 +97,13 @@ fn coarse_equals_dense_on_rings() {
 fn coarse_equals_dense_on_uniform_disks() {
     let mut rng = StdRng::seed_from_u64(191);
     let topo = Topology::uniform_disk(60, 2.5, &mut rng).expect("connected disk");
-    for protocol in protocols() {
+    for protocol in &protocols() {
         let run = |mode| {
             Simulation::build(
                 &topo,
                 Radio::cc2420(),
                 FrameSizes::default(),
-                protocol,
+                protocol.as_ref(),
                 config(11, mode),
             )
             .expect("buildable disk")
@@ -121,13 +123,13 @@ fn coarse_equals_dense_on_lines() {
     // and give every interior node exactly two neighbors, so LMAC's
     // silent-slot skipping is at its most aggressive here.
     let topo = Topology::line(7, 0.9).expect("chain");
-    for protocol in protocols() {
+    for protocol in &protocols() {
         let run = |mode| {
             Simulation::build(
                 &topo,
                 Radio::cc2420(),
                 FrameSizes::default(),
-                protocol,
+                protocol.as_ref(),
                 config(5, mode),
             )
             .expect("buildable line")
@@ -148,9 +150,9 @@ fn same_seed_reproduces_byte_identical_reports() {
     // on both ring and disk topologies.
     let mut rng = StdRng::seed_from_u64(33);
     let disk = Topology::uniform_disk(40, 2.0, &mut rng).expect("connected disk");
-    for protocol in protocols() {
+    for protocol in &protocols() {
         let ring_run = || {
-            Simulation::ring(3, 4, protocol, config(17, WakeMode::Coarse))
+            Simulation::ring(3, 4, protocol.as_ref(), config(17, WakeMode::Coarse))
                 .expect("buildable ring")
                 .run()
         };
@@ -164,7 +166,7 @@ fn same_seed_reproduces_byte_identical_reports() {
                 &disk,
                 Radio::cc2420(),
                 FrameSizes::default(),
-                protocol,
+                protocol.as_ref(),
                 config(23, WakeMode::Coarse),
             )
             .expect("buildable disk")

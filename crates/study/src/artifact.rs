@@ -20,8 +20,11 @@ use std::path::Path;
 
 /// Schema tag of `study_cells.csv`.
 pub const CELLS_SCHEMA: &str = "edmac-study/cells/v2";
-/// Schema tag of `study_validation.csv`.
-pub const VALIDATION_SCHEMA: &str = "edmac-study/validation/v1";
+/// Schema tag of `study_validation.csv`. v2 added the latency
+/// comparator's sample count and p95/max percentiles (the depth class
+/// behind `sim_l`, chosen under the sample-count floor — see
+/// [`crate::VALIDATION_SAMPLE_FLOOR`]).
+pub const VALIDATION_SCHEMA: &str = "edmac-study/validation/v2";
 /// Schema tag of `study_summary.json`.
 pub const SUMMARY_SCHEMA: &str = "edmac-study/summary/v2";
 
@@ -137,13 +140,13 @@ pub fn validation_csv(outcomes: &[CellOutcome]) -> String {
     let _ = writeln!(
         out,
         "cell,scenario,protocol,seed,params,model_e_j,sim_e_j,err_e,model_l_s,sim_l_s,err_l,\
-         delivery"
+         delivery,sim_l_samples,sim_l_p95_s,sim_l_max_s"
     );
     for o in outcomes {
         let Some(v) = &o.validation else { continue };
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             o.cell.index,
             o.cell.scenario.name,
             o.protocol,
@@ -156,6 +159,9 @@ pub fn validation_csv(outcomes: &[CellOutcome]) -> String {
             f6(v.sim_l),
             f6(v.err_l),
             f6(v.delivery),
+            v.sim_l_samples,
+            f6(v.sim_l_p95),
+            f6(v.sim_l_max),
         );
     }
     out

@@ -3,49 +3,35 @@
 
 use edmac_core::{sample_frontier, AppRequirements, GridCell, TradeoffAnalysis, TradeoffReport};
 use edmac_game::{standard_concepts, BargainingProblem, CostPoint, SolutionConcept, WeightedSum};
-use edmac_mac::{all_models, Deployment, MacModel};
-use edmac_sim::{ProtocolConfig, SimConfig, WakeMode};
+use edmac_mac::{Deployment, MacModel};
+use edmac_proto::{ProtocolSuite, PAPER_TRIO};
+use edmac_sim::{SimConfig, WakeMode};
 use edmac_units::Seconds;
 
 /// Frontier sample resolution per cell (one-dimensional models: this
 /// many candidate operating points feed the discrete concept panel).
 const FRONTIER_SAMPLES: usize = 96;
 
-/// The protocol panel for one cell: the paper's trio at their default
-/// structural constants. Per-deployment structure (LMAC's frame from
-/// the realized distance-2 chromatic need, DMAC's stagger depth) is no
-/// longer pinned here — [`MacModel::configure`] derives it per cell,
-/// and the simulated side reads the same derivation via
-/// [`sim_protocol`].
+/// The default protocol panel for one cell: the paper's trio, resolved
+/// through [`edmac_proto::ProtocolRegistry::builtin`]. Per-deployment
+/// structure
+/// (LMAC's frame from the realized distance-2 chromatic need, DMAC's
+/// stagger depth) is derived per cell by [`MacModel::configure`], and
+/// the simulated side reads the same record through each suite's
+/// [`ProtocolSuite::simulator`] — the hand-written mac↔sim match
+/// bridge this module used to carry is gone.
 pub fn models_for() -> Vec<Box<dyn MacModel>> {
-    all_models()
+    edmac_proto::paper_trio_models()
 }
 
-/// Number of protocols in every cell's panel.
-pub const PROTOCOLS: usize = 3;
+/// Number of protocols in the default (paper-trio) panel.
+pub const PROTOCOLS: usize = PAPER_TRIO.len();
 
-/// The simulator configuration matching an analytic model at parameter
-/// vector `x`, given the model's per-deployment
-/// [`edmac_mac::ProtocolConfig`] — the one bridge between the analytic
-/// configuration record and the simulator's input, so the two sides
-/// can never disagree on derived structure.
-pub fn sim_protocol(config: &edmac_mac::ProtocolConfig, x: &[f64]) -> ProtocolConfig {
-    match *config {
-        edmac_mac::ProtocolConfig::Xmac { .. } => ProtocolConfig::xmac(Seconds::new(x[0])),
-        edmac_mac::ProtocolConfig::Dmac { .. } => ProtocolConfig::dmac(Seconds::new(x[0])),
-        edmac_mac::ProtocolConfig::Lmac { frame_slots, .. } => ProtocolConfig::Lmac {
-            slot: Seconds::new(x[0]),
-            frame_slots,
-        },
-        edmac_mac::ProtocolConfig::Scp { sync_period_ms } => ProtocolConfig::Scp {
-            poll_interval: Seconds::new(x[0]),
-            poll_listen: Seconds::from_millis(2.5),
-            // The analytic config's period, not the simulator's default:
-            // a non-default sync period must reach both sides.
-            sync_period: Seconds::from_millis(sync_period_ms as f64),
-        },
-    }
-}
+/// Minimum delivered-packet count before an off-ring depth class may
+/// drive the latency comparator in [`validate_cell`]: the deepest
+/// class of an irregular disk can hold one or two nodes, whose handful
+/// of packets is small-sample noise rather than hop cost.
+pub const VALIDATION_SAMPLE_FLOOR: usize = 20;
 
 /// One concept's agreement on a cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,8 +131,17 @@ pub struct ValidationOutcome {
     /// Analytic worst end-to-end latency (s).
     pub model_l: f64,
     /// Simulated worst per-depth median delay (s) — the packet-level
-    /// counterpart of the model's `max_d L_d`.
+    /// counterpart of the model's `max_d L_d`. Off-ring, only depth
+    /// classes with at least [`VALIDATION_SAMPLE_FLOOR`] delivered
+    /// packets compete (falling back to all classes when none
+    /// qualify).
     pub sim_l: f64,
+    /// Delivered-packet count of the depth class behind `sim_l`.
+    pub sim_l_samples: usize,
+    /// 95th-percentile delay of that class (s).
+    pub sim_l_p95: f64,
+    /// Worst delay of that class (s).
+    pub sim_l_max: f64,
     /// Relative latency error `|sim − model| / model`.
     pub err_l: f64,
     /// Simulated delivery ratio.
@@ -387,16 +382,18 @@ fn weight_sweep(
 }
 
 /// Cross-validates a solved cell packet-by-packet: simulate the
-/// scenario at the NBS parameters and compare the model's energy and
-/// latency against the simulated bottleneck energy and deepest-ring
-/// median delay.
+/// scenario at the NBS parameters (through the suite's simulator
+/// factory, fed the same structural record the analytic side derived)
+/// and compare the model's energy and latency against the simulated
+/// bottleneck energy and worst per-depth median delay.
 pub fn validate_cell(
     cell: &GridCell,
     outcome: &CellOutcome,
+    suite: &dyn ProtocolSuite,
     sim_horizon: Seconds,
 ) -> Option<ValidationOutcome> {
     let (model_e, model_l, params) = outcome.nbs.clone()?;
-    let protocol = sim_protocol(outcome.config.as_ref()?, &params);
+    let protocol = suite.simulator(outcome.config.as_ref()?, &params);
     let config = SimConfig {
         duration: sim_horizon,
         sample_period: cell.scenario.traffic.sample_period(),
@@ -404,26 +401,37 @@ pub fn validate_cell(
         seed: cell.seed,
         scheduling: WakeMode::Coarse,
     };
-    let sim = cell.scenario.simulation(protocol, config).ok()?;
+    let sim = cell.scenario.simulation(protocol.as_ref(), config).ok()?;
     let report = sim.run();
     let deepest = report.per_node().iter().map(|s| s.depth).max().unwrap_or(0);
     let sim_e = report.bottleneck_energy(Seconds::new(10.0)).value();
     // The model predicts `L = max_d L_d`. On rings every depth class is
     // densely populated and the deepest median is the stable worst
-    // case (the PR 3 comparator). On irregular disks the deepest class
-    // can hold one or two nodes, whose median is small-sample noise
-    // rather than hop cost — there the worst per-depth median is the
-    // faithful packet-level counterpart of the model's max.
-    let sim_l = if cell.preset == edmac_core::PresetKind::Ring {
-        report
-            .median_delay_at_depth(deepest)
-            .map(|d| d.value())
-            .unwrap_or(f64::NAN)
+    // case (the PR 3 comparator). On irregular disks the worst
+    // per-depth median is the faithful packet-level counterpart of the
+    // model's max — but only classes with enough delivered packets may
+    // compete ([`VALIDATION_SAMPLE_FLOOR`]): a 1–2-node deepest class
+    // is noise, not hop cost. When no class qualifies, all compete.
+    let chosen = if cell.preset == edmac_core::PresetKind::Ring {
+        report.depth_delay_stats(deepest)
     } else {
-        (1..=deepest)
-            .filter_map(|d| report.median_delay_at_depth(d))
-            .map(|d| d.value())
-            .fold(f64::NAN, f64::max)
+        let classes = report.delay_stats_by_depth();
+        let worst = |stats: &[edmac_sim::DepthDelayStats]| {
+            stats
+                .iter()
+                .copied()
+                .max_by(|a, b| a.p50.value().total_cmp(&b.p50.value()))
+        };
+        let eligible: Vec<edmac_sim::DepthDelayStats> = classes
+            .iter()
+            .copied()
+            .filter(|s| s.samples >= VALIDATION_SAMPLE_FLOOR)
+            .collect();
+        worst(&eligible).or_else(|| worst(&classes))
+    };
+    let (sim_l, sim_l_samples, sim_l_p95, sim_l_max) = match chosen {
+        Some(s) => (s.p50.value(), s.samples, s.p95.value(), s.max.value()),
+        None => (f64::NAN, 0, f64::NAN, f64::NAN),
     };
     Some(ValidationOutcome {
         seed: cell.seed,
@@ -433,6 +441,9 @@ pub fn validate_cell(
         err_e: ((sim_e - model_e) / model_e).abs(),
         model_l,
         sim_l,
+        sim_l_samples,
+        sim_l_p95,
+        sim_l_max,
         err_l: ((sim_l - model_l) / model_l).abs(),
         delivery: report.delivery_ratio(),
     })
@@ -442,6 +453,7 @@ pub fn validate_cell(
 mod tests {
     use super::*;
     use edmac_core::StudyGrid;
+    use edmac_proto::ProtocolRegistry;
     use edmac_units::Joules;
 
     fn reqs() -> AppRequirements {
@@ -482,15 +494,20 @@ mod tests {
     fn validation_reports_finite_error_bands() {
         let cells = StudyGrid::smoke().cells();
         let ring = &cells[0];
-        let model = models_for().remove(0);
-        let out = solve_cell(ring, model.as_ref(), reqs());
-        let v = validate_cell(ring, &out, Seconds::new(600.0)).expect("solved cell validates");
+        let suite = ProtocolRegistry::builtin().suite("X-MAC").unwrap();
+        let out = solve_cell(ring, suite.model().as_ref(), reqs());
+        let v = validate_cell(ring, &out, suite.as_ref(), Seconds::new(600.0))
+            .expect("solved cell validates");
         assert!(
             v.err_e.is_finite() && v.err_e < 3.0,
             "energy error {}",
             v.err_e
         );
         assert!(v.delivery > 0.5, "delivery collapsed: {}", v.delivery);
+        // Ring depth classes are dense: the percentile columns carry a
+        // real sample and order sanely.
+        assert!(v.sim_l_samples >= VALIDATION_SAMPLE_FLOOR);
+        assert!(v.sim_l <= v.sim_l_p95 && v.sim_l_p95 <= v.sim_l_max);
     }
 
     #[test]

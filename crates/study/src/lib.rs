@@ -55,8 +55,8 @@ pub use artifact::{
     VALIDATION_SCHEMA,
 };
 pub use cell::{
-    models_for, sim_protocol, solve_cell, validate_cell, weight_grid, CellOutcome, ConceptOutcome,
-    ValidationOutcome, WeightSweep, PROTOCOLS, WEIGHT_MATCH_TOL,
+    models_for, solve_cell, validate_cell, weight_grid, CellOutcome, ConceptOutcome,
+    ValidationOutcome, WeightSweep, PROTOCOLS, VALIDATION_SAMPLE_FLOOR, WEIGHT_MATCH_TOL,
 };
 pub use runner::run_cells;
 pub use summary::{
@@ -90,6 +90,10 @@ pub struct StudyConfig {
     pub sim_horizon: Seconds,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// The protocol panel, as registry names resolved against
+    /// [`edmac_proto::ProtocolRegistry::builtin`] (default: the paper
+    /// trio). Order is sweep order and artifact row order.
+    pub protocols: Vec<String>,
 }
 
 impl StudyConfig {
@@ -102,6 +106,10 @@ impl StudyConfig {
             validate_every,
             sim_horizon: Seconds::new(600.0),
             threads: 0,
+            protocols: edmac_proto::PAPER_TRIO
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         }
     }
 

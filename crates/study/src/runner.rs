@@ -2,8 +2,9 @@
 //! a `std::thread` worker pool, then reassemble results in
 //! deterministic grid order.
 
-use crate::cell::{models_for, solve_cell, validate_cell, CellOutcome, PROTOCOLS};
+use crate::cell::{solve_cell, validate_cell, CellOutcome};
 use crate::StudyConfig;
+use edmac_proto::ProtocolRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -11,6 +12,12 @@ use std::sync::Mutex;
 /// returns the outcomes sorted by (cell index, protocol index) —
 /// identical output regardless of worker count, because each item is
 /// fully determined by its grid coordinates and per-cell seed.
+///
+/// # Panics
+///
+/// Panics when a name in [`StudyConfig::protocols`] does not resolve
+/// in [`ProtocolRegistry::builtin`] — validate user-supplied panels
+/// first (the `study` binary does, via `edmac_bench::protocols_filter`).
 pub fn run_cells(config: &StudyConfig) -> Vec<CellOutcome> {
     let mut cells = config.grid.cells();
     if let Some(preset) = config.preset {
@@ -19,7 +26,13 @@ pub fn run_cells(config: &StudyConfig) -> Vec<CellOutcome> {
         // the full run's rows exactly.
         cells.retain(|c| c.preset == preset);
     }
-    let total = cells.len() * PROTOCOLS;
+    // Resolve the panel once; suites are `Send + Sync`, so workers
+    // share them and mint thread-local models per work item.
+    let suites = ProtocolRegistry::builtin()
+        .select(&config.protocols)
+        .unwrap_or_else(|e| panic!("study protocol panel: {e}"));
+    let panel = suites.len();
+    let total = cells.len() * panel;
     let workers = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -35,28 +48,30 @@ pub fn run_cells(config: &StudyConfig) -> Vec<CellOutcome> {
     std::thread::scope(|scope| {
         for _ in 0..workers.max(1) {
             scope.spawn(|| {
-                // Each worker owns its model panel: `dyn MacModel` is
-                // neither `Send` nor shared, and construction is free.
+                // `dyn MacModel` is not `Send`, so each work item
+                // mints its model from the shared suite; construction
+                // is free.
                 loop {
                     let work = next.fetch_add(1, Ordering::Relaxed);
                     if work >= total {
                         break;
                     }
-                    let cell = &cells[work / PROTOCOLS];
-                    let model_idx = work % PROTOCOLS;
-                    let models = models_for();
-                    let model = models[model_idx].as_ref();
-                    let mut outcome = solve_cell(cell, model, config.requirements);
+                    let cell = &cells[work / panel];
+                    let suite_idx = work % panel;
+                    let suite = suites[suite_idx].as_ref();
+                    let model = suite.model();
+                    let mut outcome = solve_cell(cell, model.as_ref(), config.requirements);
                     // Stride on the cell's *full-grid* work coordinate
                     // (not the filtered counter), so a preset-filtered
                     // run validates exactly the cells the full run
                     // would. Unfiltered runs: both coordinates agree.
-                    let grid_work = cell.index * PROTOCOLS + model_idx;
+                    let grid_work = cell.index * panel + suite_idx;
                     if config.validate_every > 0
                         && grid_work.is_multiple_of(config.validate_every)
                         && outcome.solved()
                     {
-                        outcome.validation = validate_cell(cell, &outcome, config.sim_horizon);
+                        outcome.validation =
+                            validate_cell(cell, &outcome, suite, config.sim_horizon);
                     }
                     results
                         .lock()
@@ -137,7 +152,7 @@ mod tests {
             format!("{b:?}"),
             "results must not depend on the worker count"
         );
-        assert_eq!(a.len(), one.grid.scenario_count() * super::PROTOCOLS);
+        assert_eq!(a.len(), one.grid.scenario_count() * crate::PROTOCOLS);
     }
 
     #[test]

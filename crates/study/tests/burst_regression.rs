@@ -5,7 +5,8 @@
 //! evaluated at the *same* operating point against the same simulation.
 
 use edmac_core::{AppRequirements, PresetKind, StudyGrid};
-use edmac_study::{models_for, solve_cell, validate_cell};
+use edmac_proto::ProtocolRegistry;
+use edmac_study::{solve_cell, validate_cell};
 use edmac_units::{Joules, Seconds};
 
 #[test]
@@ -16,11 +17,14 @@ fn burst_cell_latency_band_tightens() {
         .find(|c| c.preset == PresetKind::BurstDisk && c.nodes == 50 && c.burst_duty == 0.5)
         .expect("the full grid has a 50-node duty-0.5 burst cell");
     let reqs = AppRequirements::new(Joules::new(0.5), Seconds::new(30.0)).unwrap();
-    let model = models_for().remove(1); // DMAC: the ladder is the protocol
-                                        // most sensitive to in-window load
+    // DMAC: the ladder is the protocol most sensitive to in-window
+    // load.
+    let suite = ProtocolRegistry::builtin().suite("DMAC").unwrap();
+    let model = suite.model();
     let out = solve_cell(&cell, model.as_ref(), reqs);
     assert!(out.solved(), "{:?}", out.infeasible);
-    let v = validate_cell(&cell, &out, Seconds::new(600.0)).expect("solved cell validates");
+    let v = validate_cell(&cell, &out, suite.as_ref(), Seconds::new(600.0))
+        .expect("solved cell validates");
 
     assert!(
         v.err_l < 0.52,

@@ -1,0 +1,28 @@
+//! The refactor pin: the registry-resolved paper trio must reproduce
+//! the pre-`ProtocolSuite` smoke `study_cells.csv` **bit for bit**.
+//!
+//! `ci/golden/study_cells.csv` was generated before the protocol layer
+//! moved behind the registry (the closed `edmac_sim::ProtocolConfig`
+//! enum plus the `sim_protocol` match bridge); this test proves the
+//! redesign changed the plumbing and nothing else. CI's `study-smoke`
+//! job checks the same file through the binary; this pin catches a
+//! drift at `cargo test` time, before any artifact is written.
+
+use edmac_study::{cells_csv, run_cells, StudyConfig};
+
+#[test]
+fn registry_panel_reproduces_the_pre_refactor_cells_csv() {
+    let golden = include_str!("../../../ci/golden/study_cells.csv");
+    let mut config = StudyConfig::smoke();
+    // The golden smoke run validates every 4th cell, but validation
+    // only feeds study_validation.csv — the cells artifact must be
+    // identical either way, and skipping the simulations keeps this
+    // pin fast.
+    config.validate_every = 0;
+    let outcomes = run_cells(&config);
+    let produced = cells_csv(&outcomes);
+    assert_eq!(
+        produced, golden,
+        "study_cells.csv drifted from the pre-refactor golden"
+    );
+}

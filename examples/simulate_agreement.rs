@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         scheduling: WakeMode::Coarse,
     };
-    let sim = Simulation::ring(4, 4, ProtocolConfig::xmac(tw), cfg)?;
+    let suite = ProtocolRegistry::builtin()
+        .suite("X-MAC")
+        .expect("built-in suite");
+    let protocol = suite.simulator_for(&env, &report.nbs.params);
+    let sim = Simulation::ring(4, 4, protocol.as_ref(), cfg)?;
     println!(
         "  simulating {} nodes for {:.0} s ...",
         sim.node_count(),

@@ -15,6 +15,7 @@
 //! | [`game`] | `edmac-game` | Nash bargaining, Kalai–Smorodinsky, egalitarian |
 //! | [`mac`] | `edmac-mac` | analytical X-MAC / DMAC / LMAC / SCP-MAC models |
 //! | [`sim`] | `edmac-sim` | packet-level discrete-event simulator |
+//! | [`proto`] | `edmac-proto` | the `ProtocolSuite` registry unifying model + simulator per protocol |
 //! | [`core`] | `edmac-core` | the paper's framework: (P1), (P2), (P3)/(P4) |
 //!
 //! # Quickstart
@@ -43,6 +44,7 @@ pub use edmac_game as game;
 pub use edmac_mac as mac;
 pub use edmac_net as net;
 pub use edmac_optim as optim;
+pub use edmac_proto as proto;
 pub use edmac_radio as radio;
 pub use edmac_sim as sim;
 pub use edmac_units as units;
@@ -59,7 +61,10 @@ pub mod prelude {
         MacPerformance, Scp, ScpDual, ScpParams, Workload, Xmac, XmacParams,
     };
     pub use edmac_net::{RingModel, RingTraffic};
+    pub use edmac_proto::{ProtocolRegistry, ProtocolSuite, PAPER_TRIO, STANDARD_PANEL};
     pub use edmac_radio::{EnergyBreakdown, FrameSizes, Radio};
-    pub use edmac_sim::{ProtocolConfig, SimConfig, SimReport, Simulation, WakeMode};
+    pub use edmac_sim::{
+        DmacSim, LmacSim, ScpSim, SimConfig, SimProtocol, SimReport, Simulation, WakeMode, XmacSim,
+    };
     pub use edmac_units::{Hertz, Joules, Seconds, Watts};
 }

@@ -19,16 +19,6 @@ fn validation_env() -> Deployment {
     Deployment::validation()
 }
 
-fn sim_protocol(model: &dyn MacModel, x: f64) -> ProtocolConfig {
-    match model.name() {
-        "X-MAC" => ProtocolConfig::xmac(Seconds::new(x)),
-        "DMAC" => ProtocolConfig::dmac(Seconds::new(x)),
-        "LMAC" => ProtocolConfig::lmac(Seconds::new(x)),
-        "SCP-MAC" => ProtocolConfig::scp(Seconds::new(x)),
-        other => panic!("no simulator for {other}"),
-    }
-}
-
 fn sim_at_horizon(model: &dyn MacModel, x: f64, seed: u64, duration_s: f64) -> SimReport {
     let cfg = SimConfig {
         duration: Seconds::new(duration_s),
@@ -37,7 +27,14 @@ fn sim_at_horizon(model: &dyn MacModel, x: f64, seed: u64, duration_s: f64) -> S
         seed,
         scheduling: WakeMode::Coarse,
     };
-    Simulation::ring(4, 4, sim_protocol(model, x), cfg)
+    // The registry replaces the hand-written model-name match this
+    // test used to carry: the suite derives the structural record from
+    // the model and feeds the same record to the simulator factory.
+    let suite = ProtocolRegistry::builtin()
+        .suite(model.name())
+        .expect("every validated model has a registered suite");
+    let protocol = suite.simulator_for(&validation_env(), &[x]);
+    Simulation::ring(4, 4, protocol.as_ref(), cfg)
         .unwrap()
         .run()
 }
