@@ -15,6 +15,9 @@
 //! * `--smoke` — the pinned 12-cell grid CI diffs against goldens;
 //! * `--out DIR` — artifact directory (default `artifacts/`);
 //! * `--jobs N` — worker threads (default: all cores);
+//! * `--shards N` — shard count for each validation simulation
+//!   (default 1 = sequential; any value produces byte-identical
+//!   artifacts — the sharded engine's determinism contract);
 //! * `--validate-every K` — packet-level validation stride (0 = off);
 //! * `--preset NAME` — restrict the grid to one preset family
 //!   (`ring`, `disk`, `hotspot`, `burst`);
@@ -63,6 +66,12 @@ fn run() -> Result<(), String> {
     }
     if let Some(stride) = parse_usize(&args, "--validate-every")? {
         config.validate_every = stride;
+    }
+    if let Some(shards) = parse_usize(&args, "--shards")? {
+        if shards == 0 {
+            return Err("--shards needs a positive integer".into());
+        }
+        config.shards = shards;
     }
     config.preset = preset_filter(&args)?;
     let registry = ProtocolRegistry::builtin();

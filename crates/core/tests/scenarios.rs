@@ -124,12 +124,16 @@ fn event_bursts_cluster_packet_creation_in_windows() {
             outside += 1;
         }
     }
-    // Windows cover 60 s of 900 s but at 4x the rate; the per-second
-    // creation rate inside must be well above outside.
+    // Windows cover 60 s of 900 s at 4x the rate, but each window is
+    // shorter than the base period: every node enters it with a next
+    // sample already drawn at the slow rate, so the realized
+    // concentration ramps in at roughly 2x rather than the steady
+    // state 4x. Require a clear concentration with margin for the
+    // sampling noise of a single seed.
     let inside_rate = inside as f64 / 60.0;
     let outside_rate = outside as f64 / 840.0;
     assert!(
-        inside_rate > outside_rate * 2.0,
+        inside_rate > outside_rate * 1.5,
         "burst windows should concentrate sampling ({inside_rate:.3}/s vs {outside_rate:.3}/s)"
     );
 }

@@ -1,19 +1,37 @@
 //! The simulation engine: event loop, radio state machine, unit-disk
 //! channel with collisions, timers and energy accounting.
+//!
+//! # Sharded execution
+//!
+//! The engine is built around a read-only [`Shared`] world plus one or
+//! more [`ShardState`]s, each owning an arena of per-node state, a
+//! calendar-queue event scheduler and a calendar-queue wake schedule.
+//! A run with one shard *is* the sequential reference engine; a run
+//! with `k` shards (see [`Simulation::with_shards`]) partitions the
+//! topology spatially and executes the shards on worker threads under
+//! conservative, wake-derived time bounds (`shard.rs`). Every piece of
+//! mutable run state — RNG stream, timer ids, transmit sequence
+//! numbers, packet ids, event sequence numbers, packet records — is
+//! per-node, and every queue tie-break is on the global
+//! `(time, node order, sequence)` key ([`crate::OrderKey`]), which is
+//! why the sharded run reproduces the sequential `SimReport` bit for
+//! bit (asserted by `tests/shard_equivalence.rs`).
 
-use crate::events::{Event, EventQueue};
+use crate::events::Event;
 use crate::frame::{Frame, FrameKind, Packet, PacketId};
 use crate::protocol::SimProtocol;
 pub use crate::protocols::MacNode;
+use crate::queue::{CalendarQueue, EventQueue, OrderKey};
 use crate::report::{NodeStats, PacketRecord, SimReport};
 use crate::time::SimTime;
-use edmac_net::{Graph, NetError, NodeId, RoutingTree, Topology};
+use edmac_net::{NetError, NodeId, Point2, RoutingTree, Topology};
 use edmac_radio::{Cause, EnergyLedger, FrameSizes, Mode, Radio};
 use edmac_units::Seconds;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// How the engine schedules protocol clock ticks.
@@ -44,7 +62,9 @@ pub struct SimConfig {
     /// Packets created before this instant are excluded from latency
     /// statistics (cold-start transient).
     pub warmup: Seconds,
-    /// RNG seed; equal seeds reproduce runs exactly.
+    /// RNG seed; equal seeds reproduce runs exactly. Each node derives
+    /// its own decorrelated stream from `(seed, node index)`, so the
+    /// draws a node sees do not depend on event interleaving.
     pub seed: u64,
     /// Wake scheduling mode (default [`WakeMode::Coarse`]).
     pub scheduling: WakeMode,
@@ -135,9 +155,9 @@ impl MacNode for NullNode {
 
 /// Per-node radio bookkeeping.
 #[derive(Debug, Clone, Copy)]
-struct RadioState {
-    mode: Mode,
-    since: SimTime,
+pub(crate) struct RadioState {
+    pub(crate) mode: Mode,
+    pub(crate) since: SimTime,
     cause: Cause,
     /// Invalidates in-flight `RadioReady` events after `sleep()`.
     startup_token: u64,
@@ -150,122 +170,248 @@ struct ActiveRx {
     corrupted: bool,
 }
 
-/// Engine state shared with nodes through [`Ctx`].
+/// Decorrelates per-node RNG streams: two rounds of splitmix64 over
+/// `(seed, node)`.
+fn node_stream(seed: u64, node: usize) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    mix(seed ^ mix(node as u64 ^ 0x0005_DEEC_E66D))
+}
+
+/// All mutable state of one node, stored in its shard's arena.
+///
+/// Everything that used to be a run-global counter (timer ids, tx
+/// sequence numbers, packet ids, the event sequence, the RNG) lives
+/// here, keyed or seeded by the node's global index — the invariant
+/// that makes the simulation's evolution independent of how nodes are
+/// spread over shards.
 #[derive(Debug)]
-pub(crate) struct Core {
-    now: SimTime,
-    end: SimTime,
-    queue: EventQueue,
-    /// Pending per-node wakes: `(time, node index, token)`, earliest
-    /// first; simultaneous wakes fire in node order, matching the
-    /// dense scheduler's stable boundary-timer order.
-    wake_heap: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
-    /// The currently registered wake per node; heap entries that no
-    /// longer match are stale and skipped on pop.
-    wake_current: Vec<Option<(SimTime, u64)>>,
+pub(crate) struct NodeState {
+    pub(crate) radio: RadioState,
+    ledger: EnergyLedger,
+    active_rx: Option<ActiveRx>,
+    air_count: u32,
+    counters: crate::frame::FrameCounters,
+    rng: StdRng,
+    /// The currently registered wake `(time, token)`; queue entries
+    /// that no longer match are stale and skipped on pop.
+    pub(crate) wake_current: Option<(SimTime, u64)>,
     wake_token: u64,
+    next_timer: u64,
+    next_tx: u64,
+    next_packet: u64,
+    next_event_seq: u64,
     cancelled_timers: HashSet<u64>,
-    next_timer_id: u64,
-    next_tx_seq: u64,
-    next_packet_id: u64,
-    radio_hw: Radio,
+    /// Records of packets *originating* here, in creation order.
+    records: Vec<PacketRecord>,
+}
+
+impl NodeState {
+    fn new(radio: &Radio, seed: u64, node: usize) -> NodeState {
+        NodeState {
+            radio: RadioState {
+                mode: Mode::Sleep,
+                since: SimTime::ZERO,
+                cause: Cause::Sleep,
+                startup_token: 0,
+            },
+            ledger: EnergyLedger::new(radio.power),
+            active_rx: None,
+            air_count: 0,
+            counters: crate::frame::FrameCounters::default(),
+            rng: StdRng::seed_from_u64(node_stream(seed, node)),
+            wake_current: None,
+            wake_token: 0,
+            next_timer: 0,
+            next_tx: 0,
+            next_packet: 0,
+            next_event_seq: 0,
+            cancelled_timers: HashSet::new(),
+            records: Vec::new(),
+        }
+    }
+
+    fn charge_current(&mut self, now: SimTime) {
+        let state = self.radio;
+        let elapsed = now.since(state.since);
+        let cause = if state.mode == Mode::Sleep {
+            Cause::Sleep
+        } else {
+            state.cause
+        };
+        self.ledger.charge(state.mode, cause, elapsed);
+    }
+
+    fn set_mode(&mut self, now: SimTime, mode: Mode, cause: Cause) {
+        self.charge_current(now);
+        self.radio.mode = mode;
+        self.radio.since = now;
+        self.radio.cause = cause;
+    }
+}
+
+/// The read-only world every shard shares: topology, routing, radio
+/// hardware, configuration, and the node→shard placement.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) end: SimTime,
+    pub(crate) radio_hw: Radio,
     frames: FrameSizes,
-    neighbors: Vec<Vec<NodeId>>,
+    pub(crate) neighbors: Vec<Vec<NodeId>>,
     parent: Vec<Option<NodeId>>,
     depth: Vec<usize>,
     max_depth: usize,
-    sink: NodeId,
-    radios: Vec<RadioState>,
-    ledgers: Vec<EnergyLedger>,
-    active_rx: Vec<Option<ActiveRx>>,
-    air_count: Vec<u32>,
-    counters: Vec<crate::frame::FrameCounters>,
-    records: Vec<PacketRecord>,
-    rng: StdRng,
-    config: SimConfig,
+    pub(crate) sink: NodeId,
+    pub(crate) config: SimConfig,
     /// `true` when every node runs a protocol that never samples the
     /// channel (no CCA), letting the engine elide air events to
     /// sleeping receivers.
     cca_free: bool,
     /// Per-node traffic overriding [`SimConfig::sample_period`].
     traffic: Option<TrafficProfile>,
+    /// The shard owning each global node.
+    pub(crate) shard_of: Vec<u32>,
+    /// Each global node's index into its owning shard's arena.
+    pub(crate) local_of: Vec<u32>,
+    /// The exact engine delta of a radio startup, in nanoseconds.
+    pub(crate) startup_ns: u64,
+    /// The exact minimum frame airtime delta, in nanoseconds — the
+    /// shortest delay after which one node's handler can create a
+    /// *handler* (an `on_frame`) at another node.
+    pub(crate) min_airtime_ns: u64,
 }
 
-impl Core {
-    fn charge_current(&mut self, node: NodeId) {
-        let state = self.radios[node.index()];
-        let elapsed = self.now.since(state.since);
-        let cause = if state.mode == Mode::Sleep {
-            Cause::Sleep
-        } else {
-            state.cause
-        };
-        self.ledgers[node.index()].charge(state.mode, cause, elapsed);
-    }
-
-    fn set_mode(&mut self, node: NodeId, mode: Mode, cause: Cause) {
-        self.charge_current(node);
-        let state = &mut self.radios[node.index()];
-        state.mode = mode;
-        state.since = self.now;
-        state.cause = cause;
-    }
-
-    fn mode(&self, node: NodeId) -> Mode {
-        self.radios[node.index()].mode
-    }
-
-    /// The mean sampling period of `node` at time `self.now`.
-    fn sample_period(&self, node: NodeId) -> Seconds {
+impl Shared {
+    /// The mean sampling period of `node` at `now`.
+    fn sample_period(&self, now: SimTime, node: NodeId) -> Seconds {
         let base = match &self.traffic {
             Some(profile) => profile.periods[node.index()],
             None => self.config.sample_period,
         };
         match self.traffic.as_ref().and_then(|p| p.burst) {
-            Some(burst) if burst.active(self.now) => Seconds::new(base.value() / burst.factor),
+            Some(burst) if burst.active(now) => Seconds::new(base.value() / burst.factor),
             _ => base,
         }
     }
 
-    /// Registers (or supersedes) the single pending wake of `node`.
-    fn register_wake(&mut self, node: NodeId, want: Option<SimTime>) {
-        let slot = &mut self.wake_current[node.index()];
-        match (want, *slot) {
-            (Some(t), Some((current, _))) if current == t => {}
-            (Some(t), _) => {
-                self.wake_token += 1;
-                *slot = Some((t, self.wake_token));
-                self.wake_heap
-                    .push(Reverse((t, node.index(), self.wake_token)));
-            }
-            (None, Some(_)) => *slot = None,
-            (None, None) => {}
+    pub(crate) fn local(&self, node: NodeId) -> usize {
+        self.local_of[node.index()] as usize
+    }
+}
+
+/// One shard's complete mutable state: its slice of the node arena,
+/// its event and wake calendars, and its cross-shard outbox.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    pub(crate) id: u32,
+    pub(crate) now: SimTime,
+    pub(crate) events: CalendarQueue<Event>,
+    pub(crate) wakes: CalendarQueue<()>,
+    /// Global ids of this shard's nodes, ascending; `nodes`,
+    /// `machines`, `pending` and `boundary` are parallel to it.
+    pub(crate) members: Vec<NodeId>,
+    pub(crate) nodes: Vec<NodeState>,
+    machines: Vec<Box<dyn MacNode>>,
+    /// Events emitted for other shards' nodes: `(dest shard, key,
+    /// event)`, routed by the coordinator at round boundaries.
+    pub(crate) outbox: Vec<(u32, OrderKey, Event)>,
+    /// Per boundary node: a lazy min-heap of the times of events
+    /// scheduled for it (a lower bound on its next queue handler,
+    /// feeding the lookahead computation).
+    pub(crate) pending: Vec<BinaryHeap<Reverse<SimTime>>>,
+    /// `true` where the node has a neighbor in another shard.
+    pub(crate) boundary: Vec<bool>,
+    /// Adjacent shards and, per adjacent shard, the local indices of
+    /// this shard's nodes with neighbors there.
+    pub(crate) adj: Vec<(u32, Vec<u32>)>,
+    /// Sink-side delivery log: packet id → (time, hops), first write
+    /// wins (in shard execution order).
+    deliveries: HashMap<u64, (SimTime, u32)>,
+}
+
+impl ShardState {
+    /// Mints the next ordering key of `node` (arena index `local`).
+    /// `round` is the same-instant causal depth ([`OrderKey::round`]);
+    /// entries for future instants always pass 0.
+    fn key_for(&mut self, local: usize, node: NodeId, at: SimTime, round: u32) -> OrderKey {
+        let st = &mut self.nodes[local];
+        let seq = st.next_event_seq;
+        st.next_event_seq += 1;
+        OrderKey {
+            at,
+            round,
+            node: node.index() as u32,
+            seq,
         }
     }
 
-    /// The earliest valid pending wake, dropping stale heap entries.
-    fn peek_wake(&mut self) -> Option<(SimTime, NodeId)> {
-        while let Some(&Reverse((t, idx, token))) = self.wake_heap.peek() {
-            if self.wake_current[idx] == Some((t, token)) {
-                return Some((t, NodeId::new(idx)));
-            }
-            self.wake_heap.pop();
+    /// Schedules a shard-local event, tracking boundary pending times.
+    pub(crate) fn schedule_event(&mut self, shared: &Shared, key: OrderKey, event: Event) {
+        let dest = event.node();
+        debug_assert_eq!(shared.shard_of[dest.index()], self.id);
+        let l = shared.local(dest);
+        if self.boundary[l] {
+            self.pending[l].push(Reverse(key.at));
         }
-        None
+        self.events.schedule(key, event);
     }
+
+    /// Registers (or supersedes) the single pending wake of a node.
+    fn register_wake(&mut self, local: usize, node: NodeId, want: Option<SimTime>) {
+        let st = &mut self.nodes[local];
+        match (want, st.wake_current) {
+            (Some(t), Some((current, _))) if current == t => {}
+            (Some(t), _) => {
+                st.wake_token += 1;
+                st.wake_current = Some((t, st.wake_token));
+                self.wakes.schedule(
+                    OrderKey {
+                        at: t,
+                        round: 0,
+                        node: node.index() as u32,
+                        seq: st.wake_token,
+                    },
+                    (),
+                );
+            }
+            (None, Some(_)) => st.wake_current = None,
+            (None, None) => {}
+        }
+    }
+}
+
+/// The earliest valid pending wake of `shard`, dropping stale entries.
+pub(crate) fn peek_wake(shared: &Shared, shard: &mut ShardState) -> Option<OrderKey> {
+    while let Some(key) = shard.wakes.peek_key() {
+        let l = shared.local(NodeId::new(key.node as usize));
+        if shard.nodes[l].wake_current == Some((key.at, key.seq)) {
+            return Some(key);
+        }
+        shard.wakes.pop();
+    }
+    None
 }
 
 /// The node-facing API: everything a [`MacNode`] may do to the world.
 #[derive(Debug)]
 pub struct Ctx<'a> {
-    core: &'a mut Core,
+    shared: &'a Shared,
+    shard: &'a mut ShardState,
     node: NodeId,
+    local: usize,
+    /// Causal round assigned to entries this handler schedules for the
+    /// *current* instant: the triggering entry's round plus one.
+    round: u32,
 }
 
 impl Ctx<'_> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.core.now
+        self.shard.now
     }
 
     /// This node's id.
@@ -275,57 +421,67 @@ impl Ctx<'_> {
 
     /// Returns `true` if this node is the sink.
     pub fn is_sink(&self) -> bool {
-        self.node == self.core.sink
+        self.node == self.shared.sink
     }
 
     /// The next hop toward the sink (`None` at the sink).
     pub fn parent(&self) -> Option<NodeId> {
-        self.core.parent[self.node.index()]
+        self.shared.parent[self.node.index()]
     }
 
     /// This node's hop distance from the sink.
     pub fn depth(&self) -> usize {
-        self.core.depth[self.node.index()]
+        self.shared.depth[self.node.index()]
     }
 
     /// The deepest hop distance in the network (`D`).
     pub fn max_depth(&self) -> usize {
-        self.core.max_depth
+        self.shared.max_depth
     }
 
     /// The airtime of a frame of `kind` on this deployment's radio.
     pub fn airtime(&self, kind: FrameKind) -> Seconds {
-        self.core.radio_hw.airtime(kind.size(&self.core.frames))
+        self.shared.radio_hw.airtime(kind.size(&self.shared.frames))
     }
 
     /// The radio's startup latency.
     pub fn startup_delay(&self) -> Seconds {
-        self.core.radio_hw.timings.startup
+        self.shared.radio_hw.timings.startup
     }
 
     /// Returns `true` if any in-range transmission is currently on the
     /// air (the CCA primitive).
     pub fn channel_busy(&self) -> bool {
-        self.core.air_count[self.node.index()] > 0
+        self.shard.nodes[self.local].air_count > 0
     }
 
     /// Returns `true` if the radio is currently locked onto a frame.
     pub fn is_receiving(&self) -> bool {
-        self.core.active_rx[self.node.index()].is_some()
+        self.shard.nodes[self.local].active_rx.is_some()
     }
 
     /// The radio's current mode.
     pub fn mode(&self) -> Mode {
-        self.core.mode(self.node)
+        self.shard.nodes[self.local].radio.mode
+    }
+
+    /// Mints this node's next event ordering key for time `at`.
+    /// Same-instant entries inherit this handler's causal round.
+    fn next_key(&mut self, at: SimTime) -> OrderKey {
+        let round = if at == self.shard.now { self.round } else { 0 };
+        self.shard.key_for(self.local, self.node, at, round)
     }
 
     /// Schedules a timer `delay` from now; returns its id.
     pub fn set_timer(&mut self, delay: Seconds, tag: u32) -> u64 {
-        let id = self.core.next_timer_id;
-        self.core.next_timer_id += 1;
-        let at = self.core.now.after(delay);
-        self.core.queue.schedule(
-            at,
+        let st = &mut self.shard.nodes[self.local];
+        let id = ((self.node.index() as u64) << 32) | st.next_timer;
+        st.next_timer += 1;
+        let at = self.shard.now.after(delay);
+        let key = self.next_key(at);
+        self.shard.schedule_event(
+            self.shared,
+            key,
             Event::Timer {
                 node: self.node,
                 id,
@@ -337,15 +493,17 @@ impl Ctx<'_> {
 
     /// Cancels a pending timer (firing becomes a no-op).
     pub fn cancel_timer(&mut self, id: u64) {
-        self.core.cancelled_timers.insert(id);
+        self.shard.nodes[self.local].cancelled_timers.insert(id);
     }
 
-    /// Uniform random sample in `[lo, hi)` from the run's seeded RNG.
+    /// Uniform random sample in `[lo, hi)` from this node's seeded
+    /// stream (derived from the run seed and the node's global index,
+    /// so draws are independent of event interleaving across nodes).
     pub fn random_range(&mut self, lo: f64, hi: f64) -> f64 {
         if hi <= lo {
             return lo;
         }
-        self.core.rng.gen_range(lo..hi)
+        self.shard.nodes[self.local].rng.gen_range(lo..hi)
     }
 
     /// Starts the radio from sleep; [`MacNode::on_radio_ready`] fires
@@ -354,18 +512,19 @@ impl Ctx<'_> {
     /// `cause` is charged for the startup period (poll startups are
     /// carrier-sense, schedule wake-ups are sync, ...).
     pub fn wake(&mut self, cause: Cause) {
-        if self.core.mode(self.node) != Mode::Sleep {
+        let now = self.shard.now;
+        let st = &mut self.shard.nodes[self.local];
+        if st.radio.mode != Mode::Sleep {
             return;
         }
-        self.core.set_mode(self.node, Mode::Startup, cause);
-        let token = {
-            let s = &mut self.core.radios[self.node.index()];
-            s.startup_token += 1;
-            s.startup_token
-        };
-        let at = self.core.now.after(self.core.radio_hw.timings.startup);
-        self.core.queue.schedule(
-            at,
+        st.set_mode(now, Mode::Startup, cause);
+        st.radio.startup_token += 1;
+        let token = st.radio.startup_token;
+        let at = now.after(self.shared.radio_hw.timings.startup);
+        let key = self.next_key(at);
+        self.shard.schedule_event(
+            self.shared,
+            key,
             Event::RadioReady {
                 node: self.node,
                 token,
@@ -381,21 +540,25 @@ impl Ctx<'_> {
     /// Panics if called mid-transmission — a protocol must never
     /// abandon its own frame on the air.
     pub fn sleep(&mut self) {
+        let now = self.shard.now;
+        let st = &mut self.shard.nodes[self.local];
         assert!(
-            self.core.mode(self.node) != Mode::Tx,
+            st.radio.mode != Mode::Tx,
             "node {} tried to sleep while transmitting",
             self.node
         );
-        self.core.active_rx[self.node.index()] = None;
-        self.core.radios[self.node.index()].startup_token += 1;
-        self.core.set_mode(self.node, Mode::Sleep, Cause::Sleep);
+        st.active_rx = None;
+        st.radio.startup_token += 1;
+        st.set_mode(now, Mode::Sleep, Cause::Sleep);
     }
 
     /// Re-labels the cause charged for the current listening period
     /// (e.g. a poll that turned into an exchange).
     pub fn relabel_listen(&mut self, cause: Cause) {
-        if self.core.mode(self.node) == Mode::Listen {
-            self.core.set_mode(self.node, Mode::Listen, cause);
+        let now = self.shard.now;
+        let st = &mut self.shard.nodes[self.local];
+        if st.radio.mode == Mode::Listen {
+            st.set_mode(now, Mode::Listen, cause);
         }
     }
 
@@ -408,14 +571,15 @@ impl Ctx<'_> {
     /// Panics if the radio is not in listen mode — protocols must
     /// sequence their own transmissions.
     pub fn send(&mut self, kind: FrameKind, dst: Option<NodeId>, packet: Option<Packet>) {
+        let now = self.shard.now;
         assert_eq!(
-            self.core.mode(self.node),
+            self.shard.nodes[self.local].radio.mode,
             Mode::Listen,
             "node {} tried to send {kind:?} while not listening",
             self.node
         );
         // Transmitting tears down any half-received frame.
-        self.core.active_rx[self.node.index()] = None;
+        self.shard.nodes[self.local].active_rx = None;
 
         let frame = Frame {
             kind,
@@ -424,43 +588,79 @@ impl Ctx<'_> {
             packet,
         };
         let duration = self.airtime(kind);
-        let tx_seq = self.core.next_tx_seq;
-        self.core.next_tx_seq += 1;
-        self.core.counters[self.node.index()].record_tx(kind);
+        let st = &mut self.shard.nodes[self.local];
+        let tx_seq = ((self.node.index() as u64) << 32) | st.next_tx;
+        st.next_tx += 1;
+        st.counters.record_tx(kind);
+        st.set_mode(now, Mode::Tx, kind.tx_cause());
 
-        self.core.set_mode(self.node, Mode::Tx, kind.tx_cause());
-        let start = self.core.now;
+        let start = now;
         let end = start.after(duration);
-        for i in 0..self.core.neighbors[self.node.index()].len() {
-            let neighbor = self.core.neighbors[self.node.index()][i];
-            // A receiver asleep at the first bit can never lock onto
-            // the frame; the only residue of delivering its air events
-            // would be the `air_count` the CCA primitive reads. For a
-            // protocol that never samples the channel (LMAC), that
-            // residue is unobservable, so the pair is elided.
-            if self.core.cca_free && self.core.mode(neighbor) == Mode::Sleep {
-                continue;
+        for i in 0..self.shared.neighbors[self.node.index()].len() {
+            let neighbor = self.shared.neighbors[self.node.index()][i];
+            let dest_shard = self.shared.shard_of[neighbor.index()];
+            if dest_shard == self.shard.id {
+                // A receiver asleep at the first bit can never lock
+                // onto the frame; the only residue of delivering its
+                // air events would be the `air_count` the CCA primitive
+                // reads. For a protocol that never samples the channel
+                // (LMAC), that residue is unobservable, so the pair is
+                // elided.
+                let nl = self.shared.local(neighbor);
+                if self.shared.cca_free && self.shard.nodes[nl].radio.mode == Mode::Sleep {
+                    continue;
+                }
+                let k1 = self.next_key(start);
+                self.shard.schedule_event(
+                    self.shared,
+                    k1,
+                    Event::AirStart {
+                        node: neighbor,
+                        tx_seq,
+                        frame,
+                    },
+                );
+                let k2 = self.next_key(end);
+                self.shard.schedule_event(
+                    self.shared,
+                    k2,
+                    Event::AirEnd {
+                        node: neighbor,
+                        tx_seq,
+                        frame,
+                    },
+                );
+            } else {
+                // Cross-shard receivers always get the air pair: their
+                // radio mode cannot be read here, and delivering to a
+                // sleeping CCA-free receiver is provably unobservable
+                // (air_count is only read by the CCA primitive, which
+                // a cca_free protocol never calls).
+                let k1 = self.next_key(start);
+                self.shard.outbox.push((
+                    dest_shard,
+                    k1,
+                    Event::AirStart {
+                        node: neighbor,
+                        tx_seq,
+                        frame,
+                    },
+                ));
+                let k2 = self.next_key(end);
+                self.shard.outbox.push((
+                    dest_shard,
+                    k2,
+                    Event::AirEnd {
+                        node: neighbor,
+                        tx_seq,
+                        frame,
+                    },
+                ));
             }
-            self.core.queue.schedule(
-                start,
-                Event::AirStart {
-                    node: neighbor,
-                    tx_seq,
-                    frame,
-                },
-            );
-            self.core.queue.schedule(
-                end,
-                Event::AirEnd {
-                    node: neighbor,
-                    tx_seq,
-                    frame,
-                },
-            );
         }
-        self.core
-            .queue
-            .schedule(end, Event::TxDone { node: self.node });
+        let k = self.next_key(end);
+        self.shard
+            .schedule_event(self.shared, k, Event::TxDone { node: self.node });
     }
 
     /// Replays, straight into the energy ledger, one idle wake-up that
@@ -479,21 +679,23 @@ impl Ctx<'_> {
     /// No-op if the node was not asleep across `wake_at` (the dense
     /// scheduler skips busy boundaries without charging them).
     pub fn replay_idle_wake(&mut self, wake_at: SimTime, cause: Cause, listen: Seconds) {
-        let idx = self.node.index();
-        let state = self.core.radios[idx];
+        let st = &mut self.shard.nodes[self.local];
+        let state = st.radio;
         if state.mode != Mode::Sleep || wake_at < state.since {
             return;
         }
-        let end = self.core.end;
-        let startup = self.core.radio_hw.timings.startup;
+        let end = self.shared.end;
+        let startup = self.shared.radio_hw.timings.startup;
         let woke = wake_at.min(end);
         let listening = wake_at.after(startup).min(end);
         let slept = wake_at.after(startup).after(listen).min(end);
-        let ledger = &mut self.core.ledgers[idx];
-        ledger.charge(Mode::Sleep, Cause::Sleep, woke.since(state.since));
-        ledger.charge(Mode::Startup, cause, listening.since(woke));
-        ledger.charge(Mode::Listen, cause, slept.since(listening));
-        self.core.radios[idx].since = slept;
+        st.ledger
+            .charge(Mode::Sleep, Cause::Sleep, woke.since(state.since));
+        st.ledger
+            .charge(Mode::Startup, cause, listening.since(woke));
+        st.ledger
+            .charge(Mode::Listen, cause, slept.since(listening));
+        st.radio.since = slept;
     }
 
     /// Replays a wake in which this node deterministically received one
@@ -508,17 +710,17 @@ impl Ctx<'_> {
     /// transmission, and an addressee other than this node. LMAC's
     /// non-child neighbor slots satisfy all three.
     pub fn replay_heard_control(&mut self, wake_at: SimTime) {
-        let idx = self.node.index();
-        let state = self.core.radios[idx];
+        let t_ctl = self
+            .shared
+            .radio_hw
+            .airtime(FrameKind::Control.size(&self.shared.frames));
+        let st = &mut self.shard.nodes[self.local];
+        let state = st.radio;
         if state.mode != Mode::Sleep || wake_at < state.since {
             return;
         }
-        let end = self.core.end;
-        let startup = self.core.radio_hw.timings.startup;
-        let t_ctl = self
-            .core
-            .radio_hw
-            .airtime(FrameKind::Control.size(&self.core.frames));
+        let end = self.shared.end;
+        let startup = self.shared.radio_hw.timings.startup;
         // The owner's control starts the instant this node's radio is
         // up (all nodes share the per-slot wake lead), so no listen
         // time elapses before the lock.
@@ -526,32 +728,280 @@ impl Ctx<'_> {
         let locked = wake_at.after(startup).min(end);
         let heard = wake_at.after(startup).after(t_ctl);
         let slept = heard.min(end);
-        let ledger = &mut self.core.ledgers[idx];
-        ledger.charge(Mode::Sleep, Cause::Sleep, woke.since(state.since));
-        ledger.charge(Mode::Startup, Cause::SyncRx, locked.since(woke));
-        ledger.charge(Mode::Rx, Cause::SyncRx, slept.since(locked));
+        st.ledger
+            .charge(Mode::Sleep, Cause::Sleep, woke.since(state.since));
+        st.ledger
+            .charge(Mode::Startup, Cause::SyncRx, locked.since(woke));
+        st.ledger
+            .charge(Mode::Rx, Cause::SyncRx, slept.since(locked));
         if heard <= end {
-            self.core.counters[idx].record_rx(FrameKind::Control);
+            st.counters.record_rx(FrameKind::Control);
         }
-        self.core.radios[idx].since = slept;
+        st.radio.since = slept;
     }
 
     /// Records the final delivery of `packet` at the sink.
     pub fn deliver(&mut self, packet: Packet) {
-        let record = &mut self.core.records[packet.id.0 as usize];
-        if record.delivered.is_none() {
-            record.delivered = Some(self.core.now);
-            record.hops = packet.hops;
+        let now = self.shard.now;
+        self.shard
+            .deliveries
+            .entry(packet.id.0)
+            .or_insert((now, packet.hops));
+    }
+}
+
+/// Runs a node callback with the engine's lending pattern, then
+/// re-queries and re-registers the node's wake. `round` is the causal
+/// round the handler's same-instant scheduling inherits (the
+/// triggering entry's round plus one).
+pub(crate) fn with_node<F>(shared: &Shared, shard: &mut ShardState, node: NodeId, round: u32, f: F)
+where
+    F: FnOnce(&mut Box<dyn MacNode>, &mut Ctx<'_>),
+{
+    let local = shared.local(node);
+    let mut taken: Box<dyn MacNode> =
+        std::mem::replace(&mut shard.machines[local], Box::new(NullNode));
+    let want = {
+        let mut ctx = Ctx {
+            shared,
+            shard,
+            node,
+            local,
+            round,
+        };
+        f(&mut taken, &mut ctx);
+        taken.next_activity(&mut ctx)
+    };
+    shard.machines[local] = taken;
+    shard.register_wake(local, node, want);
+}
+
+/// Delivers one event to shard-local state and the destination node.
+/// `round` is the causal round for same-instant follow-ups (the
+/// event's own round plus one).
+fn dispatch(shared: &Shared, shard: &mut ShardState, round: u32, event: Event) {
+    match event {
+        Event::Generate { node } => {
+            let local = shared.local(node);
+            let now = shard.now;
+            let st = &mut shard.nodes[local];
+            let id = PacketId(((node.index() as u64) << 32) | st.next_packet);
+            st.next_packet += 1;
+            let packet = Packet {
+                id,
+                origin: node,
+                created: now,
+                hops: 0,
+            };
+            st.records.push(PacketRecord {
+                id,
+                origin: node,
+                origin_depth: shared.depth[node.index()],
+                created: now,
+                delivered: None,
+                hops: 0,
+            });
+            // Schedule the next sample before handing over. The
+            // interval is jittered within ±half a period (mean rate
+            // preserved): strictly periodic sampling phase-locks
+            // against frame and ladder schedules, which biases delay
+            // medians in ways the analytical models' uniform-arrival
+            // assumption excludes.
+            let jitter = st.rng.gen_range(0.5..1.5);
+            let next = now.after(shared.sample_period(now, node) * jitter);
+            let r = if next == now { round } else { 0 };
+            let key = shard.key_for(local, node, next, r);
+            shard.schedule_event(shared, key, Event::Generate { node });
+            with_node(shared, shard, node, round, |n, ctx| {
+                n.on_generate(ctx, packet)
+            });
         }
+        Event::Timer { node, id, tag } => {
+            let local = shared.local(node);
+            if shard.nodes[local].cancelled_timers.remove(&id) {
+                return;
+            }
+            with_node(shared, shard, node, round, |n, ctx| {
+                n.on_timer(ctx, tag, id)
+            });
+        }
+        Event::RadioReady { node, token } => {
+            let local = shared.local(node);
+            let now = shard.now;
+            let st = &mut shard.nodes[local];
+            if st.radio.startup_token != token || st.radio.mode != Mode::Startup {
+                return; // stale: the node went back to sleep
+            }
+            let cause = st.radio.cause;
+            st.set_mode(now, Mode::Listen, cause);
+            with_node(shared, shard, node, round, |n, ctx| n.on_radio_ready(ctx));
+        }
+        Event::AirStart {
+            node,
+            tx_seq,
+            frame,
+        } => {
+            let local = shared.local(node);
+            let now = shard.now;
+            let st = &mut shard.nodes[local];
+            st.air_count += 1;
+            match st.radio.mode {
+                Mode::Listen => {
+                    if st.active_rx.is_none() {
+                        let cause = frame.kind.rx_cause(frame.addressed_to(node));
+                        st.set_mode(now, Mode::Rx, cause);
+                        st.active_rx = Some(ActiveRx {
+                            tx_seq,
+                            corrupted: false,
+                        });
+                    } else if let Some(rx) = &mut st.active_rx {
+                        // A second in-range transmission: collision.
+                        rx.corrupted = true;
+                    }
+                }
+                Mode::Rx => {
+                    if let Some(rx) = &mut st.active_rx {
+                        rx.corrupted = true;
+                    }
+                }
+                Mode::Sleep | Mode::Startup | Mode::Tx => {}
+            }
+        }
+        Event::AirEnd {
+            node,
+            tx_seq,
+            frame,
+        } => {
+            let local = shared.local(node);
+            let now = shard.now;
+            let st = &mut shard.nodes[local];
+            st.air_count = st.air_count.saturating_sub(1);
+            let finished = match &st.active_rx {
+                Some(rx) if rx.tx_seq == tx_seq => Some(rx.corrupted),
+                _ => None,
+            };
+            if let Some(corrupted) = finished {
+                st.active_rx = None;
+                // Back to plain listening; the node decides what
+                // happens next.
+                st.set_mode(now, Mode::Listen, Cause::CarrierSense);
+                if corrupted {
+                    st.counters.record_collision();
+                } else {
+                    st.counters.record_rx(frame.kind);
+                    with_node(shared, shard, node, round, |n, ctx| n.on_frame(ctx, &frame));
+                }
+            }
+        }
+        Event::TxDone { node } => {
+            let local = shared.local(node);
+            let now = shard.now;
+            let st = &mut shard.nodes[local];
+            debug_assert_eq!(st.radio.mode, Mode::Tx);
+            st.set_mode(now, Mode::Listen, Cause::CarrierSense);
+            with_node(shared, shard, node, round, |n, ctx| n.on_tx_done(ctx));
+        }
+    }
+}
+
+/// Runs `shard` forward, interleaving queued events with the per-node
+/// wake schedule exactly like the single-threaded engine: ties go to
+/// wakes (the dense scheduler's boundary timers always carried the
+/// earliest sequence numbers), simultaneous wakes fire in node order.
+///
+/// Processes items with time strictly below `bound_ns` (the
+/// conservative window bound; `u64::MAX` = unbounded), never past the
+/// horizon, and at most `limit` of them (the serialized fallback steps
+/// one at a time). Returns the number of items processed.
+pub(crate) fn advance(
+    shared: &Shared,
+    shard: &mut ShardState,
+    bound_ns: u64,
+    mut limit: usize,
+) -> usize {
+    // `at > end` never fires; in integer nanoseconds that is `at >=
+    // end + 1`, which folds the horizon into the exclusive bound.
+    let bound = bound_ns.min(shared.end.as_nanos() + 1);
+    let mut done = 0;
+    while limit > 0 {
+        let wake = peek_wake(shared, shard);
+        let event = shard.events.peek_key();
+        let fire_wake = match (wake, event) {
+            (Some(w), Some(e)) => w.at <= e.at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if fire_wake {
+            let key = wake.expect("chosen branch has a wake");
+            if key.at.as_nanos() >= bound {
+                break;
+            }
+            shard.wakes.pop();
+            let node = NodeId::new(key.node as usize);
+            shard.nodes[shared.local(node)].wake_current = None;
+            shard.now = key.at;
+            // Wakes carry round 0 and all fire before any event at the
+            // same instant, so their same-instant follow-ups land in
+            // round 1 — after every already-pending event.
+            with_node(shared, shard, node, 1, |n, ctx| n.on_wake(ctx));
+        } else {
+            let key = event.expect("chosen branch has an event");
+            if key.at.as_nanos() >= bound {
+                break;
+            }
+            let (_, ev) = shard.events.pop().expect("peeked event exists");
+            shard.now = key.at;
+            dispatch(shared, shard, key.round + 1, ev);
+        }
+        done += 1;
+        limit -= 1;
+    }
+    done
+}
+
+/// Seeds periodic traffic (random initial phases from each node's own
+/// stream) and starts every node of `shard`.
+pub(crate) fn seed_and_start(shared: &Shared, shard: &mut ShardState) {
+    for i in 0..shard.members.len() {
+        let node = shard.members[i];
+        if node == shared.sink {
+            continue;
+        }
+        let period = shared.sample_period(SimTime::ZERO, node);
+        let phase = shard.nodes[i].rng.gen_range(0.0..period.value());
+        let at = SimTime::from_seconds(Seconds::new(phase));
+        let key = shard.key_for(i, node, at, 0);
+        shard.schedule_event(shared, key, Event::Generate { node });
+    }
+    for i in 0..shard.members.len() {
+        let node = shard.members[i];
+        with_node(shared, shard, node, 1, |n, ctx| n.start(ctx));
+    }
+}
+
+/// Horizon phase: let schedule-coarsening nodes replay idle wakes that
+/// were still pending, then flush residual mode time.
+pub(crate) fn finish_shard(shared: &Shared, shard: &mut ShardState) {
+    shard.now = shared.end;
+    for i in 0..shard.members.len() {
+        let node = shard.members[i];
+        with_node(shared, shard, node, 1, |n, ctx| n.on_horizon(ctx));
+    }
+    for st in &mut shard.nodes {
+        st.charge_current(shared.end);
+        st.radio.since = shared.end;
     }
 }
 
 /// A fully built simulation, ready to [`run`](Simulation::run).
 #[derive(Debug)]
 pub struct Simulation {
-    core: Core,
-    nodes: Vec<Box<dyn MacNode>>,
+    shared: Shared,
+    positions: Vec<Point2>,
+    machines: Vec<Box<dyn MacNode>>,
     protocol: &'static str,
+    shards: usize,
 }
 
 impl Simulation {
@@ -581,6 +1031,7 @@ impl Simulation {
         Simulation::assemble(
             &graph,
             &tree,
+            topology.positions(),
             radio,
             frames,
             nodes,
@@ -645,6 +1096,7 @@ impl Simulation {
         Simulation::assemble(
             &graph,
             &tree,
+            topology.positions(),
             radio,
             frames,
             nodes,
@@ -656,8 +1108,9 @@ impl Simulation {
 
     #[allow(clippy::too_many_arguments)]
     fn assemble(
-        graph: &Graph,
+        graph: &edmac_net::Graph,
         tree: &RoutingTree,
+        positions: &[Point2],
         radio: Radio,
         frames: FrameSizes,
         nodes: Vec<Box<dyn MacNode>>,
@@ -671,18 +1124,15 @@ impl Simulation {
         let parent: Vec<Option<NodeId>> = graph.nodes().map(|u| tree.parent(u)).collect();
         let depth: Vec<usize> = graph.nodes().map(|u| tree.depth(u)).collect();
         let max_depth = tree.max_depth();
-        let ledger = EnergyLedger::new(radio.power);
-        let core = Core {
-            now: SimTime::ZERO,
+        let startup_ns = SimTime::from_seconds(radio.timings.startup).as_nanos();
+        let min_airtime_ns = FrameKind::ALL
+            .iter()
+            .map(|k| SimTime::from_seconds(radio.airtime(k.size(&frames))).as_nanos())
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        let shared = Shared {
             end: SimTime::from_seconds(config.duration),
-            queue: EventQueue::new(),
-            wake_heap: BinaryHeap::new(),
-            wake_current: vec![None; n],
-            wake_token: 0,
-            cancelled_timers: HashSet::new(),
-            next_timer_id: 0,
-            next_tx_seq: 0,
-            next_packet_id: 0,
             radio_hw: radio,
             frames,
             neighbors,
@@ -690,36 +1140,41 @@ impl Simulation {
             depth,
             max_depth,
             sink: tree.sink(),
-            radios: vec![
-                RadioState {
-                    mode: Mode::Sleep,
-                    since: SimTime::ZERO,
-                    cause: Cause::Sleep,
-                    startup_token: 0,
-                };
-                n
-            ],
-            ledgers: vec![ledger; n],
-            active_rx: vec![None; n],
-            air_count: vec![0; n],
-            counters: vec![crate::frame::FrameCounters::default(); n],
-            records: Vec::new(),
-            rng: StdRng::seed_from_u64(config.seed ^ 0x5DEECE66D),
             config,
             cca_free,
             traffic: None,
+            shard_of: vec![0; n],
+            local_of: (0..n as u32).collect(),
+            startup_ns,
+            min_airtime_ns,
         };
-
         Ok(Simulation {
-            core,
-            nodes,
+            shared,
+            positions: positions.to_vec(),
+            machines: nodes,
             protocol,
+            shards: 1,
         })
     }
 
     /// Number of nodes, sink included.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.machines.len()
+    }
+
+    /// Sets the number of spatial shards [`run`](Simulation::run)
+    /// partitions the topology into (default 1 — the sequential
+    /// reference engine). Values above the node count are clamped.
+    ///
+    /// The report is **bit-identical for every shard count**; this
+    /// knob deliberately lives on the `Simulation` and not in
+    /// [`SimConfig`], so the configuration embedded in the
+    /// [`SimReport`] cannot differ between a sequential and a sharded
+    /// run of the same scenario.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Simulation {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Installs a per-node traffic profile (hotspots, bursts) in place
@@ -733,13 +1188,13 @@ impl Simulation {
     /// carries degenerate burst windows (a non-positive factor or
     /// onset interval would run simulated time backwards).
     pub fn with_traffic(mut self, traffic: TrafficProfile) -> Result<Simulation, NetError> {
-        if traffic.periods.len() != self.nodes.len() {
+        if traffic.periods.len() != self.machines.len() {
             return Err(NetError::InvalidParameter {
                 name: "periods",
                 reason: format!(
                     "profile covers {} nodes but the simulation has {}",
                     traffic.periods.len(),
-                    self.nodes.len()
+                    self.machines.len()
                 ),
             });
         }
@@ -747,7 +1202,7 @@ impl Simulation {
             .periods
             .iter()
             .enumerate()
-            .filter(|&(i, _)| NodeId::new(i) != self.core.sink)
+            .filter(|&(i, _)| NodeId::new(i) != self.shared.sink)
             .map(|(_, p)| p)
             .find(|p| !(p.is_finite() && p.value() > 0.0))
         {
@@ -771,213 +1226,126 @@ impl Simulation {
                 });
             }
         }
-        self.core.traffic = Some(traffic);
+        self.shared.traffic = Some(traffic);
         Ok(self)
     }
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimReport {
-        // Seed traffic: every non-sink node samples periodically with a
-        // random initial phase.
-        for i in 0..self.nodes.len() {
-            let node = NodeId::new(i);
-            if node == self.core.sink {
-                continue;
-            }
-            let period = self.core.sample_period(node);
-            let phase = self.core.rng.gen_range(0.0..period.value());
-            self.core.queue.schedule(
-                SimTime::from_seconds(Seconds::new(phase)),
-                Event::Generate { node },
-            );
+        let n = self.machines.len();
+        let k = self.shards.min(n).max(1);
+        let plan = crate::shard::ShardPlan::new(&self.positions, &self.shared.neighbors, k);
+        plan.apply(&mut self.shared);
+        let mut shards = build_shards(&self.shared, &plan, self.machines);
+        for shard in &mut shards {
+            seed_and_start(&self.shared, shard);
         }
+        if shards.len() == 1 {
+            advance(&self.shared, &mut shards[0], u64::MAX, usize::MAX);
+            finish_shard(&self.shared, &mut shards[0]);
+        } else {
+            shards = crate::shard::run_parallel(&self.shared, shards);
+        }
+        assemble_report(&self.shared, self.protocol, shards)
+    }
+}
 
-        // Start every node.
-        for i in 0..self.nodes.len() {
-            self.with_node(NodeId::new(i), |node, ctx| node.start(ctx));
-        }
-
-        // Main loop: interleave queued events with the per-node wake
-        // schedule. Ties go to wakes — the dense scheduler's boundary
-        // timers always carried the earliest sequence numbers, and the
-        // coarse schedule must preserve that order.
-        loop {
-            let wake = self.core.peek_wake();
-            let event_at = self.core.queue.peek_time();
-            let fire_wake = match (wake, event_at) {
-                (Some((tw, _)), Some(te)) => tw <= te,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            if fire_wake {
-                let (at, node) = wake.expect("chosen branch has a wake");
-                if at > self.core.end {
-                    break;
-                }
-                self.core.wake_heap.pop();
-                self.core.wake_current[node.index()] = None;
-                self.core.now = at;
-                self.with_node(node, |n, ctx| n.on_wake(ctx));
-            } else {
-                let (at, event) = self.core.queue.pop().expect("peeked event exists");
-                if at > self.core.end {
-                    break;
-                }
-                self.core.now = at;
-                self.dispatch(event);
-            }
-        }
-
-        // Horizon: let schedule-coarsening nodes replay idle wakes that
-        // were still pending, then flush residual mode time.
-        self.core.now = self.core.end;
-        for i in 0..self.nodes.len() {
-            self.with_node(NodeId::new(i), |node, ctx| node.on_horizon(ctx));
-        }
-        for i in 0..self.nodes.len() {
-            self.core.charge_current(NodeId::new(i));
-            self.core.radios[i].since = self.core.now;
-        }
-
-        let per_node: Vec<NodeStats> = (0..self.nodes.len())
-            .map(|i| NodeStats {
-                node: NodeId::new(i),
-                depth: self.core.depth[i],
-                breakdown: self.core.ledgers[i].breakdown(),
-                busy: self.core.ledgers[i].busy_time(),
-                counters: self.core.counters[i],
+/// Builds the per-shard arenas from the plan, moving each node's state
+/// machine into its owning shard.
+fn build_shards(
+    shared: &Shared,
+    plan: &crate::shard::ShardPlan,
+    machines: Vec<Box<dyn MacNode>>,
+) -> Vec<ShardState> {
+    let k = plan.shard_count();
+    let mut slots: Vec<Option<Box<dyn MacNode>>> = machines.into_iter().map(Some).collect();
+    let mut shards = Vec::with_capacity(k);
+    for s in 0..k {
+        let members = plan.members(s).to_vec();
+        let nodes: Vec<NodeState> = members
+            .iter()
+            .map(|u| NodeState::new(&shared.radio_hw, shared.config.seed, u.index()))
+            .collect();
+        let machines: Vec<Box<dyn MacNode>> = members
+            .iter()
+            .map(|u| slots[u.index()].take().expect("each node joins one shard"))
+            .collect();
+        let boundary: Vec<bool> = members
+            .iter()
+            .map(|u| {
+                shared.neighbors[u.index()]
+                    .iter()
+                    .any(|v| shared.shard_of[v.index()] != s as u32)
             })
             .collect();
-
-        SimReport::new(
-            self.protocol,
-            self.core.config,
-            self.core.sink,
-            per_node,
-            std::mem::take(&mut self.core.records),
-        )
+        let pending = members.iter().map(|_| BinaryHeap::new()).collect();
+        shards.push(ShardState {
+            id: s as u32,
+            now: SimTime::ZERO,
+            events: CalendarQueue::new(),
+            wakes: CalendarQueue::new(),
+            members,
+            nodes,
+            machines,
+            outbox: Vec::new(),
+            pending,
+            boundary,
+            adj: plan.adjacency(s),
+            deliveries: HashMap::new(),
+        });
     }
+    shards
+}
 
-    fn dispatch(&mut self, event: Event) {
-        match event {
-            Event::Generate { node } => {
-                let id = PacketId(self.core.next_packet_id);
-                self.core.next_packet_id += 1;
-                let packet = Packet {
-                    id,
-                    origin: node,
-                    created: self.core.now,
-                    hops: 0,
-                };
-                self.core.records.push(PacketRecord {
-                    id,
-                    origin: node,
-                    origin_depth: self.core.depth[node.index()],
-                    created: self.core.now,
-                    delivered: None,
-                    hops: 0,
-                });
-                // Schedule the next sample before handing over. The
-                // interval is jittered within ±half a period (mean rate
-                // preserved): strictly periodic sampling phase-locks
-                // against frame and ladder schedules, which biases delay
-                // medians in ways the analytical models' uniform-arrival
-                // assumption excludes.
-                let jitter = self.core.rng.gen_range(0.5..1.5);
-                let next = self.core.now.after(self.core.sample_period(node) * jitter);
-                self.core.queue.schedule(next, Event::Generate { node });
-                self.with_node(node, |n, ctx| n.on_generate(ctx, packet));
-            }
-            Event::Timer { node, id, tag } => {
-                if self.core.cancelled_timers.remove(&id) {
-                    return;
+/// Merges per-shard results into the single canonical [`SimReport`]:
+/// node stats in global node order, packet records sorted by
+/// `(created, packet id)` — the order the sequential engine generates
+/// them in — with cross-shard deliveries resolved earliest-first.
+fn assemble_report(shared: &Shared, protocol: &'static str, shards: Vec<ShardState>) -> SimReport {
+    let n = shared.neighbors.len();
+    let mut per_node: Vec<Option<NodeStats>> = (0..n).map(|_| None).collect();
+    let mut deliveries: HashMap<u64, (SimTime, u32)> = HashMap::new();
+    let mut records: Vec<PacketRecord> = Vec::new();
+    for mut shard in shards {
+        for (id, hit) in shard.deliveries.drain() {
+            // First delivery wins; across shards the earliest time
+            // wins (ties keep the lowest shard, which is iterated
+            // first). Built-in protocols only deliver at the sink, so
+            // exactly one shard ever writes a given id.
+            match deliveries.get(&id) {
+                Some(&(t, _)) if t <= hit.0 => {}
+                _ => {
+                    deliveries.insert(id, hit);
                 }
-                self.with_node(node, |n, ctx| n.on_timer(ctx, tag, id));
-            }
-            Event::RadioReady { node, token } => {
-                let state = self.core.radios[node.index()];
-                if state.startup_token != token || state.mode != Mode::Startup {
-                    return; // stale: the node went back to sleep
-                }
-                let cause = state.cause;
-                self.core.set_mode(node, Mode::Listen, cause);
-                self.with_node(node, |n, ctx| n.on_radio_ready(ctx));
-            }
-            Event::AirStart {
-                node,
-                tx_seq,
-                frame,
-            } => {
-                self.core.air_count[node.index()] += 1;
-                match self.core.mode(node) {
-                    Mode::Listen => {
-                        if self.core.active_rx[node.index()].is_none() {
-                            let cause = frame.kind.rx_cause(frame.addressed_to(node));
-                            self.core.set_mode(node, Mode::Rx, cause);
-                            self.core.active_rx[node.index()] = Some(ActiveRx {
-                                tx_seq,
-                                corrupted: false,
-                            });
-                        } else if let Some(rx) = &mut self.core.active_rx[node.index()] {
-                            // A second in-range transmission: collision.
-                            rx.corrupted = true;
-                        }
-                    }
-                    Mode::Rx => {
-                        if let Some(rx) = &mut self.core.active_rx[node.index()] {
-                            rx.corrupted = true;
-                        }
-                    }
-                    Mode::Sleep | Mode::Startup | Mode::Tx => {}
-                }
-            }
-            Event::AirEnd {
-                node,
-                tx_seq,
-                frame,
-            } => {
-                self.core.air_count[node.index()] =
-                    self.core.air_count[node.index()].saturating_sub(1);
-                let finished = match &self.core.active_rx[node.index()] {
-                    Some(rx) if rx.tx_seq == tx_seq => Some(rx.corrupted),
-                    _ => None,
-                };
-                if let Some(corrupted) = finished {
-                    self.core.active_rx[node.index()] = None;
-                    // Back to plain listening; the node decides what
-                    // happens next.
-                    self.core.set_mode(node, Mode::Listen, Cause::CarrierSense);
-                    if corrupted {
-                        self.core.counters[node.index()].record_collision();
-                    } else {
-                        self.core.counters[node.index()].record_rx(frame.kind);
-                        self.with_node(node, |n, ctx| n.on_frame(ctx, &frame));
-                    }
-                }
-            }
-            Event::TxDone { node } => {
-                debug_assert_eq!(self.core.mode(node), Mode::Tx);
-                self.core.set_mode(node, Mode::Listen, Cause::CarrierSense);
-                self.with_node(node, |n, ctx| n.on_tx_done(ctx));
             }
         }
-    }
-
-    fn with_node<F: FnOnce(&mut Box<dyn MacNode>, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
-        let mut taken: Box<dyn MacNode> =
-            std::mem::replace(&mut self.nodes[node.index()], Box::new(NullNode));
-        let want = {
-            let mut ctx = Ctx {
-                core: &mut self.core,
+        for (i, st) in shard.nodes.iter_mut().enumerate() {
+            let node = shard.members[i];
+            per_node[node.index()] = Some(NodeStats {
                 node,
-            };
-            f(&mut taken, &mut ctx);
-            taken.next_activity(&mut ctx)
-        };
-        self.nodes[node.index()] = taken;
-        self.core.register_wake(node, want);
+                depth: shared.depth[node.index()],
+                breakdown: st.ledger.breakdown(),
+                busy: st.ledger.busy_time(),
+                counters: st.counters,
+            });
+            records.append(&mut st.records);
+        }
     }
+    // Creation order with ties in node order: exactly the order the
+    // sequential engine pushes records (same-instant Generates fire in
+    // node order, and ids sort by (origin, per-origin counter)).
+    records.sort_by_key(|r| (r.created, r.id.0));
+    for r in &mut records {
+        if let Some(&(t, hops)) = deliveries.get(&r.id.0) {
+            r.delivered = Some(t);
+            r.hops = hops;
+        }
+    }
+    let per_node: Vec<NodeStats> = per_node
+        .into_iter()
+        .map(|s| s.expect("every node belongs to exactly one shard"))
+        .collect();
+    SimReport::new(protocol, shared.config, shared.sink, per_node, records)
 }
 
 #[cfg(test)]
@@ -1136,5 +1504,32 @@ mod tests {
                 cfg.duration.value()
             );
         }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_exactly() {
+        let build = || {
+            Simulation::ring(
+                3,
+                4,
+                &XmacSim::new(Seconds::from_millis(80.0)),
+                tiny_config(),
+            )
+            .unwrap()
+        };
+        let a = build().run();
+        let b = build().with_shards(3).run();
+        assert_eq!(a.delivered_count(), b.delivered_count());
+        let ea: Vec<u64> = a
+            .per_node()
+            .iter()
+            .map(|s| s.breakdown.total().value().to_bits())
+            .collect();
+        let eb: Vec<u64> = b
+            .per_node()
+            .iter()
+            .map(|s| s.breakdown.total().value().to_bits())
+            .collect();
+        assert_eq!(ea, eb, "sharded energy must be bit-identical");
     }
 }

@@ -1,11 +1,15 @@
-//! The event queue: a deterministic priority queue over
-//! `(time, sequence)`.
+//! The simulation's event vocabulary.
+//!
+//! Scheduling itself lives in [`crate::queue`]: both the air-event
+//! scheduler and the wake schedule are [`CalendarQueue`]s keyed by
+//! [`OrderKey`]'s documented `(time, node order, sequence)` ordering,
+//! so there is exactly one tie-break rule in the engine.
+//!
+//! [`CalendarQueue`]: crate::queue::CalendarQueue
+//! [`OrderKey`]: crate::queue::OrderKey
 
 use crate::frame::Frame;
-use crate::time::SimTime;
 use edmac_net::NodeId;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Everything that can happen in the simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,9 +39,8 @@ pub(crate) enum Event {
 }
 
 impl Event {
-    /// The node this event is delivered to (used by queue tests and
-    /// kept for tracing hooks).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// The node this event is delivered to. Cross-shard routing and
+    /// the boundary `pending` lookahead both key on it.
     pub fn node(&self) -> NodeId {
         match self {
             Event::Generate { node }
@@ -50,145 +53,9 @@ impl Event {
     }
 }
 
-/// Heap entry ordered by `(time, sequence)`: sequence numbers break
-/// ties in insertion order, making simultaneous events deterministic.
-#[derive(Debug)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// The simulation's event queue.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
-}
-
-impl EventQueue {
-    pub fn new() -> EventQueue {
-        EventQueue::default()
-    }
-
-    /// Schedules `event` at absolute time `at`.
-    pub fn schedule(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
-    }
-
-    /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
-    }
-
-    /// The time of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.at)
-    }
-
-    /// Number of pending events.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Returns `true` if nothing is pending.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn t(ns: u64) -> SimTime {
-        SimTime::from_nanos(ns)
-    }
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(
-            t(30),
-            Event::Generate {
-                node: NodeId::new(3),
-            },
-        );
-        q.schedule(
-            t(10),
-            Event::Generate {
-                node: NodeId::new(1),
-            },
-        );
-        q.schedule(
-            t(20),
-            Event::Generate {
-                node: NodeId::new(2),
-            },
-        );
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(at, _)| at.as_nanos())
-            .collect();
-        assert_eq!(order, vec![10, 20, 30]);
-    }
-
-    #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(
-            t(5),
-            Event::Generate {
-                node: NodeId::new(7),
-            },
-        );
-        q.schedule(
-            t(5),
-            Event::TxDone {
-                node: NodeId::new(8),
-            },
-        );
-        let (_, first) = q.pop().unwrap();
-        let (_, second) = q.pop().unwrap();
-        assert_eq!(first.node(), NodeId::new(7));
-        assert_eq!(second.node(), NodeId::new(8));
-    }
-
-    #[test]
-    fn len_and_empty_track_contents() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(
-            t(1),
-            Event::TxDone {
-                node: NodeId::new(0),
-            },
-        );
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
-    }
 
     #[test]
     fn event_node_extraction() {

@@ -19,8 +19,14 @@
 //! * end-to-end packet records (creation, delivery, hops) and per-node
 //!   energy breakdowns.
 //!
-//! Everything is seeded and single-threaded: the same
-//! [`SimConfig::seed`] reproduces the same run bit-for-bit.
+//! Everything is seeded and deterministic: the same
+//! [`SimConfig::seed`] reproduces the same run bit-for-bit — including
+//! through [`Simulation::with_shards`], which partitions the realized
+//! topology into spatial shards and runs them conservatively in
+//! parallel under wake-derived time bounds. A sharded run produces the
+//! *same* [`SimReport`] as the sequential engine, byte for byte; the
+//! shard count is purely a wall-clock knob (see the README's
+//! "Simulator architecture" section for the synchronization contract).
 //!
 //! Protocols are configured through the object-safe [`SimProtocol`]
 //! trait — [`XmacSim`], [`DmacSim`], [`LmacSim`] and [`ScpSim`] are the
@@ -55,11 +61,14 @@ mod events;
 mod frame;
 mod protocol;
 mod protocols;
+pub mod queue;
 mod report;
+mod shard;
 mod time;
 
 pub use engine::{BurstWindows, Ctx, MacNode, SimConfig, Simulation, TrafficProfile, WakeMode};
 pub use frame::{Frame, FrameCounters, FrameKind, Packet, PacketId};
 pub use protocol::{DmacSim, LmacSim, ScpSim, SimProtocol, XmacSim};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, OrderKey};
 pub use report::{DepthDelayStats, NodeStats, PacketRecord, SimReport};
 pub use time::SimTime;

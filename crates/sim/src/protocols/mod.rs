@@ -41,7 +41,12 @@ pub(crate) mod xmac;
 /// Returning `None` suspends the clock: the engine will re-query after
 /// the next callback (X-MAC uses this to elide poll ticks that land
 /// mid-exchange, where the dense tick was a provable no-op).
-pub trait MacNode: std::fmt::Debug {
+///
+/// Implementations must be `Send`: the sharded engine moves each
+/// node's state machine onto its shard's worker thread. Nodes are
+/// plain data (queues, counters, schedule parameters), so this is a
+/// bound in name only.
+pub trait MacNode: std::fmt::Debug + Send {
     /// Called once at simulation start.
     fn start(&mut self, ctx: &mut Ctx<'_>);
     /// A timer set through [`Ctx::set_timer`] fired.

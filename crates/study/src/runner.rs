@@ -71,7 +71,7 @@ pub fn run_cells(config: &StudyConfig) -> Vec<CellOutcome> {
                         && outcome.solved()
                     {
                         outcome.validation =
-                            validate_cell(cell, &outcome, suite, config.sim_horizon);
+                            validate_cell(cell, &outcome, suite, config.sim_horizon, config.shards);
                     }
                     results
                         .lock()
@@ -153,6 +153,45 @@ mod tests {
             "results must not depend on the worker count"
         );
         assert_eq!(a.len(), one.grid.scenario_count() * crate::PROTOCOLS);
+    }
+
+    #[test]
+    fn smoke_run_is_shard_count_invariant() {
+        // The validation simulations are the only study stage that
+        // touches the sharded engine; a short horizon and a sparse
+        // stride keep this to a few sims while still proving the
+        // artifact bytes cannot depend on shard or worker count.
+        let mut base = StudyConfig::smoke();
+        base.validate_every = 16;
+        base.sim_horizon = edmac_units::Seconds::new(60.0);
+        base.threads = 1;
+        base.shards = 1;
+        let reference = super::run_cells(&base);
+        assert!(
+            reference.iter().any(|o| o.validation.is_some()),
+            "stride must validate at least one cell"
+        );
+        for (threads, shards) in [(4, 1), (1, 3), (2, 4)] {
+            let mut config = base.clone();
+            config.threads = threads;
+            config.shards = shards;
+            let outcomes = super::run_cells(&config);
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{outcomes:?}"),
+                "outcomes must not depend on threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                crate::cells_csv(&reference),
+                crate::cells_csv(&outcomes),
+                "study_cells.csv must not depend on threads={threads} shards={shards}"
+            );
+            assert_eq!(
+                crate::validation_csv(&reference),
+                crate::validation_csv(&outcomes),
+                "study_validation.csv must not depend on threads={threads} shards={shards}"
+            );
+        }
     }
 
     #[test]
