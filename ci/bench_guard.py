@@ -7,21 +7,52 @@ Usage:
 
 Guard mode prints a markdown regression table (also appended to
 $GITHUB_STEP_SUMMARY when set) and exits non-zero if any benchmark's
-mean exceeds its baseline by more than the baseline's tolerance. The
+mean exceeds its baseline by more than its *group's* tolerance. The
 job that runs it stays non-blocking via `continue-on-error`; the exit
 code just paints the row red so a human looks.
 
+Baseline schema v2 replaces v1's flat band with per-group thresholds:
+a benchmark's group is the id prefix before the first `/` (so
+`registry/dispatch` is judged by `group_tolerances["registry"]`), and
+`noise_floor_ns` adds an absolute allowance so nanosecond-scale
+entries — where a relative band is all timer jitter — are judged
+against `max(base * tolerance, noise_floor_ns)`. v1 baselines are
+still accepted (flat band, zero floor).
+
 `--write-baseline` rewrites BASELINE_JSON from the run instead —
 the maintainer path for deliberate re-baselining (new hardware, new
-toolchain, accepted perf change).
+toolchain, accepted perf change). It preserves the existing file's
+group tolerances and noise floor, so a re-baseline never silently
+drops the thresholds a human tuned.
 """
 
 import json
 import sys
 from pathlib import Path
 
-SCHEMA = "edmac-bench-baseline/v1"
+SCHEMA_V1 = "edmac-bench-baseline/v1"
+SCHEMA_V2 = "edmac-bench-baseline/v2"
 DEFAULT_TOLERANCE = 0.30
+DEFAULT_NOISE_FLOOR_NS = 0
+
+# Defaults written by --write-baseline when the existing file has no
+# v2 thresholds to preserve. Rationale per group:
+#   * registry/evaluate/concepts run in tens–hundreds of ns, where a
+#     30% band is smaller than scheduler jitter — judged by a looser
+#     band plus the absolute noise floor;
+#   * cache I/O (key hashing, entry read/write with fsync) jitters
+#     with filesystem state — looser band, same floor;
+#   * fig/sim-style ms-scale entries are statistically stable — a
+#     tighter band actually catches real regressions there.
+DEFAULT_GROUP_TOLERANCES = {
+    "registry": 0.60,
+    "evaluate": 0.60,
+    "concepts": 0.60,
+    "cache": 0.60,
+    "fig1": 0.25,
+    "fig2": 0.25,
+    "fig3": 0.25,
+}
 
 
 def read_run(path: Path) -> dict:
@@ -43,6 +74,10 @@ def fmt_ns(ns: float) -> str:
     return f"{ns:.0f} ns"
 
 
+def group_of(bench_id: str) -> str:
+    return bench_id.split("/", 1)[0]
+
+
 def main() -> int:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     if len(args) != 2:
@@ -52,9 +87,20 @@ def main() -> int:
     run = read_run(run_path)
 
     if "--write-baseline" in sys.argv:
+        group_tolerances = dict(DEFAULT_GROUP_TOLERANCES)
+        tolerance = DEFAULT_TOLERANCE
+        noise_floor = DEFAULT_NOISE_FLOOR_NS
+        if baseline_path.exists():
+            existing = json.loads(baseline_path.read_text())
+            tolerance = float(existing.get("tolerance", tolerance))
+            if existing.get("schema") == SCHEMA_V2:
+                group_tolerances = existing.get("group_tolerances", group_tolerances)
+                noise_floor = int(existing.get("noise_floor_ns", noise_floor))
         baseline = {
-            "schema": SCHEMA,
-            "tolerance": DEFAULT_TOLERANCE,
+            "schema": SCHEMA_V2,
+            "tolerance": tolerance,
+            "noise_floor_ns": noise_floor,
+            "group_tolerances": {k: group_tolerances[k] for k in sorted(group_tolerances)},
             "benches": {k: run[k] for k in sorted(run)},
         }
         baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -62,13 +108,19 @@ def main() -> int:
         return 0
 
     baseline = json.loads(baseline_path.read_text())
-    assert baseline.get("schema") == SCHEMA, f"unexpected baseline schema: {baseline.get('schema')}"
+    schema = baseline.get("schema")
+    assert schema in (SCHEMA_V1, SCHEMA_V2), f"unexpected baseline schema: {schema}"
     tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    group_tolerances = (
+        baseline.get("group_tolerances", {}) if schema == SCHEMA_V2 else {}
+    )
+    noise_floor = int(baseline.get("noise_floor_ns", 0)) if schema == SCHEMA_V2 else 0
     benches = baseline["benches"]
 
     rows = []
     regressions = []
     for bench_id in sorted(set(run) | set(benches)):
+        tol = float(group_tolerances.get(group_of(bench_id), tolerance))
         if bench_id not in benches:
             rows.append((bench_id, "-", fmt_ns(run[bench_id]), "new", "🆕"))
             continue
@@ -77,17 +129,27 @@ def main() -> int:
             continue
         base, now = benches[bench_id], run[bench_id]
         delta = (now - base) / base
-        status = "ok"
+        # The band is relative per group, but never narrower than the
+        # absolute noise floor: at ns scale, a percentage is jitter.
+        allowed_ns = max(base * tol, noise_floor)
+        status = f"ok (±{tol:.0%})"
         icon = "✅"
-        if delta > tolerance:
-            status, icon = "REGRESSION", "❌"
+        if now - base > allowed_ns:
+            status, icon = f"REGRESSION (>{tol:.0%})", "❌"
             regressions.append(bench_id)
-        elif delta < -tolerance:
+        elif base - now > allowed_ns:
             status, icon = "improved", "🚀"
         rows.append((bench_id, fmt_ns(base), fmt_ns(now), f"{delta:+.1%}", icon + " " + status))
 
     lines = [
-        f"### bench-guard (tolerance ±{tolerance:.0%})",
+        f"### bench-guard (default ±{tolerance:.0%}, "
+        f"noise floor {fmt_ns(noise_floor)}, per-group overrides: "
+        + (
+            ", ".join(f"{g} ±{t:.0%}" for g, t in sorted(group_tolerances.items()))
+            if group_tolerances
+            else "none"
+        )
+        + ")",
         "",
         "| benchmark | baseline | now | delta | status |",
         "|---|---|---|---|---|",

@@ -11,14 +11,30 @@
 # the criterion quick profile and rewrites `ci/BENCH_BASELINE.json`
 # (hardware-dependent — re-baseline on the machine class CI uses, or
 # accept the ±30% guard band absorbing the difference).
+#
+# Cache discipline: a golden regeneration means cell outcomes changed,
+# so any study cache populated before the change is stale *in meaning*.
+# If the change altered a formula without touching scenario parameters,
+# the content-addressed keys do NOT move on their own — you must bump
+# the matching schema version (CELLS_SCHEMA_VERSION /
+# VALIDATION_SCHEMA_VERSION / MODEL_SCHEMA_VERSION in crates/study/src)
+# so old entries miss. The purge below clears the local default cache
+# dir either way; CI's cache key embeds the schema tuple, so the bump
+# is also what rolls the workflow cache.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== building release binaries"
 cargo build --release -p edmac-bench --bins
 
+echo "== purging local study cache (outcomes are being redefined)"
+rm -rf .study-cache
+
 echo "== study smoke grid -> ci/golden/"
 cargo run --release --bin study -- --smoke --out ci/golden
+# The runner records a manifest next to its artifacts; goldens are the
+# three study artifacts only (manifests describe a *run*, not results).
+rm -f ci/golden/manifest.json
 
 echo "== artifact schema tags"
 head -1 ci/golden/study_cells.csv | grep -F "edmac-study/cells/v2"

@@ -1,10 +1,14 @@
-//! Study-harness throughput: one cell end-to-end, and the smoke grid
+//! Study-harness throughput: one cell end-to-end, the smoke grid
 //! (12 cells, no validation) through the worker pool — the number that
-//! bounds how fast the full ≥200-cell sweep can go.
+//! bounds how fast the full ≥200-cell sweep can go — and the
+//! content-addressed cache's per-item overhead (key derivation, hit
+//! lookup, entry store), which every cached sweep pays per work item.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use edmac_core::{AppRequirements, StudyGrid};
-use edmac_study::{models_for, run_cells, solve_cell, StudyConfig};
+use edmac_study::{
+    item_key, models_for, run_cells, solve_cell, CellCache, SchemaVersions, StudyConfig,
+};
 use edmac_units::{Joules, Seconds};
 use std::hint::black_box;
 
@@ -37,5 +41,54 @@ fn smoke_grid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(study, single_cell, smoke_grid);
+fn cache_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.sample_size(20);
+    let cell = &StudyGrid::smoke().cells()[0];
+    let registry = edmac_proto::ProtocolRegistry::builtin();
+    let suite = registry.suite("X-MAC").expect("builtin suite");
+    let schema = SchemaVersions::current();
+
+    // Key derivation: canonicalize + digest (includes realizing the
+    // deployment to derive the ProtocolConfig the key hashes).
+    group.bench_function("key_derive", |b| {
+        b.iter(|| {
+            black_box(item_key(
+                black_box(&schema),
+                black_box(cell),
+                suite.as_ref(),
+                reqs(),
+                None,
+            ))
+        })
+    });
+
+    let dir = std::env::temp_dir().join(format!("edmac-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CellCache::open(&dir).expect("temp cache dir");
+    let key = item_key(&schema, cell, suite.as_ref(), reqs(), None);
+    let models = models_for();
+    let outcome = solve_cell(cell, models[0].as_ref(), reqs());
+    cache.store(&key, &outcome).expect("seed entry");
+
+    // Hit lookup: read + verify + deserialize one entry — the cost a
+    // warm run pays instead of a solve (~ms); this must stay orders of
+    // magnitude below it for caching to be worth anything.
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| black_box(cache.load(black_box(&key), cell, suite.name())))
+    });
+
+    // Write-back: serialize + fsync + atomic rename, the cold-run tax.
+    group.bench_function("store", |b| {
+        b.iter(|| {
+            cache
+                .store(black_box(&key), black_box(&outcome))
+                .expect("store")
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(study, single_cell, smoke_grid, cache_overhead);
 criterion_main!(study);

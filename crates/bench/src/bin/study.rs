@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --release --bin study -- --smoke          # pinned CI grid
 //! cargo run --release --bin study                     # full ≥200-cell sweep
+//! cargo run --release --bin study -- cache-stats --smoke --cache-dir .study-cache
 //! ```
 //!
 //! Flags:
@@ -23,11 +24,28 @@
 //!   (`ring`, `disk`, `hotspot`, `burst`);
 //! * `--protocols a,b,c` — the protocol panel, resolved against the
 //!   built-in `ProtocolRegistry` (default: the paper trio; any
-//!   registered suite works, e.g. `--protocols xmac,csma`).
+//!   registered suite works, e.g. `--protocols xmac,csma`);
+//! * `--cache-dir DIR` — content-addressed cell cache: items whose
+//!   content key is already stored are served from disk bit-exactly,
+//!   misses are solved and written back (warm reruns are
+//!   byte-identical with zero solves);
+//! * `--max-items N` — stop after N work items (in sweep order),
+//!   leaving the rest pending in the manifest;
+//! * `--resume MANIFEST` — reload a run's `manifest.json`, verify its
+//!   content keys still match this build, and complete the pending
+//!   items (done items come back as cache hits); only `--jobs`,
+//!   `--shards`, `--out`, and `--max-items` may accompany it.
+//!
+//! Subcommand `cache-stats` audits a cache directory against the
+//! configured grid without solving anything: hit/miss counts for the
+//! work list plus entries no current key addresses (stale survivors
+//! of a schema or model bump).
 
 use edmac_bench::{preset_filter, protocols_filter};
 use edmac_proto::{ProtocolRegistry, PAPER_TRIO};
-use edmac_study::{run_cells, summarize, write_artifacts, StudyConfig};
+use edmac_study::{
+    cache_stats, run_study, write_artifacts, Manifest, RunOptions, StudyConfig, StudyRunReport,
+};
 use std::path::PathBuf;
 
 /// `Ok(None)` when the flag is absent; an error when it is present
@@ -53,49 +71,90 @@ fn parse_usize(args: &[String], flag: &str) -> Result<Option<usize>, String> {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().collect();
+/// Builds a [`StudyConfig`] from the CLI flags (everything except
+/// `--resume`, which snapshots its config from the manifest instead).
+fn config_from_flags(args: &[String]) -> Result<StudyConfig, String> {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut config = if smoke {
         StudyConfig::smoke()
     } else {
         StudyConfig::full()
     };
-    if let Some(jobs) = parse_usize(&args, "--jobs")? {
-        config.threads = jobs;
-    }
-    if let Some(stride) = parse_usize(&args, "--validate-every")? {
+    if let Some(stride) = parse_usize(args, "--validate-every")? {
         config.validate_every = stride;
     }
-    if let Some(shards) = parse_usize(&args, "--shards")? {
+    config.preset = preset_filter(args)?;
+    let registry = ProtocolRegistry::builtin();
+    config.protocols = protocols_filter(args, &registry, &PAPER_TRIO)?
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    config.cache_dir = flag_value(args, "--cache-dir")?.map(PathBuf::from);
+    Ok(config)
+}
+
+/// Execution knobs that are legitimate on any invocation, including
+/// `--resume`: both are proven byte-invariant, so they never conflict
+/// with a manifest's pinned config.
+fn apply_execution_flags(args: &[String], config: &mut StudyConfig) -> Result<(), String> {
+    if let Some(jobs) = parse_usize(args, "--jobs")? {
+        config.threads = jobs;
+    }
+    if let Some(shards) = parse_usize(args, "--shards")? {
         if shards == 0 {
             return Err("--shards needs a positive integer".into());
         }
         config.shards = shards;
     }
-    config.preset = preset_filter(&args)?;
-    let registry = ProtocolRegistry::builtin();
-    config.protocols = protocols_filter(&args, &registry, &PAPER_TRIO)?
-        .iter()
-        .map(|s| s.name().to_string())
-        .collect();
-    let out_dir = PathBuf::from(flag_value(&args, "--out")?.unwrap_or_else(|| "artifacts".into()));
+    Ok(())
+}
 
-    let started = std::time::Instant::now();
-    let outcomes = run_cells(&config);
-    let summary = summarize(&outcomes);
-    write_artifacts(&out_dir, &outcomes, &summary)
-        .map_err(|e| format!("writing artifacts under {}: {e}", out_dir.display()))?;
-
+fn run_cache_stats(args: &[String]) -> Result<(), String> {
+    let config = config_from_flags(args)?;
+    let dir = config
+        .cache_dir
+        .clone()
+        .ok_or("cache-stats needs --cache-dir DIR")?;
+    let report = cache_stats(&config, &dir).map_err(|e| format!("cache-stats: {e}"))?;
     println!(
-        "study: {} scenarios x {} protocols = {} cells ({} solved, {} concepts each) in {:.2?}",
+        "cache-stats: {} work items against {} — {} hits, {} misses; \
+         {} invalidated of {} entries on disk",
+        report.items,
+        dir.display(),
+        report.hits,
+        report.misses,
+        report.invalidated,
+        report.entries,
+    );
+    Ok(())
+}
+
+fn print_report(config: &StudyConfig, report: &StudyRunReport, out_dir: &std::path::Path) {
+    let summary = &report.summary;
+    println!(
+        "study: {} scenarios x {} protocols = {} cells ({} solved, {} concepts each)",
         summary.scenarios,
         config.protocols.len(),
         summary.protocol_cells,
         summary.solved_cells,
         summary.concepts_per_cell,
-        started.elapsed(),
     );
+    if let Some(stats) = &report.cache {
+        // Grep-able by CI's determinism gauntlet: a warm run must
+        // report every item as a hit, a cold run as a miss.
+        println!(
+            "cache: {} hits, {} misses, {} written",
+            stats.hits, stats.misses, stats.writes
+        );
+    }
+    if report.completed_items < report.total_items {
+        println!(
+            "partial: completed {} of {} work items; resume with --resume {}",
+            report.completed_items,
+            report.total_items,
+            out_dir.join("manifest.json").display(),
+        );
+    }
     println!("\npreset,cells,mean_irregularity,mean_drift,max_drift");
     for b in &summary.drift {
         println!(
@@ -143,6 +202,64 @@ fn run() -> Result<(), String> {
         "artifacts: {}/study_cells.csv, study_validation.csv, study_summary.json",
         out_dir.display()
     );
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("cache-stats") {
+        return run_cache_stats(&args[2..]);
+    }
+
+    let (mut config, out_dir, manifest_path) = match flag_value(&args, "--resume")? {
+        Some(path) => {
+            // The manifest *is* the config: grid, panel, stride, cache
+            // directory, output directory. Config-shaping flags would
+            // silently disagree with it, so they are refused outright.
+            for flag in [
+                "--smoke",
+                "--preset",
+                "--protocols",
+                "--validate-every",
+                "--cache-dir",
+            ] {
+                if args.iter().any(|a| a == flag) {
+                    return Err(format!(
+                        "{flag} conflicts with --resume: the manifest pins the run's config"
+                    ));
+                }
+            }
+            let path = PathBuf::from(path);
+            let manifest = Manifest::load(&path).map_err(|e| format!("--resume: {e}"))?;
+            let out_dir = match flag_value(&args, "--out")? {
+                Some(dir) => PathBuf::from(dir),
+                None => manifest
+                    .out_dir
+                    .clone()
+                    .ok_or("--resume: the manifest records no output directory; pass --out DIR")?,
+            };
+            (manifest.config, out_dir, path)
+        }
+        None => {
+            let config = config_from_flags(&args)?;
+            let out_dir =
+                PathBuf::from(flag_value(&args, "--out")?.unwrap_or_else(|| "artifacts".into()));
+            let manifest_path = out_dir.join("manifest.json");
+            (config, out_dir, manifest_path)
+        }
+    };
+    apply_execution_flags(&args, &mut config)?;
+    let options = RunOptions {
+        manifest: Some(manifest_path),
+        max_items: parse_usize(&args, "--max-items")?,
+        out_dir: Some(out_dir.clone()),
+    };
+
+    let started = std::time::Instant::now();
+    let report = run_study(&config, &options).map_err(|e| format!("study run: {e}"))?;
+    write_artifacts(&out_dir, &report.outcomes, &report.summary)
+        .map_err(|e| format!("writing artifacts under {}: {e}", out_dir.display()))?;
+    print_report(&config, &report, &out_dir);
+    println!("elapsed: {:.2?}", started.elapsed());
     Ok(())
 }
 

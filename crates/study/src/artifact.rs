@@ -20,11 +20,18 @@ use std::path::Path;
 
 /// Schema tag of `study_cells.csv`.
 pub const CELLS_SCHEMA: &str = "edmac-study/cells/v2";
+/// Numeric version of [`CELLS_SCHEMA`] — a component of the cache
+/// content key, so bumping the cells schema invalidates every cached
+/// entry (the cached outcome is the row's source of truth).
+pub const CELLS_SCHEMA_VERSION: u32 = 2;
 /// Schema tag of `study_validation.csv`. v2 added the latency
 /// comparator's sample count and p95/max percentiles (the depth class
 /// behind `sim_l`, chosen under the sample-count floor — see
 /// [`crate::VALIDATION_SAMPLE_FLOOR`]).
 pub const VALIDATION_SCHEMA: &str = "edmac-study/validation/v2";
+/// Numeric version of [`VALIDATION_SCHEMA`] — also a cache-key
+/// component: validation rows are derived from cached outcomes.
+pub const VALIDATION_SCHEMA_VERSION: u32 = 2;
 /// Schema tag of `study_summary.json`.
 pub const SUMMARY_SCHEMA: &str = "edmac-study/summary/v2";
 
@@ -308,6 +315,14 @@ mod tests {
         let json = summary_json(&summary);
         assert!(json.contains(SUMMARY_SCHEMA));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn numeric_schema_versions_match_their_tags() {
+        // The cache key embeds the numeric versions; the artifacts
+        // embed the string tags. They must never drift apart.
+        assert!(CELLS_SCHEMA.ends_with(&format!("/v{CELLS_SCHEMA_VERSION}")));
+        assert!(VALIDATION_SCHEMA.ends_with(&format!("/v{VALIDATION_SCHEMA_VERSION}")));
     }
 
     #[test]

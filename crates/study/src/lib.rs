@@ -46,25 +46,34 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod artifact;
+mod cache;
 mod cell;
+mod manifest;
 mod runner;
 mod summary;
 
 pub use artifact::{
-    cells_csv, summary_json, validation_csv, write_artifacts, CELLS_SCHEMA, SUMMARY_SCHEMA,
-    VALIDATION_SCHEMA,
+    cells_csv, summary_json, validation_csv, write_artifacts, CELLS_SCHEMA, CELLS_SCHEMA_VERSION,
+    SUMMARY_SCHEMA, VALIDATION_SCHEMA, VALIDATION_SCHEMA_VERSION,
+};
+pub use cache::{
+    cache_key, item_key, item_protocol_config, CacheKey, CacheReport, CacheStats, CellCache,
+    SchemaVersions, CACHE_ENTRY_SCHEMA, MODEL_SCHEMA_VERSION,
 };
 pub use cell::{
     models_for, solve_cell, validate_cell, weight_grid, CellOutcome, ConceptOutcome,
     ValidationOutcome, WeightSweep, PROTOCOLS, VALIDATION_SAMPLE_FLOOR, WEIGHT_MATCH_TOL,
 };
-pub use runner::run_cells;
+pub use manifest::{ItemSource, ItemStatus, Manifest, ManifestItem, MANIFEST_SCHEMA};
+pub use runner::{cache_stats, run_cells, run_study, RunOptions, StudyRunReport};
 pub use summary::{
-    summarize, AggregateGap, DriftBucket, StudySummary, ValidationBands, WeightSweepSummary,
+    summarize, AggregateGap, DriftBucket, StudySummary, SummaryAccumulator, ValidationBands,
+    WeightSweepSummary,
 };
 
 use edmac_core::{AppRequirements, PresetKind, StudyGrid};
 use edmac_units::{Joules, Seconds};
+use std::path::PathBuf;
 
 /// One study run's knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +108,14 @@ pub struct StudyConfig {
     /// [`edmac_proto::ProtocolRegistry::builtin`] (default: the paper
     /// trio). Order is sweep order and artifact row order.
     pub protocols: Vec<String>,
+    /// Content-addressed cell cache directory (`None` = caching off).
+    /// Work items found under their [`cache_key`] are served from
+    /// disk instead of re-solved; misses are written back. The key
+    /// embeds the schema/model versions, so a bump re-runs exactly the
+    /// cells it invalidates — and because cached outcomes are
+    /// bit-exact, a warm run's artifacts are byte-identical to a cold
+    /// run's (CI's `study-cache` job asserts this).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl StudyConfig {
@@ -116,6 +133,7 @@ impl StudyConfig {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            cache_dir: None,
         }
     }
 

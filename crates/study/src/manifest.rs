@@ -1,0 +1,755 @@
+//! The resumable run manifest: a schema-versioned `manifest.json`
+//! enumerating a run's work list with per-item status, rewritten
+//! atomically (temp file, fsync, rename) after every completed item.
+//!
+//! A killed run restarts with `--resume <manifest>`: the manifest
+//! reconstructs the exact [`StudyConfig`] (grid axes, requirements,
+//! panel, cache directory), the runner recomputes every content key
+//! and refuses to resume if any differs from the recorded one (the
+//! code or environment changed under the manifest), and the already-
+//! `done` items are served from the cache the original run wrote —
+//! so the resumed run's artifacts are byte-identical to a one-shot
+//! run's. A manifest is a work-list pin plus a progress ledger; the
+//! *outcomes* always live in the content-addressed cache.
+//!
+//! The format is a strict, hand-rendered JSON subset (objects, arrays,
+//! strings, numbers, booleans, `null`) parsed by the mini parser in
+//! this module — the repo vendors no serde. Floats render via Rust's
+//! shortest-round-trip `{:?}` so every axis value survives the
+//! round-trip bit for bit; `seed_base` renders as a decimal *string*
+//! because a `u64` does not fit in a JSON double.
+
+use crate::cache::write_atomic;
+use crate::StudyConfig;
+use edmac_core::{AppRequirements, PresetKind, StudyGrid};
+use edmac_units::{Joules, Seconds};
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of `manifest.json`.
+pub const MANIFEST_SCHEMA: &str = "edmac-study/manifest/v1";
+
+/// Completion state of one work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemStatus {
+    /// Not yet completed (a resume picks it up).
+    Pending,
+    /// Outcome produced and folded into the run.
+    Done,
+}
+
+/// Where a completed item's outcome came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemSource {
+    /// Served from the content-addressed cache.
+    Cache,
+    /// Solved in this run (and written back when a cache is attached).
+    Solved,
+}
+
+/// One (cell × protocol) work item of the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestItem {
+    /// Work index in the run's deterministic sweep order.
+    pub work: usize,
+    /// Full-grid cell index (survives preset filtering).
+    pub cell: usize,
+    /// Scenario name, for human audit of the work list.
+    pub scenario: String,
+    /// Protocol registry name.
+    pub protocol: String,
+    /// Content-key digest ([`crate::CacheKey::digest_hex`]); recomputed
+    /// and verified on resume.
+    pub key: String,
+    /// Completion state.
+    pub status: ItemStatus,
+    /// Provenance of a completed outcome (`None` while pending).
+    pub source: Option<ItemSource>,
+}
+
+/// A run manifest: the config snapshot plus the work-item ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The exact config of the run (a resume reconstructs it from
+    /// here; CLI flags other than `--resume` are rejected).
+    pub config: StudyConfig,
+    /// The artifact output directory of the run, when one was set.
+    pub out_dir: Option<PathBuf>,
+    /// The work items, in sweep order.
+    pub items: Vec<ManifestItem>,
+}
+
+impl Manifest {
+    /// Renders and writes the manifest atomically (fsync'd temp file +
+    /// rename), so a crash mid-write leaves the previous version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        write_atomic(path, &self.render())
+    }
+
+    /// Loads and validates a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, schema mismatch, or any structural
+    /// deviation from the [`MANIFEST_SCHEMA`] format.
+    pub fn load(path: &Path) -> io::Result<Manifest> {
+        let text = std::fs::read_to_string(path)?;
+        parse_manifest(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Number of completed items.
+    pub fn done(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| i.status == ItemStatus::Done)
+            .count()
+    }
+
+    /// Serializes to the manifest JSON text.
+    pub fn render(&self) -> String {
+        let c = &self.config;
+        let g = &c.grid;
+        let mut out = String::with_capacity(1024 + self.items.len() * 160);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", jstr(MANIFEST_SCHEMA));
+        out.push_str("  \"config\": {\n");
+        out.push_str("    \"grid\": {\n");
+        let _ = writeln!(
+            out,
+            "      \"ring_depths\": {},",
+            jarr_usize(&g.ring_depths)
+        );
+        let _ = writeln!(
+            out,
+            "      \"ring_densities\": {},",
+            jarr_usize(&g.ring_densities)
+        );
+        let _ = writeln!(out, "      \"disk_nodes\": {},", jarr_usize(&g.disk_nodes));
+        let _ = writeln!(
+            out,
+            "      \"hotspot_nodes\": {},",
+            jarr_usize(&g.hotspot_nodes)
+        );
+        let _ = writeln!(
+            out,
+            "      \"hotspot_factors\": {},",
+            jarr_f64(&g.hotspot_factors)
+        );
+        let _ = writeln!(
+            out,
+            "      \"burst_nodes\": {},",
+            jarr_usize(&g.burst_nodes)
+        );
+        let _ = writeln!(
+            out,
+            "      \"burst_duties\": {},",
+            jarr_f64(&g.burst_duties)
+        );
+        let _ = writeln!(
+            out,
+            "      \"sample_period_s\": {:?},",
+            g.sample_period.value()
+        );
+        let _ = writeln!(out, "      \"hotspot_fraction\": {:?},", g.hotspot_fraction);
+        let _ = writeln!(out, "      \"burst_every_s\": {:?},", g.burst_every.value());
+        let _ = writeln!(out, "      \"burst_factor\": {:?},", g.burst_factor);
+        let _ = writeln!(out, "      \"seed_base\": \"{}\"", g.seed_base);
+        out.push_str("    },\n");
+        let _ = writeln!(
+            out,
+            "    \"preset\": {},",
+            match c.preset {
+                Some(p) => jstr(p.label()),
+                None => "null".into(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "    \"energy_budget_j\": {:?},",
+            c.requirements.energy_budget().value()
+        );
+        let _ = writeln!(
+            out,
+            "    \"latency_bound_s\": {:?},",
+            c.requirements.latency_bound().value()
+        );
+        let _ = writeln!(out, "    \"validate_every\": {},", c.validate_every);
+        let _ = writeln!(out, "    \"sim_horizon_s\": {:?},", c.sim_horizon.value());
+        let _ = writeln!(out, "    \"threads\": {},", c.threads);
+        let _ = writeln!(out, "    \"shards\": {},", c.shards);
+        let _ = writeln!(
+            out,
+            "    \"protocols\": [{}],",
+            c.protocols
+                .iter()
+                .map(|p| jstr(p))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    \"cache_dir\": {}",
+            match &c.cache_dir {
+                Some(p) => jstr(&p.display().to_string()),
+                None => "null".into(),
+            }
+        );
+        out.push_str("  },\n");
+        let _ = writeln!(
+            out,
+            "  \"out_dir\": {},",
+            match &self.out_dir {
+                Some(p) => jstr(&p.display().to_string()),
+                None => "null".into(),
+            }
+        );
+        out.push_str("  \"items\": [\n");
+        for (i, item) in self.items.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"work\": {}, \"cell\": {}, \"scenario\": {}, \"protocol\": {}, \
+                 \"key\": {}, \"status\": {}, \"source\": {}}}",
+                item.work,
+                item.cell,
+                jstr(&item.scenario),
+                jstr(&item.protocol),
+                jstr(&item.key),
+                jstr(match item.status {
+                    ItemStatus::Pending => "pending",
+                    ItemStatus::Done => "done",
+                }),
+                match item.source {
+                    None => "null".into(),
+                    Some(ItemSource::Cache) => jstr("cache"),
+                    Some(ItemSource::Solved) => jstr("solved"),
+                },
+            );
+            out.push_str(if i + 1 < self.items.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jarr_usize(v: &[usize]) -> String {
+    format!(
+        "[{}]",
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+fn jarr_f64(v: &[f64]) -> String {
+    format!(
+        "[{}]",
+        v.iter()
+            .map(|x| format!("{x:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Mini JSON subset parser. Numbers stay raw tokens so u64 seeds and
+// shortest-round-trip floats parse losslessly on demand.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type ParseResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> ParseResult<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> ParseResult<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> ParseResult<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected byte '{}' at {}",
+                char::from(other),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> ParseResult<Json> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        Ok(Json::Num(
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "non-UTF8 number".to_string())?
+                .to_string(),
+        ))
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| "non-UTF8 \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape '\\{}'", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 character.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-UTF8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> ParseResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got '{}'",
+                        self.pos,
+                        char::from(other)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> ParseResult<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got '{}'",
+                        self.pos,
+                        char::from(other)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> ParseResult<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field '{key}'")),
+            _ => Err(format!("'{key}' looked up on a non-object")),
+        }
+    }
+
+    fn str_(&self, key: &str) -> ParseResult<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("field '{key}' is not a string: {other:?}")),
+        }
+    }
+
+    fn opt_str(&self, key: &str) -> ParseResult<Option<&str>> {
+        match self.get(key)? {
+            Json::Null => Ok(None),
+            Json::Str(s) => Ok(Some(s)),
+            other => Err(format!("field '{key}' is not a string or null: {other:?}")),
+        }
+    }
+
+    fn num(&self, key: &str) -> ParseResult<&str> {
+        match self.get(key)? {
+            Json::Num(s) => Ok(s),
+            other => Err(format!("field '{key}' is not a number: {other:?}")),
+        }
+    }
+
+    fn usize_(&self, key: &str) -> ParseResult<usize> {
+        self.num(key)?
+            .parse()
+            .map_err(|e| format!("field '{key}': {e}"))
+    }
+
+    fn f64_(&self, key: &str) -> ParseResult<f64> {
+        self.num(key)?
+            .parse()
+            .map_err(|e| format!("field '{key}': {e}"))
+    }
+
+    fn arr(&self, key: &str) -> ParseResult<&[Json]> {
+        match self.get(key)? {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("field '{key}' is not an array: {other:?}")),
+        }
+    }
+
+    fn usize_arr(&self, key: &str) -> ParseResult<Vec<usize>> {
+        self.arr(key)?
+            .iter()
+            .map(|v| match v {
+                Json::Num(s) => s.parse().map_err(|e| format!("field '{key}': {e}")),
+                other => Err(format!("field '{key}' element is not a number: {other:?}")),
+            })
+            .collect()
+    }
+
+    fn f64_arr(&self, key: &str) -> ParseResult<Vec<f64>> {
+        self.arr(key)?
+            .iter()
+            .map(|v| match v {
+                Json::Num(s) => s.parse().map_err(|e| format!("field '{key}': {e}")),
+                other => Err(format!("field '{key}' element is not a number: {other:?}")),
+            })
+            .collect()
+    }
+}
+
+fn parse_manifest(text: &str) -> ParseResult<Manifest> {
+    let mut parser = Parser::new(text);
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after JSON at {}", parser.pos));
+    }
+    let schema = root.str_("schema")?;
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!(
+            "manifest schema '{schema}' is not '{MANIFEST_SCHEMA}'"
+        ));
+    }
+    let c = root.get("config")?;
+    let g = c.get("grid")?;
+    let grid = StudyGrid {
+        ring_depths: g.usize_arr("ring_depths")?,
+        ring_densities: g.usize_arr("ring_densities")?,
+        disk_nodes: g.usize_arr("disk_nodes")?,
+        hotspot_nodes: g.usize_arr("hotspot_nodes")?,
+        hotspot_factors: g.f64_arr("hotspot_factors")?,
+        burst_nodes: g.usize_arr("burst_nodes")?,
+        burst_duties: g.f64_arr("burst_duties")?,
+        sample_period: Seconds::new(g.f64_("sample_period_s")?),
+        hotspot_fraction: g.f64_("hotspot_fraction")?,
+        burst_every: Seconds::new(g.f64_("burst_every_s")?),
+        burst_factor: g.f64_("burst_factor")?,
+        seed_base: g
+            .str_("seed_base")?
+            .parse()
+            .map_err(|e| format!("field 'seed_base': {e}"))?,
+    };
+    let preset = match c.opt_str("preset")? {
+        None => None,
+        Some(label) => {
+            Some(PresetKind::parse(label).ok_or_else(|| format!("unknown preset '{label}'"))?)
+        }
+    };
+    let requirements = AppRequirements::new(
+        Joules::new(c.f64_("energy_budget_j")?),
+        Seconds::new(c.f64_("latency_bound_s")?),
+    )
+    .map_err(|e| format!("manifest requirements: {e}"))?;
+    let protocols = c
+        .arr("protocols")?
+        .iter()
+        .map(|v| match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("protocol entry is not a string: {other:?}")),
+        })
+        .collect::<ParseResult<Vec<String>>>()?;
+    let config = StudyConfig {
+        grid,
+        preset,
+        requirements,
+        validate_every: c.usize_("validate_every")?,
+        sim_horizon: Seconds::new(c.f64_("sim_horizon_s")?),
+        threads: c.usize_("threads")?,
+        shards: c.usize_("shards")?,
+        protocols,
+        cache_dir: c.opt_str("cache_dir")?.map(PathBuf::from),
+    };
+    let out_dir = root.opt_str("out_dir")?.map(PathBuf::from);
+    let items = root
+        .arr("items")?
+        .iter()
+        .map(|item| {
+            let status = match item.str_("status")? {
+                "pending" => ItemStatus::Pending,
+                "done" => ItemStatus::Done,
+                other => return Err(format!("unknown item status '{other}'")),
+            };
+            let source = match item.opt_str("source")? {
+                None => None,
+                Some("cache") => Some(ItemSource::Cache),
+                Some("solved") => Some(ItemSource::Solved),
+                Some(other) => return Err(format!("unknown item source '{other}'")),
+            };
+            Ok(ManifestItem {
+                work: item.usize_("work")?,
+                cell: item.usize_("cell")?,
+                scenario: item.str_("scenario")?.to_string(),
+                protocol: item.str_("protocol")?.to_string(),
+                key: item.str_("key")?.to_string(),
+                status,
+                source,
+            })
+        })
+        .collect::<ParseResult<Vec<ManifestItem>>>()?;
+    Ok(Manifest {
+        config,
+        out_dir,
+        items,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut config = StudyConfig::smoke();
+        config.preset = Some(PresetKind::HotspotDisk);
+        config.cache_dir = Some(PathBuf::from("/tmp/study cache"));
+        config.grid.seed_base = u64::MAX - 7; // beyond f64's 2^53 exactness
+        Manifest {
+            config,
+            out_dir: Some(PathBuf::from("artifacts/run \"7\"")),
+            items: vec![
+                ManifestItem {
+                    work: 0,
+                    cell: 2,
+                    scenario: "hotspot-n40-f3".into(),
+                    protocol: "X-MAC".into(),
+                    key: "00ff".repeat(8),
+                    status: ItemStatus::Done,
+                    source: Some(ItemSource::Solved),
+                },
+                ManifestItem {
+                    work: 1,
+                    cell: 2,
+                    scenario: "hotspot-n40-f3".into(),
+                    protocol: "LMAC".into(),
+                    key: "7e".repeat(16),
+                    status: ItemStatus::Pending,
+                    source: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_exactly() {
+        let manifest = sample();
+        let rendered = manifest.render();
+        let parsed = parse_manifest(&rendered).expect("round-trip parse");
+        assert_eq!(parsed, manifest);
+        // Including a second render: the format is a fixed point.
+        assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn manifest_survives_the_filesystem() {
+        let dir = std::env::temp_dir().join(format!("edmac-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let manifest = sample();
+        manifest.write(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), manifest);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_drift_is_rejected() {
+        let bad = sample().render().replace("manifest/v1", "manifest/v0");
+        assert!(parse_manifest(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn malformed_json_reports_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "{",
+            "{\"schema\": }",
+            "[1, 2",
+            "{\"schema\": \"edmac-study/manifest/v1\"}",
+            "{\"a\": 1} trailing",
+            "{\"a\": \"\\u12\"}",
+        ] {
+            assert!(parse_manifest(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn full_config_defaults_round_trip() {
+        let manifest = Manifest {
+            config: StudyConfig::full(),
+            out_dir: None,
+            items: Vec::new(),
+        };
+        assert_eq!(parse_manifest(&manifest.render()).expect("parse"), manifest);
+    }
+}

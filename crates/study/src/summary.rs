@@ -2,6 +2,16 @@
 //! agreement drift per preset family, the bargaining-vs-aggregate gap,
 //! the weighted-sum weight sweep, and the model-vs-simulation error
 //! bands.
+//!
+//! The aggregation is a streaming fold: [`SummaryAccumulator`] absorbs
+//! outcomes one at a time — keeping per-cell *scalars*, never the
+//! outcomes themselves — so a run can summarize a grid it no longer
+//! holds in memory. [`summarize`] is the batch wrapper (fold, then
+//! [`SummaryAccumulator::finish`]). The fold replays the exact
+//! floating-point operation order of the original batch code, so the
+//! streamed `study_summary.json` is byte-identical to the historical
+//! one; only drift — a run-composition aggregate needing the ring
+//! baselines of the *whole* run — is deferred to `finish`.
 
 use crate::cell::{weight_grid, CellOutcome, WEIGHT_MATCH_TOL};
 use edmac_core::PresetKind;
@@ -126,161 +136,268 @@ fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(0.0, f64::max)
 }
 
-/// Builds the summary from the full outcome list.
-pub fn summarize(outcomes: &[CellOutcome]) -> StudySummary {
-    let solved: Vec<&CellOutcome> = outcomes.iter().filter(|o| o.solved()).collect();
+/// What the drift computation needs from one outcome: a few scalars,
+/// not the outcome. Held in fold order, because the ring-baseline
+/// means accumulate in that order and float addition does not commute
+/// bitwise.
+#[derive(Debug, Clone, Copy)]
+struct DriftRecord {
+    preset: PresetKind,
+    protocol: &'static str,
+    solved: bool,
+    irregularity: f64,
+    nash_profile: Option<(f64, f64)>,
+}
 
-    let drift = PresetKind::ALL
-        .into_iter()
-        .map(|preset| {
-            let bucket: Vec<&&CellOutcome> = solved
-                .iter()
-                .filter(|o| o.cell.preset == preset && o.drift_nash.is_finite())
-                .collect();
-            let drifts: Vec<f64> = bucket.iter().map(|o| o.drift_nash).collect();
-            let irregularities: Vec<f64> = bucket
-                .iter()
-                .filter(|o| o.irregularity.is_finite())
-                .map(|o| o.irregularity)
-                .collect();
-            DriftBucket {
-                preset,
-                cells: bucket.len(),
-                mean_irregularity: mean(&irregularities),
-                mean_drift: mean(&drifts),
-                max_drift: max(&drifts),
-            }
-        })
-        .collect();
+/// The streaming fold behind [`summarize`]: absorb outcomes with
+/// [`fold`](SummaryAccumulator::fold) as workers complete them (in
+/// deterministic work order), then [`finish`](SummaryAccumulator::finish).
+/// Keeps O(cells) scalars, not outcomes — the summary of a 100k-cell
+/// sweep costs megabytes, not the grid.
+#[derive(Debug, Default)]
+pub struct SummaryAccumulator {
+    scenario_indices: Vec<usize>,
+    protocol_cells: usize,
+    solved_cells: usize,
+    concepts_per_cell: usize,
+    drift_records: Vec<DriftRecord>,
+    distances: Vec<f64>,
+    efficiencies: Vec<f64>,
+    fairness_ratios: Vec<f64>,
+    outside: usize,
+    per_weight_matches: Vec<usize>,
+    best_distances: Vec<f64>,
+    matched_by_some: usize,
+    validated_cells: usize,
+    err_e: Vec<f64>,
+    err_l: Vec<f64>,
+    deliveries: Vec<f64>,
+}
 
-    let mut distances = Vec::new();
-    let mut efficiencies = Vec::new();
-    let mut fairness_ratios = Vec::new();
-    let mut outside = 0usize;
-    for o in &solved {
-        let (Some(nash), Some(wsum)) = (o.concept("nash"), o.concept("wsum_0.50")) else {
-            continue;
-        };
-        let spans = o.spans();
-        let (nx, ny) = nash.profile(spans);
-        let (wx, wy) = wsum.profile(spans);
-        distances.push(((nx - wx).powi(2) + (ny - wy).powi(2)).sqrt());
-        if nash.nash_product > 0.0 && wsum.nash_product.is_finite() {
-            efficiencies.push(wsum.nash_product / nash.nash_product);
-        }
-        if nash.min_gain_norm > 0.0 && wsum.min_gain_norm.is_finite() {
-            fairness_ratios.push(wsum.min_gain_norm / nash.min_gain_norm);
-        }
-        if wsum.gain_e <= 0.0 || wsum.gain_l <= 0.0 {
-            outside += 1;
+impl SummaryAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> SummaryAccumulator {
+        SummaryAccumulator {
+            per_weight_matches: vec![0; weight_grid().count()],
+            ..SummaryAccumulator::default()
         }
     }
-    let aggregate_gap = AggregateGap {
-        cells: distances.len(),
-        mean_profile_distance: mean(&distances),
-        max_profile_distance: max(&distances),
-        mean_np_efficiency: mean(&efficiencies),
-        mean_fairness_ratio: mean(&fairness_ratios),
-        outside_gain_region: outside,
-    };
 
-    // The weight sweep: per-cell best distances, plus the per-grid-
-    // weight match counts that answer whether one static weight works
-    // everywhere.
-    let weights: Vec<f64> = weight_grid().collect();
-    let mut per_weight_matches = vec![0usize; weights.len()];
-    let mut best_distances = Vec::new();
-    let mut matched_by_some = 0usize;
-    for o in &solved {
-        let Some(sweep) = &o.weight_sweep else {
-            continue;
-        };
-        best_distances.push(sweep.best_distance);
-        if sweep.matched() {
-            matched_by_some += 1;
+    /// Absorbs one outcome. Call in deterministic work order — the
+    /// summary floats accumulate in fold order.
+    pub fn fold(&mut self, o: &CellOutcome) {
+        self.scenario_indices.push(o.cell.index);
+        self.protocol_cells += 1;
+        let solved = o.solved();
+        if solved {
+            self.solved_cells += 1;
+            if self.concepts_per_cell == 0 {
+                self.concepts_per_cell = o.concepts.len();
+            }
         }
-        for &(w, distance) in &sweep.samples {
-            // Attribute by the sample's *stored* weight, not its
-            // position: a sweep that subsamples or reorders its grid
-            // must not shift match counts onto the wrong weight.
-            let Some(i) = weights.iter().position(|&gw| (gw - w).abs() < 1e-9) else {
+        self.drift_records.push(DriftRecord {
+            preset: o.cell.preset,
+            protocol: o.protocol,
+            solved,
+            irregularity: o.irregularity,
+            nash_profile: o.concept("nash").map(|nash| nash.profile(o.spans())),
+        });
+        if !solved {
+            return;
+        }
+
+        if let (Some(nash), Some(wsum)) = (o.concept("nash"), o.concept("wsum_0.50")) {
+            let spans = o.spans();
+            let (nx, ny) = nash.profile(spans);
+            let (wx, wy) = wsum.profile(spans);
+            self.distances
+                .push(((nx - wx).powi(2) + (ny - wy).powi(2)).sqrt());
+            if nash.nash_product > 0.0 && wsum.nash_product.is_finite() {
+                self.efficiencies
+                    .push(wsum.nash_product / nash.nash_product);
+            }
+            if nash.min_gain_norm > 0.0 && wsum.min_gain_norm.is_finite() {
+                self.fairness_ratios
+                    .push(wsum.min_gain_norm / nash.min_gain_norm);
+            }
+            if wsum.gain_e <= 0.0 || wsum.gain_l <= 0.0 {
+                self.outside += 1;
+            }
+        }
+
+        if let Some(sweep) = &o.weight_sweep {
+            self.best_distances.push(sweep.best_distance);
+            if sweep.matched() {
+                self.matched_by_some += 1;
+            }
+            for &(w, distance) in &sweep.samples {
+                // Attribute by the sample's *stored* weight, not its
+                // position: a sweep that subsamples or reorders its
+                // grid must not shift match counts onto the wrong
+                // weight.
+                let Some(i) = weight_grid().position(|gw| (gw - w).abs() < 1e-9) else {
+                    continue;
+                };
+                if distance.is_finite() && distance <= WEIGHT_MATCH_TOL {
+                    self.per_weight_matches[i] += 1;
+                }
+            }
+        }
+
+        if let Some(v) = &o.validation {
+            self.validated_cells += 1;
+            if v.err_e.is_finite() {
+                self.err_e.push(v.err_e);
+            }
+            if v.err_l.is_finite() {
+                self.err_l.push(v.err_l);
+            }
+            self.deliveries.push(v.delivery);
+        }
+    }
+
+    /// Replays `fill_drift`'s arithmetic over the recorded scalars:
+    /// per-protocol ring-baseline mean profiles (accumulated in fold
+    /// order, baselines in first-seen protocol order), then each
+    /// record's Euclidean drift from its protocol's baseline. Returns
+    /// per-record drift, NaN where undefined — bit-identical to the
+    /// values [`crate::run_cells`] writes into `drift_nash`.
+    fn drifts(&self) -> Vec<f64> {
+        let mut baselines: Vec<(&'static str, (f64, f64), usize)> = Vec::new();
+        for r in &self.drift_records {
+            if r.preset != PresetKind::Ring || !r.solved {
                 continue;
-            };
-            if distance.is_finite() && distance <= WEIGHT_MATCH_TOL {
-                per_weight_matches[i] += 1;
+            }
+            if let Some(p) = r.nash_profile {
+                match baselines
+                    .iter_mut()
+                    .find(|(name, _, _)| *name == r.protocol)
+                {
+                    Some((_, sum, n)) => {
+                        sum.0 += p.0;
+                        sum.1 += p.1;
+                        *n += 1;
+                    }
+                    None => baselines.push((r.protocol, p, 1)),
+                }
             }
         }
-    }
-    let (best_idx, best_count) = per_weight_matches
-        .iter()
-        .copied()
-        .enumerate()
-        .max_by_key(|&(_, n)| n)
-        .unwrap_or((0, 0));
-    let weight_sweep = WeightSweepSummary {
-        cells: best_distances.len(),
-        tolerance: WEIGHT_MATCH_TOL,
-        mean_best_distance: mean(&best_distances),
-        max_best_distance: max(&best_distances),
-        cells_matched_by_some_weight: matched_by_some,
-        // NaN unless some weight actually matched somewhere: with zero
-        // matches `max_by_key` ties arbitrarily, and reporting a
-        // concrete weight that reproduces nothing would read as a
-        // sweep result.
-        best_static_w: if best_distances.is_empty() || best_count == 0 {
-            f64::NAN
-        } else {
-            weights[best_idx]
-        },
-        cells_matched_by_best_static: best_count,
-    };
-
-    let validated: Vec<&CellOutcome> = solved
-        .iter()
-        .copied()
-        .filter(|o| o.validation.is_some())
-        .collect();
-    let err_e: Vec<f64> = validated
-        .iter()
-        .filter_map(|o| o.validation.as_ref())
-        .map(|v| v.err_e)
-        .filter(|e| e.is_finite())
-        .collect();
-    let err_l: Vec<f64> = validated
-        .iter()
-        .filter_map(|o| o.validation.as_ref())
-        .map(|v| v.err_l)
-        .filter(|e| e.is_finite())
-        .collect();
-    let validation = ValidationBands {
-        cells: validated.len(),
-        mean_err_e: mean(&err_e),
-        max_err_e: max(&err_e),
-        mean_err_l: mean(&err_l),
-        max_err_l: max(&err_l),
-        min_delivery: validated
+        for (_, sum, n) in baselines.iter_mut() {
+            sum.0 /= *n as f64;
+            sum.1 /= *n as f64;
+        }
+        self.drift_records
             .iter()
-            .filter_map(|o| o.validation.as_ref())
-            .map(|v| v.delivery)
-            .fold(1.0, f64::min),
-    };
-
-    let concepts_per_cell = solved.first().map(|o| o.concepts.len()).unwrap_or(0);
-    // Distinct cell indices, not max+1: preset-filtered runs keep
-    // their full-grid indices, which are then non-contiguous.
-    let mut scenario_indices: Vec<usize> = outcomes.iter().map(|o| o.cell.index).collect();
-    scenario_indices.sort_unstable();
-    scenario_indices.dedup();
-    StudySummary {
-        scenarios: scenario_indices.len(),
-        protocol_cells: outcomes.len(),
-        solved_cells: solved.len(),
-        concepts_per_cell,
-        drift,
-        aggregate_gap,
-        weight_sweep,
-        validation,
+            .map(|r| {
+                let Some(&(_, base, _)) = baselines.iter().find(|(name, _, _)| *name == r.protocol)
+                else {
+                    return f64::NAN;
+                };
+                match r.nash_profile {
+                    Some(p) => ((p.0 - base.0).powi(2) + (p.1 - base.1).powi(2)).sqrt(),
+                    None => f64::NAN,
+                }
+            })
+            .collect()
     }
+
+    /// Closes the fold and produces the summary.
+    pub fn finish(mut self) -> StudySummary {
+        let drift_values = self.drifts();
+        let drift = PresetKind::ALL
+            .into_iter()
+            .map(|preset| {
+                let mut drifts = Vec::new();
+                let mut irregularities = Vec::new();
+                for (r, &d) in self.drift_records.iter().zip(&drift_values) {
+                    if r.preset != preset || !r.solved || !d.is_finite() {
+                        continue;
+                    }
+                    drifts.push(d);
+                    if r.irregularity.is_finite() {
+                        irregularities.push(r.irregularity);
+                    }
+                }
+                DriftBucket {
+                    preset,
+                    cells: drifts.len(),
+                    mean_irregularity: mean(&irregularities),
+                    mean_drift: mean(&drifts),
+                    max_drift: max(&drifts),
+                }
+            })
+            .collect();
+
+        let aggregate_gap = AggregateGap {
+            cells: self.distances.len(),
+            mean_profile_distance: mean(&self.distances),
+            max_profile_distance: max(&self.distances),
+            mean_np_efficiency: mean(&self.efficiencies),
+            mean_fairness_ratio: mean(&self.fairness_ratios),
+            outside_gain_region: self.outside,
+        };
+
+        let (best_idx, best_count) = self
+            .per_weight_matches
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(_, n)| n)
+            .unwrap_or((0, 0));
+        let weight_sweep = WeightSweepSummary {
+            cells: self.best_distances.len(),
+            tolerance: WEIGHT_MATCH_TOL,
+            mean_best_distance: mean(&self.best_distances),
+            max_best_distance: max(&self.best_distances),
+            cells_matched_by_some_weight: self.matched_by_some,
+            // NaN unless some weight actually matched somewhere: with
+            // zero matches `max_by_key` ties arbitrarily, and reporting
+            // a concrete weight that reproduces nothing would read as a
+            // sweep result.
+            best_static_w: if self.best_distances.is_empty() || best_count == 0 {
+                f64::NAN
+            } else {
+                weight_grid().nth(best_idx).expect("index from the grid")
+            },
+            cells_matched_by_best_static: best_count,
+        };
+
+        let validation = ValidationBands {
+            cells: self.validated_cells,
+            mean_err_e: mean(&self.err_e),
+            max_err_e: max(&self.err_e),
+            mean_err_l: mean(&self.err_l),
+            max_err_l: max(&self.err_l),
+            min_delivery: self.deliveries.iter().copied().fold(1.0, f64::min),
+        };
+
+        // Distinct cell indices, not max+1: preset-filtered runs keep
+        // their full-grid indices, which are then non-contiguous.
+        self.scenario_indices.sort_unstable();
+        self.scenario_indices.dedup();
+        StudySummary {
+            scenarios: self.scenario_indices.len(),
+            protocol_cells: self.protocol_cells,
+            solved_cells: self.solved_cells,
+            concepts_per_cell: self.concepts_per_cell,
+            drift,
+            aggregate_gap,
+            weight_sweep,
+            validation,
+        }
+    }
+}
+
+/// Builds the summary from the full outcome list (the batch face of
+/// [`SummaryAccumulator`]). Drift is recomputed from the outcomes'
+/// Nash profiles — identical to the `drift_nash` values the runner
+/// fills, by the same arithmetic in the same order.
+pub fn summarize(outcomes: &[CellOutcome]) -> StudySummary {
+    let mut acc = SummaryAccumulator::new();
+    for o in outcomes {
+        acc.fold(o);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -307,5 +424,29 @@ mod tests {
         // it must not coincide with the Nash agreement.
         assert!(s.aggregate_gap.max_profile_distance >= 0.0);
         assert_eq!(s.validation.cells, 0);
+    }
+
+    #[test]
+    fn accumulator_drift_matches_the_runner_fill() {
+        // The accumulator recomputes drift from recorded profiles; the
+        // runner fills `drift_nash` post-hoc. Same arithmetic, same
+        // order — so the summary's drift buckets must equal buckets
+        // computed directly from the filled outcomes.
+        let mut config = StudyConfig::smoke();
+        config.validate_every = 0;
+        let outcomes = crate::run_cells(&config);
+        let s = super::summarize(&outcomes);
+        for bucket in &s.drift {
+            let direct: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| {
+                    o.solved() && o.cell.preset == bucket.preset && o.drift_nash.is_finite()
+                })
+                .map(|o| o.drift_nash)
+                .collect();
+            assert_eq!(bucket.cells, direct.len());
+            assert_eq!(bucket.mean_drift.to_bits(), super::mean(&direct).to_bits());
+            assert_eq!(bucket.max_drift.to_bits(), super::max(&direct).to_bits());
+        }
     }
 }

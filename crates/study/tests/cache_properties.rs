@@ -1,0 +1,255 @@
+//! Property tests on the content-addressed cache key: any single
+//! component flip — seed, preset knob, protocol, requirements, schema
+//! version, derived config, validation intent — must produce a
+//! different canonical key *and* a different digest. A collision on
+//! any of these would serve one work item's outcome to another.
+
+use edmac_core::{AppRequirements, GridCell, PresetKind, Scenario, TopologySpec, TrafficSpec};
+use edmac_mac::ProtocolConfig;
+use edmac_study::{cache_key, item_key, CacheKey, SchemaVersions, CELLS_SCHEMA_VERSION};
+use edmac_units::{Joules, Seconds};
+use proptest::prelude::*;
+
+/// Everything the key depends on, as one flat tuple the tests can
+/// flip one coordinate of.
+#[derive(Debug, Clone)]
+struct KeyParts {
+    schema: SchemaVersions,
+    seed: u64,
+    nodes: usize,
+    hotspot_factor: f64,
+    sample_period: f64,
+    budget: f64,
+    bound: f64,
+    protocol: &'static str,
+    strobe_budget: usize,
+    validation: Option<f64>,
+}
+
+fn build(parts: &KeyParts) -> CacheKey {
+    let cell = GridCell {
+        index: 0,
+        scenario: Scenario {
+            name: "prop".into(),
+            topology: TopologySpec::UniformDisk {
+                nodes: parts.nodes,
+                field_radius: 3.0,
+            },
+            traffic: TrafficSpec::Hotspot {
+                sample_period: Seconds::new(parts.sample_period),
+                factor: parts.hotspot_factor,
+                fraction: 0.25,
+            },
+        },
+        preset: PresetKind::HotspotDisk,
+        nodes: parts.nodes,
+        depth: 0,
+        hotspot_factor: parts.hotspot_factor,
+        burst_duty: 0.0,
+        seed: parts.seed,
+    };
+    let reqs = AppRequirements::new(Joules::new(parts.budget), Seconds::new(parts.bound))
+        .expect("positive finite requirements");
+    let config = ProtocolConfig::Xmac {
+        strobe_budget: parts.strobe_budget,
+    };
+    cache_key(
+        &parts.schema,
+        &cell,
+        reqs,
+        parts.protocol,
+        Some(&config),
+        parts.validation.map(Seconds::new),
+    )
+}
+
+fn base_parts() -> impl Strategy<Value = KeyParts> {
+    (
+        any::<u64>(),
+        10usize..200,
+        (1.5..8.0f64, 10.0..120.0f64),
+        (0.05..1.0f64, 2.0..60.0f64),
+        1usize..64,
+    )
+        .prop_map(
+            |(seed, nodes, (hotspot_factor, sample_period), (budget, bound), strobe_budget)| {
+                KeyParts {
+                    schema: SchemaVersions::current(),
+                    seed,
+                    nodes,
+                    hotspot_factor,
+                    sample_period,
+                    budget,
+                    bound,
+                    protocol: "X-MAC",
+                    strobe_budget,
+                    validation: None,
+                }
+            },
+        )
+}
+
+/// One minimal flip per key component. Float flips use `next_up`: the
+/// *smallest* representable change must already separate the keys —
+/// the bit-pattern canonicalization is exactly what buys that.
+fn flips(parts: &KeyParts) -> Vec<(&'static str, KeyParts)> {
+    let mut flipped = Vec::new();
+    let mut p = parts.clone();
+    p.seed = p.seed.wrapping_add(1);
+    flipped.push(("seed", p));
+    let mut p = parts.clone();
+    p.nodes += 1;
+    flipped.push(("nodes", p));
+    let mut p = parts.clone();
+    p.hotspot_factor = p.hotspot_factor.next_up();
+    flipped.push(("hotspot_factor", p));
+    let mut p = parts.clone();
+    p.sample_period = p.sample_period.next_up();
+    flipped.push(("sample_period", p));
+    let mut p = parts.clone();
+    p.budget = p.budget.next_up();
+    flipped.push(("budget", p));
+    let mut p = parts.clone();
+    p.bound = p.bound.next_up();
+    flipped.push(("bound", p));
+    let mut p = parts.clone();
+    p.protocol = "LMAC";
+    flipped.push(("protocol", p));
+    let mut p = parts.clone();
+    p.strobe_budget += 1;
+    flipped.push(("protocol_config", p));
+    let mut p = parts.clone();
+    p.schema.cells += 1;
+    flipped.push(("cells_schema", p));
+    let mut p = parts.clone();
+    p.schema.validation += 1;
+    flipped.push(("validation_schema", p));
+    let mut p = parts.clone();
+    p.schema.model += 1;
+    flipped.push(("model_schema", p));
+    let mut p = parts.clone();
+    p.validation = Some(600.0);
+    flipped.push(("validation_intent", p));
+    flipped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping any single key component separates both the canonical
+    /// string and the digest from the base key — and from every other
+    /// single-component flip.
+    #[test]
+    fn single_component_flips_never_collide(parts in base_parts()) {
+        let base = build(&parts);
+        let mut seen: Vec<(&str, CacheKey)> = vec![("base", base)];
+        for (component, flipped) in flips(&parts) {
+            let key = build(&flipped);
+            for (other, existing) in &seen {
+                prop_assert_ne!(
+                    existing.canonical(), key.canonical(),
+                    "canonical collision between '{}' and '{}'", other, component
+                );
+                prop_assert_ne!(
+                    existing.digest_hex(), key.digest_hex(),
+                    "digest collision between '{}' and '{}'", other, component
+                );
+            }
+            seen.push((component, key));
+        }
+    }
+
+    /// The digest names the file, the canonical string is the truth:
+    /// they must agree with themselves across rebuilds (pure function
+    /// of the parts).
+    #[test]
+    fn keys_are_deterministic(parts in base_parts()) {
+        let a = build(&parts);
+        let b = build(&parts);
+        prop_assert_eq!(a.canonical(), b.canonical());
+        prop_assert_eq!(a.digest_hex(), b.digest_hex());
+    }
+}
+
+/// Bumping `CELLS_SCHEMA_VERSION` must invalidate *every* entry: each
+/// work item of the smoke grid gets a new digest.
+#[test]
+fn cells_schema_bump_invalidates_every_item() {
+    let config = edmac_study::StudyConfig::smoke();
+    let cells = config.grid.cells();
+    let registry = edmac_proto::ProtocolRegistry::builtin();
+    let suites = registry.select(&config.protocols).expect("builtin panel");
+    let current = SchemaVersions::current();
+    assert_eq!(current.cells, CELLS_SCHEMA_VERSION);
+    let bumped = SchemaVersions {
+        cells: current.cells + 1,
+        ..current
+    };
+    for cell in &cells {
+        for suite in &suites {
+            let old = item_key(&current, cell, suite.as_ref(), config.requirements, None);
+            let new = item_key(&bumped, cell, suite.as_ref(), config.requirements, None);
+            assert_ne!(
+                old.digest_hex(),
+                new.digest_hex(),
+                "cell {} × {} survived a cells-schema bump",
+                cell.index,
+                suite.name()
+            );
+        }
+    }
+}
+
+/// A protocol-scoped change (here: the protocol component itself, the
+/// panel analogue of changing one suite's configuration) re-keys only
+/// that protocol's cells; every other protocol's keys are untouched.
+#[test]
+fn protocol_change_invalidates_only_that_protocols_cells() {
+    let config = edmac_study::StudyConfig::smoke();
+    let cells = config.grid.cells();
+    let registry = edmac_proto::ProtocolRegistry::builtin();
+    let suites = registry.select(&config.protocols).expect("builtin panel");
+    let schema = SchemaVersions::current();
+    // Keys under the paper trio...
+    let keys_for = |panel: &[std::sync::Arc<dyn edmac_proto::ProtocolSuite>]| {
+        let mut keys = std::collections::BTreeMap::new();
+        for cell in &cells {
+            for suite in panel {
+                keys.insert(
+                    (cell.index, suite.name()),
+                    item_key(&schema, cell, suite.as_ref(), config.requirements, None).digest_hex(),
+                );
+            }
+        }
+        keys
+    };
+    let trio = keys_for(&suites);
+    // ...and under a panel where one protocol is swapped for CSMA.
+    let swapped_names: Vec<String> = config
+        .protocols
+        .iter()
+        .map(|p| {
+            if p == "X-MAC" {
+                "CSMA".to_string()
+            } else {
+                p.clone()
+            }
+        })
+        .collect();
+    let swapped_suites = registry.select(&swapped_names).expect("swap panel");
+    let swapped = keys_for(&swapped_suites);
+    for ((cell, protocol), digest) in &trio {
+        match swapped.get(&(*cell, *protocol)) {
+            // The untouched protocols keep their exact keys: their
+            // cache entries survive the panel change.
+            Some(other) => assert_eq!(digest, other, "{protocol} cell {cell} was re-keyed"),
+            // The swapped protocol's keys are gone (its replacement
+            // has its own), i.e. only its cells re-run.
+            None => assert_eq!(*protocol, "X-MAC"),
+        }
+    }
+    assert!(
+        swapped.keys().any(|(_, p)| *p == "CSMA"),
+        "the replacement protocol must appear with fresh keys"
+    );
+}
