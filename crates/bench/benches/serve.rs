@@ -1,0 +1,101 @@
+//! Service-path latency: wire-request parsing, a warm hot-tier hit
+//! end-to-end over a real socket (the acceptance floor: its p50 must
+//! sit well under the 0.25–0.9 ms cold solve), and a cold solve
+//! end-to-end (parse → key → solve → write-through → respond), which
+//! bounds what an unwarmed service can sustain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_core::StudyGrid;
+use edmac_serve::{Client, Request, ServeConfig, Server, SolveRequest};
+use edmac_study::StudyConfig;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("edmac-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The ring smoke cell as an X-MAC request, no validation.
+fn smoke_query() -> SolveRequest {
+    let config = StudyConfig::smoke();
+    let cell = &StudyGrid::smoke().cells()[0];
+    SolveRequest::for_cell(cell, &config.grid, "X-MAC", config.requirements, None)
+}
+
+fn start(cache_dir: PathBuf) -> Server {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir,
+        workers: 2,
+        hot_cap: 64,
+        queue_cap: 16,
+        default_deadline_ms: 120_000,
+        log: false,
+    };
+    Server::start(&config, Arc::new(AtomicBool::new(false))).expect("bind")
+}
+
+fn request_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    let line = Request::Solve(smoke_query()).render();
+    group.bench_function("request_parse", |b| {
+        b.iter(|| Request::parse(black_box(&line)).expect("parse"))
+    });
+    group.finish();
+}
+
+fn hot_hit_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(60);
+    let dir = temp_dir("hot");
+    let server = start(dir.clone());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let query = smoke_query();
+    // Warm the tiers: the first request solves and populates hot.
+    client
+        .request(&Request::Solve(query.clone()))
+        .expect("warmup");
+    group.bench_function("hot_hit_e2e", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .request(&Request::Solve(black_box(query.clone())))
+                    .expect("hot hit"),
+            )
+        })
+    });
+    group.finish();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn cold_solve_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(30);
+    let dir = temp_dir("cold");
+    let server = start(dir.clone());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut query = smoke_query();
+    group.bench_function("cold_solve_e2e", |b| {
+        b.iter(|| {
+            // A fresh seed per iteration is a fresh content key: every
+            // request misses all tiers, solves, and writes through.
+            query.seed = query.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(
+                client
+                    .request(&Request::Solve(black_box(query.clone())))
+                    .expect("cold solve"),
+            )
+        })
+    });
+    group.finish();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(serve, request_parse, hot_hit_e2e, cold_solve_e2e);
+criterion_main!(serve);

@@ -9,6 +9,8 @@
 //! cargo run --release --bin study -- --smoke          # pinned CI grid
 //! cargo run --release --bin study                     # full ≥200-cell sweep
 //! cargo run --release --bin study -- cache-stats --smoke --cache-dir .study-cache
+//! cargo run --release --bin study -- serve --addr 127.0.0.1:7878 --cache-dir .study-cache
+//! cargo run --release --bin study -- query --addr 127.0.0.1:7878 --smoke --stats
 //! ```
 //!
 //! Flags:
@@ -39,14 +41,39 @@
 //! Subcommand `cache-stats` audits a cache directory against the
 //! configured grid without solving anything: hit/miss counts for the
 //! work list plus entries no current key addresses (stale survivors
-//! of a schema or model bump).
+//! of a schema or model bump). With `--json` it emits the same
+//! `edmac-serve/stats/v1` document the serve `stats` verb answers, so
+//! one schema covers live and offline cache observability.
+//!
+//! Subcommand `serve` fronts a cache directory as a deployment-
+//! planning service (`edmac-serve`): hot tier → disk cache → cold
+//! solve under single-flight dedup, draining cleanly on SIGTERM /
+//! ctrl-c. Flags: `--addr HOST:PORT` (port 0 = ephemeral), `--cache-
+//! dir DIR`, `--workers N`, `--hot-cap N`, `--queue-cap N`,
+//! `--deadline-ms N`, `--addr-file PATH` (write the bound address for
+//! scripts racing an ephemeral port), `--quiet` (suppress per-request
+//! log lines).
+//!
+//! Subcommand `query` replays the configured grid against a running
+//! server — the scripting/CI client. Grid flags (`--smoke`,
+//! `--preset`, `--protocols`, `--validate-every`) select the same
+//! work items the offline runner would solve; `--out DIR` writes each
+//! response payload to `DIR/<digest>.entry` for byte-comparison
+//! against a cache directory; `--stats` appends the server's stats
+//! document after the replay.
 
 use edmac_bench::{preset_filter, protocols_filter};
 use edmac_proto::{ProtocolRegistry, PAPER_TRIO};
+use edmac_serve::{
+    install_drain_flag, Client, Request, Response, ServeConfig, Server, SolveRequest, StatsReport,
+};
 use edmac_study::{
-    cache_stats, run_study, write_artifacts, Manifest, RunOptions, StudyConfig, StudyRunReport,
+    cache_stats, run_study, validation_intent, write_artifacts, Manifest, RunOptions, StudyConfig,
+    StudyRunReport,
 };
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// `Ok(None)` when the flag is absent; an error when it is present
 /// without a value (a silently-dropped flag is worse than a refusal).
@@ -116,6 +143,12 @@ fn run_cache_stats(args: &[String]) -> Result<(), String> {
         .clone()
         .ok_or("cache-stats needs --cache-dir DIR")?;
     let report = cache_stats(&config, &dir).map_err(|e| format!("cache-stats: {e}"))?;
+    if args.iter().any(|a| a == "--json") {
+        // The serve `stats` verb's schema, sourced from the offline
+        // audit: one document shape for dashboards and CI greps.
+        println!("{}", StatsReport::from_audit(&report).to_json().render());
+        return Ok(());
+    }
     println!(
         "cache-stats: {} work items against {} — {} hits, {} misses; \
          {} invalidated of {} entries on disk",
@@ -126,6 +159,141 @@ fn run_cache_stats(args: &[String]) -> Result<(), String> {
         report.invalidated,
         report.entries,
     );
+    Ok(())
+}
+
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServeConfig {
+        log: !args.iter().any(|a| a == "--quiet"),
+        ..ServeConfig::default()
+    };
+    if let Some(addr) = flag_value(args, "--addr")? {
+        config.addr = addr;
+    }
+    if let Some(dir) = flag_value(args, "--cache-dir")? {
+        config.cache_dir = PathBuf::from(dir);
+    }
+    if let Some(workers) = parse_usize(args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(cap) = parse_usize(args, "--hot-cap")? {
+        config.hot_cap = cap;
+    }
+    if let Some(cap) = parse_usize(args, "--queue-cap")? {
+        config.queue_cap = cap;
+    }
+    if let Some(ms) = parse_usize(args, "--deadline-ms")? {
+        config.default_deadline_ms = ms as u64;
+    }
+    let drain = install_drain_flag();
+    let server = Server::start(&config, Arc::new(AtomicBool::new(false)))
+        .map_err(|e| format!("serve: binding {}: {e}", config.addr))?;
+    let addr = server.local_addr();
+    println!(
+        "serve: listening on {addr} (cache {})",
+        config.cache_dir.display()
+    );
+    if let Some(path) = flag_value(args, "--addr-file")? {
+        // Scripts race an ephemeral port; the file is the handshake.
+        std::fs::write(&path, format!("{addr}\n"))
+            .map_err(|e| format!("serve: writing {path}: {e}"))?;
+    }
+    while !drain.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.shutdown();
+    println!("serve: drained cleanly");
+    Ok(())
+}
+
+/// The configured grid as wire requests, in sweep order — exactly the
+/// work items (and validation intents) the offline runner would solve,
+/// so a replay against a cache the runner warmed hits every time.
+fn grid_requests(config: &StudyConfig) -> Result<Vec<SolveRequest>, String> {
+    let suites = ProtocolRegistry::builtin()
+        .select(&config.protocols)
+        .map_err(|e| e.to_string())?;
+    let mut requests = Vec::new();
+    for cell in config.grid.cells() {
+        for (suite_idx, suite) in suites.iter().enumerate() {
+            let grid_work = cell.index * suites.len() + suite_idx;
+            requests.push(SolveRequest::for_cell(
+                &cell,
+                &config.grid,
+                suite.name(),
+                config.requirements,
+                validation_intent(config, grid_work),
+            ));
+        }
+    }
+    Ok(requests)
+}
+
+fn run_query(args: &[String]) -> Result<(), String> {
+    let addr = match flag_value(args, "--addr")? {
+        Some(addr) => addr,
+        None => {
+            let path = flag_value(args, "--addr-file")?
+                .ok_or("query needs --addr HOST:PORT (or --addr-file PATH)")?;
+            std::fs::read_to_string(&path)
+                .map_err(|e| format!("query: reading {path}: {e}"))?
+                .trim()
+                .to_string()
+        }
+    };
+    let config = config_from_flags(args)?;
+    let out_dir = flag_value(args, "--out")?.map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("query: mkdir {}: {e}", dir.display()))?;
+    }
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("query: connecting {addr}: {e}"))?;
+    let (mut hot, mut disk, mut solved) = (0usize, 0usize, 0usize);
+    let requests = grid_requests(&config)?;
+    let items = requests.len();
+    for query in requests {
+        let response = client
+            .request(&Request::Solve(query))
+            .map_err(|e| format!("query: transport: {e}"))?;
+        match response {
+            Response::Outcome {
+                tier,
+                digest,
+                elapsed_us,
+                outcome,
+            } => {
+                println!("query: {digest} {} {elapsed_us}us", tier.label());
+                match tier {
+                    edmac_serve::Tier::Hot => hot += 1,
+                    edmac_serve::Tier::Disk => disk += 1,
+                    edmac_serve::Tier::Solve => solved += 1,
+                }
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{digest}.entry"));
+                    std::fs::write(&path, outcome)
+                        .map_err(|e| format!("query: writing {}: {e}", path.display()))?;
+                }
+            }
+            Response::Timeout { digest, elapsed_us } => {
+                return Err(format!("query: {digest} timed out after {elapsed_us}us"));
+            }
+            Response::Overloaded => return Err("query: server overloaded".into()),
+            Response::Error { message } => return Err(format!("query: server error: {message}")),
+            Response::Stats(_) => return Err("query: unexpected stats response".into()),
+        }
+    }
+    // Grep-able by CI's serve-smoke gauntlet: a warm replay must
+    // answer every item from cache (hot + disk = items, solved = 0).
+    println!("query: {items} items — hot {hot}, disk {disk}, solved {solved}");
+    if args.iter().any(|a| a == "--stats") {
+        let Response::Stats(stats) = client
+            .request(&Request::Stats)
+            .map_err(|e| format!("query: stats: {e}"))?
+        else {
+            return Err("query: stats verb answered a non-stats response".into());
+        };
+        println!("{}", stats.render());
+    }
     Ok(())
 }
 
@@ -206,8 +374,11 @@ fn print_report(config: &StudyConfig, report: &StudyRunReport, out_dir: &std::pa
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("cache-stats") {
-        return run_cache_stats(&args[2..]);
+    match args.get(1).map(String::as_str) {
+        Some("cache-stats") => return run_cache_stats(&args[2..]),
+        Some("serve") => return run_serve(&args[2..]),
+        Some("query") => return run_query(&args[2..]),
+        _ => {}
     }
 
     let (mut config, out_dir, manifest_path) = match flag_value(&args, "--resume")? {

@@ -1,0 +1,156 @@
+//! Single-flight deduplication: concurrent requests for the same
+//! content digest elect one *leader* that performs the (disk load or
+//! cold solve) work while every *follower* parks on a condvar and
+//! receives the leader's published result — so N identical queries
+//! cost exactly one solve, and a thundering herd on a cold key cannot
+//! amplify load.
+
+use crate::request::Tier;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What a flight resolves to: the verbatim entry text plus the tier
+/// the leader got it from, or the leader's error message.
+pub type FlightResult = Result<(Arc<str>, Tier), String>;
+
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<FlightResult>>,
+    done: Condvar,
+}
+
+/// What [`FlightMap::join`] returned: the leadership token or a
+/// follower's wait handle.
+#[derive(Debug)]
+pub enum Joined {
+    /// This request leads; it must eventually [`FlightMap::publish`].
+    Leader,
+    /// This request follows the digest's in-flight leader.
+    Follower(FollowHandle),
+}
+
+/// A follower's handle on an in-flight result.
+#[derive(Debug)]
+pub struct FollowHandle {
+    flight: Arc<Flight>,
+}
+
+impl FollowHandle {
+    /// Blocks until the leader publishes or `deadline` passes.
+    /// `None` = the deadline expired first (the flight itself keeps
+    /// running and will still populate the caches).
+    pub fn wait(self, deadline: Option<Instant>) -> Option<FlightResult> {
+        let mut slot = self.flight.slot.lock().expect("flight lock");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            match deadline {
+                None => slot = self.flight.done.wait(slot).expect("flight lock"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, timeout) = self
+                        .flight
+                        .done
+                        .wait_timeout(slot, deadline - now)
+                        .expect("flight lock");
+                    slot = guard;
+                    if timeout.timed_out() && slot.is_none() {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The per-digest flight registry.
+#[derive(Debug, Default)]
+pub struct FlightMap {
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl FlightMap {
+    /// An empty registry.
+    pub fn new() -> FlightMap {
+        FlightMap::default()
+    }
+
+    /// Joins the flight for `digest`: the first caller per digest
+    /// becomes the leader (and *must* call [`FlightMap::publish`], even
+    /// on failure — otherwise followers hang until their deadlines);
+    /// everyone else gets a wait handle.
+    pub fn join(&self, digest: &str) -> Joined {
+        let mut flights = self.flights.lock().expect("flights lock");
+        match flights.get(digest) {
+            Some(flight) => Joined::Follower(FollowHandle {
+                flight: Arc::clone(flight),
+            }),
+            None => {
+                flights.insert(digest.to_string(), Arc::new(Flight::default()));
+                Joined::Leader
+            }
+        }
+    }
+
+    /// Publishes the leader's result: removes the flight (so the next
+    /// request starts fresh — on success it will hit the hot tier
+    /// instead) and wakes every follower.
+    pub fn publish(&self, digest: &str, result: FlightResult) {
+        let flight = self
+            .flights
+            .lock()
+            .expect("flights lock")
+            .remove(digest)
+            .expect("publish without a joined flight");
+        *flight.slot.lock().expect("flight lock") = Some(result);
+        flight.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn followers_receive_the_leaders_result() {
+        let map = Arc::new(FlightMap::new());
+        let Joined::Leader = map.join("d") else {
+            panic!("first joiner must lead");
+        };
+        let mut followers = Vec::new();
+        for _ in 0..8 {
+            let Joined::Follower(handle) = map.join("d") else {
+                panic!("second joiner must follow");
+            };
+            followers.push(std::thread::spawn(move || handle.wait(None)));
+        }
+        map.publish("d", Ok((Arc::from("payload"), Tier::Solve)));
+        for follower in followers {
+            let (text, tier) = follower.join().unwrap().expect("published").unwrap();
+            assert_eq!(&*text, "payload");
+            assert_eq!(tier, Tier::Solve);
+        }
+        // The flight is gone: the next joiner leads again.
+        assert!(matches!(map.join("d"), Joined::Leader));
+    }
+
+    #[test]
+    fn follower_deadline_expires_without_a_publish() {
+        let map = FlightMap::new();
+        assert!(matches!(map.join("d"), Joined::Leader));
+        let Joined::Follower(handle) = map.join("d") else {
+            panic!("expected follower");
+        };
+        let t0 = Instant::now();
+        let result = handle.wait(Some(t0 + Duration::from_millis(30)));
+        assert!(result.is_none(), "deadline must expire, not hang");
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        map.publish("d", Err("late".into())); // leader still cleans up
+    }
+}

@@ -1,0 +1,112 @@
+//! The in-memory hot tier: a capacity-bounded LRU over content
+//! digests, holding the verbatim cache-entry text (`Arc<str>` payloads,
+//! so a hit hands out a reference instead of copying kilobytes under
+//! the lock). Recency is a generation counter stamped on every touch;
+//! eviction drops the smallest stamp. Entries are immutable — a digest
+//! names exact content — so there is no invalidation path, only
+//! capacity pressure.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The hot tier. `cap == 0` disables it (every lookup misses, every
+/// insert is dropped).
+#[derive(Debug)]
+pub struct HotTier {
+    inner: Mutex<HotInner>,
+    cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct HotInner {
+    entries: HashMap<String, (Arc<str>, u64)>,
+    clock: u64,
+}
+
+impl HotTier {
+    /// An empty tier holding at most `cap` entries.
+    pub fn new(cap: usize) -> HotTier {
+        HotTier {
+            inner: Mutex::new(HotInner::default()),
+            cap,
+        }
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("hot lock").entries.len()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `digest`, refreshing its recency on a hit.
+    pub fn get(&self, digest: &str) -> Option<Arc<str>> {
+        let mut inner = self.inner.lock().expect("hot lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let (payload, stamp) = inner.entries.get_mut(digest)?;
+        *stamp = clock;
+        Some(Arc::clone(payload))
+    }
+
+    /// Inserts (or refreshes) `digest`, evicting the least recently
+    /// touched entry when over capacity.
+    pub fn insert(&self, digest: &str, payload: Arc<str>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("hot lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.entries.insert(digest.to_string(), (payload, clock));
+        while inner.entries.len() > self.cap {
+            // O(n) victim scan: hot caps are small (hundreds), and the
+            // scan runs only on insert-over-capacity.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(digest, _)| digest.clone())
+                .expect("over-capacity map is non-empty");
+            inner.entries.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(tag: &str) -> Arc<str> {
+        Arc::from(format!("entry {tag}"))
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let hot = HotTier::new(2);
+        hot.insert("a", payload("a"));
+        hot.insert("b", payload("b"));
+        assert!(hot.get("a").is_some()); // refresh a: b is now coldest
+        hot.insert("c", payload("c"));
+        assert_eq!(hot.len(), 2);
+        assert!(hot.get("b").is_none(), "b was the LRU victim");
+        assert!(hot.get("a").is_some());
+        assert_eq!(hot.get("c").as_deref(), Some("entry c"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_tier() {
+        let hot = HotTier::new(0);
+        hot.insert("a", payload("a"));
+        assert!(hot.is_empty());
+        assert!(hot.get("a").is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! Request observability: per-tier hit counters, log2-bucketed
+//! latency histograms (p50/p95/exact-max in microseconds), and the
+//! [`StatsReport`] schema shared between the live `stats` verb and the
+//! offline `study cache-stats --json` audit — one schema, two sources,
+//! so dashboards and CI greps read both identically.
+
+use crate::request::Tier;
+use edmac_study::json::Json;
+use edmac_study::CacheReport;
+use std::sync::Mutex;
+
+/// Schema tag of one stats report (wire and CLI alike).
+pub const STATS_SCHEMA: &str = "edmac-serve/stats/v1";
+
+/// A log2-bucketed latency histogram over microseconds. Quantiles are
+/// read from bucket upper bounds (≤ 2× overestimate by construction),
+/// the maximum is exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` µs (bucket 0
+    /// holds 0–1 µs).
+    buckets: [u64; 32],
+    count: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the matching bucket's upper
+    /// bound, clamped by the exact max; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let bound = if idx >= 63 { u64::MAX } else { 1u64 << idx };
+                return bound.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// One tier's share of the report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Requests this tier answered.
+    pub hits: u64,
+    /// Service-time distribution of those requests.
+    pub latency: Histogram,
+}
+
+/// Counters behind one running server; interior-mutable so every
+/// worker thread records through a shared reference.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    hot: TierStats,
+    disk: TierStats,
+    solve: TierStats,
+    /// Solves actually performed (solve-tier leaders; coalesced
+    /// followers share the leader's solve and do not count).
+    cold_solves: u64,
+    timeouts: u64,
+    overloaded: u64,
+    errors: u64,
+    coalesced: u64,
+}
+
+impl Metrics {
+    /// Records one answered solve request.
+    pub fn record(&self, tier: Tier, elapsed_us: u64, coalesced: bool) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let stats = match tier {
+            Tier::Hot => &mut inner.hot,
+            Tier::Disk => &mut inner.disk,
+            Tier::Solve => &mut inner.solve,
+        };
+        stats.hits += 1;
+        stats.latency.record(elapsed_us);
+        if coalesced {
+            inner.coalesced += 1;
+        } else if tier == Tier::Solve {
+            inner.cold_solves += 1;
+        }
+    }
+
+    /// Records a deadline expiry.
+    pub fn record_timeout(&self) {
+        self.inner.lock().expect("metrics lock").timeouts += 1;
+    }
+
+    /// Records a shed request.
+    pub fn record_overloaded(&self) {
+        self.inner.lock().expect("metrics lock").overloaded += 1;
+    }
+
+    /// Records a request-level error.
+    pub fn record_error(&self) {
+        self.inner.lock().expect("metrics lock").errors += 1;
+    }
+
+    /// Snapshots the live report. `entries` is the current on-disk
+    /// entry count (the server reads it at stats time).
+    pub fn report(&self, entries: usize) -> StatsReport {
+        let inner = self.inner.lock().expect("metrics lock");
+        let items = inner.hot.hits + inner.disk.hits + inner.solve.hits;
+        StatsReport {
+            source: "serve",
+            items: items as usize,
+            // A miss is a solve actually performed; everything else —
+            // hot, disk, or a coalesced ride on someone's solve — was
+            // answered without one.
+            hits: (items - inner.cold_solves) as usize,
+            misses: inner.cold_solves as usize,
+            invalidated: 0,
+            entries,
+            timeouts: inner.timeouts,
+            overloaded: inner.overloaded,
+            errors: inner.errors,
+            coalesced: inner.coalesced,
+            hot: inner.hot.clone(),
+            disk: inner.disk.clone(),
+            solve: inner.solve.clone(),
+        }
+    }
+}
+
+/// The shared stats schema: tier hit rates plus latency quantiles,
+/// produced live by the `stats` verb (`source: "serve"`) and offline
+/// by `study cache-stats --json` (`source: "audit"`, latencies zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// `"serve"` (live counters) or `"audit"` (offline key audit).
+    pub source: &'static str,
+    /// Solve requests answered / work items audited.
+    pub items: usize,
+    /// Cache hits (hot + disk tiers / probe hits).
+    pub hits: usize,
+    /// Cold solves performed / items that would solve.
+    pub misses: usize,
+    /// On-disk entries no audited key addresses (audit only).
+    pub invalidated: usize,
+    /// Entry files on disk.
+    pub entries: usize,
+    /// Requests whose deadline expired.
+    pub timeouts: u64,
+    /// Requests shed under load.
+    pub overloaded: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+    /// Requests that piggybacked on another's in-flight solve.
+    pub coalesced: u64,
+    /// Hot-tier stats.
+    pub hot: TierStats,
+    /// Disk-tier stats.
+    pub disk: TierStats,
+    /// Solve-tier stats.
+    pub solve: TierStats,
+}
+
+impl StatsReport {
+    /// Maps an offline [`CacheReport`] audit into the shared schema:
+    /// probe hits become disk-tier hits, would-be solves solve-tier
+    /// hits; every latency is zero because nothing was served.
+    pub fn from_audit(report: &CacheReport) -> StatsReport {
+        StatsReport {
+            source: "audit",
+            items: report.items,
+            hits: report.hits,
+            misses: report.misses,
+            invalidated: report.invalidated,
+            entries: report.entries,
+            timeouts: 0,
+            overloaded: 0,
+            errors: 0,
+            coalesced: 0,
+            hot: TierStats::default(),
+            disk: TierStats {
+                hits: report.hits as u64,
+                latency: Histogram::default(),
+            },
+            solve: TierStats {
+                hits: report.misses as u64,
+                latency: Histogram::default(),
+            },
+        }
+    }
+
+    fn tier_json(stats: &TierStats) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::from_u64(stats.hits)),
+            (
+                "p50_us".into(),
+                Json::from_u64(stats.latency.quantile_us(0.5)),
+            ),
+            (
+                "p95_us".into(),
+                Json::from_u64(stats.latency.quantile_us(0.95)),
+            ),
+            ("max_us".into(), Json::from_u64(stats.latency.max_us())),
+        ])
+    }
+
+    /// The report as a JSON value (the `stats` verb's payload and the
+    /// `--json` flag's document).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::from_str_(STATS_SCHEMA)),
+            ("source".into(), Json::from_str_(self.source)),
+            ("items".into(), Json::from_usize(self.items)),
+            ("hits".into(), Json::from_usize(self.hits)),
+            ("misses".into(), Json::from_usize(self.misses)),
+            ("invalidated".into(), Json::from_usize(self.invalidated)),
+            ("entries".into(), Json::from_usize(self.entries)),
+            ("timeouts".into(), Json::from_u64(self.timeouts)),
+            ("overloaded".into(), Json::from_u64(self.overloaded)),
+            ("errors".into(), Json::from_u64(self.errors)),
+            ("coalesced".into(), Json::from_u64(self.coalesced)),
+            (
+                "tiers".into(),
+                Json::Obj(vec![
+                    ("hot".into(), StatsReport::tier_json(&self.hot)),
+                    ("disk".into(), StatsReport::tier_json(&self.disk)),
+                    ("solve".into(), StatsReport::tier_json(&self.solve)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let mut h = Histogram::default();
+        for us in [3, 5, 7, 9, 40, 70, 900] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_us(), 900);
+        let p50 = h.quantile_us(0.5);
+        // Rank-4 sample is 9 → bucket [8,16) → upper bound 16.
+        assert!((9..=16).contains(&p50), "p50 {p50}");
+        assert_eq!(h.quantile_us(1.0), 900, "p100 clamps to the exact max");
+        assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn live_and_audit_reports_share_one_schema() {
+        let metrics = Metrics::default();
+        metrics.record(Tier::Hot, 12, false);
+        metrics.record(Tier::Disk, 250, false);
+        metrics.record(Tier::Solve, 800, false);
+        metrics.record(Tier::Solve, 650, true);
+        metrics.record_timeout();
+        metrics.record_error();
+        let live = metrics.report(2).to_json();
+        let audit = StatsReport::from_audit(&CacheReport {
+            items: 12,
+            hits: 9,
+            misses: 3,
+            invalidated: 1,
+            entries: 10,
+        })
+        .to_json();
+        for doc in [&live, &audit] {
+            assert_eq!(doc.str_("schema").unwrap(), STATS_SCHEMA);
+            for field in ["items", "hits", "misses", "invalidated", "entries"] {
+                doc.usize_(field).unwrap_or_else(|e| panic!("{e}"));
+            }
+            let tiers = doc.get("tiers").unwrap();
+            for tier in ["hot", "disk", "solve"] {
+                let t = tiers.get(tier).unwrap();
+                for field in ["hits", "p50_us", "p95_us", "max_us"] {
+                    t.u64_(field).unwrap_or_else(|e| panic!("{e}"));
+                }
+            }
+        }
+        assert_eq!(live.str_("source").unwrap(), "serve");
+        assert_eq!(audit.str_("source").unwrap(), "audit");
+        assert_eq!(live.usize_("items").unwrap(), 4);
+        // One actual solve: the coalesced solve-tier request rode on
+        // the leader's and is a hit, not a miss.
+        assert_eq!(live.usize_("hits").unwrap(), 3);
+        assert_eq!(live.usize_("misses").unwrap(), 1);
+        assert_eq!(live.u64_("coalesced").unwrap(), 1);
+        assert_eq!(audit.usize_("hits").unwrap(), 9);
+    }
+}

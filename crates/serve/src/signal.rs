@@ -1,0 +1,53 @@
+//! SIGTERM/SIGINT → drain flag, without a libc dependency: a minimal
+//! `extern "C"` declaration of POSIX `signal(2)` installs a handler
+//! that flips one static [`AtomicBool`] — the only async-signal-safe
+//! action taken — and the server's accept loop polls that flag. The
+//! `unsafe` surface of the whole crate is the two `signal` calls in
+//! this module.
+
+use std::sync::atomic::AtomicBool;
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::sync::atomic::AtomicBool;
+
+    pub(super) static STOP: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn install() {
+        // No signal wiring off Unix: the flag only flips programmatically.
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers (idempotent) and returns the drain
+/// flag they set — hand it to [`crate::Server::start`] so a signal
+/// triggers the same clean drain as a programmatic shutdown.
+pub fn install_drain_flag() -> &'static AtomicBool {
+    sys::install();
+    &sys::STOP
+}

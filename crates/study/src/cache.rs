@@ -334,6 +334,23 @@ impl CellCache {
             && lines.next().and_then(|l| l.strip_prefix("key ")) == Some(key.canonical())
     }
 
+    /// Loads the *verbatim text* of the entry stored under `key`,
+    /// validating it end to end first: the text must fully parse back
+    /// into an outcome via the same strict path as [`CellCache::load`],
+    /// so a truncated or corrupt file degrades to a miss (`None`) and
+    /// is never served. This is the disk tier of `edmac-serve`, where
+    /// the response contract is byte-identity with the stored entry.
+    pub fn load_text(
+        &self,
+        key: &CacheKey,
+        cell: &GridCell,
+        protocol: &'static str,
+    ) -> Option<String> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        parse_entry(&text, key, cell, protocol)?;
+        Some(text)
+    }
+
     /// Serializes `outcome` under `key` (atomic rename, fsync'd).
     ///
     /// # Errors
@@ -462,7 +479,11 @@ fn unescape(s: &str) -> String {
     out
 }
 
-fn render_entry(key: &CacheKey, o: &CellOutcome) -> String {
+/// Serializes one outcome to the cache-entry text stored under `key` —
+/// the exact bytes [`CellCache::store`] writes, and the exact payload
+/// `edmac-serve` returns for the key, which is what extends the
+/// byte-determinism gate to the wire.
+pub fn render_entry(key: &CacheKey, o: &CellOutcome) -> String {
     let mut out = String::with_capacity(2048);
     let _ = writeln!(out, "{CACHE_ENTRY_SCHEMA}");
     let _ = writeln!(out, "key {}", key.canonical());

@@ -48,6 +48,7 @@
 mod artifact;
 mod cache;
 mod cell;
+pub mod json;
 mod manifest;
 mod runner;
 mod summary;
@@ -57,15 +58,17 @@ pub use artifact::{
     SUMMARY_SCHEMA, VALIDATION_SCHEMA, VALIDATION_SCHEMA_VERSION,
 };
 pub use cache::{
-    cache_key, item_key, item_protocol_config, CacheKey, CacheReport, CacheStats, CellCache,
-    SchemaVersions, CACHE_ENTRY_SCHEMA, MODEL_SCHEMA_VERSION,
+    cache_key, item_key, item_protocol_config, render_entry, CacheKey, CacheReport, CacheStats,
+    CellCache, SchemaVersions, CACHE_ENTRY_SCHEMA, MODEL_SCHEMA_VERSION,
 };
 pub use cell::{
     models_for, solve_cell, validate_cell, weight_grid, CellOutcome, ConceptOutcome,
     ValidationOutcome, WeightSweep, PROTOCOLS, VALIDATION_SAMPLE_FLOOR, WEIGHT_MATCH_TOL,
 };
 pub use manifest::{ItemSource, ItemStatus, Manifest, ManifestItem, MANIFEST_SCHEMA};
-pub use runner::{cache_stats, run_cells, run_study, RunOptions, StudyRunReport};
+pub use runner::{
+    cache_stats, run_cells, run_study, validation_intent, RunOptions, StudyRunReport,
+};
 pub use summary::{
     summarize, AggregateGap, DriftBucket, StudySummary, SummaryAccumulator, ValidationBands,
     WeightSweepSummary,

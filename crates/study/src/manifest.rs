@@ -13,13 +13,14 @@
 //! *outcomes* always live in the content-addressed cache.
 //!
 //! The format is a strict, hand-rendered JSON subset (objects, arrays,
-//! strings, numbers, booleans, `null`) parsed by the mini parser in
-//! this module — the repo vendors no serde. Floats render via Rust's
-//! shortest-round-trip `{:?}` so every axis value survives the
-//! round-trip bit for bit; `seed_base` renders as a decimal *string*
-//! because a `u64` does not fit in a JSON double.
+//! strings, numbers, booleans, `null`) parsed by the shared mini
+//! parser in [`crate::json`] — the repo vendors no serde. Floats
+//! render via Rust's shortest-round-trip `{:?}` so every axis value
+//! survives the round-trip bit for bit; `seed_base` renders as a
+//! decimal *string* because a `u64` does not fit in a JSON double.
 
 use crate::cache::write_atomic;
+use crate::json::{jarr_f64, jarr_usize, jstr, Json, ParseResult};
 use crate::StudyConfig;
 use edmac_core::{AppRequirements, PresetKind, StudyGrid};
 use edmac_units::{Joules, Seconds};
@@ -248,335 +249,8 @@ impl Manifest {
     }
 }
 
-fn jstr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn jarr_usize(v: &[usize]) -> String {
-    format!(
-        "[{}]",
-        v.iter()
-            .map(|x| x.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    )
-}
-
-fn jarr_f64(v: &[f64]) -> String {
-    format!(
-        "[{}]",
-        v.iter()
-            .map(|x| format!("{x:?}"))
-            .collect::<Vec<_>>()
-            .join(", ")
-    )
-}
-
-// ---------------------------------------------------------------------------
-// Mini JSON subset parser. Numbers stay raw tokens so u64 seeds and
-// shortest-round-trip floats parse losslessly on demand.
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-type ParseResult<T> = Result<T, String>;
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> ParseResult<u8> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".into())
-    }
-
-    fn expect(&mut self, b: u8) -> ParseResult<()> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
-        }
-    }
-
-    fn value(&mut self) -> ParseResult<Json> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            b'-' | b'0'..=b'9' => self.number(),
-            other => Err(format!(
-                "unexpected byte '{}' at {}",
-                char::from(other),
-                self.pos
-            )),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> ParseResult<Json> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("expected '{word}' at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> ParseResult<Json> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
-        {
-            self.pos += 1;
-        }
-        if start == self.pos {
-            return Err(format!("expected a number at byte {start}"));
-        }
-        Ok(Json::Num(
-            std::str::from_utf8(&self.bytes[start..self.pos])
-                .map_err(|_| "non-UTF8 number".to_string())?
-                .to_string(),
-        ))
-    }
-
-    fn string(&mut self) -> ParseResult<String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.pos).ok_or("dangling escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| "non-UTF8 \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape '\\{}'", char::from(other))),
-                    }
-                }
-                _ => {
-                    // Re-borrow the full UTF-8 character.
-                    self.pos -= 1;
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "non-UTF8 string".to_string())?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> ParseResult<Json> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' at byte {}, got '{}'",
-                        self.pos,
-                        char::from(other)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn object(&mut self) -> ParseResult<Json> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at byte {}, got '{}'",
-                        self.pos,
-                        char::from(other)
-                    ))
-                }
-            }
-        }
-    }
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> ParseResult<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field '{key}'")),
-            _ => Err(format!("'{key}' looked up on a non-object")),
-        }
-    }
-
-    fn str_(&self, key: &str) -> ParseResult<&str> {
-        match self.get(key)? {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("field '{key}' is not a string: {other:?}")),
-        }
-    }
-
-    fn opt_str(&self, key: &str) -> ParseResult<Option<&str>> {
-        match self.get(key)? {
-            Json::Null => Ok(None),
-            Json::Str(s) => Ok(Some(s)),
-            other => Err(format!("field '{key}' is not a string or null: {other:?}")),
-        }
-    }
-
-    fn num(&self, key: &str) -> ParseResult<&str> {
-        match self.get(key)? {
-            Json::Num(s) => Ok(s),
-            other => Err(format!("field '{key}' is not a number: {other:?}")),
-        }
-    }
-
-    fn usize_(&self, key: &str) -> ParseResult<usize> {
-        self.num(key)?
-            .parse()
-            .map_err(|e| format!("field '{key}': {e}"))
-    }
-
-    fn f64_(&self, key: &str) -> ParseResult<f64> {
-        self.num(key)?
-            .parse()
-            .map_err(|e| format!("field '{key}': {e}"))
-    }
-
-    fn arr(&self, key: &str) -> ParseResult<&[Json]> {
-        match self.get(key)? {
-            Json::Arr(items) => Ok(items),
-            other => Err(format!("field '{key}' is not an array: {other:?}")),
-        }
-    }
-
-    fn usize_arr(&self, key: &str) -> ParseResult<Vec<usize>> {
-        self.arr(key)?
-            .iter()
-            .map(|v| match v {
-                Json::Num(s) => s.parse().map_err(|e| format!("field '{key}': {e}")),
-                other => Err(format!("field '{key}' element is not a number: {other:?}")),
-            })
-            .collect()
-    }
-
-    fn f64_arr(&self, key: &str) -> ParseResult<Vec<f64>> {
-        self.arr(key)?
-            .iter()
-            .map(|v| match v {
-                Json::Num(s) => s.parse().map_err(|e| format!("field '{key}': {e}")),
-                other => Err(format!("field '{key}' element is not a number: {other:?}")),
-            })
-            .collect()
-    }
-}
-
 fn parse_manifest(text: &str) -> ParseResult<Manifest> {
-    let mut parser = Parser::new(text);
-    let root = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(format!("trailing bytes after JSON at {}", parser.pos));
-    }
+    let root = Json::parse(text)?;
     let schema = root.str_("schema")?;
     if schema != MANIFEST_SCHEMA {
         return Err(format!(

@@ -97,7 +97,7 @@ fn work_list(config: &StudyConfig) -> (Vec<GridCell>, Vec<Arc<dyn ProtocolSuite>
 /// when the run's stride selects it for packet-level validation. Part
 /// of the content key — a cached outcome must not be served into a
 /// run that would have validated it.
-fn validation_intent(config: &StudyConfig, grid_work: usize) -> Option<edmac_units::Seconds> {
+pub fn validation_intent(config: &StudyConfig, grid_work: usize) -> Option<edmac_units::Seconds> {
     (config.validate_every > 0 && grid_work.is_multiple_of(config.validate_every))
         .then_some(config.sim_horizon)
 }
