@@ -41,6 +41,14 @@ head -1 ci/golden/study_cells.csv | grep -F "edmac-study/cells/v2"
 head -1 ci/golden/study_validation.csv | grep -F "edmac-study/validation/v2"
 grep -F '"schema": "edmac-study/summary/v2"' ci/golden/study_summary.json
 
+echo "== coexistence smoke -> ci/golden/"
+# Two networks (X-MAC, LMAC) on one shared SINR channel; shard count is
+# byte-invariant, so CI may rerun this with --shards 2 and still diff
+# clean.
+cargo run --release --bin study -- coexistence --smoke --out ci/golden
+head -1 ci/golden/coexistence_cells.csv | grep -F "edmac-study/coexistence/v1"
+grep -F '"schema": "edmac-study/coexistence/v1"' ci/golden/coexistence_summary.json
+
 echo "== figure binaries -> ci/golden/"
 for fig in fig1 fig2 fairness sim_validation; do
   cargo run --release --bin "$fig" > "ci/golden/$fig.csv"

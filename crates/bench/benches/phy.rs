@@ -1,0 +1,70 @@
+//! SINR channel-model hot paths: link-field realization over the
+//! spatial hash (shadowed and flat), and the engine's per-decode
+//! bookkeeping — incremental interference tallies with a capture
+//! check per arrival.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edmac_net::Point2;
+use edmac_phy::{ChannelModel, InterferenceTally, SinrChannel, UnitDisk};
+use std::hint::black_box;
+
+/// 400 nodes on a 20×20 half-range grid: every spatial-hash cell holds
+/// several nodes, the candidate-pruning pass's working regime.
+fn grid_positions() -> Vec<Point2> {
+    (0..400)
+        .map(|i| Point2::new(f64::from(i % 20) * 0.5, f64::from(i / 20) * 0.5))
+        .collect()
+}
+
+fn realize(c: &mut Criterion) {
+    let positions = grid_positions();
+    let mut group = c.benchmark_group("phy_realize");
+    group.bench_function("unit_disk_400nodes", |b| {
+        b.iter(|| UnitDisk.realize(black_box(&positions), 7))
+    });
+    group.bench_function("sinr_400nodes", |b| {
+        let shadowed = SinrChannel::default();
+        b.iter(|| shadowed.realize(black_box(&positions), 7))
+    });
+    group.bench_function("sinr_flat_400nodes", |b| {
+        // Shadowing off skips the per-link gaussian draw — the delta
+        // against `sinr_400nodes` is the price of lognormal fading.
+        let flat = SinrChannel {
+            shadowing_sigma_db: 0.0,
+            ..SinrChannel::default()
+        };
+        b.iter(|| flat.realize(black_box(&positions), 7))
+    });
+    group.finish();
+}
+
+fn tally(c: &mut Criterion) {
+    // The AirStart/AirEnd hot path in miniature: interferers arrive
+    // and depart one at a time, and every transition re-judges a
+    // locked reception against the running interference sum.
+    let params = SinrChannel::default().params();
+    let mut group = c.benchmark_group("phy_tally");
+    group.bench_function("incremental_64interferers", |b| {
+        b.iter(|| {
+            let mut tally = InterferenceTally::new();
+            let mut decoded = 0u32;
+            for k in 0..64u32 {
+                tally.add(1e-6 * f64::from(k + 1));
+                if params.decodable(black_box(2.9e-4), tally.power_mw()) {
+                    decoded += 1;
+                }
+            }
+            for k in 0..64u32 {
+                tally.remove(1e-6 * f64::from(k + 1));
+                if params.decodable(black_box(2.9e-4), tally.power_mw()) {
+                    decoded += 1;
+                }
+            }
+            decoded
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(phy, realize, tally);
+criterion_main!(phy);

@@ -54,6 +54,14 @@
 //! scripts racing an ephemeral port), `--quiet` (suppress per-request
 //! log lines).
 //!
+//! Subcommand `coexistence` runs the multi-network study: every
+//! network bargains for itself in isolation, then all joint strategy
+//! profiles are simulated on one shared SINR channel, iterated best
+//! response finds an equilibrium, and the artifacts record its price
+//! of anarchy against the joint planner. Flags: `--smoke` (3-scale
+//! strategy space, 9 cells), `--separation X`, `--seed N`,
+//! `--shards N`, `--protocols a,b` (one per network), `--out DIR`.
+//!
 //! Subcommand `query` replays the configured grid against a running
 //! server — the scripting/CI client. Grid flags (`--smoke`,
 //! `--preset`, `--protocols`, `--validate-every`) select the same
@@ -68,7 +76,8 @@ use edmac_serve::{
     install_drain_flag, Client, Request, Response, ServeConfig, Server, SolveRequest, StatsReport,
 };
 use edmac_study::{
-    cache_stats, run_study, validation_intent, write_artifacts, Manifest, RunOptions, StudyConfig,
+    cache_stats, run_coexistence_study, run_study, validation_intent, write_artifacts,
+    write_coexistence_artifacts, CoexistenceConfig, Manifest, RunOptions, StudyConfig,
     StudyRunReport,
 };
 use std::path::PathBuf;
@@ -297,6 +306,79 @@ fn run_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Colon-joined strategy profile for the console summary (matches the
+/// artifact field format).
+fn profile_label(profile: &[usize]) -> String {
+    profile
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+fn run_coexistence(args: &[String]) -> Result<(), String> {
+    let mut cfg = if args.iter().any(|a| a == "--smoke") {
+        CoexistenceConfig::smoke()
+    } else {
+        CoexistenceConfig::full()
+    };
+    if let Some(sep) = flag_value(args, "--separation")? {
+        cfg.separation = sep
+            .parse::<f64>()
+            .map_err(|_| format!("--separation needs a number, got '{sep}'"))?;
+    }
+    if let Some(seed) = parse_usize(args, "--seed")? {
+        cfg.seed = seed as u64;
+    }
+    if let Some(shards) = parse_usize(args, "--shards")? {
+        if shards == 0 {
+            return Err("--shards needs a positive integer".into());
+        }
+        cfg.shards = shards;
+    }
+    let registry = ProtocolRegistry::builtin();
+    let default_panel: Vec<String> = cfg.protocols.clone();
+    let default_names: Vec<&str> = default_panel.iter().map(String::as_str).collect();
+    cfg.protocols = protocols_filter(args, &registry, &default_names)?
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
+    cfg.networks = cfg.protocols.len();
+    let out_dir = PathBuf::from(flag_value(args, "--out")?.unwrap_or_else(|| "artifacts".into()));
+
+    let started = std::time::Instant::now();
+    let outcome = run_coexistence_study(&cfg).map_err(|e| format!("coexistence: {e}"))?;
+    write_coexistence_artifacts(&out_dir, &outcome)
+        .map_err(|e| format!("writing artifacts under {}: {e}", out_dir.display()))?;
+    println!(
+        "coexistence: {} networks ({}) x {} strategies = {} joint cells on {}",
+        cfg.networks,
+        cfg.protocols.join(","),
+        cfg.scales.len(),
+        outcome.cells.len(),
+        outcome.scenario,
+    );
+    println!(
+        "equilibrium: profile {} welfare {:.6} after {} best-response rounds (converged: {})",
+        profile_label(&outcome.equilibrium),
+        outcome.welfare_equilibrium,
+        outcome.br_rounds,
+        outcome.converged,
+    );
+    println!(
+        "joint planner: profile {} welfare {:.6}; price of anarchy {:.4}",
+        profile_label(&outcome.joint_optimum),
+        outcome.welfare_joint,
+        outcome.price_of_anarchy,
+    );
+    println!(
+        "artifacts: {}/coexistence_cells.csv, coexistence_summary.json",
+        out_dir.display()
+    );
+    println!("elapsed: {:.2?}", started.elapsed());
+    Ok(())
+}
+
 fn print_report(config: &StudyConfig, report: &StudyRunReport, out_dir: &std::path::Path) {
     let summary = &report.summary;
     println!(
@@ -376,6 +458,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("cache-stats") => return run_cache_stats(&args[2..]),
+        Some("coexistence") => return run_coexistence(&args[2..]),
         Some("serve") => return run_serve(&args[2..]),
         Some("query") => return run_query(&args[2..]),
         _ => {}

@@ -67,4 +67,4 @@ pub use grid::{disk_radius, GridCell, PresetKind, StudyGrid};
 pub use ranking::{lifetime, rank_protocols, RankedOutcome, RankingPolicy};
 pub use report::TradeoffReport;
 pub use requirements::AppRequirements;
-pub use scenario::{Scenario, TopologySpec, TrafficSpec};
+pub use scenario::{CoexistenceScenario, Scenario, TopologySpec, TrafficSpec};

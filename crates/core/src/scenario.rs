@@ -21,8 +21,9 @@
 use crate::error::CoreError;
 use edmac_mac::{BurstRegime, Deployment, Workload};
 use edmac_net::{NetError, RingModel, Topology};
+use edmac_phy::ChannelModel;
 use edmac_radio::{FrameSizes, Radio};
-use edmac_sim::{BurstWindows, SimConfig, SimProtocol, Simulation, TrafficProfile};
+use edmac_sim::{BurstWindows, CoexNetwork, SimConfig, SimProtocol, Simulation, TrafficProfile};
 use edmac_units::{Hertz, Seconds};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -401,6 +402,137 @@ impl Scenario {
     }
 }
 
+/// `K` independent duty-cycled networks — each with its own sink,
+/// routing tree and derived seed — deployed side by side on **one
+/// shared channel**, so every network's transmissions are interference
+/// (or, on the binary channel, collision sources) in all the others.
+///
+/// This is the workload the coexistence study cells bargain over:
+/// each network plans its MAC parameters for itself, but the channel
+/// couples their outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoexistenceScenario {
+    /// Display name (CSV label in the study artifacts).
+    pub name: String,
+    /// The per-network deployment shape (every network uses the same
+    /// spec, realized under a different derived seed).
+    pub topology: TopologySpec,
+    /// Number of networks `K`.
+    pub networks: usize,
+    /// Center-to-center spacing between consecutive networks along the
+    /// +x axis, in radio-range units. Small separations overlap the
+    /// fields; large ones decouple them (the SINR interference range
+    /// with default parameters is ≈ 3.2 range units).
+    pub separation: f64,
+    /// Uniform per-node sampling period inside every network.
+    pub sample_period: Seconds,
+}
+
+/// Decorrelates network `k`'s realization seed from the scenario seed
+/// (splitmix64 finalizer over a golden-ratio stride).
+fn network_seed(seed: u64, k: u64) -> u64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CoexistenceScenario {
+    /// The reference coexistence preset: `networks` two-ring
+    /// deployments (13 nodes each) spaced `separation` range units
+    /// apart, sampling every 60 s.
+    pub fn preset(networks: usize, separation: f64) -> CoexistenceScenario {
+        CoexistenceScenario {
+            name: format!("coex_k{networks}_s{separation}"),
+            topology: TopologySpec::Ring {
+                depth: 2,
+                density: 3,
+            },
+            networks,
+            separation,
+            sample_period: Seconds::new(60.0),
+        }
+    }
+
+    /// Realizes the `K` network topologies: network `k` is drawn from
+    /// the shared [`TopologySpec`] under a derived seed and translated
+    /// `k · separation` range units out on the +x axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::InvalidParameter`] for zero networks or a
+    /// non-finite/negative separation, and propagates realization
+    /// failures of the underlying topology constructor.
+    pub fn realize(&self, seed: u64) -> Result<Vec<Topology>, NetError> {
+        if self.networks == 0 {
+            return Err(NetError::InvalidParameter {
+                name: "networks",
+                reason: "a coexistence scenario needs at least one network".into(),
+            });
+        }
+        if !(self.separation >= 0.0 && self.separation.is_finite()) {
+            return Err(NetError::InvalidParameter {
+                name: "separation",
+                reason: format!("must be non-negative and finite, got {}", self.separation),
+            });
+        }
+        (0..self.networks)
+            .map(|k| {
+                let topo = self.topology.realize(network_seed(seed, k as u64))?;
+                Ok(topo.translated(k as f64 * self.separation, 0.0))
+            })
+            .collect()
+    }
+
+    /// Builds the shared-channel simulation: one protocol per network
+    /// (in network order), CC2420 radio, default frames, the scenario's
+    /// sampling period, and `channel` realized over the union of all
+    /// node positions. Run it with
+    /// [`Simulation::run_coexistence`] for one report per network.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Net`] with [`NetError::InvalidParameter`] if the
+    ///   protocol panel does not cover the networks one-to-one.
+    /// * Realization and build failures as [`CoreError::Net`].
+    pub fn simulation(
+        &self,
+        protocols: &[&dyn SimProtocol],
+        channel: &dyn ChannelModel,
+        config: SimConfig,
+    ) -> Result<Simulation, CoreError> {
+        if protocols.len() != self.networks {
+            return Err(CoreError::Net(NetError::InvalidParameter {
+                name: "protocols",
+                reason: format!(
+                    "{} networks need {} protocols, got {}",
+                    self.networks,
+                    self.networks,
+                    protocols.len()
+                ),
+            }));
+        }
+        let topologies = self.realize(config.seed).map_err(CoreError::Net)?;
+        let config = SimConfig {
+            sample_period: self.sample_period,
+            ..config
+        };
+        let networks: Vec<CoexNetwork<'_>> = topologies
+            .iter()
+            .zip(protocols)
+            .map(|(topology, &protocol)| CoexNetwork { topology, protocol })
+            .collect();
+        Simulation::coexistence(
+            &networks,
+            Radio::cc2420(),
+            FrameSizes::default(),
+            channel,
+            config,
+        )
+        .map_err(CoreError::Net)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +641,72 @@ mod tests {
             .unwrap();
         assert!(hot.traffic.burst().is_none());
         assert!(hot.traffic.slot_demand().is_some());
+    }
+
+    #[test]
+    fn coexistence_preset_realizes_translated_networks() {
+        let scenario = CoexistenceScenario::preset(3, 5.0);
+        let topologies = scenario.realize(42).unwrap();
+        assert_eq!(topologies.len(), 3);
+        for (k, topo) in topologies.iter().enumerate() {
+            assert_eq!(topo.len(), 13, "two-ring deployment: 1 + 3*(1+3) nodes");
+            let sink = topo.position(topo.sink());
+            assert!((sink.x - k as f64 * 5.0).abs() < 1e-12);
+            assert_eq!(sink.y, 0.0);
+            topo.graph().check_connected(topo.sink()).unwrap();
+        }
+        // Per-network seeds are decorrelated: the ring rotations (and
+        // hence non-sink positions, after undoing the translation)
+        // differ between networks.
+        let p1 = topologies[1].position(edmac_net::NodeId::new(1));
+        let p2 = topologies[2].position(edmac_net::NodeId::new(1));
+        assert!((p1.x - 5.0 - (p2.x - 10.0)).abs() > 1e-9 || (p1.y - p2.y).abs() > 1e-9);
+    }
+
+    #[test]
+    fn coexistence_preset_rejects_bad_parameters() {
+        assert!(CoexistenceScenario::preset(0, 5.0).realize(0).is_err());
+        let mut bad = CoexistenceScenario::preset(2, 5.0);
+        bad.separation = f64::NAN;
+        assert!(bad.realize(0).is_err());
+    }
+
+    #[test]
+    fn coexistence_simulation_runs_one_report_per_network() {
+        use edmac_sim::{WakeMode, XmacSim};
+        let scenario = CoexistenceScenario::preset(2, 4.0);
+        let xmac = XmacSim::new(Seconds::from_millis(100.0));
+        let cfg = SimConfig {
+            duration: Seconds::new(40.0),
+            sample_period: Seconds::new(10.0),
+            warmup: Seconds::new(5.0),
+            seed: 3,
+            scheduling: WakeMode::Dense,
+        };
+        let protocols: [&dyn SimProtocol; 2] = [&xmac, &xmac];
+        assert!(
+            scenario
+                .simulation(&protocols[..1], &edmac_phy::UnitDisk, cfg)
+                .is_err(),
+            "panel must cover every network"
+        );
+        let reports = scenario
+            .simulation(&protocols, &edmac_phy::UnitDisk, cfg)
+            .unwrap()
+            .run_coexistence();
+        assert_eq!(reports.len(), 2);
+        for (k, report) in reports.iter().enumerate() {
+            let (lo, hi) = (k * 13, (k + 1) * 13);
+            assert!(report
+                .per_node()
+                .iter()
+                .all(|s| (lo..hi).contains(&s.node.index())));
+            assert!(
+                report.delivery_ratio() > 0.7,
+                "network {k}: {}",
+                report.delivery_ratio()
+            );
+        }
     }
 
     #[test]

@@ -178,6 +178,24 @@ impl Topology {
         Topology::from_positions(positions)
     }
 
+    /// The same topology rigidly shifted by `(dx, dy)` range units.
+    ///
+    /// Translation preserves every pairwise distance, so the unit-disk
+    /// graph, BFS tree and sink of the copy are identical to the
+    /// original's. Useful for placing several independent networks on
+    /// one shared channel (coexistence scenarios), where only the
+    /// *relative* placement of the networks matters.
+    pub fn translated(&self, dx: f64, dy: f64) -> Topology {
+        Topology {
+            positions: self
+                .positions
+                .iter()
+                .map(|p| Point2::new(p.x + dx, p.y + dy))
+                .collect(),
+            sink: self.sink,
+        }
+    }
+
     /// Number of nodes, sink included.
     pub fn len(&self) -> usize {
         self.positions.len()

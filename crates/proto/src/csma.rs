@@ -18,9 +18,19 @@
 //!   receiving: `Ecs = (1 − busy_airtime)·P_listen`,
 //!   `Etx = F_out·t_data·P_tx`, `Erx = F_I·t_data·P_rx`,
 //!   `Eovr = (F_B − F_I)⁺·t_data·P_rx`, no sync traffic, no sleep.
+//! * **Collisions** — two backlogged contenders drawing uniform
+//!   backoffs in `(0, W)` land within one data airtime of each other
+//!   with probability `min(1, 2·t_data/W)`; discounting each nominal
+//!   rival by the chance it is actually mid-cycle (`f_bg·(W+t_data)`)
+//!   gives the per-attempt loss [`p_collision`]. Expected attempts
+//!   `1/(1−p)` (capped) scale the data energy and the per-hop
+//!   latency, which bends the window frontier: shrinking `W` below
+//!   `2·t_data` saturates the vulnerable period and retries blow up,
+//!   so the latency-optimal window is interior, not the lower bound.
 //! * **Latency** — per hop, half the contention window plus the data
-//!   airtime: `L = D·(W/2 + t_data)`, plus the standard M/D/1-style
-//!   window-conditional queueing excess on burst workloads
+//!   airtime, times the expected attempts:
+//!   `L = Σ_d attempts_d·(W/2 + t_data)`, plus the standard
+//!   M/D/1-style window-conditional queueing excess on burst workloads
 //!   (re-derived here from the public [`Workload::burst_excess`] hook
 //!   — external models can be fully workload-aware).
 //! * **Utilization** — bottleneck airtime `(F_B + F_out)·t_data`.
@@ -65,6 +75,48 @@ impl Default for CsmaMac {
             max_window: Seconds::from_millis(200.0),
             max_utilization: 0.75,
         }
+    }
+}
+
+/// Retry inflation is capped here: past ~75% loss the first-order
+/// geometric series stops being a model and starts being a pole.
+const MAX_ATTEMPTS: f64 = 4.0;
+
+/// First-order per-attempt collision probability of one CSMA data
+/// transmission (all quantities in base units: seconds, hertz).
+///
+/// Two backlogged rivals drawing uniform backoffs in `(0, window)`
+/// collide when they land within one `airtime` of each other —
+/// probability `q = min(1, 2·airtime/window)`. Each of the
+/// `contenders − 1` nominal rivals is actually mid-cycle only with
+/// probability `background·(window + airtime)`, so the attempt
+/// survives `active = (contenders−1)·min(1, background·(window+airtime))`
+/// effective rivals: `p = 1 − (1 − q)^active`.
+///
+/// Degenerate inputs are safe: no rivals or no background traffic
+/// give `p = 0`; a window at or below `2·airtime` with any active
+/// rival gives `p = 1` (the saturated vulnerable period).
+pub fn p_collision(window: f64, airtime: f64, contenders: usize, background: f64) -> f64 {
+    if window.is_nan()
+        || background.is_nan()
+        || window <= 0.0
+        || background <= 0.0
+        || contenders <= 1
+    {
+        return 0.0;
+    }
+    let vulnerable = (2.0 * airtime / window).min(1.0);
+    let active = (contenders as f64 - 1.0) * (background * (window + airtime)).min(1.0);
+    1.0 - (1.0 - vulnerable).powf(active)
+}
+
+/// Expected transmission attempts at per-attempt loss `p`, capped at
+/// [`MAX_ATTEMPTS`].
+fn attempts(p: f64) -> f64 {
+    if p < 1.0 {
+        (1.0 / (1.0 - p)).min(MAX_ATTEMPTS)
+    } else {
+        MAX_ATTEMPTS
     }
 }
 
@@ -133,16 +185,27 @@ impl MacModel for CsmaMac {
         // models' `RingFold` semantics).
         let mut best: Option<(usize, EnergyBreakdown, f64)> = None;
         let mut utilization: f64 = 0.0;
+        let mut latency_attempts: f64 = 0.0;
         for d in env.traffic.rings() {
             let f_out = env.traffic.f_out(d)?.value();
             let f_in = env.traffic.f_in(d)?.value();
             let f_bg = env.traffic.f_bg(d)?.value();
 
+            // The ring's collision domain: background flows per own
+            // flow (the same count `configure` snapshots at ring 1).
+            let contenders = if f_out > 0.0 {
+                (f_bg / f_out).ceil().max(1.0) as usize
+            } else {
+                1
+            };
+            let tries = attempts(p_collision(w, t_data, contenders, f_bg));
+            latency_attempts += tries;
+
             let mut e = EnergyBreakdown::ZERO;
-            e.tx = p.tx * Seconds::new(t_data * f_out);
-            e.rx = p.rx * Seconds::new(t_data * f_in);
+            e.tx = p.tx * Seconds::new(t_data * f_out * tries);
+            e.rx = p.rx * Seconds::new(t_data * f_in * tries);
             e.overhearing = p.rx * Seconds::new(t_data * (f_bg - f_in).max(0.0));
-            let airtime = (t_data * (f_out + f_bg)).clamp(0.0, 1.0);
+            let airtime = (t_data * (f_out + f_bg) * tries).clamp(0.0, 1.0);
             e.carrier_sense = p.listen * Seconds::new(1.0 - airtime);
 
             let total = e.total().value();
@@ -180,7 +243,9 @@ impl MacModel for CsmaMac {
         } else {
             0.0
         };
-        let latency = Seconds::new(env.traffic.depth() as f64 * per_hop + excess);
+        // One `(W/2 + t_data)` slice per expected attempt per hop:
+        // collision-free this is exactly the old `depth · per_hop`.
+        let latency = Seconds::new(latency_attempts * per_hop + excess);
 
         Ok(MacPerformance {
             energy: breakdown.total(),
@@ -359,6 +424,49 @@ mod tests {
         assert!(b.latency > a.latency);
         assert_eq!(a.breakdown.sleep, Joules::ZERO, "no sleep bucket");
         assert_eq!(a.breakdown.sync_tx, Joules::ZERO, "no sync traffic");
+    }
+
+    #[test]
+    fn collision_term_bends_a_non_degenerate_window_frontier() {
+        // The term itself: zero without rivals or background traffic,
+        // monotone in contenders, relieved by wider windows, saturated
+        // below the vulnerable period.
+        assert_eq!(p_collision(0.005, 0.0016, 1, 0.5), 0.0);
+        assert_eq!(p_collision(0.005, 0.0016, 8, 0.0), 0.0);
+        let p2 = p_collision(0.005, 0.0016, 2, 0.5);
+        let p8 = p_collision(0.005, 0.0016, 8, 0.5);
+        assert!(0.0 < p2 && p2 < p8 && p8 < 1.0, "p2 {p2} p8 {p8}");
+        assert!(
+            p_collision(0.050, 0.0016, 8, 0.5) < p8,
+            "wider window must relieve contention"
+        );
+        assert_eq!(
+            p_collision(0.003, 0.0016, 8, 0.5),
+            1.0,
+            "W ≤ 2·t_data saturates the vulnerable period"
+        );
+
+        // The frontier it induces: with retries charged per hop, the
+        // latency-optimal window is interior — the saturated floor
+        // (W = 2 ms < 2·t_data) and the wide ceiling both lose to a
+        // moderate window. Pinned so the term cannot silently
+        // degenerate back to the monotone `W/2` frontier, where the
+        // optimizer would always slam into the lower bound.
+        let env = Deployment::validation();
+        let model = CsmaMac::default();
+        let floor = model.performance(&[0.002], &env).unwrap();
+        let mid = model.performance(&[0.005], &env).unwrap();
+        let wide = model.performance(&[0.050], &env).unwrap();
+        assert!(
+            floor.latency > mid.latency,
+            "saturated floor {:?} must beat mid {:?}",
+            floor.latency,
+            mid.latency
+        );
+        assert!(wide.latency > mid.latency);
+        // Retries show up in the energy ledger too: the saturated
+        // floor pays capped MAX_ATTEMPTS data airtime.
+        assert!(floor.breakdown.tx > mid.breakdown.tx);
     }
 
     #[test]

@@ -57,6 +57,6 @@ mod csma;
 mod registry;
 mod suite;
 
-pub use csma::{CsmaMac, CsmaSim, CsmaSuite};
+pub use csma::{p_collision, CsmaMac, CsmaSim, CsmaSuite};
 pub use registry::{paper_trio_models, ProtoError, ProtocolRegistry, PAPER_TRIO, STANDARD_PANEL};
 pub use suite::{DmacSuite, LmacSuite, ProtocolSuite, ScpSuite, XmacSuite};

@@ -25,6 +25,7 @@ use crate::queue::{CalendarQueue, EventQueue, OrderKey};
 use crate::report::{NodeStats, PacketRecord, SimReport};
 use crate::time::SimTime;
 use edmac_net::{NetError, NodeId, Point2, RoutingTree, Topology};
+use edmac_phy::{ChannelModel, InterferenceTally, LinkField, SinrParams};
 use edmac_radio::{Cause, EnergyLedger, FrameSizes, Mode, Radio};
 use edmac_units::Seconds;
 use rand::rngs::StdRng;
@@ -168,6 +169,46 @@ pub(crate) struct RadioState {
 struct ActiveRx {
     tx_seq: u64,
     corrupted: bool,
+    /// Received power of the locked frame (mW; 0.0 on the binary
+    /// channel, which never reads it).
+    signal_mw: f64,
+    /// Worst SINR the locked frame saw while on the air (∞ on the
+    /// binary channel).
+    min_sinr: f64,
+    /// `true` if an interferer overlapped the locked frame and SINR
+    /// capture rode it out — a decode under this flag is a *capture*.
+    overlapped: bool,
+}
+
+impl ActiveRx {
+    fn lock(tx_seq: u64, signal_mw: f64, sinr: f64, overlapped: bool) -> ActiveRx {
+        ActiveRx {
+            tx_seq,
+            corrupted: false,
+            signal_mw,
+            min_sinr: sinr,
+            overlapped,
+        }
+    }
+}
+
+/// How the engine judges receptions.
+///
+/// `Binary` is the historical unit-disk rule (first arrival locks, any
+/// overlap destroys) and the default for every existing builder; its
+/// code paths are untouched by the SINR machinery, which is what keeps
+/// legacy runs byte-identical. `Sinr` carries per-directed-link
+/// received powers parallel to `Shared::neighbors` and the decode
+/// parameters from the realized [`ChannelModel`].
+#[derive(Debug)]
+pub(crate) enum ChannelKind {
+    Binary,
+    Sinr {
+        /// `rx_power[u][i]` = received power (mW) at
+        /// `neighbors[u][i]` of a frame transmitted by `u`.
+        rx_power: Vec<Vec<f64>>,
+        params: SinrParams,
+    },
 }
 
 /// Decorrelates per-node RNG streams: two rounds of splitmix64 over
@@ -195,6 +236,13 @@ pub(crate) struct NodeState {
     ledger: EnergyLedger,
     active_rx: Option<ActiveRx>,
     air_count: u32,
+    /// Incremental total on-air power (SINR channel only; stays empty
+    /// and unread on the binary channel).
+    tally: InterferenceTally,
+    /// Sum of per-decode SINRs in dB and the number of decodes behind
+    /// it (SINR channel only) — feeds `NodeStats::mean_sinr_db`.
+    sinr_db_sum: f64,
+    sinr_decoded: u64,
     counters: crate::frame::FrameCounters,
     rng: StdRng,
     /// The currently registered wake `(time, token)`; queue entries
@@ -222,6 +270,9 @@ impl NodeState {
             ledger: EnergyLedger::new(radio.power),
             active_rx: None,
             air_count: 0,
+            tally: InterferenceTally::new(),
+            sinr_db_sum: 0.0,
+            sinr_decoded: 0,
             counters: crate::frame::FrameCounters::default(),
             rng: StdRng::seed_from_u64(node_stream(seed, node)),
             wake_current: None,
@@ -264,7 +315,22 @@ pub(crate) struct Shared {
     pub(crate) neighbors: Vec<Vec<NodeId>>,
     parent: Vec<Option<NodeId>>,
     depth: Vec<usize>,
-    max_depth: usize,
+    /// How receptions are judged; `ChannelKind::Binary` on every
+    /// legacy builder. Under `Sinr`, `neighbors` is the channel's
+    /// *air* adjacency (everyone who registers interference power), a
+    /// superset of the decode graph routing was built over — the
+    /// sharded scheduler's lookahead keys on `neighbors`, so it stays
+    /// conservative under interference-range > decode-range for free.
+    channel: ChannelKind,
+    /// The network each node belongs to (all 0 outside coexistence
+    /// builds). Frames decode across networks — the radio cannot know
+    /// better — but `on_frame` only fires for same-network traffic,
+    /// the PAN-filter every real MAC applies before its state machine.
+    network_of: Vec<u32>,
+    /// One sink per network, indexed by network id.
+    sinks: Vec<NodeId>,
+    /// Each network's deepest hop distance, indexed by network id.
+    max_depths: Vec<usize>,
     pub(crate) sink: NodeId,
     pub(crate) config: SimConfig,
     /// `true` when every node runs a protocol that never samples the
@@ -300,6 +366,16 @@ impl Shared {
 
     pub(crate) fn local(&self, node: NodeId) -> usize {
         self.local_of[node.index()] as usize
+    }
+
+    /// The network `node` belongs to (0 outside coexistence builds).
+    fn network(&self, node: NodeId) -> usize {
+        self.network_of[node.index()] as usize
+    }
+
+    /// Whether `node` is the sink of its own network.
+    fn is_sink(&self, node: NodeId) -> bool {
+        self.sinks[self.network(node)] == node
     }
 }
 
@@ -419,9 +495,10 @@ impl Ctx<'_> {
         self.node
     }
 
-    /// Returns `true` if this node is the sink.
+    /// Returns `true` if this node is the sink (of its own network, in
+    /// coexistence builds).
     pub fn is_sink(&self) -> bool {
-        self.node == self.shared.sink
+        self.shared.is_sink(self.node)
     }
 
     /// The next hop toward the sink (`None` at the sink).
@@ -434,9 +511,9 @@ impl Ctx<'_> {
         self.shared.depth[self.node.index()]
     }
 
-    /// The deepest hop distance in the network (`D`).
+    /// The deepest hop distance in this node's network (`D`).
     pub fn max_depth(&self) -> usize {
-        self.shared.max_depth
+        self.shared.max_depths[self.shared.network(self.node)]
     }
 
     /// The airtime of a frame of `kind` on this deployment's radio.
@@ -598,6 +675,10 @@ impl Ctx<'_> {
         let end = start.after(duration);
         for i in 0..self.shared.neighbors[self.node.index()].len() {
             let neighbor = self.shared.neighbors[self.node.index()][i];
+            let power_mw = match &self.shared.channel {
+                ChannelKind::Binary => 0.0,
+                ChannelKind::Sinr { rx_power, .. } => rx_power[self.node.index()][i],
+            };
             let dest_shard = self.shared.shard_of[neighbor.index()];
             if dest_shard == self.shard.id {
                 // A receiver asleep at the first bit can never lock
@@ -605,9 +686,15 @@ impl Ctx<'_> {
                 // air events would be the `air_count` the CCA primitive
                 // reads. For a protocol that never samples the channel
                 // (LMAC), that residue is unobservable, so the pair is
-                // elided.
+                // elided. On the SINR channel the pair always ships:
+                // its power contributes to the interference every
+                // *later*-locked frame at this receiver is judged
+                // against.
                 let nl = self.shared.local(neighbor);
-                if self.shared.cca_free && self.shard.nodes[nl].radio.mode == Mode::Sleep {
+                if matches!(self.shared.channel, ChannelKind::Binary)
+                    && self.shared.cca_free
+                    && self.shard.nodes[nl].radio.mode == Mode::Sleep
+                {
                     continue;
                 }
                 let k1 = self.next_key(start);
@@ -618,6 +705,7 @@ impl Ctx<'_> {
                         node: neighbor,
                         tx_seq,
                         frame,
+                        power_mw,
                     },
                 );
                 let k2 = self.next_key(end);
@@ -628,6 +716,7 @@ impl Ctx<'_> {
                         node: neighbor,
                         tx_seq,
                         frame,
+                        power_mw,
                     },
                 );
             } else {
@@ -644,6 +733,7 @@ impl Ctx<'_> {
                         node: neighbor,
                         tx_seq,
                         frame,
+                        power_mw,
                     },
                 ));
                 let k2 = self.next_key(end);
@@ -654,6 +744,7 @@ impl Ctx<'_> {
                         node: neighbor,
                         tx_seq,
                         frame,
+                        power_mw,
                     },
                 ));
             }
@@ -840,47 +931,100 @@ fn dispatch(shared: &Shared, shard: &mut ShardState, round: u32, event: Event) {
             node,
             tx_seq,
             frame,
+            power_mw,
         } => {
             let local = shared.local(node);
             let now = shard.now;
             let st = &mut shard.nodes[local];
             st.air_count += 1;
-            match st.radio.mode {
-                Mode::Listen => {
-                    if st.active_rx.is_none() {
-                        let cause = frame.kind.rx_cause(frame.addressed_to(node));
-                        st.set_mode(now, Mode::Rx, cause);
-                        st.active_rx = Some(ActiveRx {
-                            tx_seq,
-                            corrupted: false,
-                        });
-                    } else if let Some(rx) = &mut st.active_rx {
-                        // A second in-range transmission: collision.
-                        rx.corrupted = true;
+            match &shared.channel {
+                ChannelKind::Binary => match st.radio.mode {
+                    Mode::Listen => {
+                        if st.active_rx.is_none() {
+                            let cause = frame.kind.rx_cause(frame.addressed_to(node));
+                            st.set_mode(now, Mode::Rx, cause);
+                            st.active_rx = Some(ActiveRx::lock(tx_seq, 0.0, f64::INFINITY, false));
+                        } else if let Some(rx) = &mut st.active_rx {
+                            // A second in-range transmission: collision.
+                            rx.corrupted = true;
+                        }
                     }
-                }
-                Mode::Rx => {
+                    Mode::Rx => {
+                        if let Some(rx) = &mut st.active_rx {
+                            rx.corrupted = true;
+                        }
+                    }
+                    Mode::Sleep | Mode::Startup | Mode::Tx => {}
+                },
+                ChannelKind::Sinr { params, .. } => {
+                    st.tally.add(power_mw);
                     if let Some(rx) = &mut st.active_rx {
-                        rx.corrupted = true;
+                        // An interferer arrived over a locked frame:
+                        // with capture on, the lock survives while its
+                        // SINR clears the threshold; with capture off,
+                        // any overlap destroys it (the binary rule).
+                        // Corruption latches — a strong frame that
+                        // once dipped below threshold stays lost even
+                        // if the interferer ends first.
+                        let sinr = st.tally.sinr(rx.signal_mw, params.noise_mw);
+                        match params.capture {
+                            Some(c) => {
+                                rx.overlapped = true;
+                                rx.min_sinr = rx.min_sinr.min(sinr);
+                                if sinr < c {
+                                    rx.corrupted = true;
+                                }
+                            }
+                            None => rx.corrupted = true,
+                        }
+                    } else if st.radio.mode == Mode::Listen {
+                        if power_mw < params.sensitivity_mw {
+                            // Audible energy, undecodable signal: the
+                            // radio never syncs on it.
+                            st.counters.record_below_noise();
+                        } else {
+                            let sinr = st.tally.sinr(power_mw, params.noise_mw);
+                            let interference = st.tally.power_mw() - power_mw;
+                            let (locks, overlapped) = match params.capture {
+                                // Capture decides the lock against the
+                                // ongoing interference.
+                                Some(c) => (sinr >= c, interference > 0.0),
+                                // Capture off: first arrival locks
+                                // unconditionally, exactly like the
+                                // binary engine (a node waking into an
+                                // ongoing frame's tail still locks the
+                                // next arrival cleanly).
+                                None => (true, false),
+                            };
+                            if locks {
+                                let cause = frame.kind.rx_cause(frame.addressed_to(node));
+                                st.set_mode(now, Mode::Rx, cause);
+                                st.active_rx =
+                                    Some(ActiveRx::lock(tx_seq, power_mw, sinr, overlapped));
+                            }
+                        }
                     }
                 }
-                Mode::Sleep | Mode::Startup | Mode::Tx => {}
             }
         }
         Event::AirEnd {
             node,
             tx_seq,
             frame,
+            power_mw,
         } => {
             let local = shared.local(node);
             let now = shard.now;
             let st = &mut shard.nodes[local];
             st.air_count = st.air_count.saturating_sub(1);
+            if let ChannelKind::Sinr { .. } = &shared.channel {
+                st.tally.remove(power_mw);
+            }
             let finished = match &st.active_rx {
-                Some(rx) if rx.tx_seq == tx_seq => Some(rx.corrupted),
+                Some(rx) if rx.tx_seq == tx_seq => Some((rx.corrupted, rx.min_sinr, rx.overlapped)),
                 _ => None,
             };
-            if let Some(corrupted) = finished {
+            if let Some((corrupted, min_sinr, overlapped)) = finished {
                 st.active_rx = None;
                 // Back to plain listening; the node decides what
                 // happens next.
@@ -889,7 +1033,18 @@ fn dispatch(shared: &Shared, shard: &mut ShardState, round: u32, event: Event) {
                     st.counters.record_collision();
                 } else {
                     st.counters.record_rx(frame.kind);
-                    with_node(shared, shard, node, round, |n, ctx| n.on_frame(ctx, &frame));
+                    if overlapped {
+                        st.counters.record_captured();
+                    }
+                    if min_sinr.is_finite() {
+                        st.sinr_db_sum += 10.0 * min_sinr.log10();
+                        st.sinr_decoded += 1;
+                    }
+                    // Cross-network frames decode at the radio but
+                    // never reach the MAC state machine (PAN filter).
+                    if shared.network(frame.src) == shared.network(node) {
+                        with_node(shared, shard, node, round, |n, ctx| n.on_frame(ctx, &frame));
+                    }
                 }
             }
         }
@@ -965,7 +1120,7 @@ pub(crate) fn advance(
 pub(crate) fn seed_and_start(shared: &Shared, shard: &mut ShardState) {
     for i in 0..shard.members.len() {
         let node = shard.members[i];
-        if node == shared.sink {
+        if shared.is_sink(node) {
             continue;
         }
         let period = shared.sample_period(SimTime::ZERO, node);
@@ -1001,6 +1156,9 @@ pub struct Simulation {
     positions: Vec<Point2>,
     machines: Vec<Box<dyn MacNode>>,
     protocol: &'static str,
+    /// Per-network protocol names (`vec![protocol]` outside
+    /// coexistence builds), indexed by network id.
+    network_names: Vec<&'static str>,
     shards: usize,
 }
 
@@ -1138,7 +1296,10 @@ impl Simulation {
             neighbors,
             parent,
             depth,
-            max_depth,
+            channel: ChannelKind::Binary,
+            network_of: vec![0; n],
+            sinks: vec![tree.sink()],
+            max_depths: vec![max_depth],
             sink: tree.sink(),
             config,
             cca_free,
@@ -1153,8 +1314,113 @@ impl Simulation {
             positions: positions.to_vec(),
             machines: nodes,
             protocol,
+            network_names: vec![protocol],
             shards: 1,
         })
+    }
+
+    /// Builds a simulation over an explicit [`ChannelModel`].
+    ///
+    /// With a model whose [`ChannelModel::sinr`] is `None` (the
+    /// [`UnitDisk`](edmac_phy::UnitDisk) reference) this is exactly
+    /// [`Simulation::build`]: the engine keeps its binary bookkeeping
+    /// and the run is byte-identical. A SINR model switches the engine
+    /// to power-accurate interference tracking: routing runs over the
+    /// model's decode graph, while air events fan out over the wider
+    /// interference adjacency with per-directed-link received powers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulation::build`]; under heavy shadowing the realized
+    /// decode graph may additionally come out
+    /// [`Disconnected`](NetError::Disconnected).
+    pub fn build_with_channel(
+        topology: &Topology,
+        radio: Radio,
+        frames: FrameSizes,
+        protocol: &dyn SimProtocol,
+        config: SimConfig,
+        channel: &dyn ChannelModel,
+    ) -> Result<Simulation, NetError> {
+        let field = channel.realize(topology.positions(), config.seed);
+        let graph = field.decode_graph();
+        let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
+        let nodes = protocol.build_nodes(&graph, &tree, &config)?;
+        let mut sim = Simulation::assemble(
+            &graph,
+            &tree,
+            topology.positions(),
+            radio,
+            frames,
+            nodes,
+            protocol.name(),
+            config,
+            protocol.cca_free(),
+        )?;
+        sim.install_channel(&field, channel.sinr());
+        Ok(sim)
+    }
+
+    /// [`Simulation::with_nodes`] over an explicit [`ChannelModel`]:
+    /// scripted per-node state machines on a realized field. Routing
+    /// (and the node ids `make` sees) follows the channel's *decode*
+    /// graph; interference-only links still deliver air events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Disconnected`] if the realized decode graph
+    /// leaves some node unable to reach the sink.
+    pub fn with_nodes_and_channel<F>(
+        topology: &Topology,
+        radio: Radio,
+        frames: FrameSizes,
+        config: SimConfig,
+        protocol_name: &'static str,
+        channel: &dyn ChannelModel,
+        mut make: F,
+    ) -> Result<Simulation, NetError>
+    where
+        F: FnMut(NodeId, &RoutingTree) -> Box<dyn MacNode>,
+    {
+        let field = channel.realize(topology.positions(), config.seed);
+        let graph = field.decode_graph();
+        let tree = RoutingTree::shortest_path(&graph, topology.sink())?;
+        let nodes: Vec<Box<dyn MacNode>> = graph.nodes().map(|u| make(u, &tree)).collect();
+        let mut sim = Simulation::assemble(
+            &graph,
+            &tree,
+            topology.positions(),
+            radio,
+            frames,
+            nodes,
+            protocol_name,
+            config,
+            false,
+        )?;
+        sim.install_channel(&field, channel.sinr());
+        Ok(sim)
+    }
+
+    /// Swaps the assembled binary adjacency for a realized SINR field:
+    /// `neighbors` becomes the air adjacency, with received powers
+    /// parallel to it. A `params` of `None` keeps the binary engine
+    /// (the decode graph the simulation was assembled over *is* the
+    /// field's adjacency in that case).
+    fn install_channel(&mut self, field: &LinkField, params: Option<SinrParams>) {
+        let Some(params) = params else { return };
+        let n = self.machines.len();
+        let mut neighbors = Vec::with_capacity(n);
+        let mut rx_power = Vec::with_capacity(n);
+        for u in 0..n {
+            let links = field.receivers(NodeId::new(u));
+            neighbors.push(links.iter().map(|&(v, _)| v).collect());
+            rx_power.push(links.iter().map(|&(_, p)| p).collect());
+        }
+        self.shared.neighbors = neighbors;
+        self.shared.channel = ChannelKind::Sinr { rx_power, params };
+        // The CCA-free air-pair elision reasons over binary decode
+        // semantics; interference power must always ship.
+        self.shared.cca_free = false;
     }
 
     /// Number of nodes, sink included.
@@ -1230,24 +1496,220 @@ impl Simulation {
         Ok(self)
     }
 
-    /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> SimReport {
-        let n = self.machines.len();
-        let k = self.shards.min(n).max(1);
-        let plan = crate::shard::ShardPlan::new(&self.positions, &self.shared.neighbors, k);
-        plan.apply(&mut self.shared);
-        let mut shards = build_shards(&self.shared, &plan, self.machines);
-        for shard in &mut shards {
-            seed_and_start(&self.shared, shard);
+    /// Builds a multi-network coexistence simulation: each network
+    /// brings its own topology (sink at its local node 0), routing
+    /// tree, protocol and derived seed, but all of them share one
+    /// channel realized by `channel` over the union of their node
+    /// positions — so a frame sent in one network is interference (or,
+    /// on the binary channel, a collision source) in every other.
+    ///
+    /// Global node ids are assigned contiguously in network order.
+    /// Cross-network frames are decoded by the radio (energy and
+    /// counters are charged) but filtered before the MAC state machine,
+    /// like a PAN-id check. [`run_coexistence`](Simulation::run_coexistence)
+    /// returns one [`SimReport`] per network.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidParameter`] if `networks` is empty.
+    /// * [`NetError::Disconnected`] if any network's decode graph
+    ///   cannot reach its sink under the realized channel.
+    /// * Whatever the per-network `build_nodes` return.
+    pub fn coexistence(
+        networks: &[CoexNetwork<'_>],
+        radio: Radio,
+        frames: FrameSizes,
+        channel: &dyn ChannelModel,
+        config: SimConfig,
+    ) -> Result<Simulation, NetError> {
+        if networks.is_empty() {
+            return Err(NetError::InvalidParameter {
+                name: "networks",
+                reason: "a coexistence simulation needs at least one network".to_string(),
+            });
         }
-        if shards.len() == 1 {
-            advance(&self.shared, &mut shards[0], u64::MAX, usize::MAX);
-            finish_shard(&self.shared, &mut shards[0]);
-        } else {
-            shards = crate::shard::run_parallel(&self.shared, shards);
+        let mut positions: Vec<Point2> = Vec::new();
+        let mut offsets = Vec::with_capacity(networks.len());
+        for net in networks {
+            offsets.push(positions.len());
+            positions.extend_from_slice(net.topology.positions());
         }
-        assemble_report(&self.shared, self.protocol, shards)
+        let n = positions.len();
+        let field = channel.realize(&positions, config.seed);
+        let decode = field.decode_graph();
+
+        let mut network_of = vec![0u32; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut depth = vec![0usize; n];
+        let mut sinks = Vec::with_capacity(networks.len());
+        let mut max_depths = Vec::with_capacity(networks.len());
+        let mut network_names = Vec::with_capacity(networks.len());
+        let mut machines: Vec<Box<dyn MacNode>> = Vec::with_capacity(n);
+        for (k, net) in networks.iter().enumerate() {
+            let off = offsets[k];
+            let nk = net.topology.positions().len();
+            for slot in network_of.iter_mut().skip(off).take(nk) {
+                *slot = k as u32;
+            }
+            // The network's own decode graph: the realized field's
+            // edges restricted to its nodes, shifted to local ids.
+            // Neighbor lists keep their ascending order, so builders
+            // that iterate adjacency (LMAC's coloring) see exactly
+            // what a standalone realization would give them.
+            let mut local = edmac_net::Graph::with_nodes(nk);
+            for u in 0..nk {
+                for &v in decode.neighbors(NodeId::new(off + u)) {
+                    let vi = v.index();
+                    if vi > off + u && vi < off + nk {
+                        local.add_edge(NodeId::new(u), NodeId::new(vi - off));
+                    }
+                }
+            }
+            let tree = RoutingTree::shortest_path(&local, net.topology.sink())?;
+            // Each network runs under its own decorrelated seed, so
+            // e.g. LMAC's slot-assignment RNG differs per network.
+            let mut net_config = config;
+            net_config.seed = node_stream(config.seed ^ 0x0C0E_715E, k);
+            machines.extend(net.protocol.build_nodes(&local, &tree, &net_config)?);
+            for u in 0..nk {
+                let lu = NodeId::new(u);
+                parent[off + u] = tree.parent(lu).map(|p| NodeId::new(off + p.index()));
+                depth[off + u] = tree.depth(lu);
+            }
+            sinks.push(NodeId::new(off + net.topology.sink().index()));
+            max_depths.push(tree.max_depth());
+            network_names.push(net.protocol.name());
+        }
+
+        let params = channel.sinr();
+        let mut neighbors = Vec::with_capacity(n);
+        let mut rx_power = Vec::with_capacity(n);
+        for u in 0..n {
+            let links = field.receivers(NodeId::new(u));
+            neighbors.push(links.iter().map(|&(v, _)| v).collect::<Vec<_>>());
+            rx_power.push(links.iter().map(|&(_, p)| p).collect::<Vec<_>>());
+        }
+        let channel_kind = match params {
+            Some(params) => ChannelKind::Sinr { rx_power, params },
+            None => ChannelKind::Binary,
+        };
+        let startup_ns = SimTime::from_seconds(radio.timings.startup).as_nanos();
+        let min_airtime_ns = FrameKind::ALL
+            .iter()
+            .map(|k| SimTime::from_seconds(radio.airtime(k.size(&frames))).as_nanos())
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        let shared = Shared {
+            end: SimTime::from_seconds(config.duration),
+            radio_hw: radio,
+            frames,
+            neighbors,
+            parent,
+            depth,
+            channel: channel_kind,
+            network_of,
+            sink: sinks[0],
+            sinks,
+            max_depths,
+            config,
+            // Cross-network traffic makes no receiver schedule-
+            // provably silent, so the CCA-free elision is never sound
+            // here.
+            cca_free: false,
+            traffic: None,
+            shard_of: vec![0; n],
+            local_of: (0..n as u32).collect(),
+            startup_ns,
+            min_airtime_ns,
+        };
+        Ok(Simulation {
+            shared,
+            positions,
+            machines,
+            protocol: network_names[0],
+            network_names,
+            shards: 1,
+        })
     }
+
+    /// Runs to completion, returning the final world state.
+    fn execute(self) -> (Shared, Vec<&'static str>, Vec<ShardState>) {
+        let Simulation {
+            mut shared,
+            positions,
+            machines,
+            protocol: _,
+            network_names,
+            shards,
+        } = self;
+        let n = machines.len();
+        let k = shards.min(n).max(1);
+        let plan = crate::shard::ShardPlan::new(&positions, &shared.neighbors, k);
+        plan.apply(&mut shared);
+        let mut built = build_shards(&shared, &plan, machines);
+        for shard in &mut built {
+            seed_and_start(&shared, shard);
+        }
+        if built.len() == 1 {
+            advance(&shared, &mut built[0], u64::MAX, usize::MAX);
+            finish_shard(&shared, &mut built[0]);
+        } else {
+            built = crate::shard::run_parallel(&shared, built);
+        }
+        (shared, network_names, built)
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(self) -> SimReport {
+        let protocol = self.protocol;
+        let (shared, _, shards) = self.execute();
+        let (per_node, records) = collect_results(&shared, shards);
+        SimReport::new(protocol, shared.config, shared.sink, per_node, records)
+    }
+
+    /// Runs a coexistence simulation to completion and returns one
+    /// report per network, in network order: each carries its own
+    /// protocol name, sink, node stats and packet records (with global
+    /// node ids), so the single-network accessors — bottleneck energy
+    /// excluding the own sink, per-depth delay stats, delivery ratio —
+    /// apply per network unchanged.
+    ///
+    /// On a single-network build this returns `vec![self.run()]`.
+    pub fn run_coexistence(self) -> Vec<SimReport> {
+        let names = self.network_names.clone();
+        let (shared, _, shards) = self.execute();
+        let (per_node, records) = collect_results(&shared, shards);
+        names
+            .iter()
+            .enumerate()
+            .map(|(k, &name)| {
+                let nodes: Vec<NodeStats> = per_node
+                    .iter()
+                    .filter(|s| shared.network_of[s.node.index()] == k as u32)
+                    .cloned()
+                    .collect();
+                let recs: Vec<PacketRecord> = records
+                    .iter()
+                    .filter(|r| shared.network_of[r.origin.index()] == k as u32)
+                    .cloned()
+                    .collect();
+                SimReport::new(name, shared.config, shared.sinks[k], nodes, recs)
+            })
+            .collect()
+    }
+}
+
+/// One network participating in a [`Simulation::coexistence`] build:
+/// a topology in the *shared* coordinate plane (inter-network spacing
+/// is expressed by the positions themselves) plus the protocol its
+/// nodes run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoexNetwork<'a> {
+    /// Node positions and sink of this network, in shared coordinates.
+    pub topology: &'a Topology,
+    /// The MAC protocol every node of this network runs.
+    pub protocol: &'a dyn SimProtocol,
 }
 
 /// Builds the per-shard arenas from the plan, moving each node's state
@@ -1297,11 +1759,14 @@ fn build_shards(
     shards
 }
 
-/// Merges per-shard results into the single canonical [`SimReport`]:
-/// node stats in global node order, packet records sorted by
-/// `(created, packet id)` — the order the sequential engine generates
-/// them in — with cross-shard deliveries resolved earliest-first.
-fn assemble_report(shared: &Shared, protocol: &'static str, shards: Vec<ShardState>) -> SimReport {
+/// Merges per-shard results into canonical global order: node stats in
+/// global node order, packet records sorted by `(created, packet id)`
+/// — the order the sequential engine generates them in — with
+/// cross-shard deliveries resolved earliest-first.
+fn collect_results(
+    shared: &Shared,
+    shards: Vec<ShardState>,
+) -> (Vec<NodeStats>, Vec<PacketRecord>) {
     let n = shared.neighbors.len();
     let mut per_node: Vec<Option<NodeStats>> = (0..n).map(|_| None).collect();
     let mut deliveries: HashMap<u64, (SimTime, u32)> = HashMap::new();
@@ -1327,6 +1792,8 @@ fn assemble_report(shared: &Shared, protocol: &'static str, shards: Vec<ShardSta
                 breakdown: st.ledger.breakdown(),
                 busy: st.ledger.busy_time(),
                 counters: st.counters,
+                mean_sinr_db: (st.sinr_decoded > 0)
+                    .then(|| st.sinr_db_sum / st.sinr_decoded as f64),
             });
             records.append(&mut st.records);
         }
@@ -1345,7 +1812,7 @@ fn assemble_report(shared: &Shared, protocol: &'static str, shards: Vec<ShardSta
         .into_iter()
         .map(|s| s.expect("every node belongs to exactly one shard"))
         .collect();
-    SimReport::new(protocol, shared.config, shared.sink, per_node, records)
+    (per_node, records)
 }
 
 #[cfg(test)]

@@ -22,17 +22,21 @@ pub(crate) enum Event {
     /// invalidates events from startups aborted by a `sleep()`.
     RadioReady { node: NodeId, token: u64 },
     /// A frame's first bit arrives at `node` (propagation is treated as
-    /// instantaneous at these ranges).
+    /// instantaneous at these ranges). `power_mw` is the received power
+    /// over this directed link; the binary channel carries `0.0` and
+    /// never reads it.
     AirStart {
         node: NodeId,
         tx_seq: u64,
         frame: Frame,
+        power_mw: f64,
     },
     /// A frame's last bit leaves the air at `node`.
     AirEnd {
         node: NodeId,
         tx_seq: u64,
         frame: Frame,
+        power_mw: f64,
     },
     /// `node` finishes transmitting its current frame.
     TxDone { node: NodeId },

@@ -120,6 +120,8 @@ pub struct FrameCounters {
     tx: [u64; 6],
     rx: [u64; 6],
     collisions: u64,
+    captured: u64,
+    below_noise: u64,
 }
 
 impl FrameCounters {
@@ -134,10 +136,25 @@ impl FrameCounters {
         self.rx[kind.index()]
     }
 
-    /// Receptions at this node that were corrupted by an overlapping
-    /// in-range transmission.
+    /// Receptions at this node that were *destroyed* by overlapping
+    /// transmissions: binary-channel overlap, or SINR dipping below
+    /// the capture threshold.
     pub fn collisions(&self) -> u64 {
         self.collisions
+    }
+
+    /// Receptions that survived an overlap because SINR capture rode
+    /// it out. Always 0 on the binary channel and with capture off;
+    /// every captured frame is also counted in [`rx`](Self::rx).
+    pub fn captured(&self) -> u64 {
+        self.captured
+    }
+
+    /// Arrivals whose received power was below the radio's sensitivity
+    /// while this node was listening unlocked — audible energy the
+    /// radio could never sync on. SINR channel only.
+    pub fn below_noise(&self) -> u64 {
+        self.below_noise
     }
 
     /// Total frames transmitted, all kinds.
@@ -160,6 +177,14 @@ impl FrameCounters {
 
     pub(crate) fn record_collision(&mut self) {
         self.collisions += 1;
+    }
+
+    pub(crate) fn record_captured(&mut self) {
+        self.captured += 1;
+    }
+
+    pub(crate) fn record_below_noise(&mut self) {
+        self.below_noise += 1;
     }
 }
 

@@ -66,7 +66,9 @@ mod report;
 mod shard;
 mod time;
 
-pub use engine::{BurstWindows, Ctx, MacNode, SimConfig, Simulation, TrafficProfile, WakeMode};
+pub use engine::{
+    BurstWindows, CoexNetwork, Ctx, MacNode, SimConfig, Simulation, TrafficProfile, WakeMode,
+};
 pub use frame::{Frame, FrameCounters, FrameKind, Packet, PacketId};
 pub use protocol::{DmacSim, LmacSim, ScpSim, SimProtocol, XmacSim};
 pub use queue::{CalendarQueue, EventQueue, HeapQueue, OrderKey};

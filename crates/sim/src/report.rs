@@ -20,6 +20,12 @@ pub struct NodeStats {
     pub busy: Seconds,
     /// Frame-level accounting (transmissions, receptions, collisions).
     pub counters: FrameCounters,
+    /// Mean SINR (dB) of the frames this node decoded, using each
+    /// frame's *worst* SINR while on the air. `None` on the binary
+    /// channel or when nothing was decoded. Decodes replayed by
+    /// coarse-mode wake elisions (e.g. LMAC control sections) happen
+    /// outside the event path and contribute no sample.
+    pub mean_sinr_db: Option<f64>,
 }
 
 /// One application packet's fate.
@@ -251,6 +257,45 @@ impl SimReport {
         self.per_node.iter().map(|s| s.counters.collisions()).sum()
     }
 
+    /// Network-wide collision-cause breakdown: `(destroyed, captured,
+    /// below_noise)` — locked frames lost to overlap, overlapped
+    /// frames that decoded anyway thanks to SINR capture, and arrivals
+    /// too weak to sync on. The latter two are always 0 on the binary
+    /// channel.
+    pub fn collision_causes(&self) -> (u64, u64, u64) {
+        self.per_node.iter().fold((0, 0, 0), |(d, c, b), s| {
+            (
+                d + s.counters.collisions(),
+                c + s.counters.captured(),
+                b + s.counters.below_noise(),
+            )
+        })
+    }
+
+    /// Mean decoded-frame SINR (dB) per depth class, shallowest first,
+    /// in the style of [`delay_stats_by_depth`](Self::delay_stats_by_depth):
+    /// one `(depth, mean dB, nodes reporting)` row per depth class
+    /// (sink's class 0 included) in which at least one node decoded a
+    /// frame on the SINR channel. Empty on the binary channel.
+    pub fn sinr_by_depth(&self) -> Vec<(usize, f64, usize)> {
+        let deepest = self.per_node.iter().map(|s| s.depth).max().unwrap_or(0);
+        (0..=deepest)
+            .filter_map(|d| {
+                let values: Vec<f64> = self
+                    .per_node
+                    .iter()
+                    .filter(|s| s.depth == d)
+                    .filter_map(|s| s.mean_sinr_db)
+                    .collect();
+                if values.is_empty() {
+                    return None;
+                }
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                Some((d, mean, values.len()))
+            })
+            .collect()
+    }
+
     /// The highest per-node energy over the run, excluding the sink
     /// (assumed mains-powered), scaled to `epoch` — directly comparable
     /// to the analytical models' `E`.
@@ -426,6 +471,7 @@ mod tests {
                     breakdown: EnergyBreakdown::ZERO,
                     busy: Seconds::ZERO,
                     counters: FrameCounters::default(),
+                    mean_sinr_db: None,
                 },
                 NodeStats {
                     node: NodeId::new(0),
@@ -433,6 +479,7 @@ mod tests {
                     breakdown: EnergyBreakdown::ZERO,
                     busy: Seconds::ZERO,
                     counters: FrameCounters::default(),
+                    mean_sinr_db: None,
                 },
             ],
             vec![
@@ -476,6 +523,7 @@ mod tests {
                     breakdown: sink_breakdown,
                     busy: Seconds::new(10.0),
                     counters: FrameCounters::default(),
+                    mean_sinr_db: None,
                 },
                 NodeStats {
                     node: NodeId::new(1),
@@ -483,6 +531,7 @@ mod tests {
                     breakdown: node_breakdown,
                     busy: Seconds::new(1.0),
                     counters: FrameCounters::default(),
+                    mean_sinr_db: None,
                 },
             ],
             vec![],

@@ -37,7 +37,7 @@ pub const SUMMARY_SCHEMA: &str = "edmac-study/summary/v2";
 
 /// `NA`-aware fixed-precision float formatting (6 decimals) for the
 /// CSV artifacts.
-fn f6(x: f64) -> String {
+pub(crate) fn f6(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
     } else {
@@ -47,7 +47,7 @@ fn f6(x: f64) -> String {
 
 /// JSON-safe variant: non-finite values become `null` (a bare `NA`
 /// token would make the summary unparseable).
-fn j6(x: f64) -> String {
+pub(crate) fn j6(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
     } else {
@@ -56,7 +56,7 @@ fn j6(x: f64) -> String {
 }
 
 /// Parameter vectors as a colon-joined field (CSV-safe).
-fn params_field(params: &[f64]) -> String {
+pub(crate) fn params_field(params: &[f64]) -> String {
     if params.is_empty() {
         return "NA".into();
     }

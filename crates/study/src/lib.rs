@@ -48,6 +48,7 @@
 mod artifact;
 mod cache;
 mod cell;
+mod coexistence;
 pub mod json;
 mod manifest;
 mod runner;
@@ -64,6 +65,11 @@ pub use cache::{
 pub use cell::{
     models_for, solve_cell, validate_cell, weight_grid, CellOutcome, ConceptOutcome,
     ValidationOutcome, WeightSweep, PROTOCOLS, VALIDATION_SAMPLE_FLOOR, WEIGHT_MATCH_TOL,
+};
+pub use coexistence::{
+    coexistence_cells_csv, coexistence_summary_json, run_coexistence_study,
+    write_coexistence_artifacts, CoexistenceConfig, CoexistenceOutcome, JointCell, NetworkMeasure,
+    NetworkPlan, COEXISTENCE_SCHEMA, COEXISTENCE_SCHEMA_VERSION, STRATEGY_SCALES,
 };
 pub use manifest::{ItemSource, ItemStatus, Manifest, ManifestItem, MANIFEST_SCHEMA};
 pub use runner::{

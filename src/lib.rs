@@ -12,6 +12,7 @@
 //! | [`radio`] | `edmac-radio` | radio hardware models, energy ledger |
 //! | [`net`] | `edmac-net` | ring/traffic model, topologies, routing trees |
 //! | [`optim`] | `edmac-optim` | scalar/simplex solvers, penalty and barrier methods |
+//! | [`phy`] | `edmac-phy` | channel models: unit-disk reference, SINR with shadowing and capture |
 //! | [`game`] | `edmac-game` | Nash bargaining, Kalai–Smorodinsky, egalitarian |
 //! | [`mac`] | `edmac-mac` | analytical X-MAC / DMAC / LMAC / SCP-MAC models |
 //! | [`sim`] | `edmac-sim` | packet-level discrete-event simulator |
@@ -44,6 +45,7 @@ pub use edmac_game as game;
 pub use edmac_mac as mac;
 pub use edmac_net as net;
 pub use edmac_optim as optim;
+pub use edmac_phy as phy;
 pub use edmac_proto as proto;
 pub use edmac_radio as radio;
 pub use edmac_sim as sim;
